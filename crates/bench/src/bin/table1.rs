@@ -1,0 +1,4 @@
+//! Regenerates paper Table I.
+fn main() {
+    println!("{}", dooc_bench::exhibits::table1());
+}

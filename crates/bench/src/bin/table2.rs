@@ -1,0 +1,4 @@
+//! Regenerates paper Table II.
+fn main() {
+    println!("{}", dooc_bench::exhibits::table2());
+}

@@ -1,0 +1,424 @@
+//! One function per paper exhibit, each returning ready-to-print text with
+//! the paper's published values side by side with the reproduction's.
+
+use crate::gantt;
+use crate::tablefmt::Table;
+use dooc_scheduler::OrderPolicy;
+use dooc_simulator::mfdn::{self, HopperModel};
+use dooc_simulator::testbed::{run_testbed, PolicyKind, TestbedParams, TestbedResult};
+use dooc_simulator::hierarchy;
+
+/// Node counts of the §V scaling study.
+pub const NODE_COUNTS: &[usize] = &[1, 4, 9, 16, 25, 36];
+
+/// Published Table III rows: (time s, Gflop/s, read BW GB/s, non-overlap %).
+pub const PAPER_TABLE3: &[(f64, f64, f64, f64)] = &[
+    (290.0, 0.35, 1.5, 13.0),
+    (330.0, 1.24, 5.7, 19.0),
+    (384.0, 2.40, 12.8, 30.0),
+    (509.0, 3.22, 18.7, 36.0),
+    (791.0, 3.23, 17.9, 32.0),
+    (1172.0, 3.15, 18.3, 36.0),
+];
+
+/// Published Table IV rows: (time s, Gflop/s, read BW GB/s, non-overlap %,
+/// CPU-hours per iteration).
+pub const PAPER_TABLE4: &[(f64, f64, f64, f64, f64)] = &[
+    (293.0, 0.35, 1.4, 0.0, 0.16),
+    (335.0, 1.22, 5.8, 13.0, 0.74),
+    (336.0, 2.74, 12.7, 11.0, 1.68),
+    (432.0, 3.79, 18.2, 14.0, 3.84),
+    (644.0, 3.97, 17.8, 8.0, 8.95),
+    (910.0, 4.05, 18.5, 10.0, 18.20),
+];
+
+/// Fig. 1: the memory hierarchy.
+pub fn fig1() -> String {
+    let mut t = Table::new(&["layer", "capacity (bytes)", "latency (cycles)"]);
+    for l in hierarchy::LAYERS {
+        t.row(vec![
+            l.name.to_string(),
+            format!("{:.0e}", l.capacity_bytes as f64),
+            format!("{}", l.latency_cycles),
+        ]);
+    }
+    let mut out = String::from("Fig. 1 — memory hierarchy (2012-era values as the paper presents them)\n\n");
+    out.push_str(&t.render());
+    out.push_str("\nlatency gaps between consecutive layers:\n");
+    for (a, b, r) in hierarchy::latency_ratios() {
+        out.push_str(&format!("  {a} -> {b}: {r:.0}x\n"));
+    }
+    out
+}
+
+/// Table I: matrix characteristics of the ¹⁰B runs, with derived columns
+/// from the MFDn layout model next to the published values.
+pub fn table1() -> String {
+    let mut t = Table::new(&[
+        "test",
+        "(Nmax,Mj)",
+        "D (paper)",
+        "D (derived)",
+        "nnz",
+        "np (paper)",
+        "np (model)",
+        "v_local (model)",
+        "v_local (paper)",
+        "H_local (model)",
+        "H_local (paper)",
+    ]);
+    let paper_vloc = ["8.8 MB", "13.6 MB", "20.4 MB", "27.2 MB"];
+    let paper_hloc = ["880 MB", "880 MB", "800 MB", "750 MB"];
+    for (i, c) in mfdn::CASES.iter().enumerate() {
+        let row = mfdn::table_one_row(c);
+        let np_model = mfdn::minimal_np(c.nnz, 900e6);
+        let derived =
+            dooc_simulator::cibasis::m_scheme_dimension(5, 5, c.nmax, 2 * c.mj as i64);
+        t.row(vec![
+            c.name.to_string(),
+            format!("({},{})", c.nmax, c.mj),
+            format!("{:.2e}", c.dimension),
+            format!("{:.3e}", derived as f64),
+            format!("{:.2e}", c.nnz),
+            format!("{}", c.np),
+            format!("{np_model}"),
+            format!("{:.1} MB", row.v_local_bytes / 1e6),
+            paper_vloc[i].to_string(),
+            format!("{:.0} MB", row.h_local_bytes / 1e6),
+            paper_hloc[i].to_string(),
+        ]);
+    }
+    let mut out = String::from(
+        "Table I — \u{00b9}\u{2070}B matrix characteristics. 'D (derived)' counts the\n\
+         M-scheme Slater-determinant basis from first principles (harmonic\n\
+         oscillator shells, Nmax truncation, Mj projection); the remaining\n\
+         derived columns come from the MFDn 2-D triangular layout model\n\
+         (n_p = n(n+1)/2; 4-byte vectors on the n diagonal processors; 8.6 B per\n\
+         stored non-zero); the model n_p is the smallest triangular count whose\n\
+         local matrix fits ~900 MB/core.\n\n",
+    );
+    out.push_str(&t.render());
+    out
+}
+
+/// Table II: 99 Lanczos iterations on Hopper, model vs published.
+pub fn table2() -> String {
+    let m = HopperModel::calibrated();
+    let mut t = Table::new(&[
+        "stats",
+        "test276",
+        "test1128",
+        "test4560",
+        "test18336",
+    ]);
+    let rows: Vec<_> = mfdn::CASES.iter().map(|c| m.table_two_row(c, 99)).collect();
+    t.row(
+        std::iter::once("t_total model (s)".to_string())
+            .chain(rows.iter().map(|r| format!("{:.0}", r.total_s)))
+            .collect(),
+    );
+    t.row(
+        std::iter::once("t_total paper (s)".to_string())
+            .chain(mfdn::CASES.iter().map(|c| format!("{:.0}", c.published_total_s)))
+            .collect(),
+    );
+    t.row(
+        std::iter::once("comm model (%)".to_string())
+            .chain(rows.iter().map(|r| format!("{:.0}", 100.0 * r.comm_frac)))
+            .collect(),
+    );
+    t.row(
+        std::iter::once("comm paper (%)".to_string())
+            .chain(
+                mfdn::CASES
+                    .iter()
+                    .map(|c| format!("{:.0}", 100.0 * c.published_comm_frac)),
+            )
+            .collect(),
+    );
+    t.row(
+        std::iter::once("CPU-h/iter model".to_string())
+            .chain(rows.iter().map(|r| format!("{:.2}", r.cpu_h_per_iter)))
+            .collect(),
+    );
+    t.row(
+        std::iter::once("CPU-h/iter paper".to_string())
+            .chain(
+                mfdn::CASES
+                    .iter()
+                    .map(|c| format!("{:.2}", c.published_cpu_h_per_iter)),
+            )
+            .collect(),
+    );
+    let mut out = String::from(
+        "Table II — MFDn, 99 Lanczos iterations on Hopper (single-threaded).\n\
+         Model: t_iter = 4*nnz/np/F + a*n^1.4 with F = 1.9e8 flop/s/core,\n\
+         a = 0.0104 s (fits documented in EXPERIMENTS.md).\n\n",
+    );
+    out.push_str(&t.render());
+    out
+}
+
+/// Runs the §V scaling study for one policy at every node count.
+pub fn run_scaling(policy: PolicyKind, counts: &[usize]) -> Vec<TestbedResult> {
+    counts
+        .iter()
+        .map(|&n| run_testbed(&TestbedParams::paper(n), policy))
+        .collect()
+}
+
+fn scaling_table(
+    results: &[TestbedResult],
+    paper_time: impl Fn(usize) -> f64,
+    paper_bw: impl Fn(usize) -> f64,
+    with_cpuh: bool,
+) -> String {
+    let mut header = vec![
+        "#nodes",
+        "dim",
+        "nnz",
+        "size (TB)",
+        "time (s)",
+        "paper t",
+        "Gflop/s",
+        "read BW",
+        "paper BW",
+        "non-ovl %",
+    ];
+    if with_cpuh {
+        header.push("CPU-h/iter");
+    }
+    let mut t = Table::new(&header);
+    for (i, r) in results.iter().enumerate() {
+        let mut row = vec![
+            format!("{}", r.nnodes),
+            format!("{} M", r.dimension / 1_000_000),
+            format!("{:.1e}", r.nnz as f64),
+            format!("{:.2}", r.matrix_bytes as f64 / 1e12),
+            format!("{:.0}", r.time_s),
+            format!("{:.0}", paper_time(i)),
+            format!("{:.2}", r.gflops),
+            format!("{:.1}", r.read_bw / 1e9),
+            format!("{:.1}", paper_bw(i)),
+            format!("{:.0}", 100.0 * r.non_overlapped),
+        ];
+        if with_cpuh {
+            row.push(format!("{:.2}", r.cpu_hours_per_iter));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Table III: the simple scheduling policy.
+pub fn table3(results: &[TestbedResult]) -> String {
+    let mut out = String::from(
+        "Table III — SSD testbed, simple scheduling policy (row-root reduction,\n\
+         global sync after SpMV and after reduction). Model vs paper.\n\n",
+    );
+    out.push_str(&scaling_table(
+        results,
+        |i| PAPER_TABLE3[i].0,
+        |i| PAPER_TABLE3[i].2,
+        false,
+    ));
+    out
+}
+
+/// Table IV: intra-iteration interleaving + per-node aggregation.
+pub fn table4(results: &[TestbedResult]) -> String {
+    let mut out = String::from(
+        "Table IV — SSD testbed with intra-iteration interleaving and per-node\n\
+         aggregation of partial results. Model vs paper.\n\n",
+    );
+    out.push_str(&scaling_table(
+        results,
+        |i| PAPER_TABLE4[i].0,
+        |i| PAPER_TABLE4[i].2,
+        true,
+    ));
+    out
+}
+
+/// Fig. 3: the command plan of the first two iterations on a 3×3 grid.
+pub fn fig3() -> String {
+    use dooc_linalg::spmv_app::{SpmvAppBuilder, StagedBlock};
+    use dooc_sparse::blockgrid::BlockGrid;
+    let grid = BlockGrid::new(3, 30);
+    let blocks: Vec<StagedBlock> = grid
+        .coords()
+        .map(|coord| StagedBlock {
+            coord,
+            node: 0,
+            bytes: 1000,
+            nnz: 100,
+        })
+        .collect();
+    let app = SpmvAppBuilder::new(grid, 2, blocks);
+    let mut out = String::from(
+        "Fig. 3 — commands emitted for the first two iterations (3x3 grid)\n\n",
+    );
+    for cmd in app.command_plan(2) {
+        out.push_str(&format!("  {cmd}\n"));
+    }
+    out
+}
+
+/// Fig. 4: the dependency DAG of Fig. 3's commands.
+pub fn fig4() -> String {
+    use dooc_linalg::spmv_app::{ReductionPlan, SpmvAppBuilder, StagedBlock, SyncPolicy};
+    use dooc_sparse::blockgrid::BlockGrid;
+    let grid = BlockGrid::new(3, 30);
+    let blocks: Vec<StagedBlock> = grid
+        .coords()
+        .map(|coord| StagedBlock {
+            coord,
+            node: 0,
+            bytes: 1000,
+            nnz: 100,
+        })
+        .collect();
+    let app = SpmvAppBuilder::new(grid, 2, blocks)
+        .reduction(ReductionPlan::RowRoot)
+        .sync(SyncPolicy::None)
+        .persist_final(false);
+    let (graph, _, _) = app.build();
+    let mut out = String::from(
+        "Fig. 4 — dependencies between the operations of Fig. 3 (commands are\n\
+         abbreviated by their output vector; matrix blocks in parentheses)\n\n",
+    );
+    for id in graph.ids() {
+        let task = graph.task(id);
+        let matrix: Vec<&str> = task
+            .inputs
+            .iter()
+            .filter(|d| d.array.ends_with(".crs"))
+            .map(|d| d.array.as_str())
+            .collect();
+        let deps: Vec<String> = graph
+            .preds(id)
+            .iter()
+            .map(|&p| graph.task(p).name.clone())
+            .collect();
+        let deps = if deps.is_empty() {
+            "-".to_string()
+        } else {
+            deps.join(", ")
+        };
+        let mat = if matrix.is_empty() {
+            String::new()
+        } else {
+            format!("  ({})", matrix.join(","))
+        };
+        out.push_str(&format!("  {:10}{mat:14} <- {deps}\n", task.name));
+    }
+    out
+}
+
+/// Fig. 5: the two Gantt charts.
+pub fn fig5() -> String {
+    let a = gantt::chart(OrderPolicy::Fifo, 3, 2);
+    let b = gantt::chart(OrderPolicy::DataAware, 3, 2);
+    let mut out = String::from(
+        "Fig. 5 — execution plans for 3 nodes, one sub-matrix of memory each,\n\
+         2 iterations, produced by the real local scheduler. Loads are L(...);\n\
+         reductions are [...].\n\n",
+    );
+    out.push_str(&a.render());
+    out.push('\n');
+    out.push_str(&b.render());
+    out.push_str(&format!(
+        "\nload savings of the discovered plan: {} -> {} ({} fewer loads; the paper's\n\
+         count: 3 loads first iteration, then 2 per iteration per node)\n",
+        a.loads,
+        b.loads,
+        a.loads - b.loads
+    ));
+    out
+}
+
+/// Fig. 6: runtime relative to minimal I/O time at the 20 GB/s peak.
+pub fn fig6(simple: &[TestbedResult], interleaved: &[TestbedResult]) -> String {
+    let mut t = Table::new(&[
+        "#nodes",
+        "(a) simple",
+        "(b) interleaved",
+    ]);
+    for (s, i) in simple.iter().zip(interleaved) {
+        t.row(vec![
+            format!("{}", s.nnodes),
+            format!("{:.2}", s.relative_to_optimal_io(20e9)),
+            format!("{:.2}", i.relative_to_optimal_io(20e9)),
+        ]);
+    }
+    let mut out = String::from(
+        "Fig. 6 — runtime of DOoC on iterated SpMV relative to the minimum time\n\
+         required to acquire the data at the peak 20 GB/s.\n\n",
+    );
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 7: CPU-hour cost of one iteration, SSD testbed vs Hopper, plus the
+/// star run (the 3.5 TB matrix on 9 nodes).
+pub fn fig7(interleaved: &[TestbedResult]) -> (String, TestbedResult) {
+    let m = HopperModel::calibrated();
+    let mut t = Table::new(&["series", "matrix (TB)", "CPU-h/iter"]);
+    for r in interleaved {
+        t.row(vec![
+            format!("SSD testbed ({} nodes)", r.nnodes),
+            format!("{:.2}", r.matrix_bytes as f64 / 1e12),
+            format!("{:.2}", r.cpu_hours_per_iter),
+        ]);
+    }
+    for c in mfdn::CASES {
+        let row = m.table_two_row(c, 99);
+        t.row(vec![
+            format!("Hopper MFDn ({})", c.name),
+            format!("{:.2}", mfdn::BYTES_PER_NNZ * c.nnz / 1e12),
+            format!("{:.2}", row.cpu_h_per_iter),
+        ]);
+    }
+    // The star: the 36-node matrix on 9 nodes (best bandwidth per node).
+    let mut star_params = TestbedParams::paper(9);
+    star_params.grid_k_override = Some(30);
+    let star = run_testbed(&star_params, PolicyKind::Interleaved);
+    t.row(vec![
+        "SSD testbed * (3.5TB on 9 nodes)".to_string(),
+        format!("{:.2}", star.matrix_bytes as f64 / 1e12),
+        format!("{:.2}", star.cpu_hours_per_iter),
+    ]);
+    let mut out = String::from(
+        "Fig. 7 — CPU-hour costs of a single iteration: SSD testbed vs MFDn on\n\
+         Hopper. Paper anchor points: 9-node testbed 1.68 vs test1128 1.72;\n\
+         36-node testbed 18.2 vs test4560 9.70 (2x worse); star run 6.59\n\
+         (32% below test4560).\n\n",
+    );
+    out.push_str(&t.render());
+    (out, star)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_exhibits_render() {
+        assert!(fig1().contains("DRAM"));
+        assert!(table1().contains("test18336"));
+        assert!(table2().contains("comm model"));
+        assert!(fig3().contains("A_{0,0}"));
+        assert!(fig4().contains("x_1_0"));
+        assert!(fig5().contains("Back and forth"));
+    }
+
+    #[test]
+    fn scaling_study_smoke() {
+        // One small configuration through both policies (full counts run in
+        // the reproduce binary).
+        let results = run_scaling(PolicyKind::Interleaved, &[1]);
+        assert_eq!(results.len(), 1);
+        let text = table4(&results);
+        assert!(text.contains("CPU-h/iter"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Fig. 5: Gantt charts of the regular vs back-and-forth execution plans.
+//!
+//! Three nodes, node `u` owning row `u` of a 3×3 grid, one sub-matrix of
+//! memory per node — the exact scenario of paper Fig. 5. The schedule comes
+//! from the *real* [`LocalScheduler`]: FIFO ordering reproduces plan (a)
+//! ("Regular"); the data-aware ordering discovers plan (b) ("Back and
+//! forth") on its own.
+
+use dooc_scheduler::{LocalScheduler, MemoryOracle, OrderPolicy, TaskGraph, TaskId, TaskSpec};
+use std::cell::RefCell;
+
+
+/// One lane entry of the chart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GanttOp {
+    /// A sub-matrix load `L(A_{u,v})` (bold in the paper: the expensive op).
+    Load(String),
+    /// A multiply producing the named partial.
+    Mul(String),
+    /// A reduction producing the named row vector.
+    Sum(String),
+}
+
+impl std::fmt::Display for GanttOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GanttOp::Load(a) => write!(f, "L({a})"),
+            GanttOp::Mul(p) => write!(f, "{p}"),
+            GanttOp::Sum(x) => write!(f, "[{x}]"),
+        }
+    }
+}
+
+/// The schedule of one plan: per-node lanes plus the load count.
+#[derive(Clone, Debug)]
+pub struct GanttChart {
+    /// Plan label.
+    pub label: String,
+    /// `lanes[u]` is node `u`'s op sequence.
+    pub lanes: Vec<Vec<GanttOp>>,
+    /// Total sub-matrix loads across nodes.
+    pub loads: u64,
+}
+
+impl GanttChart {
+    /// Renders as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} — {} matrix loads total\n", self.label, self.loads);
+        for (u, lane) in self.lanes.iter().enumerate() {
+            let ops: Vec<String> = lane.iter().map(|o| o.to_string()).collect();
+            out.push_str(&format!("P{}: {}\n", u + 1, ops.join("  ")));
+        }
+        out
+    }
+}
+
+/// Iterated-SpMV DAG for the Fig. 5 scenario: `k`×`k` grid, `iters`
+/// iterations, node `u` owns the multiplies of row `u` and the sum of row
+/// `u`. Returns the graph and the per-node task sets.
+fn fig5_graph(k: u64, iters: u64) -> (TaskGraph, Vec<Vec<TaskId>>) {
+    let mut tasks = Vec::new();
+    let mut mine: Vec<Vec<TaskId>> = vec![Vec::new(); k as usize];
+    for i in 1..=iters {
+        for u in 0..k {
+            for v in 0..k {
+                mine[u as usize].push(TaskId(tasks.len() as u64));
+                tasks.push(
+                    TaskSpec::new(format!("x_{i}_{u}_{v}"), "multiply")
+                        .input(format!("A_{u}_{v}"), 1000)
+                        .input(format!("x_{}_{v}", i - 1), 8)
+                        .output(format!("x_{i}_{u}_{v}"), 8),
+                );
+            }
+        }
+        for u in 0..k {
+            mine[u as usize].push(TaskId(tasks.len() as u64));
+            let mut t =
+                TaskSpec::new(format!("x_{i}_{u}"), "sum").output(format!("x_{i}_{u}"), 8);
+            for v in 0..k {
+                t = t.input(format!("x_{i}_{u}_{v}"), 8);
+            }
+            tasks.push(t);
+        }
+    }
+    (TaskGraph::new(tasks).expect("valid fig5 DAG"), mine)
+}
+
+/// Oracle with one matrix slot per node (vectors always resident).
+struct OneSlot {
+    slot: RefCell<Option<String>>,
+}
+
+impl MemoryOracle for OneSlot {
+    fn resident(&self, array: &str) -> bool {
+        if array.starts_with("A_") {
+            self.slot.borrow().as_deref() == Some(array)
+        } else {
+            true
+        }
+    }
+}
+
+/// Produces the Fig. 5 chart for one ordering policy. The three nodes run
+/// round-robin in lock step (the paper draws them synchronized per column).
+pub fn chart(policy: OrderPolicy, k: u64, iters: u64) -> GanttChart {
+    let (graph, mine) = fig5_graph(k, iters);
+    let mut lanes: Vec<Vec<GanttOp>> = vec![Vec::new(); k as usize];
+    let mut loads = 0u64;
+    let mut schedulers: Vec<LocalScheduler> = mine
+        .iter()
+        .map(|m| LocalScheduler::new(&graph, m.iter().copied(), policy))
+        .collect();
+    let slots: Vec<OneSlot> = (0..k)
+        .map(|_| OneSlot {
+            slot: RefCell::new(None),
+        })
+        .collect();
+    let mut pending_completions: Vec<TaskId> = Vec::new();
+    loop {
+        let mut progressed = false;
+        for u in 0..k as usize {
+            if let Some(t) = schedulers[u].next_task(&graph, &slots[u]) {
+                progressed = true;
+                let spec = graph.task(t);
+                if spec.kind == "multiply" {
+                    let matrix = spec.inputs[0].array.clone();
+                    if slots[u].slot.borrow().as_deref() != Some(matrix.as_str()) {
+                        *slots[u].slot.borrow_mut() = Some(matrix.clone());
+                        loads += 1;
+                        lanes[u].push(GanttOp::Load(matrix));
+                    }
+                    lanes[u].push(GanttOp::Mul(spec.name.clone()));
+                } else {
+                    lanes[u].push(GanttOp::Sum(spec.name.clone()));
+                }
+                pending_completions.push(t);
+            }
+        }
+        // Column boundary: completions become visible to every node.
+        for t in pending_completions.drain(..) {
+            for s in schedulers.iter_mut() {
+                s.on_complete(&graph, t);
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    GanttChart {
+        label: match policy {
+            OrderPolicy::Fifo => "(a) Regular".to_string(),
+            OrderPolicy::DataAware => "(b) Back and forth".to_string(),
+        },
+        lanes,
+        loads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_plan_loads_three_per_iteration() {
+        let c = chart(OrderPolicy::Fifo, 3, 2);
+        // "Such an execution performs 6 matrix load operations (3 per
+        // iteration) … on each node" — 3 nodes x 6 = 18.
+        assert_eq!(c.loads, 18);
+    }
+
+    #[test]
+    fn back_and_forth_saves_one_load_per_node_per_subsequent_iteration() {
+        let c = chart(OrderPolicy::DataAware, 3, 2);
+        // "a cost of 3 matrix loads for the first iteration and 2 matrix
+        // loads for each subsequent iteration" per node: 3 x (3 + 2) = 15.
+        assert_eq!(c.loads, 15);
+    }
+
+    #[test]
+    fn extended_iterations_keep_the_pattern() {
+        for iters in 2..5 {
+            let a = chart(OrderPolicy::Fifo, 3, iters);
+            let b = chart(OrderPolicy::DataAware, 3, iters);
+            assert_eq!(a.loads, 3 * 3 * iters);
+            assert_eq!(b.loads, 3 * (3 + 2 * (iters - 1)));
+        }
+    }
+
+    #[test]
+    fn lanes_cover_all_tasks() {
+        let c = chart(OrderPolicy::DataAware, 3, 2);
+        let ops: usize = c.lanes.iter().map(|l| l.len()).sum();
+        // 9 muls + 3 sums per iteration x 2, plus 15 loads.
+        assert_eq!(ops, (9 + 3) * 2 + 15);
+    }
+
+    #[test]
+    fn render_shows_loads_bold_style() {
+        let c = chart(OrderPolicy::Fifo, 3, 1);
+        let text = c.render();
+        assert!(text.contains("L(A_0_0)"));
+        assert!(text.contains("[x_1_0]"));
+        assert!(text.starts_with("(a) Regular"));
+    }
+}

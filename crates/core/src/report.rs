@@ -1,0 +1,156 @@
+//! Run reports: what happened, measured from the inside.
+//!
+//! The paper extracts observed bandwidth "from the logs of the application";
+//! [`RunReport`] is those logs: per-node storage counters, per-stream
+//! traffic, and a wall-clock task trace usable for Gantt rendering and for
+//! calibrating the testbed simulator.
+
+use dooc_filterstream::RuntimeReport;
+use dooc_scheduler::TaskId;
+use dooc_storage::proto::NodeStats;
+use std::time::Duration;
+
+/// One executed task, with wall-clock timestamps relative to run start.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Node that executed the task.
+    pub node: u64,
+    /// The task.
+    pub task: TaskId,
+    /// Task name (output-vector naming, per the paper's figures).
+    pub name: String,
+    /// Task kind tag.
+    pub kind: String,
+    /// Start offset from run begin.
+    pub start: Duration,
+    /// End offset from run begin.
+    pub end: Duration,
+    /// Bytes of input read (after any caching).
+    pub input_bytes: u64,
+}
+
+/// Result of a completed DOoC run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Per-node storage counters, indexed by node id.
+    pub node_stats: Vec<NodeStats>,
+    /// Dataflow stream traffic.
+    pub streams: RuntimeReport,
+    /// Completed-task trace, sorted by start time.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl RunReport {
+    /// Total bytes read from the node-local filesystems (the quantity the
+    /// paper's "read bandwidth" column is computed from).
+    pub fn total_disk_read_bytes(&self) -> u64 {
+        self.node_stats.iter().map(|s| s.disk_read_bytes).sum()
+    }
+
+    /// Aggregate read bandwidth over the whole run, bytes/second.
+    pub fn read_bandwidth(&self) -> f64 {
+        self.total_disk_read_bytes() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Total block bytes exchanged between storage peers.
+    pub fn total_peer_bytes(&self) -> u64 {
+        self.node_stats.iter().map(|s| s.peer_recv_bytes).sum()
+    }
+
+    /// Tasks executed on the given node, in start order.
+    pub fn tasks_on(&self, node: u64) -> Vec<&TraceEvent> {
+        self.trace.iter().filter(|e| e.node == node).collect()
+    }
+}
+
+/// Renders the trace as a per-node text Gantt chart (proportional character
+/// widths), for eyeballing overlap the way the paper's Fig. 5 does.
+pub fn render_trace_gantt(report: &RunReport, width: usize) -> String {
+    let total = report.elapsed.as_secs_f64().max(1e-9);
+    let nodes: std::collections::BTreeSet<u64> = report.trace.iter().map(|e| e.node).collect();
+    let mut out = String::new();
+    for node in nodes {
+        let mut lane = vec![b'.'; width];
+        for e in report.tasks_on(node) {
+            let s = ((e.start.as_secs_f64() / total) * width as f64) as usize;
+            let t = ((e.end.as_secs_f64() / total) * width as f64).ceil() as usize;
+            let glyph = match e.kind.as_str() {
+                "multiply" => b'M',
+                k if k.starts_with("sum") => b'S',
+                "barrier" => b'|',
+                _ => b'#',
+            };
+            for c in lane.iter_mut().take(t.min(width)).skip(s.min(width)) {
+                *c = glyph;
+            }
+        }
+        out.push_str(&format!(
+            "node{node}: {}\n",
+            String::from_utf8(lane).expect("ascii lane")
+        ));
+    }
+    out.push_str("(M = multiply, S = reduction, | = barrier, # = other, . = idle)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dooc_filterstream::RuntimeReport;
+    use dooc_scheduler::TaskId;
+
+    fn report() -> RunReport {
+        RunReport {
+            elapsed: Duration::from_secs(10),
+            node_stats: vec![Default::default(); 2],
+            streams: RuntimeReport {
+                elapsed: Duration::from_secs(10),
+                streams: vec![],
+            },
+            trace: vec![
+                TraceEvent {
+                    node: 0,
+                    task: TaskId(0),
+                    name: "m".into(),
+                    kind: "multiply".into(),
+                    start: Duration::from_secs(0),
+                    end: Duration::from_secs(5),
+                    input_bytes: 100,
+                },
+                TraceEvent {
+                    node: 1,
+                    task: TaskId(1),
+                    name: "s".into(),
+                    kind: "sum".into(),
+                    start: Duration::from_secs(5),
+                    end: Duration::from_secs(10),
+                    input_bytes: 50,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors_aggregate() {
+        let r = report();
+        assert_eq!(r.tasks_on(0).len(), 1);
+        assert_eq!(r.tasks_on(1).len(), 1);
+        assert_eq!(r.total_disk_read_bytes(), 0);
+        assert_eq!(r.total_peer_bytes(), 0);
+    }
+
+    #[test]
+    fn gantt_renders_proportionally() {
+        let text = render_trace_gantt(&report(), 20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("node0:"));
+        // Node 0 busy in the first half, idle in the second.
+        let lane0 = lines[0].split_once(": ").expect("lane").1;
+        assert!(lane0.starts_with("MMMMMMMMMM"), "{lane0}");
+        assert!(lane0.ends_with(".........."), "{lane0}");
+        let lane1 = lines[1].split_once(": ").expect("lane").1;
+        assert!(lane1.ends_with("SSSSSSSSSS"), "{lane1}");
+    }
+}

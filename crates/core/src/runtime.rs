@@ -1,0 +1,147 @@
+//! Cluster assembly and execution.
+//!
+//! [`DoocRuntime::run`] mounts the full architecture of paper Fig. 2 into a
+//! single filter-stream layout:
+//!
+//! ```text
+//!   global scheduler (placement, runs up-front)           ── dooc-scheduler
+//!   per node: worker (local scheduler + computing filter) ── this crate
+//!   per node: storage filter  ◄──────────► peers          ── dooc-storage
+//!   per node: I/O filter (scratch directory)              ── dooc-storage
+//! ```
+//!
+//! then executes the application's task DAG to completion out-of-core.
+
+use crate::report::RunReport;
+use crate::worker::{Sinks, TaskExecutor, WorkerFilter};
+use crate::{DoocConfig, DoocError, Result};
+use dooc_filterstream::{Delivery, Layout, NodeId, Runtime};
+use dooc_scheduler::{assign_affinity, TaskGraph};
+use dooc_storage::proto::NodeStats;
+use dooc_storage::StorageCluster;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The DOoC middleware entry point.
+pub struct DoocRuntime {
+    config: DoocConfig,
+}
+
+impl DoocRuntime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: DoocConfig) -> Self {
+        Self { config }
+    }
+
+    /// Executes a task DAG.
+    ///
+    /// * `graph` — the application's tasks (inputs/outputs declared);
+    /// * `external_location` — node hosting each file-backed input array
+    ///   (staged in that node's scratch directory before the run);
+    /// * `executor` — application logic per task kind.
+    pub fn run(
+        &self,
+        graph: TaskGraph,
+        external_location: HashMap<String, u64>,
+        executor: Arc<dyn TaskExecutor>,
+    ) -> Result<RunReport> {
+        let nnodes = self.config.nnodes();
+        if nnodes == 0 {
+            return Err(DoocError::Config("no scratch directories".into()));
+        }
+        // Global scheduling: affinity placement.
+        let placement = Arc::new(assign_affinity(
+            &graph,
+            &external_location,
+            nnodes as u64,
+        )?);
+
+        // Geometry table: explicit hints, plus single-block defaults derived
+        // from the task declarations.
+        let mut geometry: HashMap<String, (u64, u64)> = HashMap::new();
+        for id in graph.ids() {
+            for d in graph
+                .task(id)
+                .inputs
+                .iter()
+                .chain(graph.task(id).outputs.iter())
+            {
+                geometry
+                    .entry(d.array.clone())
+                    .or_insert((d.bytes, d.bytes.max(1)));
+            }
+        }
+        for (name, len, bs) in &self.config.geometry {
+            geometry.insert(name.clone(), (*len, *bs));
+        }
+        let geometry = Arc::new(geometry);
+
+        let graph = Arc::new(graph);
+        let sinks = Arc::new(Sinks::default());
+        let client_base = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+
+        let mut layout = Layout::new();
+        let mut cluster = StorageCluster::build(
+            &mut layout,
+            self.config.scratch_dirs.clone(),
+            self.config.memory_budget,
+            self.config.seed,
+        );
+
+        let nodes: Vec<NodeId> = (0..nnodes).map(NodeId).collect();
+        let wf_graph = Arc::clone(&graph);
+        let wf_placement = Arc::clone(&placement);
+        let wf_geometry = Arc::clone(&geometry);
+        let wf_sinks = Arc::clone(&sinks);
+        let wf_base = Arc::clone(&client_base);
+        let wf_config = self.config.clone();
+        let workers = layout.add_replicated("worker", nodes, move |_i| {
+            Box::new(WorkerFilter {
+                graph: Arc::clone(&wf_graph),
+                placement: Arc::clone(&wf_placement),
+                executor: Arc::clone(&executor),
+                config: wf_config.clone(),
+                geometry: Arc::clone(&wf_geometry),
+                client_base: Arc::clone(&wf_base),
+                sinks: Arc::clone(&wf_sinks),
+                start,
+            })
+        });
+
+        // Completion broadcast: every worker (including the sender) sees
+        // every completion. Capacity covers the whole task count so sends
+        // never block on a busy peer.
+        layout.connect_with(
+            workers,
+            "done_out",
+            workers,
+            "done_in",
+            Delivery::Broadcast,
+            graph.len() + 16,
+        );
+
+        let base = cluster.attach_clients(&mut layout, workers, nnodes, "sreq", "srep");
+        client_base.store(base, std::sync::atomic::Ordering::SeqCst);
+
+        let streams = Runtime::run(layout)?;
+        let elapsed = start.elapsed();
+
+        // Collect sinks.
+        let mut trace = std::mem::take(&mut *sinks.trace.lock());
+        trace.sort_by_key(|e| e.start);
+        let mut node_stats = vec![NodeStats::default(); nnodes];
+        for (node, st) in sinks.stats.lock().drain(..) {
+            node_stats[node as usize] = st;
+        }
+
+        Ok(RunReport {
+            elapsed,
+            node_stats,
+            streams,
+            trace,
+        })
+    }
+}

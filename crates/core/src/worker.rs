@@ -1,0 +1,291 @@
+//! The per-node worker filter: local scheduler + computing filter.
+//!
+//! Each node runs one worker. The worker owns the node's
+//! [`LocalScheduler`], queries the storage map ("periodically queries the
+//! state of the storage to know which data are available in memory"), issues
+//! prefetches, executes ready tasks through the application's
+//! [`TaskExecutor`], and broadcasts completions to every other worker so all
+//! local schedulers observe cluster-wide DAG progress.
+
+use crate::report::TraceEvent;
+use crate::DoocConfig;
+use bytes::Bytes;
+use dooc_filterstream::{DataBuffer, Filter, FilterContext};
+use dooc_scheduler::{LocalScheduler, Placement, TaskGraph, TaskId, TaskSpec};
+use dooc_storage::meta::{ArrayMeta, Interval};
+use dooc_storage::proto::{BlockAvail, NodeStats};
+use dooc_storage::StorageClient;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of one task execution (application-level error as a string).
+pub type ExecOutcome = std::result::Result<(), String>;
+
+/// Application logic: how to run each task kind against the storage layer.
+pub trait TaskExecutor: Send + Sync {
+    /// Executes one task: read the declared inputs, compute, write the
+    /// declared outputs.
+    fn execute(&self, task: &TaskSpec, ctx: &mut WorkerContext<'_>) -> ExecOutcome;
+}
+
+/// Everything a task execution can touch.
+pub struct WorkerContext<'a> {
+    /// Node executing the task.
+    pub node: u64,
+    /// Threads available for splittable kernels.
+    pub threads: usize,
+    client: &'a mut StorageClient,
+    geometry: &'a HashMap<String, (u64, u64)>,
+    /// Input bytes read during this execution (for the trace).
+    pub(crate) input_bytes: u64,
+}
+
+impl<'a> WorkerContext<'a> {
+    /// Direct access to the storage client (for advanced patterns: async
+    /// reads, partial intervals, persist).
+    pub fn storage(&mut self) -> &mut StorageClient {
+        self.client
+    }
+
+    fn geom(&self, name: &str) -> Option<(u64, u64)> {
+        self.geometry.get(name).copied()
+    }
+
+    /// Reads an entire array into a fresh buffer (block by block; blocks are
+    /// pinned only while being copied).
+    pub fn read_array(&mut self, name: &str) -> std::result::Result<Vec<u8>, String> {
+        let (len, bs) = self
+            .geom(name)
+            .ok_or_else(|| format!("unknown geometry for array '{name}'"))?;
+        let meta = ArrayMeta::new(name, len, bs);
+        let mut out = Vec::with_capacity(len as usize);
+        for b in 0..meta.nblocks() {
+            let iv = Interval::new(meta.block_start(b), meta.block_len(b));
+            let data = self
+                .client
+                .read(name, iv)
+                .map_err(|e| format!("read {name}[{b}]: {e}"))?;
+            out.extend_from_slice(&data);
+            self.client
+                .release_read(name, iv)
+                .map_err(|e| format!("release {name}[{b}]: {e}"))?;
+        }
+        self.input_bytes += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Reads a single-block array zero-copy; the caller must call
+    /// [`WorkerContext::release`] with the same interval when done.
+    pub fn read_pinned(&mut self, name: &str, iv: Interval) -> std::result::Result<Bytes, String> {
+        let data = self
+            .client
+            .read(name, iv)
+            .map_err(|e| format!("read {name}: {e}"))?;
+        self.input_bytes += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Releases a pinned interval.
+    pub fn release(&mut self, name: &str, iv: Interval) -> std::result::Result<(), String> {
+        self.client
+            .release_read(name, iv)
+            .map_err(|e| format!("release {name}: {e}"))
+    }
+
+    /// Reads an array of `f64`s (little-endian bytes).
+    pub fn read_f64s(&mut self, name: &str) -> std::result::Result<Vec<f64>, String> {
+        let raw = self.read_array(name)?;
+        if raw.len() % 8 != 0 {
+            return Err(format!("array '{name}' length {} not f64-aligned", raw.len()));
+        }
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Creates and fully writes an array (single block unless a geometry was
+    /// registered). The array is homed on this node.
+    pub fn write_array(&mut self, name: &str, data: &[u8]) -> std::result::Result<(), String> {
+        let (len, bs) = self
+            .geom(name)
+            .unwrap_or((data.len() as u64, data.len().max(1) as u64));
+        if len != data.len() as u64 {
+            return Err(format!(
+                "array '{name}' declared {len} bytes but writing {}",
+                data.len()
+            ));
+        }
+        self.client
+            .create(name, len, bs)
+            .map_err(|e| format!("create {name}: {e}"))?;
+        let meta = ArrayMeta::new(name, len, bs);
+        for b in 0..meta.nblocks() {
+            let start = meta.block_start(b);
+            let blen = meta.block_len(b);
+            let iv = Interval::new(start, blen);
+            self.client
+                .write(
+                    name,
+                    iv,
+                    Bytes::copy_from_slice(&data[start as usize..(start + blen) as usize]),
+                )
+                .map_err(|e| format!("write {name}[{b}]: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Writes an `f64` array.
+    pub fn write_f64s(&mut self, name: &str, xs: &[f64]) -> std::result::Result<(), String> {
+        let mut raw = Vec::with_capacity(8 * xs.len());
+        for x in xs {
+            raw.extend_from_slice(&x.to_le_bytes());
+        }
+        self.write_array(name, &raw)
+    }
+}
+
+/// Sinks the workers report into (collected by the runtime after the run).
+#[derive(Default)]
+pub(crate) struct Sinks {
+    pub trace: Mutex<Vec<TraceEvent>>,
+    pub stats: Mutex<Vec<(u64, NodeStats)>>,
+}
+
+pub(crate) struct WorkerFilter {
+    pub graph: Arc<TaskGraph>,
+    pub placement: Arc<Placement>,
+    pub executor: Arc<dyn TaskExecutor>,
+    pub config: DoocConfig,
+    pub geometry: Arc<HashMap<String, (u64, u64)>>,
+    pub client_base: Arc<std::sync::atomic::AtomicU64>,
+    pub sinks: Arc<Sinks>,
+    pub start: Instant,
+}
+
+impl WorkerFilter {
+    /// Availability snapshot: arrays whose blocks are all resident.
+    fn snapshot(
+        client: &mut StorageClient,
+        geometry: &HashMap<String, (u64, u64)>,
+    ) -> std::result::Result<HashSet<String>, String> {
+        let map = client.map().map_err(|e| format!("map query: {e}"))?;
+        let mut in_mem: HashMap<String, u64> = HashMap::new();
+        let mut other: HashSet<String> = HashSet::new();
+        for e in &map {
+            match e.state {
+                BlockAvail::InMemory => *in_mem.entry(e.array.clone()).or_insert(0) += 1,
+                _ => {
+                    other.insert(e.array.clone());
+                }
+            }
+        }
+        Ok(in_mem
+            .into_iter()
+            .filter(|(name, count)| {
+                if other.contains(name) {
+                    return false;
+                }
+                match geometry.get(name) {
+                    Some(&(len, bs)) => ArrayMeta::new(name.clone(), len, bs).nblocks() == *count,
+                    None => true, // unknown geometry: all known blocks resident
+                }
+            })
+            .map(|(name, _)| name)
+            .collect())
+    }
+}
+
+impl Filter for WorkerFilter {
+    fn run(&mut self, ctx: &mut FilterContext) -> dooc_filterstream::Result<()> {
+        let node = ctx.instance as u64;
+        let to_storage = ctx.take_output("sreq")?;
+        let from_storage = ctx.take_input("srep")?;
+        let base = self.client_base.load(std::sync::atomic::Ordering::SeqCst);
+        let mut client =
+            StorageClient::new(to_storage, from_storage, ctx.instance, base + node);
+        // Geometry hints on every node.
+        for (name, len, bs) in &self.config.geometry {
+            client
+                .register(name, *len, *bs)
+                .map_err(|e| ctx.error(format!("register {name}: {e}")))?;
+        }
+        for (name, (len, bs)) in self.geometry.iter() {
+            client
+                .register(name, *len, *bs)
+                .map_err(|e| ctx.error(format!("register {name}: {e}")))?;
+        }
+
+        let mine = self.placement.tasks_of(node);
+        let mut ls = LocalScheduler::new(&self.graph, mine, self.config.order_policy)
+            .with_prefetch_window(self.config.prefetch_window);
+
+        let done_in = ctx.take_input("done_in")?;
+        // done_out stays in ctx so close_output semantics apply on exit.
+        loop {
+            // 1. Drain completion broadcasts.
+            while let Some(b) = done_in.try_recv() {
+                ls.on_complete(&self.graph, TaskId(b.tag));
+            }
+            if ls.graph_done() {
+                break;
+            }
+            // 2. Storage map snapshot (the oracle).
+            let resident = Self::snapshot(&mut client, &self.geometry)
+                .map_err(|e| ctx.error(e))?;
+            // 3. Prefetch the inputs of upcoming tasks.
+            for arr in ls.prefetch_candidates(&self.graph, &resident) {
+                if let Some(&(len, bs)) = self.geometry.get(&arr) {
+                    let meta = ArrayMeta::new(arr.clone(), len, bs);
+                    for b in 0..meta.nblocks() {
+                        client
+                            .prefetch(&arr, Interval::new(meta.block_start(b), meta.block_len(b)))
+                            .map_err(|e| ctx.error(format!("prefetch {arr}: {e}")))?;
+                    }
+                }
+            }
+            // 4. Run one task, or wait for progress.
+            if let Some(t) = ls.next_task(&self.graph, &resident) {
+                let spec = self.graph.task(t).clone();
+                let started = self.start.elapsed();
+                let mut wctx = WorkerContext {
+                    node,
+                    threads: self.config.threads_per_node,
+                    client: &mut client,
+                    geometry: &self.geometry,
+                    input_bytes: 0,
+                };
+                self.executor
+                    .execute(&spec, &mut wctx)
+                    .map_err(|message| {
+                        ctx.error(format!("task '{}' failed: {message}", spec.name))
+                    })?;
+                let input_bytes = wctx.input_bytes;
+                self.sinks.trace.lock().push(TraceEvent {
+                    node,
+                    task: t,
+                    name: spec.name.clone(),
+                    kind: spec.kind.clone(),
+                    start: started,
+                    end: self.start.elapsed(),
+                    input_bytes,
+                });
+                ctx.output("done_out")?.send(DataBuffer::tag_only(t.0))?;
+            } else if let Some(b) = done_in.recv_timeout(Duration::from_millis(1)) {
+                ls.on_complete(&self.graph, TaskId(b.tag));
+            }
+        }
+
+        // Quiesce: report stats, then shut the local storage down.
+        if let Ok(stats) = client.stats() {
+            self.sinks.stats.lock().push((node, stats));
+        }
+        client.shutdown().ok();
+        ctx.close_output("done_out");
+        // Drain remaining broadcasts so no peer blocks on our full lane.
+        while done_in.recv().is_some() {}
+        Ok(())
+    }
+}

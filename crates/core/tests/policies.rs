@@ -1,0 +1,295 @@
+//! Runtime-level policy and robustness tests beyond the basic end-to-end
+//! suite: prefetch effectiveness, trace ordering guarantees, multi-threaded
+//! kernels inside workers, and configuration edge cases.
+
+use bytes::Bytes;
+use dooc_core::{
+    DoocConfig, DoocRuntime, ExecOutcome, TaskExecutor, TaskGraph, TaskSpec, WorkerContext,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn cleanup(cfg: &DoocConfig) {
+    for d in &cfg.scratch_dirs {
+        std::fs::remove_dir_all(d).ok();
+        if let Some(p) = d.parent() {
+            std::fs::remove_dir(p).ok();
+        }
+    }
+}
+
+fn stage(cfg: &DoocConfig, node: usize, name: &str, bytes: &[u8]) {
+    std::fs::write(cfg.scratch_dirs[node].join(name), bytes).expect("stage");
+}
+
+/// Copies input to output, optionally asserting the thread budget.
+struct Copy {
+    expect_threads: Option<usize>,
+}
+
+impl TaskExecutor for Copy {
+    fn execute(&self, task: &TaskSpec, ctx: &mut WorkerContext) -> ExecOutcome {
+        if let Some(t) = self.expect_threads {
+            if ctx.threads != t {
+                return Err(format!("threads {} != expected {t}", ctx.threads));
+            }
+        }
+        let data = ctx.read_array(&task.inputs[0].array)?;
+        ctx.write_array(&task.outputs[0].array, &data)
+    }
+}
+
+#[test]
+fn thread_budget_reaches_executor() {
+    let cfg = DoocConfig::in_temp_dirs("pol-threads", 1)
+        .expect("cfg")
+        .threads_per_node(3);
+    stage(&cfg, 0, "in", &[1, 2, 3, 4]);
+    let graph = TaskGraph::new(vec![TaskSpec::new("c", "copy")
+        .input("in", 4)
+        .output("out", 4)])
+    .expect("graph");
+    DoocRuntime::new(cfg.clone())
+        .run(
+            graph,
+            HashMap::from([("in".into(), 0)]),
+            Arc::new(Copy {
+                expect_threads: Some(3),
+            }),
+        )
+        .expect("run");
+    cleanup(&cfg);
+}
+
+#[test]
+fn trace_respects_dag_order() {
+    // A chain's trace must be strictly ordered.
+    let cfg = DoocConfig::in_temp_dirs("pol-order", 2).expect("cfg");
+    stage(&cfg, 0, "x0", &[9; 8]);
+    let graph = TaskGraph::new(
+        (1..=5)
+            .map(|i| {
+                TaskSpec::new(format!("s{i}"), "copy")
+                    .input(format!("x{}", i - 1), 8)
+                    .output(format!("x{i}"), 8)
+            })
+            .collect(),
+    )
+    .expect("graph");
+    let report = DoocRuntime::new(cfg.clone())
+        .run(
+            graph,
+            HashMap::from([("x0".into(), 0)]),
+            Arc::new(Copy {
+                expect_threads: None,
+            }),
+        )
+        .expect("run");
+    assert_eq!(report.trace.len(), 5);
+    for w in report.trace.windows(2) {
+        assert!(
+            w[1].start >= w[0].end,
+            "{} started before {} ended",
+            w[1].name,
+            w[0].name
+        );
+    }
+    cleanup(&cfg);
+}
+
+#[test]
+fn prefetch_window_zero_still_completes() {
+    let cfg = DoocConfig::in_temp_dirs("pol-pf0", 1)
+        .expect("cfg")
+        .prefetch_window(0);
+    stage(&cfg, 0, "in", &[5; 16]);
+    let graph = TaskGraph::new(vec![TaskSpec::new("c", "copy")
+        .input("in", 16)
+        .output("out", 16)])
+    .expect("graph");
+    let report = DoocRuntime::new(cfg.clone())
+        .run(
+            graph,
+            HashMap::from([("in".into(), 0)]),
+            Arc::new(Copy {
+                expect_threads: None,
+            }),
+        )
+        .expect("run");
+    assert_eq!(report.trace.len(), 1);
+    cleanup(&cfg);
+}
+
+/// An executor that uses the advanced pinned-read API.
+struct PinnedReader;
+
+impl TaskExecutor for PinnedReader {
+    fn execute(&self, task: &TaskSpec, ctx: &mut WorkerContext) -> ExecOutcome {
+        use dooc_core::Interval;
+        let iv = Interval::new(0, task.inputs[0].bytes);
+        let data = ctx.read_pinned(&task.inputs[0].array, iv)?;
+        let doubled: Vec<u8> = data.iter().map(|b| b.wrapping_mul(2)).collect();
+        ctx.release(&task.inputs[0].array, iv)?;
+        ctx.write_array(&task.outputs[0].array, &doubled)?;
+        ctx.storage()
+            .persist(&task.outputs[0].array)
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[test]
+fn pinned_read_api_works_end_to_end() {
+    let cfg = DoocConfig::in_temp_dirs("pol-pin", 1).expect("cfg");
+    stage(&cfg, 0, "in", &[1, 2, 3]);
+    let graph = TaskGraph::new(vec![TaskSpec::new("p", "pin")
+        .input("in", 3)
+        .output("out", 3)])
+    .expect("graph");
+    DoocRuntime::new(cfg.clone())
+        .run(graph, HashMap::from([("in".into(), 0)]), Arc::new(PinnedReader))
+        .expect("run");
+    let out = std::fs::read(cfg.scratch_dirs[0].join("out@0")).expect("persisted");
+    assert_eq!(out, vec![2, 4, 6]);
+    cleanup(&cfg);
+}
+
+#[test]
+fn empty_graph_completes_immediately() {
+    let cfg = DoocConfig::in_temp_dirs("pol-empty", 2).expect("cfg");
+    let graph = TaskGraph::new(vec![]).expect("empty graph");
+    let report = DoocRuntime::new(cfg.clone())
+        .run(
+            graph,
+            HashMap::new(),
+            Arc::new(Copy {
+                expect_threads: None,
+            }),
+        )
+        .expect("run");
+    assert!(report.trace.is_empty());
+    cleanup(&cfg);
+}
+
+#[test]
+fn wide_fan_out_many_tasks() {
+    // 40 independent tasks over 2 nodes: exercises scheduling balance and
+    // the completion broadcast at moderate scale.
+    let cfg = DoocConfig::in_temp_dirs("pol-wide", 2).expect("cfg");
+    stage(&cfg, 0, "seed0", &[1; 8]);
+    stage(&cfg, 1, "seed1", &[2; 8]);
+    let mut tasks = Vec::new();
+    for i in 0..40 {
+        let src = if i % 2 == 0 { "seed0" } else { "seed1" };
+        tasks.push(
+            TaskSpec::new(format!("t{i}"), "copy")
+                .input(src, 8)
+                .output(format!("o{i}"), 8),
+        );
+    }
+    let graph = TaskGraph::new(tasks).expect("graph");
+    let report = DoocRuntime::new(cfg.clone())
+        .run(
+            graph,
+            HashMap::from([("seed0".into(), 0u64), ("seed1".into(), 1u64)]),
+            Arc::new(Copy {
+                expect_threads: None,
+            }),
+        )
+        .expect("run");
+    assert_eq!(report.trace.len(), 40);
+    // Affinity: even tasks on node 0, odd on node 1.
+    for e in &report.trace {
+        let i: usize = e.name[1..].parse().expect("t<i>");
+        assert_eq!(e.node as usize, i % 2, "{} placed on {}", e.name, e.node);
+    }
+    cleanup(&cfg);
+}
+
+#[test]
+fn byte_identical_outputs_across_runs() {
+    // Determinism: two identical runs persist identical bytes.
+    let mut outs = Vec::new();
+    for run in 0..2 {
+        let cfg = DoocConfig::in_temp_dirs(&format!("pol-det{run}"), 2).expect("cfg");
+        stage(&cfg, 0, "in", &[3, 1, 4, 1, 5, 9, 2, 6]);
+        let graph = TaskGraph::new(vec![
+            TaskSpec::new("a", "pin").input("in", 8).output("mid", 8),
+        ])
+        .expect("graph");
+        DoocRuntime::new(cfg.clone())
+            .run(graph, HashMap::from([("in".into(), 0)]), Arc::new(PinnedReader))
+            .expect("run");
+        outs.push(std::fs::read(cfg.scratch_dirs[0].join("mid@0")).expect("persisted"));
+        cleanup(&cfg);
+    }
+    assert_eq!(outs[0], outs[1]);
+    let _ = Bytes::new();
+}
+
+#[test]
+fn corrupt_staged_file_surfaces_as_task_error() {
+    // The staged file is shorter than its declared geometry: the I/O filter
+    // detects the length mismatch, the storage fails the read, and the task
+    // error aborts the run instead of hanging.
+    let cfg = DoocConfig::in_temp_dirs("pol-corrupt", 1).expect("cfg");
+    stage(&cfg, 0, "in", &[1, 2]); // 2 bytes on disk...
+    let graph = TaskGraph::new(vec![TaskSpec::new("c", "copy")
+        .input("in", 2)
+        .output("out", 2)])
+    .expect("graph");
+    // ...but geometry claims 16 bytes.
+    let cfg2 = cfg.clone().with_geometry("in", 16, 16);
+    let err = DoocRuntime::new(cfg2)
+        .run(
+            graph,
+            HashMap::from([("in".into(), 0)]),
+            Arc::new(Copy {
+                expect_threads: None,
+            }),
+        )
+        .expect_err("must fail");
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("read") || msg.contains("I/O") || msg.contains("expected"),
+        "unhelpful error: {msg}"
+    );
+    cleanup(&cfg);
+}
+
+#[test]
+fn many_nodes_small_tasks_stress() {
+    // 6 nodes, 60 tasks in 3 layers: stresses completion broadcast and
+    // cross-node partial movement at a scale beyond the other tests.
+    let cfg = DoocConfig::in_temp_dirs("pol-stress", 6).expect("cfg");
+    for n in 0..6 {
+        stage(&cfg, n, &format!("seed{n}"), &[n as u8 + 1; 8]);
+    }
+    let mut tasks = Vec::new();
+    for i in 0..30 {
+        tasks.push(
+            TaskSpec::new(format!("a{i}"), "copy")
+                .input(format!("seed{}", i % 6), 8)
+                .output(format!("mid{i}"), 8),
+        );
+    }
+    for i in 0..30 {
+        tasks.push(
+            TaskSpec::new(format!("b{i}"), "copy")
+                .input(format!("mid{}", (i * 7) % 30), 8)
+                .output(format!("fin{i}"), 8),
+        );
+    }
+    let graph = TaskGraph::new(tasks).expect("graph");
+    let loc: HashMap<String, u64> = (0..6).map(|n| (format!("seed{n}"), n as u64)).collect();
+    let report = DoocRuntime::new(cfg.clone())
+        .run(
+            graph,
+            loc,
+            Arc::new(Copy {
+                expect_threads: None,
+            }),
+        )
+        .expect("run");
+    assert_eq!(report.trace.len(), 60);
+    cleanup(&cfg);
+}

@@ -1,0 +1,546 @@
+//! The execution engine: threads, wiring, and run reports.
+//!
+//! [`Runtime::run`] validates a [`Layout`], builds one inbox per
+//! *(consumer filter, input port)* — merging fanned-in streams — spawns one
+//! OS thread per filter instance, waits for every filter to finish, and
+//! returns a [`RuntimeReport`] with the per-stream traffic counters. Filter
+//! errors and panics are collected and reported (the first error wins;
+//! remaining filters unwind naturally as their streams close).
+
+use crate::filter::FilterContext;
+use crate::layout::Layout;
+use crate::stream::{Inbox, StreamStats};
+use crate::{FsError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Post-run traffic summary of one stream.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// `producer.port -> consumer.port` label.
+    pub name: String,
+    /// Buffers sent.
+    pub buffers: u64,
+    /// Total wire bytes sent.
+    pub bytes: u64,
+    /// Wire bytes that crossed node boundaries.
+    pub remote_bytes: u64,
+}
+
+/// Result of a completed dataflow run.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-stream traffic.
+    pub streams: Vec<StreamReport>,
+}
+
+impl RuntimeReport {
+    /// Total bytes sent over all streams.
+    pub fn total_bytes(&self) -> u64 {
+        self.streams.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total bytes that crossed node boundaries.
+    pub fn total_remote_bytes(&self) -> u64 {
+        self.streams.iter().map(|s| s.remote_bytes).sum()
+    }
+
+    /// Traffic of the stream with the given label, if present.
+    pub fn stream(&self, name: &str) -> Option<&StreamReport> {
+        self.streams.iter().find(|s| s.name == name)
+    }
+}
+
+/// The filter-stream execution engine.
+pub struct Runtime;
+
+impl Runtime {
+    /// Runs a layout to completion.
+    pub fn run(layout: Layout) -> Result<RuntimeReport> {
+        layout.validate()?;
+        let Layout {
+            mut filters,
+            streams,
+        } = layout;
+
+        // One inbox per (consumer filter, input port); fanned-in streams
+        // share it. Validation guaranteed delivery agreement.
+        let mut inboxes: HashMap<(usize, String), Inbox> = HashMap::new();
+        for s in &streams {
+            let key = (s.to.0, s.to_port.clone());
+            inboxes.entry(key).or_insert_with(|| {
+                Inbox::new(
+                    s.delivery,
+                    s.capacity,
+                    &filters[s.to.0].placements,
+                    &s.to_port,
+                )
+            });
+        }
+
+        // Per-stream stats and per-producer-instance writers.
+        let mut stream_stats: Vec<(String, Arc<StreamStats>)> = Vec::with_capacity(streams.len());
+        // writers[fidx][inst] : Vec<(port, StreamWriter)>
+        let mut writers: Vec<Vec<Vec<(String, crate::stream::StreamWriter)>>> = filters
+            .iter()
+            .map(|f| (0..f.placements.len()).map(|_| Vec::new()).collect())
+            .collect();
+        for s in &streams {
+            let name = format!(
+                "{}.{} -> {}.{}",
+                filters[s.from.0].name, s.from_port, filters[s.to.0].name, s.to_port
+            );
+            let stats = Arc::new(StreamStats::default());
+            stream_stats.push((name, Arc::clone(&stats)));
+            let inbox = &inboxes[&(s.to.0, s.to_port.clone())];
+            for (inst, &node) in filters[s.from.0].placements.iter().enumerate() {
+                let w = inbox.writer(&s.from_port, inst, node, Arc::clone(&stats));
+                writers[s.from.0][inst].push((s.from_port.clone(), w));
+            }
+        }
+
+        // Distribute readers.
+        // readers[fidx][inst] : Vec<(port, StreamReader)>
+        let mut readers: Vec<Vec<Vec<(String, crate::stream::StreamReader)>>> = filters
+            .iter()
+            .map(|f| (0..f.placements.len()).map(|_| Vec::new()).collect())
+            .collect();
+        for ((fidx, port), mut inbox) in inboxes {
+            for inst in 0..filters[fidx].placements.len() {
+                readers[fidx][inst].push((port.clone(), inbox.take_reader(inst)));
+            }
+        }
+
+        // Spawn every filter instance.
+        let started = Instant::now();
+        let mut handles = Vec::new();
+        for (fidx, decl) in filters.iter_mut().enumerate().rev() {
+            let replicas = decl.placements.len();
+            for (inst, &node) in decl.placements.iter().enumerate().rev() {
+                let inputs: HashMap<_, _> = readers[fidx].pop_if_last(inst);
+                let outputs: HashMap<_, _> = writers[fidx].pop_if_last(inst);
+                let mut ctx = FilterContext::new(
+                    decl.name.clone(),
+                    node,
+                    inst,
+                    replicas,
+                    inputs,
+                    outputs,
+                );
+                let mut filter = (decl.factory)(inst);
+                let name = decl.name.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("{name}[{inst}]"))
+                    .spawn(move || -> Result<()> { filter.run(&mut ctx) })
+                    .expect("thread spawn");
+                handles.push((name, inst, handle));
+            }
+        }
+        // All endpoint collections were moved into threads; nothing in this
+        // frame keeps a sender alive, so closure cascades correctly.
+        drop(writers);
+        drop(readers);
+
+        let mut first_error: Option<FsError> = None;
+        for (name, inst, handle) in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Err(_) => {
+                    if first_error.is_none() {
+                        first_error = Some(FsError::FilterPanicked {
+                            filter: name,
+                            instance: inst,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        let elapsed = started.elapsed();
+        let streams = stream_stats
+            .into_iter()
+            .map(|(name, st)| {
+                let (buffers, bytes, remote_bytes) = st.snapshot();
+                StreamReport {
+                    name,
+                    buffers,
+                    bytes,
+                    remote_bytes,
+                }
+            })
+            .collect();
+        Ok(RuntimeReport { elapsed, streams })
+    }
+}
+
+/// Helper: move instance `inst`'s endpoint list out of a per-filter vector,
+/// leaving an empty slot (instances are consumed back-to-front).
+trait PopIfLast<T> {
+    fn pop_if_last(&mut self, inst: usize) -> HashMap<String, T>;
+}
+
+impl<T> PopIfLast<T> for Vec<Vec<(String, T)>> {
+    fn pop_if_last(&mut self, inst: usize) -> HashMap<String, T> {
+        std::mem::take(&mut self[inst]).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DataBuffer;
+    use crate::layout::Layout;
+    use crate::{Delivery, FilterContext, NodeId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn two_stage_pipeline_transfers_data() {
+        let mut layout = Layout::new();
+        let total = Arc::new(AtomicU64::new(0));
+        let src = layout.add_filter(
+            "source",
+            NodeId(0),
+            Box::new(|ctx: &mut FilterContext| {
+                let out = ctx.output("out")?;
+                for i in 0..100u64 {
+                    out.send(DataBuffer::from_u64s(0, &[i]))?;
+                }
+                Ok(())
+            }),
+        );
+        let sum = Arc::clone(&total);
+        let sink = layout.add_filter(
+            "sink",
+            NodeId(1),
+            Box::new(move |ctx: &mut FilterContext| {
+                let inp = ctx.input("in")?;
+                while let Some(b) = inp.recv() {
+                    sum.fetch_add(b.as_u64s()[0], Ordering::Relaxed);
+                }
+                Ok(())
+            }),
+        );
+        layout.connect(src, "out", sink, "in");
+        let report = Runtime::run(layout).expect("run ok");
+        assert_eq!(total.load(Ordering::Relaxed), 99 * 100 / 2);
+        let s = report.stream("source.out -> sink.in").expect("stream logged");
+        assert_eq!(s.buffers, 100);
+        assert_eq!(s.remote_bytes, s.bytes, "cross-node stream fully remote");
+    }
+
+    #[test]
+    fn replicated_consumer_shares_work() {
+        let mut layout = Layout::new();
+        let src = layout.add_filter(
+            "source",
+            NodeId(0),
+            Box::new(|ctx: &mut FilterContext| {
+                let out = ctx.output("out")?;
+                for i in 0..64u64 {
+                    out.send(DataBuffer::tag_only(i))?;
+                }
+                Ok(())
+            }),
+        );
+        let counts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+        let c2 = Arc::clone(&counts);
+        let workers = layout.add_replicated("worker", vec![NodeId(0); 4], move |_i| {
+            let counts = Arc::clone(&c2);
+            Box::new(move |ctx: &mut FilterContext| {
+                let inp = ctx.input("in")?;
+                while inp.recv().is_some() {
+                    counts[ctx.instance].fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            })
+        });
+        layout.connect(src, "out", workers, "in");
+        Runtime::run(layout).expect("run ok");
+        let total: u64 = counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 64, "every buffer processed exactly once");
+    }
+
+    #[test]
+    fn broadcast_reaches_every_replica() {
+        let mut layout = Layout::new();
+        let src = layout.add_filter(
+            "source",
+            NodeId(0),
+            Box::new(|ctx: &mut FilterContext| {
+                ctx.output("out")?.send(DataBuffer::tag_only(5))?;
+                Ok(())
+            }),
+        );
+        let seen: Arc<Vec<AtomicU64>> = Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
+        let s2 = Arc::clone(&seen);
+        let workers = layout.add_replicated("w", vec![NodeId(0); 3], move |_| {
+            let seen = Arc::clone(&s2);
+            Box::new(move |ctx: &mut FilterContext| {
+                let inp = ctx.input("in")?;
+                while let Some(b) = inp.recv() {
+                    seen[ctx.instance].fetch_add(b.tag, Ordering::Relaxed);
+                }
+                Ok(())
+            })
+        });
+        layout.connect_with(src, "out", workers, "in", Delivery::Broadcast, 8);
+        Runtime::run(layout).expect("run ok");
+        for c in seen.iter() {
+            assert_eq!(c.load(Ordering::Relaxed), 5);
+        }
+    }
+
+    #[test]
+    fn addressed_replies_reach_requesting_instance() {
+        // Workers send their instance id to a server; the server replies to
+        // exactly that instance (the DOoC storage reply pattern).
+        let mut layout = Layout::new();
+        let nworkers = 3;
+        let server = layout.add_filter(
+            "server",
+            NodeId(0),
+            Box::new(move |ctx: &mut FilterContext| {
+                let inp = ctx.input("req")?;
+                let out = ctx.output("rep")?;
+                while let Some(b) = inp.recv() {
+                    let who = b.as_u64s()[0] as usize;
+                    out.send_to(who, DataBuffer::from_u64s(0, &[who as u64 * 10]))?;
+                }
+                Ok(())
+            }),
+        );
+        let oks: Arc<Vec<AtomicU64>> =
+            Arc::new((0..nworkers).map(|_| AtomicU64::new(0)).collect());
+        let o2 = Arc::clone(&oks);
+        let workers = layout.add_replicated("worker", vec![NodeId(1); nworkers], move |_| {
+            let oks = Arc::clone(&o2);
+            Box::new(move |ctx: &mut FilterContext| {
+                ctx.output("req")?
+                    .send(DataBuffer::from_u64s(0, &[ctx.instance as u64]))?;
+                ctx.close_output("req");
+                let rep = ctx.input("rep")?.recv().expect("a reply");
+                assert_eq!(rep.as_u64s()[0], ctx.instance as u64 * 10);
+                oks[ctx.instance].fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            })
+        });
+        layout.connect(workers, "req", server, "req");
+        layout.connect_with(server, "rep", workers, "rep", Delivery::Addressed, 8);
+        Runtime::run(layout).expect("run ok");
+        for c in oks.iter() {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn fan_in_from_two_declarations() {
+        let mut layout = Layout::new();
+        let mk_src = |tag: u64| -> Box<dyn crate::Filter> {
+            Box::new(move |ctx: &mut FilterContext| {
+                ctx.output("out")?.send(DataBuffer::tag_only(tag))?;
+                Ok(())
+            })
+        };
+        let a = layout.add_filter("a", NodeId(0), mk_src(1));
+        let b = layout.add_filter("b", NodeId(0), mk_src(2));
+        let total = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&total);
+        let sink = layout.add_filter(
+            "sink",
+            NodeId(0),
+            Box::new(move |ctx: &mut FilterContext| {
+                let inp = ctx.input("in")?;
+                while let Some(buf) = inp.recv() {
+                    t.fetch_add(buf.tag, Ordering::Relaxed);
+                }
+                Ok(())
+            }),
+        );
+        layout.connect(a, "out", sink, "in");
+        layout.connect(b, "out", sink, "in");
+        Runtime::run(layout).expect("run ok");
+        assert_eq!(total.load(Ordering::Relaxed), 3, "both sources merged");
+    }
+
+    #[test]
+    fn aligned_pairs_instances() {
+        let mut layout = Layout::new();
+        let nodes = vec![NodeId(0), NodeId(1)];
+        let prod = layout.add_replicated("p", nodes.clone(), |_| {
+            Box::new(|ctx: &mut FilterContext| {
+                ctx.output("out")?
+                    .send(DataBuffer::from_u64s(0, &[ctx.instance as u64]))?;
+                Ok(())
+            })
+        });
+        let seen: Arc<Vec<AtomicU64>> = Arc::new((0..2).map(|_| AtomicU64::new(99)).collect());
+        let s2 = Arc::clone(&seen);
+        let cons = layout.add_replicated("c", nodes, move |_| {
+            let seen = Arc::clone(&s2);
+            Box::new(move |ctx: &mut FilterContext| {
+                if let Some(b) = ctx.input("in")?.recv() {
+                    seen[ctx.instance].store(b.as_u64s()[0], Ordering::Relaxed);
+                }
+                Ok(())
+            })
+        });
+        layout.connect_with(prod, "out", cons, "in", Delivery::Aligned, 8);
+        Runtime::run(layout).expect("run ok");
+        assert_eq!(seen[0].load(Ordering::Relaxed), 0);
+        assert_eq!(seen[1].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn filter_error_is_reported() {
+        let mut layout = Layout::new();
+        layout.add_filter(
+            "bad",
+            NodeId(0),
+            Box::new(|ctx: &mut FilterContext| Err(ctx.error("boom"))),
+        );
+        match Runtime::run(layout) {
+            Err(FsError::Filter {
+                filter, message, ..
+            }) => {
+                assert_eq!(filter, "bad");
+                assert_eq!(message, "boom");
+            }
+            other => panic!("expected filter error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_panic_is_reported() {
+        let mut layout = Layout::new();
+        layout.add_filter(
+            "panics",
+            NodeId(0),
+            Box::new(|_: &mut FilterContext| -> Result<()> { panic!("kaboom") }),
+        );
+        assert!(matches!(
+            Runtime::run(layout),
+            Err(FsError::FilterPanicked { .. })
+        ));
+    }
+
+    #[test]
+    fn error_in_one_filter_cascades_shutdown() {
+        let mut layout = Layout::new();
+        let src = layout.add_filter(
+            "source",
+            NodeId(0),
+            Box::new(|ctx: &mut FilterContext| Err(ctx.error("early out"))),
+        );
+        let sink = layout.add_filter(
+            "sink",
+            NodeId(0),
+            Box::new(|ctx: &mut FilterContext| {
+                let inp = ctx.input("in")?;
+                while inp.recv().is_some() {}
+                Ok(())
+            }),
+        );
+        layout.connect(src, "out", sink, "in");
+        assert!(matches!(Runtime::run(layout), Err(FsError::Filter { .. })));
+    }
+
+    #[test]
+    fn three_stage_pipelined_parallelism() {
+        let mut layout = Layout::new();
+        let src = layout.add_filter(
+            "src",
+            NodeId(0),
+            Box::new(|ctx: &mut FilterContext| {
+                let out = ctx.output("out")?;
+                for i in 1..=10u64 {
+                    out.send(DataBuffer::from_u64s(0, &[i]))?;
+                }
+                Ok(())
+            }),
+        );
+        let mid = layout.add_filter(
+            "double",
+            NodeId(1),
+            Box::new(|ctx: &mut FilterContext| {
+                while let Some(b) = ctx.input("in")?.recv() {
+                    let v = b.as_u64s()[0] * 2;
+                    ctx.output("out")?.send(DataBuffer::from_u64s(0, &[v]))?;
+                }
+                Ok(())
+            }),
+        );
+        let got = Arc::new(AtomicU64::new(0));
+        let g = Arc::clone(&got);
+        let sink = layout.add_filter(
+            "sink",
+            NodeId(2),
+            Box::new(move |ctx: &mut FilterContext| {
+                while let Some(b) = ctx.input("in")?.recv() {
+                    g.fetch_add(b.as_u64s()[0], Ordering::Relaxed);
+                }
+                Ok(())
+            }),
+        );
+        layout.connect(src, "out", mid, "in");
+        layout.connect(mid, "out", sink, "in");
+        Runtime::run(layout).expect("run ok");
+        assert_eq!(got.load(Ordering::Relaxed), 2 * 55);
+    }
+
+    #[test]
+    fn unknown_port_is_reported() {
+        let mut layout = Layout::new();
+        layout.add_filter(
+            "lost",
+            NodeId(0),
+            Box::new(|ctx: &mut FilterContext| {
+                ctx.output("nonexistent")?;
+                Ok(())
+            }),
+        );
+        assert!(matches!(
+            Runtime::run(layout),
+            Err(FsError::UnknownPort { .. })
+        ));
+    }
+
+    #[test]
+    fn close_output_signals_downstream() {
+        let mut layout = Layout::new();
+        let src = layout.add_filter(
+            "src",
+            NodeId(0),
+            Box::new(|ctx: &mut FilterContext| {
+                ctx.output("out")?.send(DataBuffer::tag_only(1))?;
+                ctx.close_output("out");
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                Ok(())
+            }),
+        );
+        let sink = layout.add_filter(
+            "sink",
+            NodeId(0),
+            Box::new(|ctx: &mut FilterContext| {
+                let inp = ctx.input("in")?;
+                assert_eq!(inp.recv().expect("one buffer").tag, 1);
+                assert!(inp.recv().is_none(), "closed early via close_output");
+                Ok(())
+            }),
+        );
+        layout.connect(src, "out", sink, "in");
+        Runtime::run(layout).expect("run ok");
+    }
+}

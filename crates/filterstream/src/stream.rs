@@ -1,0 +1,612 @@
+//! Logical streams: unidirectional, untyped, possibly fanned out or in.
+//!
+//! A stream connects the producer instances of one filter to the consumer
+//! instances of another. Delivery policies cover the parallelism styles of
+//! DataCutter plus the addressed routing DOoC's storage layer needs:
+//!
+//! * [`Delivery::RoundRobin`] — demand-driven work sharing: all consumer
+//!   instances pull from one shared queue (data parallelism for replicated,
+//!   stateless filters);
+//! * [`Delivery::Broadcast`] — every consumer instance receives every buffer
+//!   (payloads are shared, not copied);
+//! * [`Delivery::Aligned`] — producer instance *i* feeds consumer instance
+//!   *i* (e.g. each node's storage filter to that node's I/O filter);
+//! * [`Delivery::Addressed`] — the producer names the destination instance
+//!   per buffer via [`StreamWriter::send_to`] (peer-to-peer storage traffic,
+//!   replies to specific clients).
+//!
+//! Several streams may target the same *(consumer filter, input port)* pair
+//! — fan-in — provided they agree on the delivery policy; their buffers are
+//! merged into one inbox. The port closes once **all** producer endpoints of
+//! **all** fanned-in streams have been dropped.
+//!
+//! Streams are bounded (default 256 buffers), giving natural backpressure: a
+//! fast producer blocks rather than ballooning memory, as in the real
+//! middleware.
+
+use crate::buffer::DataBuffer;
+use crate::{FsError, NodeId, Result};
+use crossbeam::channel::{bounded, Receiver, Select, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Delivery policy of a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Delivery {
+    /// Each buffer goes to exactly one consumer instance, demand-driven.
+    #[default]
+    RoundRobin,
+    /// Each buffer goes to every consumer instance.
+    Broadcast,
+    /// Producer instance `i` feeds consumer instance `i`; instance counts
+    /// must match.
+    Aligned,
+    /// Producer picks the destination instance per buffer with
+    /// [`StreamWriter::send_to`].
+    Addressed,
+}
+
+/// Default bound on in-flight buffers per inbox lane.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Traffic counters of one stream, observable after the run (the
+/// application "logs" the paper reads bandwidth from).
+#[derive(Debug, Default)]
+pub struct StreamStats {
+    /// Buffers sent by producers.
+    pub buffers: AtomicU64,
+    /// Total wire bytes sent by producers (before any broadcast fan-out).
+    pub bytes: AtomicU64,
+    /// Wire bytes that crossed a node boundary (sender node != receiver
+    /// node). For broadcast this counts each remote replica.
+    pub remote_bytes: AtomicU64,
+}
+
+impl StreamStats {
+    /// Snapshot of (buffers, bytes, remote_bytes).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.buffers.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+            self.remote_bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The consumer-side channel set of one (filter, input port): either a
+/// single shared queue or one lane per consumer instance.
+#[derive(Clone)]
+pub(crate) enum InboxLanes {
+    Shared(Sender<DataBuffer>),
+    PerConsumer(Vec<Sender<DataBuffer>>),
+}
+
+/// Inbox of one (consumer filter, input port): the receiving half that
+/// consumer instances read from. Built once per port; every fanned-in stream
+/// sends into the same lanes.
+pub(crate) struct Inbox {
+    pub delivery: Delivery,
+    pub lanes: InboxLanes,
+    readers: Vec<Option<StreamReader>>,
+    pub consumer_nodes: Arc<[NodeId]>,
+}
+
+impl Inbox {
+    pub fn new(
+        delivery: Delivery,
+        capacity: usize,
+        consumer_nodes: &[NodeId],
+        consumer_port: &str,
+    ) -> Self {
+        assert!(!consumer_nodes.is_empty(), "inbox needs at least one consumer");
+        let (lanes, readers) = match delivery {
+            Delivery::RoundRobin => {
+                let (tx, rx) = bounded(capacity);
+                let readers = consumer_nodes
+                    .iter()
+                    .map(|_| {
+                        Some(StreamReader {
+                            port: consumer_port.to_string(),
+                            rx: rx.clone(),
+                        })
+                    })
+                    .collect();
+                (InboxLanes::Shared(tx), readers)
+            }
+            Delivery::Broadcast | Delivery::Aligned | Delivery::Addressed => {
+                let mut txs = Vec::with_capacity(consumer_nodes.len());
+                let mut readers = Vec::with_capacity(consumer_nodes.len());
+                for _ in consumer_nodes {
+                    let (tx, rx) = bounded(capacity);
+                    txs.push(tx);
+                    readers.push(Some(StreamReader {
+                        port: consumer_port.to_string(),
+                        rx,
+                    }));
+                }
+                (InboxLanes::PerConsumer(txs), readers)
+            }
+        };
+        Self {
+            delivery,
+            lanes,
+            readers,
+            consumer_nodes: consumer_nodes.into(),
+        }
+    }
+
+    /// Takes the reader of consumer instance `i` (exactly once).
+    pub fn take_reader(&mut self, i: usize) -> StreamReader {
+        self.readers[i]
+            .take()
+            .expect("reader already taken — each consumer instance gets exactly one")
+    }
+
+    /// Creates a writer for producer instance `instance` placed on `node`.
+    pub fn writer(
+        &self,
+        producer_port: &str,
+        instance: usize,
+        node: NodeId,
+        stats: Arc<StreamStats>,
+    ) -> StreamWriter {
+        if self.delivery == Delivery::Aligned {
+            assert!(
+                instance < self.consumer_nodes.len(),
+                "aligned stream requires consumer instance {instance} to exist"
+            );
+        }
+        StreamWriter {
+            port: producer_port.to_string(),
+            delivery: self.delivery,
+            lanes: self.lanes.clone(),
+            stats,
+            instance,
+            from_node: node,
+            consumer_nodes: Arc::clone(&self.consumer_nodes),
+        }
+    }
+}
+
+/// Producer endpoint of a stream. Dropping every producer endpoint of every
+/// stream fanned into a port closes that port for consumers.
+pub struct StreamWriter {
+    port: String,
+    delivery: Delivery,
+    lanes: InboxLanes,
+    stats: Arc<StreamStats>,
+    /// Producer instance index (selects the lane for aligned delivery).
+    instance: usize,
+    /// Node of the filter holding this writer.
+    from_node: NodeId,
+    /// Node of each consumer instance. For the shared (round-robin) lane the
+    /// precise receiver of a buffer is unknowable before a demand-driven
+    /// pull, so a buffer is charged as remote if *any* consumer sits on a
+    /// different node — the pessimistic bound.
+    consumer_nodes: Arc<[NodeId]>,
+}
+
+impl StreamWriter {
+    fn account(&self, wire: u64, remote: bool) {
+        self.stats.buffers.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(wire, Ordering::Relaxed);
+        if remote {
+            self.stats.remote_bytes.fetch_add(wire, Ordering::Relaxed);
+        }
+    }
+
+    /// Sends a buffer. Blocks when the stream is at capacity. Fails if every
+    /// consumer has terminated, or if this is an addressed stream (use
+    /// [`StreamWriter::send_to`]).
+    pub fn send(&self, buf: DataBuffer) -> Result<()> {
+        let wire = buf.wire_size();
+        match (&self.lanes, self.delivery) {
+            (InboxLanes::Shared(tx), _) => {
+                let remote = self.consumer_nodes.iter().any(|&n| n != self.from_node);
+                tx.send(buf).map_err(|_| FsError::StreamClosed {
+                    port: self.port.clone(),
+                })?;
+                self.account(wire, remote);
+            }
+            (InboxLanes::PerConsumer(txs), Delivery::Broadcast) => {
+                let mut delivered = 0usize;
+                for (i, tx) in txs.iter().enumerate() {
+                    if tx.send(buf.clone()).is_ok() {
+                        delivered += 1;
+                        if self.consumer_nodes[i] != self.from_node {
+                            self.stats.remote_bytes.fetch_add(wire, Ordering::Relaxed);
+                        }
+                    }
+                }
+                if delivered == 0 {
+                    return Err(FsError::StreamClosed {
+                        port: self.port.clone(),
+                    });
+                }
+                self.stats.buffers.fetch_add(1, Ordering::Relaxed);
+                self.stats.bytes.fetch_add(wire, Ordering::Relaxed);
+            }
+            (InboxLanes::PerConsumer(txs), Delivery::Aligned) => {
+                let lane = self.instance;
+                let remote = self.consumer_nodes[lane] != self.from_node;
+                txs[lane].send(buf).map_err(|_| FsError::StreamClosed {
+                    port: self.port.clone(),
+                })?;
+                self.account(wire, remote);
+            }
+            (InboxLanes::PerConsumer(_), Delivery::Addressed) => {
+                return Err(FsError::StreamClosed {
+                    port: format!("{} (addressed stream requires send_to)", self.port),
+                });
+            }
+            (InboxLanes::PerConsumer(_), Delivery::RoundRobin) => {
+                unreachable!("round-robin inbox always uses a shared lane")
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends a buffer to consumer instance `dest` of an addressed stream.
+    pub fn send_to(&self, dest: usize, buf: DataBuffer) -> Result<()> {
+        let wire = buf.wire_size();
+        match &self.lanes {
+            InboxLanes::PerConsumer(txs) if self.delivery == Delivery::Addressed => {
+                let tx = txs.get(dest).ok_or_else(|| FsError::StreamClosed {
+                    port: format!("{} (no consumer instance {dest})", self.port),
+                })?;
+                let remote = self.consumer_nodes[dest] != self.from_node;
+                tx.send(buf).map_err(|_| FsError::StreamClosed {
+                    port: self.port.clone(),
+                })?;
+                self.account(wire, remote);
+                Ok(())
+            }
+            _ => Err(FsError::StreamClosed {
+                port: format!("{} (send_to requires an addressed stream)", self.port),
+            }),
+        }
+    }
+
+    /// Number of consumer instances reachable through this writer.
+    pub fn consumer_count(&self) -> usize {
+        self.consumer_nodes.len()
+    }
+
+    /// The port name this writer was bound to.
+    pub fn port(&self) -> &str {
+        &self.port
+    }
+}
+
+/// Consumer endpoint of one (filter instance, input port).
+pub struct StreamReader {
+    port: String,
+    rx: Receiver<DataBuffer>,
+}
+
+impl StreamReader {
+    /// Receives the next buffer; `None` once the port is closed (every
+    /// producer endpoint dropped) and drained.
+    pub fn recv(&self) -> Option<DataBuffer> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<DataBuffer> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Receives with a timeout; `None` on timeout *or* closure — callers that
+    /// must distinguish should use [`StreamReader::recv`].
+    pub fn recv_timeout(&self, d: std::time::Duration) -> Option<DataBuffer> {
+        self.rx.recv_timeout(d).ok()
+    }
+
+    /// The port name this reader was bound to.
+    pub fn port(&self) -> &str {
+        &self.port
+    }
+
+    /// Drains everything currently queued without blocking.
+    pub fn drain(&self) -> Vec<DataBuffer> {
+        let mut out = Vec::new();
+        while let Some(b) = self.try_recv() {
+            out.push(b);
+        }
+        out
+    }
+}
+
+/// Blocking receive over several readers: returns the index of the reader
+/// that produced the buffer, or `None` once **every** reader is closed and
+/// drained. This is how a storage filter multiplexes client requests, peer
+/// messages and I/O completions.
+pub fn select_recv(readers: &[&StreamReader]) -> Option<(usize, DataBuffer)> {
+    let mut closed = vec![false; readers.len()];
+    loop {
+        match select_event(readers, &mut closed) {
+            Some(SelectEvent::Buffer(i, b)) => return Some((i, b)),
+            Some(SelectEvent::Closed(_)) => continue,
+            None => return None,
+        }
+    }
+}
+
+/// One observation from [`select_event`].
+#[derive(Debug)]
+pub enum SelectEvent {
+    /// Reader `usize` produced a buffer.
+    Buffer(usize, DataBuffer),
+    /// Reader `usize` closed (reported exactly once).
+    Closed(usize),
+}
+
+/// Like [`select_recv`] but additionally reports each reader's closure as an
+/// event. `closed` is caller-owned state (initialize to `false`s); once every
+/// entry is `true`, returns `None`. Lets a server react to a client stream
+/// disappearing (e.g. treat it as an implicit shutdown) while other inputs
+/// stay open.
+pub fn select_event(
+    readers: &[&StreamReader],
+    closed: &mut [bool],
+) -> Option<SelectEvent> {
+    match select_event_timeout(readers, closed, None) {
+        SelectOutcome::Event(e) => Some(e),
+        SelectOutcome::AllClosed => None,
+        SelectOutcome::Timeout => unreachable!("no timeout configured"),
+    }
+}
+
+/// Result of [`select_event_timeout`].
+#[derive(Debug)]
+pub enum SelectOutcome {
+    /// A buffer arrived or a reader closed.
+    Event(SelectEvent),
+    /// The timeout elapsed with no event.
+    Timeout,
+    /// Every reader is closed and drained.
+    AllClosed,
+}
+
+/// [`select_event`] with an optional timeout — servers with retryable
+/// background work (e.g. stalled remote fetches) poll with a short timeout
+/// instead of blocking forever.
+pub fn select_event_timeout(
+    readers: &[&StreamReader],
+    closed: &mut [bool],
+    timeout: Option<std::time::Duration>,
+) -> SelectOutcome {
+    assert_eq!(readers.len(), closed.len());
+    let open: Vec<usize> = (0..readers.len()).filter(|&i| !closed[i]).collect();
+    if open.is_empty() {
+        return SelectOutcome::AllClosed;
+    }
+    let mut sel = Select::new();
+    for &i in &open {
+        sel.recv(&readers[i].rx);
+    }
+    let op = match timeout {
+        Some(d) => match sel.select_timeout(d) {
+            Ok(op) => op,
+            Err(_) => return SelectOutcome::Timeout,
+        },
+        None => sel.select(),
+    };
+    let slot = op.index();
+    let idx = open[slot];
+    match op.recv(&readers[idx].rx) {
+        Ok(buf) => SelectOutcome::Event(SelectEvent::Buffer(idx, buf)),
+        Err(_) => {
+            closed[idx] = true;
+            SelectOutcome::Event(SelectEvent::Closed(idx))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn stats() -> Arc<StreamStats> {
+        Arc::new(StreamStats::default())
+    }
+
+    fn inbox(delivery: Delivery, consumers: usize) -> Inbox {
+        Inbox::new(delivery, 8, &vec![NodeId(0); consumers], "in")
+    }
+
+    #[test]
+    fn roundrobin_each_buffer_once() {
+        let mut ib = inbox(Delivery::RoundRobin, 2);
+        let r0 = ib.take_reader(0);
+        let r1 = ib.take_reader(1);
+        let w = ib.writer("out", 0, NodeId(0), stats());
+        drop(ib);
+        for i in 0..6 {
+            w.send(DataBuffer::tag_only(i)).expect("open");
+        }
+        drop(w);
+        let mut seen: Vec<u64> = r0.drain().into_iter().map(|x| x.tag).collect();
+        seen.extend(r1.drain().into_iter().map(|x| x.tag));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn broadcast_each_buffer_everywhere() {
+        let mut ib = inbox(Delivery::Broadcast, 3);
+        let readers: Vec<_> = (0..3).map(|i| ib.take_reader(i)).collect();
+        let w = ib.writer("out", 0, NodeId(0), stats());
+        drop(ib);
+        w.send(DataBuffer::tag_only(7)).expect("open");
+        drop(w);
+        for r in &readers {
+            assert_eq!(r.recv().expect("delivered").tag, 7);
+            assert!(r.recv().is_none(), "closed after producer drop");
+        }
+    }
+
+    #[test]
+    fn aligned_routes_instance_to_instance() {
+        let mut ib = inbox(Delivery::Aligned, 2);
+        let r0 = ib.take_reader(0);
+        let r1 = ib.take_reader(1);
+        let w0 = ib.writer("out", 0, NodeId(0), stats());
+        let w1 = ib.writer("out", 1, NodeId(0), stats());
+        drop(ib);
+        w0.send(DataBuffer::tag_only(10)).expect("open");
+        w1.send(DataBuffer::tag_only(11)).expect("open");
+        drop((w0, w1));
+        assert_eq!(r0.recv().expect("lane 0").tag, 10);
+        assert!(r0.recv().is_none());
+        assert_eq!(r1.recv().expect("lane 1").tag, 11);
+        assert!(r1.recv().is_none());
+    }
+
+    #[test]
+    fn addressed_routes_by_destination() {
+        let mut ib = inbox(Delivery::Addressed, 3);
+        let readers: Vec<_> = (0..3).map(|i| ib.take_reader(i)).collect();
+        let w = ib.writer("out", 0, NodeId(0), stats());
+        drop(ib);
+        w.send_to(2, DataBuffer::tag_only(2)).expect("open");
+        w.send_to(0, DataBuffer::tag_only(0)).expect("open");
+        assert!(w.send(DataBuffer::tag_only(9)).is_err(), "plain send rejected");
+        assert!(w.send_to(5, DataBuffer::tag_only(9)).is_err(), "bad dest");
+        drop(w);
+        assert_eq!(readers[0].recv().expect("to 0").tag, 0);
+        assert!(readers[1].recv().is_none(), "nothing to 1");
+        assert_eq!(readers[2].recv().expect("to 2").tag, 2);
+    }
+
+    #[test]
+    fn fan_in_merges_writers() {
+        let mut ib = inbox(Delivery::RoundRobin, 1);
+        let r = ib.take_reader(0);
+        let w1 = ib.writer("a", 0, NodeId(0), stats());
+        let w2 = ib.writer("b", 0, NodeId(0), stats());
+        drop(ib);
+        w1.send(DataBuffer::tag_only(1)).expect("open");
+        w2.send(DataBuffer::tag_only(2)).expect("open");
+        drop(w1);
+        let mut tags = vec![
+            r.recv().expect("first").tag,
+            r.recv().expect("second").tag,
+        ];
+        tags.sort_unstable();
+        assert_eq!(tags, vec![1, 2]);
+        assert!(
+            r.recv_timeout(Duration::from_millis(10)).is_none(),
+            "w2 still open"
+        );
+        drop(w2);
+        assert!(r.recv().is_none(), "closed after all fan-in writers dropped");
+    }
+
+    #[test]
+    fn send_fails_when_all_consumers_gone() {
+        let mut ib = inbox(Delivery::RoundRobin, 1);
+        let r = ib.take_reader(0);
+        let w = ib.writer("out", 0, NodeId(0), stats());
+        drop(ib);
+        drop(r);
+        assert!(matches!(
+            w.send(DataBuffer::tag_only(0)),
+            Err(FsError::StreamClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_buffers_and_bytes() {
+        let st = stats();
+        let mut ib = inbox(Delivery::RoundRobin, 1);
+        let _r = ib.take_reader(0);
+        let w = ib.writer("out", 0, NodeId(0), Arc::clone(&st));
+        w.send(DataBuffer::from_u64s(0, &[1, 2])).expect("open");
+        w.send(DataBuffer::tag_only(0)).expect("open");
+        let (bufs, bytes, remote) = st.snapshot();
+        assert_eq!(bufs, 2);
+        assert_eq!(bytes, 32 + 16);
+        assert_eq!(remote, 0, "same-node traffic is local");
+    }
+
+    #[test]
+    fn remote_bytes_counted_across_nodes() {
+        let st = stats();
+        let mut ib = Inbox::new(Delivery::Broadcast, 4, &[NodeId(0), NodeId(1)], "in");
+        let _r0 = ib.take_reader(0);
+        let _r1 = ib.take_reader(1);
+        let w = ib.writer("out", 0, NodeId(0), Arc::clone(&st));
+        w.send(DataBuffer::tag_only(0)).expect("open");
+        let (_, bytes, remote) = st.snapshot();
+        assert_eq!(bytes, 16);
+        assert_eq!(remote, 16, "only the NodeId(1) replica is remote");
+    }
+
+    #[test]
+    fn addressed_remote_accounting_is_per_destination() {
+        let st = stats();
+        let mut ib = Inbox::new(Delivery::Addressed, 4, &[NodeId(0), NodeId(1)], "in");
+        let _r0 = ib.take_reader(0);
+        let _r1 = ib.take_reader(1);
+        let w = ib.writer("out", 0, NodeId(0), Arc::clone(&st));
+        w.send_to(0, DataBuffer::tag_only(0)).expect("local");
+        w.send_to(1, DataBuffer::tag_only(0)).expect("remote");
+        let (_, bytes, remote) = st.snapshot();
+        assert_eq!(bytes, 32);
+        assert_eq!(remote, 16);
+    }
+
+    #[test]
+    fn backpressure_blocks_then_resumes() {
+        let mut ib = Inbox::new(Delivery::RoundRobin, 2, &[NodeId(0)], "in");
+        let r = ib.take_reader(0);
+        let w = ib.writer("out", 0, NodeId(0), stats());
+        drop(ib);
+        w.send(DataBuffer::tag_only(0)).expect("open");
+        w.send(DataBuffer::tag_only(1)).expect("open");
+        let h = std::thread::spawn(move || w.send(DataBuffer::tag_only(2)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(r.recv().expect("first").tag, 0);
+        h.join().expect("no panic").expect("send succeeded");
+        assert_eq!(r.recv().expect("second").tag, 1);
+        assert_eq!(r.recv().expect("third").tag, 2);
+    }
+
+    #[test]
+    fn select_recv_multiplexes_and_terminates() {
+        let mut a = inbox(Delivery::RoundRobin, 1);
+        let mut b = inbox(Delivery::RoundRobin, 1);
+        let ra = a.take_reader(0);
+        let rb = b.take_reader(0);
+        let wa = a.writer("out", 0, NodeId(0), stats());
+        let wb = b.writer("out", 0, NodeId(0), stats());
+        drop((a, b));
+        wa.send(DataBuffer::tag_only(1)).expect("open");
+        wb.send(DataBuffer::tag_only(2)).expect("open");
+        drop((wa, wb));
+        let mut got = Vec::new();
+        while let Some((idx, buf)) = select_recv(&[&ra, &rb]) {
+            got.push((idx, buf.tag));
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let mut ib = inbox(Delivery::RoundRobin, 1);
+        let r = ib.take_reader(0);
+        let _w = ib.writer("out", 0, NodeId(0), stats());
+        assert!(r.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn reader_taken_once() {
+        let mut ib = inbox(Delivery::RoundRobin, 1);
+        let _ = ib.take_reader(0);
+        let _ = ib.take_reader(0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests of the dataflow runtime: arbitrary pipeline shapes must
+//! deliver every buffer exactly once (round-robin) or to every replica
+//! (broadcast), and always terminate.
+
+use dooc_filterstream::{DataBuffer, Delivery, FilterContext, Layout, NodeId, Runtime};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// src -> [workers x w] -> sink with round-robin sharing: the sink sees
+    /// every item exactly once, transformed.
+    #[test]
+    fn work_sharing_conserves_items(nitems in 1u64..200, w in 1usize..6) {
+        let mut layout = Layout::new();
+        let src = layout.add_filter(
+            "src",
+            NodeId(0),
+            Box::new(move |ctx: &mut FilterContext| {
+                let out = ctx.output("out")?;
+                for i in 0..nitems {
+                    out.send(DataBuffer::from_u64s(0, &[i]))?;
+                }
+                Ok(())
+            }),
+        );
+        let workers = layout.add_replicated("w", vec![NodeId(0); w], |_| {
+            Box::new(|ctx: &mut FilterContext| {
+                while let Some(b) = ctx.input("in")?.recv() {
+                    let v = b.as_u64s()[0];
+                    ctx.output("out")?.send(DataBuffer::from_u64s(0, &[v * 3 + 1]))?;
+                }
+                Ok(())
+            })
+        });
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let (s2, c2) = (Arc::clone(&sum), Arc::clone(&count));
+        let sink = layout.add_filter(
+            "sink",
+            NodeId(1),
+            Box::new(move |ctx: &mut FilterContext| {
+                while let Some(b) = ctx.input("in")?.recv() {
+                    s2.fetch_add(b.as_u64s()[0], Ordering::Relaxed);
+                    c2.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            }),
+        );
+        layout.connect(src, "out", workers, "in");
+        layout.connect(workers, "out", sink, "in");
+        Runtime::run(layout).expect("terminates");
+        prop_assert_eq!(count.load(Ordering::Relaxed), nitems);
+        let expect: u64 = (0..nitems).map(|i| i * 3 + 1).sum();
+        prop_assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    /// Broadcast to R replicas: every replica receives every buffer.
+    #[test]
+    fn broadcast_reaches_all(nitems in 1u64..100, r in 1usize..5) {
+        let mut layout = Layout::new();
+        let src = layout.add_filter(
+            "src",
+            NodeId(0),
+            Box::new(move |ctx: &mut FilterContext| {
+                let out = ctx.output("out")?;
+                for i in 0..nitems {
+                    out.send(DataBuffer::tag_only(i))?;
+                }
+                Ok(())
+            }),
+        );
+        let counts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..r).map(|_| AtomicU64::new(0)).collect());
+        let c2 = Arc::clone(&counts);
+        let reps = layout.add_replicated("rep", vec![NodeId(0); r], move |_| {
+            let counts = Arc::clone(&c2);
+            Box::new(move |ctx: &mut FilterContext| {
+                while ctx.input("in")?.recv().is_some() {
+                    counts[ctx.instance].fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            })
+        });
+        layout.connect_with(src, "out", reps, "in", Delivery::Broadcast, 64);
+        Runtime::run(layout).expect("terminates");
+        for c in counts.iter() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), nitems);
+        }
+    }
+
+    /// Chains of any depth terminate and preserve the item count.
+    #[test]
+    fn deep_chain_terminates(nitems in 1u64..64, depth in 1usize..6) {
+        let mut layout = Layout::new();
+        let src = layout.add_filter(
+            "src",
+            NodeId(0),
+            Box::new(move |ctx: &mut FilterContext| {
+                let out = ctx.output("out")?;
+                for i in 0..nitems {
+                    out.send(DataBuffer::tag_only(i))?;
+                }
+                Ok(())
+            }),
+        );
+        let mut prev = src;
+        for d in 0..depth {
+            let stage = layout.add_filter(
+                format!("stage{d}"),
+                NodeId(d % 3),
+                Box::new(|ctx: &mut FilterContext| {
+                    while let Some(b) = ctx.input("in")?.recv() {
+                        ctx.output("out")?.send(b)?;
+                    }
+                    Ok(())
+                }),
+            );
+            layout.connect(prev, "out", stage, "in");
+            prev = stage;
+        }
+        let count = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&count);
+        let sink = layout.add_filter(
+            "sink",
+            NodeId(0),
+            Box::new(move |ctx: &mut FilterContext| {
+                while ctx.input("in")?.recv().is_some() {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            }),
+        );
+        layout.connect(prev, "out", sink, "in");
+        let report = Runtime::run(layout).expect("terminates");
+        prop_assert_eq!(count.load(Ordering::Relaxed), nitems);
+        // Traffic accounting: every stream carried exactly nitems buffers.
+        for s in &report.streams {
+            prop_assert_eq!(s.buffers, nitems, "{}", s.name);
+        }
+    }
+}

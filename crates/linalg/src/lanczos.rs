@@ -1,0 +1,287 @@
+//! The Lanczos procedure with full reorthogonalization.
+//!
+//! §II: "Applying a k-step Lanczos procedure to the matrix Ĥ … and a random
+//! initial starting vector x yields an orthogonal set of Lanczos vectors
+//! spanning the k+1 dimensional Krylov subspace … Projecting Ĥ into this
+//! basis space allows us to obtain approximations to the desired eigenvalues
+//! of Ĥ by solving a much smaller problem." MFDn keeps all Lanczos vectors
+//! and reorthogonalizes every iteration (the "orthonormalization of Lanczos
+//! vectors" cost the paper mentions); we do the same.
+
+use crate::operator::LinearOperator;
+use crate::tridiag::tridiag_eigen;
+use dooc_sparse::dense;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for a Lanczos run.
+#[derive(Clone, Debug)]
+pub struct LanczosOptions {
+    /// Number of Lanczos steps (Krylov dimension).
+    pub steps: usize,
+    /// Seed for the random starting vector.
+    pub seed: u64,
+    /// Reorthogonalize against all previous basis vectors each step (MFDn
+    /// style). Without it, large problems lose orthogonality and produce
+    /// spurious copies of converged eigenvalues.
+    pub full_reorthogonalization: bool,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        Self {
+            steps: 50,
+            seed: 1,
+            full_reorthogonalization: true,
+        }
+    }
+}
+
+/// Result of a Lanczos run.
+#[derive(Clone, Debug)]
+pub struct LanczosResult {
+    /// Tridiagonal diagonal (α).
+    pub alpha: Vec<f64>,
+    /// Tridiagonal off-diagonal (β).
+    pub beta: Vec<f64>,
+    /// Ritz values (eigenvalue estimates), ascending.
+    pub ritz_values: Vec<f64>,
+    /// Steps actually performed (may stop early on breakdown: the Krylov
+    /// space became invariant).
+    pub steps: usize,
+    /// The Lanczos basis vectors (row per step), kept for reorthogonalization
+    /// and Ritz-vector assembly.
+    pub basis: Vec<Vec<f64>>,
+}
+
+impl LanczosResult {
+    /// The `k` smallest Ritz values.
+    pub fn lowest(&self, k: usize) -> &[f64] {
+        &self.ritz_values[..k.min(self.ritz_values.len())]
+    }
+
+    /// Assembles the Ritz vector for Ritz value index `j`.
+    pub fn ritz_vector(&self, j: usize) -> Vec<f64> {
+        let eig = tridiag_eigen(&self.alpha, &self.beta, true).expect("T diagonalizable");
+        let coeffs = &eig.vectors[j];
+        let n = self.basis[0].len();
+        let mut out = vec![0.0; n];
+        for (c, v) in coeffs.iter().zip(&self.basis) {
+            dense::axpy(*c, v, &mut out);
+        }
+        out
+    }
+}
+
+/// Runs the Lanczos procedure on a symmetric operator.
+pub fn lanczos(op: &dyn LinearOperator, opts: &LanczosOptions) -> LanczosResult {
+    let n = op.dim();
+    assert!(n > 0, "empty operator");
+    let steps = opts.steps.min(n);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Random unit start vector.
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let nrm = dense::norm2(&v);
+    dense::scale(1.0 / nrm, &mut v);
+
+    let mut basis: Vec<Vec<f64>> = vec![v.clone()];
+    let mut alpha = Vec::with_capacity(steps);
+    let mut beta: Vec<f64> = Vec::with_capacity(steps.saturating_sub(1));
+    let mut w = vec![0.0; n];
+
+    for j in 0..steps {
+        op.apply(&basis[j], &mut w);
+        // w -= beta[j-1] * basis[j-1]
+        if j > 0 {
+            dense::axpy(-beta[j - 1], &basis[j - 1], &mut w);
+        }
+        let a = dense::dot(&w, &basis[j]);
+        alpha.push(a);
+        dense::axpy(-a, &basis[j], &mut w);
+        if opts.full_reorthogonalization {
+            // Classical Gram-Schmidt against the whole basis, twice ("twice
+            // is enough", Parlett): removes accumulated drift.
+            for _ in 0..2 {
+                for q in &basis {
+                    let c = dense::dot(&w, q);
+                    dense::axpy(-c, q, &mut w);
+                }
+            }
+        }
+        let b = dense::norm2(&w);
+        if j + 1 == steps {
+            break;
+        }
+        if b < 1e-12 {
+            // Invariant subspace found: exact eigen-space, stop early.
+            break;
+        }
+        beta.push(b);
+        let mut next = w.clone();
+        dense::scale(1.0 / b, &mut next);
+        basis.push(next);
+    }
+
+    let performed = alpha.len();
+    let eig = tridiag_eigen(&alpha, &beta[..performed - 1], false).expect("T diagonalizable");
+    LanczosResult {
+        alpha,
+        beta,
+        ritz_values: eig.values,
+        steps: performed,
+        basis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::DiagonalOperator;
+    use dooc_sparse::genmat::GapGenerator;
+    use dooc_sparse::CsrMatrix;
+
+    #[test]
+    fn diagonal_operator_exact_extremes() {
+        // Spectrum 1..=60; after enough steps the extreme Ritz values are
+        // essentially exact.
+        let diag: Vec<f64> = (1..=60).map(|i| i as f64).collect();
+        let op = DiagonalOperator { diag };
+        let r = lanczos(
+            &op,
+            &LanczosOptions {
+                steps: 60,
+                seed: 3,
+                full_reorthogonalization: true,
+            },
+        );
+        assert!((r.ritz_values[0] - 1.0).abs() < 1e-8, "{:?}", r.lowest(3));
+        assert!((r.ritz_values.last().unwrap() - 60.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn small_symmetric_matrix_full_spectrum() {
+        let m = GapGenerator::with_d(2).generate_spd(24, 5);
+        let r = lanczos(
+            &m,
+            &LanczosOptions {
+                steps: 24,
+                seed: 7,
+                full_reorthogonalization: true,
+            },
+        );
+        // Compare the full Ritz spectrum against a dense reference computed
+        // via the tridiagonal route on the Householder-free path: cross-check
+        // trace instead (cheap invariant) plus extreme values via power-like
+        // bounds: trace(A) = sum of eigenvalues.
+        let trace: f64 = (0..24).map(|i| m.get(i, i)).sum();
+        let sum: f64 = r.ritz_values.iter().sum();
+        assert!(
+            (trace - sum).abs() < 1e-6 * trace.abs().max(1.0),
+            "trace {trace} vs ritz sum {sum}"
+        );
+        // Gershgorin: all eigenvalues within [min_i (a_ii - R_i), max (a_ii + R_i)].
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..24u64 {
+            let radius: f64 = m
+                .triplets()
+                .filter(|&(r_, c, _)| r_ == i && c != i)
+                .map(|(_, _, v)| v.abs())
+                .sum();
+            lo = lo.min(m.get(i, i) - radius);
+            hi = hi.max(m.get(i, i) + radius);
+        }
+        for v in &r.ritz_values {
+            assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_breaks_down_after_one_step() {
+        let m = CsrMatrix::identity(10);
+        let r = lanczos(&m, &LanczosOptions::default());
+        assert_eq!(r.steps, 1, "Krylov space of identity is 1-dimensional");
+        assert!((r.ritz_values[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basis_is_orthonormal_with_reorth() {
+        let m = GapGenerator::with_d(3).generate_spd(40, 11);
+        let r = lanczos(
+            &m,
+            &LanczosOptions {
+                steps: 30,
+                seed: 5,
+                full_reorthogonalization: true,
+            },
+        );
+        for i in 0..r.basis.len() {
+            for j in 0..=i {
+                let d = dooc_sparse::dense::dot(&r.basis[i], &r.basis[j]);
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (d - want).abs() < 1e-9,
+                    "<q{i}, q{j}> = {d}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ritz_vector_residual_small_for_converged_pair() {
+        let diag: Vec<f64> = (0..30).map(|i| 1.0 + i as f64).collect();
+        let op = DiagonalOperator { diag: diag.clone() };
+        let r = lanczos(
+            &op,
+            &LanczosOptions {
+                steps: 30,
+                seed: 9,
+                full_reorthogonalization: true,
+            },
+        );
+        let lambda = r.ritz_values[0];
+        let v = r.ritz_vector(0);
+        let mut av = vec![0.0; 30];
+        op.apply(&v, &mut av);
+        let mut resid = av;
+        dooc_sparse::dense::axpy(-lambda, &v, &mut resid);
+        assert!(
+            dooc_sparse::dense::norm2(&resid) < 1e-7,
+            "residual {}",
+            dooc_sparse::dense::norm2(&resid)
+        );
+    }
+
+    #[test]
+    fn reorthogonalization_improves_orthogonality() {
+        let m = GapGenerator::with_d(2).generate_spd(80, 3);
+        let with = lanczos(
+            &m,
+            &LanczosOptions {
+                steps: 60,
+                seed: 2,
+                full_reorthogonalization: true,
+            },
+        );
+        let without = lanczos(
+            &m,
+            &LanczosOptions {
+                steps: 60,
+                seed: 2,
+                full_reorthogonalization: false,
+            },
+        );
+        let worst = |r: &LanczosResult| -> f64 {
+            let mut w = 0.0f64;
+            for i in 0..r.basis.len() {
+                for j in 0..i {
+                    w = w.max(dooc_sparse::dense::dot(&r.basis[i], &r.basis[j]).abs());
+                }
+            }
+            w
+        };
+        assert!(worst(&with) <= worst(&without) + 1e-12);
+        assert!(worst(&with) < 1e-9);
+    }
+}

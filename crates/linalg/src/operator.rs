@@ -1,0 +1,73 @@
+//! Abstract linear operators.
+
+use dooc_sparse::CsrMatrix;
+
+/// A square linear operator `y = A x` (the only thing Lanczos/CG need).
+pub trait LinearOperator {
+    /// Operator dimension (rows == cols).
+    fn dim(&self) -> usize;
+    /// Applies the operator: `y = A x`. `y.len() == x.len() == dim()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        assert_eq!(self.nrows(), self.ncols(), "operator must be square");
+        self.nrows() as usize
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_into(x, y).expect("dimension mismatch in operator apply");
+    }
+}
+
+/// A diagonal operator (cheap exact-spectrum test double).
+#[derive(Clone, Debug)]
+pub struct DiagonalOperator {
+    /// Diagonal entries.
+    pub diag: Vec<f64>,
+}
+
+impl LinearOperator for DiagonalOperator {
+    fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for ((yi, xi), di) in y.iter_mut().zip(x).zip(&self.diag) {
+            *yi = di * xi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_operator_applies() {
+        let m = CsrMatrix::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0.0; 4];
+        m.apply(&x, &mut y);
+        assert_eq!(y, x);
+        assert_eq!(m.dim(), 4);
+    }
+
+    #[test]
+    fn diagonal_operator_applies() {
+        let d = DiagonalOperator {
+            diag: vec![2.0, -1.0],
+        };
+        let mut y = vec![0.0; 2];
+        d.apply(&[3.0, 3.0], &mut y);
+        assert_eq!(y, vec![6.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let m = dooc_sparse::genmat::GapGenerator::with_d(2).generate(3, 4, 0);
+        let _ = m.dim();
+    }
+}

@@ -1,0 +1,215 @@
+//! Symmetric tridiagonal eigensolver (implicit QL with Wilkinson shifts).
+//!
+//! Lanczos projects the operator onto a Krylov basis, producing a symmetric
+//! tridiagonal matrix `T` with diagonal `alpha` and off-diagonal `beta`;
+//! "solving a much smaller problem" (§II) means diagonalizing `T`. This is
+//! the classic `tql2` algorithm (Bowdler, Martin, Reinsch & Wilkinson),
+//! returning eigenvalues in ascending order and, optionally, eigenvectors of
+//! `T` (needed to assemble Ritz vectors).
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix.
+#[derive(Clone, Debug)]
+pub struct TridiagEigen {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Eigenvectors of `T`, column-major: `vectors[j]` is the eigenvector
+    /// for `values[j]` (empty when not requested).
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Computes all eigenvalues (and optionally eigenvectors) of the symmetric
+/// tridiagonal matrix with diagonal `alpha` (length n) and off-diagonal
+/// `beta` (length n-1). Panics on malformed input; returns `None` if the QL
+/// iteration fails to converge (pathological input — essentially never for
+/// Lanczos output).
+pub fn tridiag_eigen(alpha: &[f64], beta: &[f64], want_vectors: bool) -> Option<TridiagEigen> {
+    let n = alpha.len();
+    assert!(n > 0, "empty tridiagonal matrix");
+    assert_eq!(beta.len(), n.saturating_sub(1), "beta must have n-1 entries");
+    let mut d = alpha.to_vec();
+    // e[i] holds the sub-diagonal below row i; e[n-1] = 0.
+    let mut e = vec![0.0f64; n];
+    e[..n - 1].copy_from_slice(beta);
+    // z: eigenvector accumulation (identity when not wanted we skip work).
+    let mut z: Vec<Vec<f64>> = if want_vectors {
+        (0..n)
+            .map(|i| {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                row
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal element to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 50 {
+                return None;
+            }
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                if want_vectors {
+                    for zk in z.iter_mut() {
+                        f = zk[i + 1];
+                        zk[i + 1] = s * zk[i] + c * f;
+                        zk[i] = c * zk[i] - s * f;
+                    }
+                }
+            }
+            if r == 0.0 && m > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort ascending (with vectors if present).
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| d[a].total_cmp(&d[b]));
+    let values: Vec<f64> = idx.iter().map(|&i| d[i]).collect();
+    let vectors = if want_vectors {
+        idx.iter()
+            .map(|&j| (0..n).map(|i| z[i][j]).collect())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Some(TridiagEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol}): {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let e = tridiag_eigen(&[3.0, 1.0, 2.0], &[0.0, 0.0], false).expect("converges");
+        assert_close(&e.values, &[1.0, 2.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_closed_form() {
+        // [[a, b], [b, c]]: eigenvalues (a+c)/2 ± sqrt(((a-c)/2)^2 + b^2).
+        let (a, b, c) = (2.0, 1.5, -1.0);
+        let mid = (a + c) / 2.0;
+        let rad = (((a - c) / 2.0f64).powi(2) + b * b).sqrt();
+        let e = tridiag_eigen(&[a, c], &[b], false).expect("converges");
+        assert_close(&e.values, &[mid - rad, mid + rad], 1e-12);
+    }
+
+    #[test]
+    fn laplacian_spectrum_closed_form() {
+        // 1D Laplacian: diag 2, off -1, eigenvalues 2 - 2 cos(k*pi/(n+1)).
+        let n = 20;
+        let alpha = vec![2.0; n];
+        let beta = vec![-1.0; n - 1];
+        let e = tridiag_eigen(&alpha, &beta, false).expect("converges");
+        let expect: Vec<f64> = (1..=n)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        assert_close(&e.values, &expect, 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let alpha = [1.0, -2.0, 3.0, 0.5];
+        let beta = [0.7, -1.1, 0.4];
+        let e = tridiag_eigen(&alpha, &beta, true).expect("converges");
+        let n = alpha.len();
+        for (j, lambda) in e.values.iter().enumerate() {
+            let v = &e.vectors[j];
+            // T v = lambda v
+            for i in 0..n {
+                let mut tv = alpha[i] * v[i];
+                if i > 0 {
+                    tv += beta[i - 1] * v[i - 1];
+                }
+                if i + 1 < n {
+                    tv += beta[i] * v[i + 1];
+                }
+                assert!(
+                    (tv - lambda * v[i]).abs() < 1e-10,
+                    "row {i} of eigenpair {j}: {tv} vs {}",
+                    lambda * v[i]
+                );
+            }
+            // Unit norm.
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn trace_and_norm_preserved() {
+        let alpha = [4.0, -1.0, 0.3, 2.2, -3.7];
+        let beta = [1.0, 0.2, -0.8, 0.05];
+        let e = tridiag_eigen(&alpha, &beta, false).expect("converges");
+        let trace: f64 = alpha.iter().sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+        // Frobenius norm^2 = sum of squares of eigenvalues.
+        let frob2: f64 = alpha.iter().map(|a| a * a).sum::<f64>()
+            + 2.0 * beta.iter().map(|b| b * b).sum::<f64>();
+        let eig2: f64 = e.values.iter().map(|v| v * v).sum();
+        assert!((frob2 - eig2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_element() {
+        let e = tridiag_eigen(&[7.0], &[], true).expect("converges");
+        assert_eq!(e.values, vec![7.0]);
+        assert_eq!(e.vectors, vec![vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n-1 entries")]
+    fn wrong_beta_length_panics() {
+        tridiag_eigen(&[1.0, 2.0], &[0.1, 0.2], false);
+    }
+}

@@ -1,0 +1,286 @@
+//! M-scheme Configuration-Interaction basis dimension counter.
+//!
+//! Table I's dimensions `D` are outputs of nuclear structure physics: the
+//! number of many-body basis states — Slater determinants of harmonic
+//! oscillator single-particle states — for the nucleus at a given truncation
+//! (§II: "The total number of many-body states or the dimension of Ĥ in our
+//! adopted harmonic oscillator basis, which we denote by D, is controlled by
+//! the number of particles A, and the truncation parameter N_max").
+//!
+//! This module derives those dimensions from first principles instead of
+//! quoting them: a dynamic program over the single-particle space counts,
+//! for each particle species, the ways to place `k` identical fermions with
+//! total oscillator quanta `q` and total angular-momentum projection `m`;
+//! proton and neutron counts are then convolved under the N_max truncation
+//! (total quanta above the minimal configuration ≤ N_max, with the parity
+//! selected by N_max) and the M_j constraint.
+//!
+//! Single-particle states: shell `N` contains orbitals `l = N, N-2, …` and
+//! `j = l ± 1/2`, each with `2j+1` projections — `(N+1)(N+2)` states per
+//! shell including spin.
+
+/// One species' placement counts: `ways[k][q][m_index]`.
+struct SpeciesCounts {
+    particles: usize,
+    qmax: usize,
+    /// Offset so `m_index = m2 + m_offset` is non-negative (`m2` is twice
+    /// the total projection).
+    m_offset: i64,
+    ways: Vec<Vec<Vec<u128>>>,
+}
+
+/// Enumerates the `(quanta, 2·m)` of every single-particle state up to shell
+/// `nmax_shell` inclusive.
+fn single_particle_states(nmax_shell: u32) -> Vec<(u32, i64)> {
+    let mut out = Vec::new();
+    for n in 0..=nmax_shell {
+        let mut l = n as i64;
+        while l >= 0 {
+            // j2 = 2l + 1 and, for l > 0, 2l - 1.
+            let mut j2s = vec![2 * l + 1];
+            if l > 0 {
+                j2s.push(2 * l - 1);
+            }
+            for j2 in j2s {
+                let mut m2 = -j2;
+                while m2 <= j2 {
+                    out.push((n, m2));
+                    m2 += 2;
+                }
+            }
+            l -= 2;
+        }
+    }
+    out
+}
+
+/// Minimal total quanta for `k` identical fermions (fill shells bottom-up;
+/// shell `N` holds `(N+1)(N+2)` states).
+pub fn minimal_quanta(k: u32) -> u32 {
+    let mut remaining = k;
+    let mut q = 0u32;
+    let mut shell = 0u32;
+    while remaining > 0 {
+        let capacity = (shell + 1) * (shell + 2);
+        let take = remaining.min(capacity);
+        q += take * shell;
+        remaining -= take;
+        shell += 1;
+    }
+    q
+}
+
+fn count_species(particles: u32, qmax: u32, nmax_shell: u32) -> SpeciesCounts {
+    let states = single_particle_states(nmax_shell);
+    let max_abs_m: i64 = {
+        // Upper bound: the `particles` largest |m2| values.
+        let mut ms: Vec<i64> = states.iter().map(|&(_, m2)| m2.abs()).collect();
+        ms.sort_unstable_by(|a, b| b.cmp(a));
+        ms.iter().take(particles as usize).sum()
+    };
+    let m_offset = max_abs_m;
+    let m_size = (2 * max_abs_m + 1) as usize;
+    let (k_size, q_size) = (particles as usize + 1, qmax as usize + 1);
+    // ways[k][q][mi]
+    let mut ways = vec![vec![vec![0u128; m_size]; q_size]; k_size];
+    ways[0][0][m_offset as usize] = 1;
+    for &(n, m2) in &states {
+        // Knapsack over items, descending k so each state is used once.
+        for k in (0..particles as usize).rev() {
+            for q in 0..q_size {
+                let nq = q + n as usize;
+                if nq >= q_size {
+                    continue;
+                }
+                for mi in 0..m_size {
+                    let w = ways[k][q][mi];
+                    if w == 0 {
+                        continue;
+                    }
+                    let nmi = mi as i64 + m2;
+                    if nmi < 0 || nmi >= m_size as i64 {
+                        continue;
+                    }
+                    ways[k + 1][nq][nmi as usize] += w;
+                }
+            }
+        }
+    }
+    SpeciesCounts {
+        particles: particles as usize,
+        qmax: qmax as usize,
+        m_offset,
+        ways,
+    }
+}
+
+/// M-scheme dimension for a nucleus with `z` protons and `n` neutrons at
+/// truncation `nmax`, total projection `mj2` (twice M_j, so integer for any
+/// A). Counts Slater determinant pairs with
+/// `ΔQ = Q - Q_min ∈ {nmax, nmax-2, …, ≥0}` and total `2m = mj2`.
+pub fn m_scheme_dimension(z: u32, n: u32, nmax: u32, mj2: i64) -> u128 {
+    let qmin = minimal_quanta(z) + minimal_quanta(n);
+    let qmax_total = qmin + nmax;
+    // A single particle can be lifted by at most nmax above its minimal
+    // shell; the highest shell it can reach is bounded by its own minimal
+    // shell + nmax <= shell holding the last particle + nmax.
+    let top_shell = |k: u32| -> u32 {
+        let mut remaining = k;
+        let mut shell = 0u32;
+        loop {
+            let capacity = (shell + 1) * (shell + 2);
+            if remaining <= capacity {
+                return shell + nmax;
+            }
+            remaining -= capacity;
+            shell += 1;
+        }
+    };
+    let pz = count_species(z, qmax_total - minimal_quanta(n), top_shell(z));
+    let pn = if z == n {
+        None // identical table
+    } else {
+        Some(count_species(n, qmax_total - minimal_quanta(z), top_shell(n)))
+    };
+    let pn_ref = pn.as_ref().unwrap_or(&pz);
+
+    let mut total = 0u128;
+    for qp in 0..=pz.qmax {
+        for qn in 0..=pn_ref.qmax {
+            let q = qp + qn;
+            if q < qmin as usize || q > qmax_total as usize {
+                continue;
+            }
+            let dq = q - qmin as usize;
+            if (nmax as usize).wrapping_sub(dq) % 2 != 0 {
+                continue; // parity: ΔQ must match N_max's parity
+            }
+            // Convolve m distributions: sum over mp2 with mn2 = mj2 - mp2.
+            for mi in 0..pz.ways[pz.particles][qp].len() {
+                let wp = pz.ways[pz.particles][qp][mi];
+                if wp == 0 {
+                    continue;
+                }
+                let mp2 = mi as i64 - pz.m_offset;
+                let mn2 = mj2 - mp2;
+                let nmi = mn2 + pn_ref.m_offset;
+                if nmi < 0 || nmi as usize >= pn_ref.ways[pn_ref.particles][qn].len() {
+                    continue;
+                }
+                total += wp * pn_ref.ways[pn_ref.particles][qn][nmi as usize];
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_particle_shell_degeneracies() {
+        // Shell N holds (N+1)(N+2) states including spin.
+        for n in 0..6u32 {
+            let count = single_particle_states(n)
+                .iter()
+                .filter(|&&(sn, _)| sn == n)
+                .count() as u32;
+            assert_eq!(count, (n + 1) * (n + 2), "shell {n}");
+        }
+    }
+
+    #[test]
+    fn shell_m_sums_vanish() {
+        // Each shell's m2 values are symmetric around zero.
+        let states = single_particle_states(4);
+        for n in 0..=4u32 {
+            let sum: i64 = states
+                .iter()
+                .filter(|&&(sn, _)| sn == n)
+                .map(|&(_, m2)| m2)
+                .sum();
+            assert_eq!(sum, 0);
+        }
+    }
+
+    #[test]
+    fn minimal_quanta_fills_shells() {
+        assert_eq!(minimal_quanta(0), 0);
+        assert_eq!(minimal_quanta(2), 0); // s-shell holds 2
+        assert_eq!(minimal_quanta(3), 1);
+        assert_eq!(minimal_quanta(5), 3); // 10B: 2 in s, 3 in p
+        assert_eq!(minimal_quanta(8), 6); // 2 + 6x1
+        assert_eq!(minimal_quanta(9), 8); // next particle in sd shell
+    }
+
+    #[test]
+    fn one_particle_dimensions() {
+        // One nucleon, Nmax=0, mj2=±1: the two spin states of the s-shell
+        // (after the other species is absent). Use z=1, n=0.
+        assert_eq!(m_scheme_dimension(1, 0, 0, 1), 1);
+        assert_eq!(m_scheme_dimension(1, 0, 0, -1), 1);
+        // Nmax=1: the particle sits in the p shell (parity flip): p3/2 and
+        // p1/2 give 2 states with m2=1.
+        assert_eq!(m_scheme_dimension(1, 0, 1, 1), 2);
+        // Nmax=2: s (unexcited is parity-even ΔQ=0) plus 2ℏω states:
+        // shell 2 (d5/2, d3/2, s1/2 -> m2=1 appears 3 times).
+        assert_eq!(m_scheme_dimension(1, 0, 2, 1), 4);
+    }
+
+    #[test]
+    fn two_identical_fermions_antisymmetry() {
+        // Two neutrons, Nmax=0: the single s-shell pair, M=0 only.
+        assert_eq!(m_scheme_dimension(0, 2, 0, 0), 1);
+        assert_eq!(m_scheme_dimension(0, 2, 0, 2), 0, "Pauli forbids m=+1,+1");
+    }
+
+    #[test]
+    fn deuteron_like_counts() {
+        // One proton + one neutron, Nmax=0, M=0: (p up, n down) and
+        // (p down, n up).
+        assert_eq!(m_scheme_dimension(1, 1, 0, 0), 2);
+        // M=1: both up.
+        assert_eq!(m_scheme_dimension(1, 1, 0, 2), 1);
+    }
+
+    #[test]
+    fn dimension_decreases_with_mj() {
+        // Higher |M| prunes the space (standard M-scheme property).
+        let d0 = m_scheme_dimension(5, 5, 2, 0);
+        let d2 = m_scheme_dimension(5, 5, 2, 2);
+        let d4 = m_scheme_dimension(5, 5, 2, 4);
+        assert!(d0 > d2 && d2 > d4, "{d0} {d2} {d4}");
+    }
+
+    #[test]
+    fn dimension_grows_exponentially_with_nmax() {
+        // §II: "at the expense of an exponential growth in the dimensions".
+        let d: Vec<u128> = (0..=6)
+            .map(|nmax| m_scheme_dimension(5, 5, nmax, 0))
+            .collect();
+        for w in d.windows(2).skip(1) {
+            assert!(w[1] > 4 * w[0], "{d:?}");
+        }
+    }
+
+    #[test]
+    fn boron10_table_one_dimensions() {
+        // The paper's four cases: (Nmax, Mj) with published D. M_j is in
+        // units of ħ (integer for the even-A 10B), so mj2 = 2*Mj.
+        let published: [(u32, i64, f64); 4] = [
+            (7, 0, 4.66e7),
+            (8, 1, 1.60e8),
+            (9, 2, 4.82e8),
+            (10, 3, 1.30e9),
+        ];
+        for (nmax, mj, want) in published {
+            let d = m_scheme_dimension(5, 5, nmax, 2 * mj) as f64;
+            let rel = (d - want).abs() / want;
+            assert!(
+                rel < 0.02,
+                "Nmax={nmax} Mj={mj}: derived D = {d:.3e}, published {want:.2e} (rel {rel:.3})"
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig. 1: the memory hierarchy as the paper presents it (2012-era values).
+//!
+//! "As we move away from registers to cache, to DRAM and finally to
+//! hard-disk drive (HDD), we see a steady increase of roughly 3 orders of
+//! magnitude in storage capacity between layers. Similarly, data access
+//! latencies increase at the rate of an order of magnitude between layers
+//! until we hit the 'latency gap' between the DRAM and HDD."
+
+/// One layer of the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyLayer {
+    /// Layer name.
+    pub name: &'static str,
+    /// Typical capacity in bytes (order of magnitude).
+    pub capacity_bytes: u64,
+    /// Typical access latency in CPU cycles (order of magnitude).
+    pub latency_cycles: u64,
+}
+
+/// The layers of Fig. 1, innermost first. SSD sits in the latency gap the
+/// paper's argument hinges on: ~100× slower than DRAM instead of the HDD's
+/// ~10,000×.
+pub const LAYERS: &[HierarchyLayer] = &[
+    HierarchyLayer {
+        name: "registers",
+        capacity_bytes: 1 << 10, // ~KB
+        latency_cycles: 1,
+    },
+    HierarchyLayer {
+        name: "cache",
+        capacity_bytes: 10 << 20, // ~10 MB
+        latency_cycles: 10,
+    },
+    HierarchyLayer {
+        name: "DRAM",
+        capacity_bytes: 32 << 30, // ~32 GB/node
+        latency_cycles: 100,
+    },
+    HierarchyLayer {
+        name: "SSD",
+        capacity_bytes: 400 << 30, // ~400 GB/card (Virident tachIOn)
+        latency_cycles: 10_000,
+    },
+    HierarchyLayer {
+        name: "HDD",
+        capacity_bytes: 2 << 40, // ~TBs
+        latency_cycles: 10_000_000,
+    },
+];
+
+/// The latency gap each layer transition represents, as the ratio of
+/// consecutive latencies.
+pub fn latency_ratios() -> Vec<(&'static str, &'static str, f64)> {
+    LAYERS
+        .windows(2)
+        .map(|w| {
+            (
+                w[0].name,
+                w[1].name,
+                w[1].latency_cycles as f64 / w[0].latency_cycles as f64,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_grow_monotonically() {
+        for w in LAYERS.windows(2) {
+            assert!(w[1].capacity_bytes > w[0].capacity_bytes);
+            assert!(w[1].latency_cycles > w[0].latency_cycles);
+        }
+    }
+
+    #[test]
+    fn dram_to_disk_is_the_latency_gap() {
+        let ratios = latency_ratios();
+        // DRAM -> SSD is ~100x; SSD -> HDD is ~1000x; DRAM -> HDD combined
+        // is the paper's 10,000+ cycle gap.
+        let dram_ssd = ratios.iter().find(|r| r.0 == "DRAM").expect("layer");
+        assert_eq!(dram_ssd.1, "SSD");
+        assert!((90.0..110.0).contains(&dram_ssd.2));
+        let total: f64 = ratios
+            .iter()
+            .skip_while(|r| r.0 != "DRAM")
+            .map(|r| r.2)
+            .product();
+        assert!(total >= 10_000.0, "DRAM->HDD gap {total}");
+    }
+}

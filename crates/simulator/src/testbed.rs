@@ -1,0 +1,791 @@
+//! The Carver SSD-testbed model: paper §V replayed in virtual time.
+//!
+//! The *logic* is the real middleware's: the task DAG comes from
+//! [`dooc_linalg::spmv_app::SpmvAppBuilder`], placement from the real global
+//! scheduler, per-node ordering and prefetching from the real
+//! [`LocalScheduler`]. Only *time* is modelled, by the fluid simulator:
+//!
+//! * every sub-matrix load is a flow through the shared GPFS ceiling and the
+//!   node's GPFS client link ("Data is streamed from the I/O nodes to the
+//!   requesting compute nodes using the 4X QDR InfiniBand interconnect");
+//! * every cross-node vector transfer is a flow through the sender's and
+//!   receiver's InfiniBand NICs;
+//! * multiplies/sums occupy the node's compute for `flops/node_flops` or
+//!   `bytes/sum_bw` seconds;
+//! * per-(node, iteration) lognormal bandwidth jitter models the "noticeable
+//!   variation in read bandwidth observed by individual compute nodes" of
+//!   the shared GPFS — the mechanism that makes global barriers expensive.
+//!
+//! Calibration constants (documented in `TestbedParams::paper`) are fitted
+//! to Table IV's single-node row; everything else is prediction.
+
+use crate::des::{FluidSim, ResourceId};
+use dooc_linalg::spmv_app::{ReductionPlan, SpmvAppBuilder, StagedBlock, SyncPolicy};
+use dooc_scheduler::{assign_affinity, LocalScheduler, OrderPolicy, TaskId};
+use dooc_sparse::blockgrid::{BlockCoord, BlockGrid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Which §V experiment policy to replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Table III: simple policy — row-root reduction, barriers after the
+    /// SpMV phase and after the reduction.
+    Simple,
+    /// Table IV: intra-iteration interleaving + per-node aggregation, only
+    /// the between-iterations barrier.
+    Interleaved,
+}
+
+/// Physical and workload parameters of one testbed run.
+#[derive(Clone, Debug)]
+pub struct TestbedParams {
+    /// Compute nodes (perfect square).
+    pub nnodes: usize,
+    /// SpMV iterations (the paper measures 4).
+    pub iterations: u64,
+    /// Sub-matrices per node side (5 → a 5×5 block per node).
+    pub sub_per_side: u64,
+    /// Bytes per sub-matrix file (~4 GB).
+    pub submatrix_bytes: u64,
+    /// Non-zeros per sub-matrix (12.8e9 / 25).
+    pub nnz_per_sub: u64,
+    /// Bytes per sub-vector (80 MB: 10 M rows × 8 B).
+    pub subvector_bytes: u64,
+    /// Aggregate GPFS ceiling, bytes/s (peak 20 GB/s; ~18.5 sustained).
+    pub gpfs_bw: f64,
+    /// Per-node GPFS client bandwidth, bytes/s.
+    pub client_bw: f64,
+    /// Per-node InfiniBand bandwidth each direction, bytes/s.
+    pub ib_bw: f64,
+    /// Whole-node sustained SpMV rate, flops/s (8 cores).
+    pub node_flops: f64,
+    /// Sum-task processing rate, input bytes/s.
+    pub sum_bw: f64,
+    /// Usable block-cache bytes per node.
+    pub memory_budget: u64,
+    /// Lognormal sigma of per-(node, iteration) read-bandwidth jitter.
+    pub jitter_sigma: f64,
+    /// Local-scheduler prefetch window.
+    pub prefetch_window: usize,
+    /// RNG seed (jitter).
+    pub seed: u64,
+    /// Keep sub-matrices cached across iterations when memory allows. The
+    /// paper's measured system re-reads every sub-matrix every iteration
+    /// (read volume == iterations × matrix size in every row), so paper
+    /// reproduction disables this; enabling it is the `cross-iteration
+    /// reuse` ablation, where the DAG scheduler serves several iterations
+    /// per load.
+    pub cross_iteration_reuse: bool,
+    /// Override: sub-matrices per node side when the matrix is larger than
+    /// the cluster (the Fig. 7 "star" run: the 36-node matrix on 9 nodes).
+    pub grid_k_override: Option<u64>,
+}
+
+impl TestbedParams {
+    /// The paper's configuration for `nnodes` compute nodes.
+    ///
+    /// Calibration: `client_bw` 1.42 GB/s and `gpfs_bw` 18.5 GB/s reproduce
+    /// the read-bandwidth column (1.4–1.5 at 1 node, plateau ≈18.5 past 16
+    /// nodes); `node_flops` 6 GF/s keeps multiply compute hidden behind I/O
+    /// (as observed); `sum_bw` 0.35 GB/s makes the un-overlapped reduction
+    /// phase of the simple policy cost ≈13% at one node (Table III row 1);
+    /// `memory_budget` 9 GB (two sub-matrices plus vectors, out of 24 GB —
+    /// the rest holds partials, DataCutter buffers and the page cache)
+    /// matches the observed near-full re-read per iteration;
+    /// `jitter_sigma` 0.10 reproduces the growth of non-overlapped time with
+    /// node count under barriers.
+    pub fn paper(nnodes: usize) -> Self {
+        Self {
+            nnodes,
+            iterations: 4,
+            sub_per_side: 5,
+            submatrix_bytes: 4_000_000_000,
+            nnz_per_sub: 12_800_000_000 / 25,
+            subvector_bytes: 80_000_000,
+            gpfs_bw: 18.5e9,
+            client_bw: 1.42e9,
+            ib_bw: 4.0e9,
+            node_flops: 6.0e9,
+            sum_bw: 0.35e9,
+            memory_budget: 9_000_000_000,
+            jitter_sigma: 0.10,
+            prefetch_window: 2,
+            seed: 1,
+            cross_iteration_reuse: false,
+            grid_k_override: None,
+        }
+    }
+
+    /// Node grid side (√nnodes).
+    pub fn side(&self) -> u64 {
+        let s = (self.nnodes as f64).sqrt().round() as u64;
+        assert_eq!(s * s, self.nnodes as u64, "nnodes must be a perfect square");
+        s
+    }
+
+    /// Global sub-matrix grid dimension K.
+    pub fn grid_k(&self) -> u64 {
+        self.grid_k_override.unwrap_or(self.sub_per_side * self.side())
+    }
+
+    /// Global matrix dimension (rows).
+    pub fn dimension(&self) -> u64 {
+        self.grid_k() * (self.subvector_bytes / 8)
+    }
+
+    /// Total non-zeros.
+    pub fn total_nnz(&self) -> u64 {
+        self.grid_k() * self.grid_k() * self.nnz_per_sub
+    }
+
+    /// Total matrix bytes.
+    pub fn matrix_bytes(&self) -> u64 {
+        self.grid_k() * self.grid_k() * self.submatrix_bytes
+    }
+}
+
+/// Measured outcome of a replayed run (one row of Table III/IV).
+#[derive(Clone, Debug)]
+pub struct TestbedResult {
+    /// Compute nodes used.
+    pub nnodes: usize,
+    /// Matrix dimension.
+    pub dimension: u64,
+    /// Total non-zeros.
+    pub nnz: u64,
+    /// Matrix size in bytes.
+    pub matrix_bytes: u64,
+    /// Makespan, seconds.
+    pub time_s: f64,
+    /// Sustained Gflop/s (2·nnz·iterations / time).
+    pub gflops: f64,
+    /// Aggregate read bandwidth, bytes/s.
+    pub read_bw: f64,
+    /// Fraction of (node-averaged) time with no filesystem read in flight.
+    pub non_overlapped: f64,
+    /// CPU-hour cost of one iteration (nnodes × 8 cores).
+    pub cpu_hours_per_iter: f64,
+    /// Total bytes read from the filesystem.
+    pub bytes_read: u64,
+}
+
+impl TestbedResult {
+    /// Runtime relative to the minimum achievable time assuming I/O is the
+    /// only bottleneck at the 20 GB/s peak (Fig. 6's y-axis).
+    pub fn relative_to_optimal_io(&self, peak_bw: f64) -> f64 {
+        let optimal = self.bytes_read as f64 / peak_bw;
+        self.time_s / optimal
+    }
+}
+
+const KIND_LOAD: u64 = 1;
+const KIND_XFER: u64 = 2;
+const KIND_COMP: u64 = 3;
+
+fn tag(kind: u64, node: u64, idx: u64) -> u64 {
+    (kind << 56) | (node << 40) | idx
+}
+
+fn untag(t: u64) -> (u64, u64, u64) {
+    (t >> 56, (t >> 40) & 0xFFFF, t & 0xFF_FFFF_FFFF)
+}
+
+/// Array classification for transfer modelling.
+#[derive(Clone, Debug)]
+enum ArrayKind {
+    /// Sub-matrix file (read through GPFS; evictable).
+    MatrixFile,
+    /// Produced vector/partial/token (transferred over IB from its
+    /// producer's node; freed once all consumers finished).
+    Produced {
+        producer: TaskId,
+    },
+    /// Staged initial vector on a node.
+    Staged {
+        node: u64,
+    },
+}
+
+struct ArrayInfo {
+    bytes: u64,
+    kind: ArrayKind,
+    /// Consumer tasks remaining (for freeing produced arrays).
+    remaining_consumers: u64,
+}
+
+struct VNode {
+    ls: LocalScheduler,
+    resident: HashSet<String>,
+    pinned: HashMap<String, u64>,
+    /// LRU clock per resident *evictable* array.
+    matrix_last_use: HashMap<String, u64>,
+    mem_used: u64,
+    in_flight: HashSet<String>,
+    compute_busy: bool,
+    pending: Option<TaskId>,
+    /// Active filesystem loads (for overlap accounting).
+    io_active: u64,
+    io_time: f64,
+    last_change: f64,
+    /// Highest iteration index of any task started here (jitter key).
+    cur_iter: u64,
+    client_link: ResourceId,
+    ib_in: ResourceId,
+    ib_out: ResourceId,
+}
+
+/// Replays one configuration and returns its table row.
+pub fn run_testbed(params: &TestbedParams, policy: PolicyKind) -> TestbedResult {
+    let k = params.grid_k();
+    let side = params.side();
+    let per = k / side;
+    let owner = move |c: BlockCoord| (c.u / per) * side + (c.v / per);
+
+    // Synthetic staged blocks (no files: sizes and nnz suffice).
+    let grid = BlockGrid::new(k, params.dimension());
+    let blocks: Vec<StagedBlock> = grid
+        .coords()
+        .map(|coord| StagedBlock {
+            coord,
+            node: owner(coord),
+            bytes: params.submatrix_bytes,
+            nnz: params.nnz_per_sub,
+        })
+        .collect();
+    let app = SpmvAppBuilder::new(grid, params.iterations, blocks);
+    let app = match policy {
+        PolicyKind::Simple => app
+            .reduction(ReductionPlan::RowRoot)
+            .sync(SyncPolicy::PhaseBarriers),
+        // "Keep only the synchronization between iterations": in pure
+        // iterated SpMV that synchronization *is* the x_i data dependency
+        // (multiply of iteration i+1 consumes its column's x_i), so no extra
+        // barrier task is inserted.
+        PolicyKind::Interleaved => app
+            .reduction(ReductionPlan::LocalAggregation)
+            .sync(SyncPolicy::None),
+    }
+    .persist_final(false);
+    let (graph, external, geometry) = app.build();
+    let placement =
+        assign_affinity(&graph, &external, params.nnodes as u64).expect("valid SpMV DAG");
+
+    // Array catalogue.
+    let mut arrays: HashMap<String, ArrayInfo> = HashMap::new();
+    for (name, len, _bs) in &geometry {
+        let kind = if name.ends_with(".crs") {
+            ArrayKind::MatrixFile
+        } else {
+            ArrayKind::Staged {
+                node: external[name],
+            }
+        };
+        arrays.insert(
+            name.clone(),
+            ArrayInfo {
+                bytes: *len,
+                kind,
+                remaining_consumers: 0,
+            },
+        );
+    }
+    for id in graph.ids() {
+        for out in &graph.task(id).outputs {
+            arrays.insert(
+                out.array.clone(),
+                ArrayInfo {
+                    bytes: out.bytes,
+                    kind: ArrayKind::Produced { producer: id },
+                    remaining_consumers: 0,
+                },
+            );
+        }
+    }
+    for id in graph.ids() {
+        for inp in &graph.task(id).inputs {
+            if let Some(a) = arrays.get_mut(&inp.array) {
+                a.remaining_consumers += 1;
+            }
+        }
+    }
+
+    // Simulator resources.
+    let mut sim = FluidSim::new();
+    let gpfs = sim.add_resource(params.gpfs_bw);
+    let mut nodes: Vec<VNode> = (0..params.nnodes as u64)
+        .map(|n| {
+            let client_link = sim.add_resource(params.client_bw);
+            let ib_in = sim.add_resource(params.ib_bw);
+            let ib_out = sim.add_resource(params.ib_bw);
+            let mut ls = LocalScheduler::new(
+                &graph,
+                placement.tasks_of(n),
+                OrderPolicy::DataAware,
+            )
+            .with_prefetch_window(params.prefetch_window);
+            // Staged vectors start resident on their node (they are tiny and
+            // written into memory/the page cache during staging).
+            let _ = &mut ls;
+            VNode {
+                ls,
+                resident: HashSet::new(),
+                pinned: HashMap::new(),
+                matrix_last_use: HashMap::new(),
+                mem_used: 0,
+                in_flight: HashSet::new(),
+                compute_busy: false,
+                pending: None,
+                io_active: 0,
+                io_time: 0.0,
+                last_change: 0.0,
+                cur_iter: 1,
+                client_link,
+                ib_in,
+                ib_out,
+            }
+        })
+        .collect();
+    // Stage initial vectors.
+    for (name, info) in &arrays {
+        if let ArrayKind::Staged { node } = info.kind {
+            nodes[node as usize].resident.insert(name.clone());
+        }
+    }
+
+    // Jitter multipliers per (node, iteration).
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let iters = params.iterations as usize;
+    let jitter: Vec<Vec<f64>> = (0..params.nnodes)
+        .map(|_| {
+            (0..=iters)
+                .map(|_| {
+                    let z: f64 = {
+                        // Box-Muller from two uniforms.
+                        let u1: f64 = rng.gen_range(1e-12..1.0);
+                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                    };
+                    (params.jitter_sigma * z).exp()
+                })
+                .collect()
+        })
+        .collect();
+
+    // Global completion fan-out + array name indexing for tags.
+    let mut name_index: Vec<String> = Vec::new();
+    let mut index_of: HashMap<String, u64> = HashMap::new();
+    let idx = |name: &str, name_index: &mut Vec<String>, index_of: &mut HashMap<String, u64>| {
+        *index_of.entry(name.to_string()).or_insert_with(|| {
+            name_index.push(name.to_string());
+            name_index.len() as u64 - 1
+        })
+    };
+
+    let mut clock_lru = 0u64;
+    let mut bytes_read_nominal: u64 = 0;
+    let mut produced_done: HashSet<TaskId> = HashSet::new();
+    let mut completed = 0usize;
+    let total_tasks = graph.len();
+
+    // Task iteration extraction (x_i_..., q_i_..., bar_mul_i, bar_iter_i).
+    let task_iter = |name: &str| -> u64 {
+        name.split('_')
+            .find_map(|p| p.parse::<u64>().ok())
+            .unwrap_or(1)
+            .min(params.iterations)
+    };
+
+    // -- driver closures as macros over captured state -----------------------
+    macro_rules! update_io {
+        ($vn:expr, $now:expr, $delta:expr) => {{
+            let vn: &mut VNode = $vn;
+            if vn.io_active > 0 {
+                vn.io_time += $now - vn.last_change;
+            }
+            vn.last_change = $now;
+            let new = vn.io_active as i64 + $delta;
+            vn.io_active = new.max(0) as u64;
+        }};
+    }
+
+    macro_rules! make_resident {
+        ($node:expr, $name:expr) => {{
+            let n = $node as usize;
+            let name: &str = $name;
+            if !nodes[n].resident.contains(name) {
+                let bytes = arrays[name].bytes;
+                nodes[n].resident.insert(name.to_string());
+                // The budget governs the sub-matrix block cache; vectors and
+                // partials live in the remaining node memory (the 9-of-24 GB
+                // calibration embeds exactly this split).
+                if matches!(arrays[name].kind, ArrayKind::MatrixFile) {
+                    nodes[n].mem_used += bytes;
+                    clock_lru += 1;
+                    nodes[n].matrix_last_use.insert(name.to_string(), clock_lru);
+                }
+                // Evict LRU unpinned matrices while over budget.
+                while nodes[n].mem_used > params.memory_budget {
+                    let victim = nodes[n]
+                        .matrix_last_use
+                        .iter()
+                        .filter(|(a, _)| nodes[n].pinned.get(*a).copied().unwrap_or(0) == 0)
+                        .min_by_key(|(_, &lu)| lu)
+                        .map(|(a, _)| a.clone());
+                    match victim {
+                        Some(a) => {
+                            nodes[n].matrix_last_use.remove(&a);
+                            nodes[n].resident.remove(&a);
+                            nodes[n].mem_used -= arrays[&a].bytes;
+                        }
+                        None => break, // nothing evictable: tolerate overshoot
+                    }
+                }
+            }
+        }};
+    }
+
+    // Request an input for node `n`; returns true if resident.
+    macro_rules! request_input {
+        ($sim:expr, $n:expr, $name:expr, $iter:expr) => {{
+            let n = $n as usize;
+            let name: &str = $name;
+            if nodes[n].resident.contains(name) {
+                true
+            } else {
+                if !nodes[n].in_flight.contains(name) {
+                    let available = match &arrays[name].kind {
+                        ArrayKind::MatrixFile => true,
+                        ArrayKind::Staged { .. } => true,
+                        ArrayKind::Produced { producer } => produced_done.contains(producer),
+                    };
+                    if available {
+                        let ai = idx(name, &mut name_index, &mut index_of);
+                        match &arrays[name].kind {
+                            ArrayKind::MatrixFile => {
+                                let mult = jitter[n][($iter as usize).min(iters)];
+                                bytes_read_nominal += arrays[name].bytes;
+                                update_io!(&mut nodes[n], $sim.now(), 1);
+                                $sim.start_flow(
+                                    arrays[name].bytes as f64 * mult,
+                                    vec![gpfs, nodes[n].client_link],
+                                    tag(KIND_LOAD, n as u64, ai),
+                                );
+                            }
+                            ArrayKind::Staged { node: src } => {
+                                // Staged vector on another node: IB transfer.
+                                let src = *src as usize;
+                                $sim.start_flow(
+                                    arrays[name].bytes as f64,
+                                    vec![nodes[src].ib_out, nodes[n].ib_in],
+                                    tag(KIND_XFER, n as u64, ai),
+                                );
+                            }
+                            ArrayKind::Produced { producer } => {
+                                let src = placement.node(*producer) as usize;
+                                $sim.start_flow(
+                                    arrays[name].bytes as f64,
+                                    vec![nodes[src].ib_out, nodes[n].ib_in],
+                                    tag(KIND_XFER, n as u64, ai),
+                                );
+                            }
+                        }
+                        nodes[n].in_flight.insert(name.to_string());
+                    }
+                }
+                false
+            }
+        }};
+    }
+
+    macro_rules! drive {
+        ($sim:expr, $n:expr) => {{
+            let n = $n as usize;
+            // 1. Try to start compute.
+            if !nodes[n].compute_busy {
+                if nodes[n].pending.is_none() {
+                    let oracle = nodes[n].resident.clone();
+                    nodes[n].pending = nodes[n].ls.next_task(&graph, &oracle);
+                }
+                if let Some(t) = nodes[n].pending {
+                    let spec = graph.task(t).clone();
+                    let it = task_iter(&spec.name);
+                    nodes[n].cur_iter = nodes[n].cur_iter.max(it);
+                    let mut all = true;
+                    for inp in &spec.inputs {
+                        if !request_input!($sim, n, &inp.array, it) {
+                            all = false;
+                        }
+                    }
+                    if all {
+                        // Pin inputs; start compute.
+                        for inp in &spec.inputs {
+                            *nodes[n].pinned.entry(inp.array.clone()).or_insert(0) += 1;
+                            if let Some(lu) = nodes[n].matrix_last_use.get_mut(&inp.array) {
+                                clock_lru += 1;
+                                *lu = clock_lru;
+                            }
+                        }
+                        let dur = match spec.kind.as_str() {
+                            "multiply" => spec.flops as f64 / params.node_flops,
+                            "sum" | "sum_final" => {
+                                spec.input_bytes() as f64 / params.sum_bw
+                            }
+                            _ => 1e-4, // barrier token
+                        };
+                        nodes[n].compute_busy = true;
+                        nodes[n].pending = None;
+                        $sim.start_timer(dur, tag(KIND_COMP, n as u64, t.0));
+                    }
+                }
+            }
+            // 2. Prefetch.
+            let oracle = nodes[n].resident.clone();
+            let candidates = nodes[n].ls.prefetch_candidates(&graph, &oracle);
+            for arr in candidates {
+                let is_matrix = matches!(arrays[&arr].kind, ArrayKind::MatrixFile);
+                let bytes = if is_matrix { arrays[&arr].bytes } else { 0 };
+                let inflight_bytes: u64 = nodes[n]
+                    .in_flight
+                    .iter()
+                    .filter(|a| matches!(arrays[*a].kind, ArrayKind::MatrixFile))
+                    .map(|a| arrays[a].bytes)
+                    .sum();
+                if nodes[n].mem_used + inflight_bytes + bytes <= params.memory_budget {
+                    let it = nodes[n].cur_iter;
+                    let _ = request_input!($sim, n, &arr, it);
+                }
+            }
+        }};
+    }
+
+    // Kick off.
+    for n in 0..params.nnodes {
+        drive!(sim, n);
+    }
+
+    // Event loop.
+    while completed < total_tasks {
+        let Some(event) = sim.next_event() else {
+            panic!(
+                "simulation deadlock: {completed}/{total_tasks} tasks done (policy {policy:?}, {} nodes)",
+                params.nnodes
+            );
+        };
+        let now = event.time();
+        let (kind, node, index) = untag(event.tag());
+        match kind {
+            KIND_LOAD => {
+                let name = name_index[index as usize].clone();
+                update_io!(&mut nodes[node as usize], now, -1);
+                nodes[node as usize].in_flight.remove(&name);
+                make_resident!(node, &name);
+                drive!(sim, node);
+            }
+            KIND_XFER => {
+                let name = name_index[index as usize].clone();
+                nodes[node as usize].in_flight.remove(&name);
+                make_resident!(node, &name);
+                drive!(sim, node);
+            }
+            KIND_COMP => {
+                let t = TaskId(index);
+                let spec = graph.task(t).clone();
+                let n = node as usize;
+                nodes[n].compute_busy = false;
+                // Unpin inputs; decrement consumer counts; free dead arrays.
+                for inp in &spec.inputs {
+                    if let Some(p) = nodes[n].pinned.get_mut(&inp.array) {
+                        *p = p.saturating_sub(1);
+                    }
+                    // Paper mode: a consumed sub-matrix is released and
+                    // reclaimed right away (the measured system re-reads the
+                    // full matrix every iteration).
+                    if !params.cross_iteration_reuse
+                        && matches!(arrays[&inp.array].kind, ArrayKind::MatrixFile)
+                        && nodes[n].pinned.get(&inp.array).copied().unwrap_or(0) == 0
+                        && nodes[n].resident.remove(&inp.array)
+                    {
+                        nodes[n].matrix_last_use.remove(&inp.array);
+                        nodes[n].mem_used =
+                            nodes[n].mem_used.saturating_sub(arrays[&inp.array].bytes);
+                    }
+                    let dead = {
+                        let a = arrays.get_mut(&inp.array).expect("known array");
+                        a.remaining_consumers = a.remaining_consumers.saturating_sub(1);
+                        a.remaining_consumers == 0
+                            && !matches!(a.kind, ArrayKind::MatrixFile)
+                    };
+                    if dead {
+                        for vn in nodes.iter_mut() {
+                            vn.resident.remove(&inp.array);
+                        }
+                    }
+                }
+                // Outputs are resident on the producer.
+                for out in &spec.outputs {
+                    make_resident!(node, &out.array);
+                }
+                produced_done.insert(t);
+                completed += 1;
+                for vn in nodes.iter_mut() {
+                    vn.ls.on_complete(&graph, t);
+                }
+                for m in 0..params.nnodes {
+                    drive!(sim, m);
+                }
+            }
+            other => panic!("unknown event kind {other}"),
+        }
+    }
+
+    let time_s = sim.now();
+    // Close out I/O accounting.
+    let non_overlap_per_node: Vec<f64> = nodes
+        .iter_mut()
+        .map(|vn| {
+            if vn.io_active > 0 {
+                vn.io_time += time_s - vn.last_change;
+            }
+            1.0 - vn.io_time / time_s
+        })
+        .collect();
+    let non_overlapped =
+        non_overlap_per_node.iter().sum::<f64>() / params.nnodes as f64;
+    // "We extracted the bandwidth obtained by the filesystem I/O components
+    // from the logs": bytes over the time spent reading, not over makespan.
+    let mean_io_time = nodes.iter().map(|vn| vn.io_time).sum::<f64>() / params.nnodes as f64;
+
+    let flops = 2.0 * params.total_nnz() as f64 * params.iterations as f64;
+    TestbedResult {
+        nnodes: params.nnodes,
+        dimension: params.dimension(),
+        nnz: params.total_nnz(),
+        matrix_bytes: params.matrix_bytes(),
+        time_s,
+        gflops: flops / time_s / 1e9,
+        read_bw: bytes_read_nominal as f64 / mean_io_time.max(1e-9),
+        non_overlapped,
+        cpu_hours_per_iter: params.nnodes as f64 * 8.0 * time_s
+            / params.iterations as f64
+            / 3600.0,
+        bytes_read: bytes_read_nominal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(nnodes: usize) -> TestbedParams {
+        // Scaled-down workload for fast tests (same shape, 1000x smaller).
+        // Memory holds ~5 sub-matrices so the replay pipelines without the
+        // cache-thrash regime (which multiplies event counts and only
+        // matters for the full-scale paper configuration).
+        let mut p = TestbedParams::paper(nnodes);
+        p.submatrix_bytes /= 1000;
+        p.nnz_per_sub /= 1000;
+        p.subvector_bytes /= 1000;
+        p.memory_budget = 5 * p.submatrix_bytes + 50 * p.subvector_bytes;
+        p
+    }
+
+    #[test]
+    fn single_node_is_io_bound() {
+        let p = small(1);
+        let r = run_testbed(&p, PolicyKind::Interleaved);
+        // All 25 sub-matrices x 4 iterations must be read (no reuse at this
+        // budget/matrix ratio), so time ≈ bytes / client_bw.
+        let expected = r.bytes_read as f64 / p.client_bw;
+        assert!(
+            r.time_s >= expected * 0.95,
+            "time {} < io bound {expected}",
+            r.time_s
+        );
+        assert!(
+            r.time_s <= expected * 1.45,
+            "time {} far above io bound {expected}",
+            r.time_s
+        );
+        // Cross-iteration reuse may save a few loads, but most of the
+        // working set exceeds memory and must be re-read every iteration.
+        assert!(r.bytes_read >= 4 * 25 * p.submatrix_bytes * 6 / 10);
+        assert!(
+            r.bytes_read <= 4 * 25 * p.submatrix_bytes,
+            "cannot read more than the naive sweep"
+        );
+    }
+
+    #[test]
+    fn read_bandwidth_plateaus_with_many_nodes() {
+        let r9 = run_testbed(&small(9), PolicyKind::Interleaved);
+        let r16 = run_testbed(&small(16), PolicyKind::Interleaved);
+        let p = small(1);
+        // 9 nodes: below the ceiling, ~9x client bw (scaled).
+        assert!(
+            r9.read_bw < 9.2 * p.client_bw && r9.read_bw > 0.7 * 9.0 * p.client_bw,
+            "9-node bw {} vs client {}",
+            r9.read_bw,
+            p.client_bw
+        );
+        // 16 nodes: the shared ceiling binds (16 x client > gpfs). The
+        // bytes/io-time metric can exceed the ceiling slightly when nodes'
+        // read bursts do not fully coincide (each burst runs at the client
+        // rate), so allow ~10% headroom.
+        assert!(
+            r16.read_bw <= p.gpfs_bw * 1.10,
+            "16-node bw {} far above ceiling {}",
+            r16.read_bw,
+            p.gpfs_bw
+        );
+        assert!(r16.read_bw > 0.65 * p.gpfs_bw, "16-node bw {}", r16.read_bw);
+    }
+
+    #[test]
+    fn simple_policy_slower_with_more_non_overlap() {
+        let ps = small(9);
+        let simple = run_testbed(&ps, PolicyKind::Simple);
+        let inter = run_testbed(&ps, PolicyKind::Interleaved);
+        assert!(
+            simple.time_s > inter.time_s,
+            "simple {} vs interleaved {}",
+            simple.time_s,
+            inter.time_s
+        );
+        assert!(
+            simple.non_overlapped > inter.non_overlapped,
+            "non-overlap simple {} vs interleaved {}",
+            simple.non_overlapped,
+            inter.non_overlapped
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = small(4);
+        let a = run_testbed(&p, PolicyKind::Interleaved);
+        let b = run_testbed(&p, PolicyKind::Interleaved);
+        assert_eq!(a.time_s, b.time_s);
+        assert_eq!(a.bytes_read, b.bytes_read);
+    }
+
+    #[test]
+    fn star_run_grid_override() {
+        // The 36-node matrix on 9 nodes: more sub-matrices per node, longer
+        // run, but better bandwidth-per-node utilization.
+        let mut p = small(9);
+        p.grid_k_override = Some(30);
+        let r = run_testbed(&p, PolicyKind::Interleaved);
+        assert_eq!(r.dimension, 30 * (p.subvector_bytes / 8));
+        assert!(r.bytes_read as u64 >= 4 * 900 * p.submatrix_bytes * 9 / 10);
+    }
+
+    #[test]
+    fn cpu_hours_formula() {
+        let p = small(4);
+        let r = run_testbed(&p, PolicyKind::Interleaved);
+        let expect = 4.0 * 8.0 * r.time_s / p.iterations as f64 / 3600.0;
+        assert!((r.cpu_hours_per_iter - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests of the fluid simulator: conservation, work conservation,
+//! and monotonicity over random flow sets, plus testbed-replay sanity over
+//! random scaled workloads.
+
+use dooc_simulator::des::FluidSim;
+use dooc_simulator::testbed::{run_testbed, PolicyKind, TestbedParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Total transferred bytes equal the sum of flow sizes: nothing is lost
+    /// or duplicated, and the event count equals the flow count.
+    #[test]
+    fn all_flows_complete_exactly_once(
+        sizes in proptest::collection::vec(1.0f64..1000.0, 1..30),
+        caps in proptest::collection::vec(0.5f64..50.0, 1..4),
+    ) {
+        let mut sim = FluidSim::new();
+        let rs: Vec<_> = caps.iter().map(|&c| sim.add_resource(c)).collect();
+        for (i, &s) in sizes.iter().enumerate() {
+            let path = vec![rs[i % rs.len()]];
+            sim.start_flow(s, path, i as u64);
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(e) = sim.next_event() {
+            prop_assert!(seen.insert(e.tag()), "duplicate completion {}", e.tag());
+        }
+        prop_assert_eq!(seen.len(), sizes.len());
+        prop_assert!(sim.idle());
+    }
+
+    /// Work conservation on one shared link: makespan == total bytes /
+    /// capacity whenever all flows share the single resource.
+    #[test]
+    fn single_link_is_work_conserving(
+        sizes in proptest::collection::vec(1.0f64..100.0, 1..20),
+        cap in 1.0f64..20.0,
+    ) {
+        let mut sim = FluidSim::new();
+        let r = sim.add_resource(cap);
+        for (i, &s) in sizes.iter().enumerate() {
+            sim.start_flow(s, vec![r], i as u64);
+        }
+        let mut last = 0.0;
+        while let Some(e) = sim.next_event() {
+            last = e.time();
+        }
+        let expect: f64 = sizes.iter().sum::<f64>() / cap;
+        prop_assert!((last - expect).abs() < 1e-6 * expect.max(1.0),
+            "makespan {} vs {}", last, expect);
+    }
+
+    /// Adding a flow never makes any existing flow finish *earlier*
+    /// (max-min sharing is monotone in contention).
+    #[test]
+    fn extra_contention_never_helps(
+        base in proptest::collection::vec(10.0f64..200.0, 1..8),
+        extra in 10.0f64..200.0,
+    ) {
+        let run = |with_extra: bool| -> Vec<f64> {
+            let mut sim = FluidSim::new();
+            let r = sim.add_resource(7.5);
+            for (i, &s) in base.iter().enumerate() {
+                sim.start_flow(s, vec![r], i as u64);
+            }
+            if with_extra {
+                sim.start_flow(extra, vec![r], 999);
+            }
+            let mut done = vec![0.0; base.len()];
+            while let Some(e) = sim.next_event() {
+                if (e.tag() as usize) < base.len() {
+                    done[e.tag() as usize] = e.time();
+                }
+            }
+            done
+        };
+        let without = run(false);
+        let with = run(true);
+        for (i, (a, b)) in without.iter().zip(&with).enumerate() {
+            prop_assert!(b + 1e-9 >= *a, "flow {i} finished earlier under contention: {b} < {a}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The testbed replay completes for arbitrary small configurations and
+    /// reads at least one full sweep of the matrix.
+    #[test]
+    fn replay_terminates_and_reads_everything(
+        nodes_side in 1u64..3,
+        iterations in 1u64..3,
+        policy in prop_oneof![Just(PolicyKind::Simple), Just(PolicyKind::Interleaved)],
+    ) {
+        let nnodes = (nodes_side * nodes_side) as usize;
+        let mut p = TestbedParams::paper(nnodes);
+        p.iterations = iterations;
+        p.submatrix_bytes /= 2000;
+        p.nnz_per_sub /= 2000;
+        p.subvector_bytes /= 2000;
+        p.memory_budget = 5 * p.submatrix_bytes + 50 * p.subvector_bytes;
+        let r = run_testbed(&p, policy);
+        prop_assert!(r.time_s > 0.0);
+        let one_sweep = p.grid_k() * p.grid_k() * p.submatrix_bytes;
+        prop_assert!(
+            r.bytes_read >= one_sweep,
+            "must read at least one sweep: {} < {one_sweep}",
+            r.bytes_read
+        );
+        prop_assert!(r.bytes_read <= iterations * one_sweep);
+        prop_assert!(r.non_overlapped >= 0.0 && r.non_overlapped <= 1.0);
+    }
+}

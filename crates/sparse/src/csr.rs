@@ -1,0 +1,577 @@
+//! Compressed Row Storage matrices and SpMV kernels.
+//!
+//! [`CsrMatrix`] is the in-memory representation of one sub-matrix of the
+//! paper's K×K grid. Row/column counts are `u64` (paper-scale dimensions reach
+//! 1.3×10⁹), while the in-memory index arrays use `u64` throughout for
+//! simplicity — a sub-matrix that actually fits in memory is far below the
+//! `u32` limit, but the uniform type keeps the file format and the arithmetic
+//! paths identical at every scale.
+
+use crate::{Result, SparseError};
+
+/// A sparse matrix in Compressed Row Storage (CRS/CSR) format.
+///
+/// Invariants (checked by [`CsrMatrix::new`] and preserved by construction):
+///
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[nrows] == col_idx.len() == values.len()`;
+/// * `row_ptr` is non-decreasing;
+/// * within each row, column indices are strictly increasing and `< ncols`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    nrows: u64,
+    ncols: u64,
+    row_ptr: Vec<u64>,
+    col_idx: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix from raw CSR arrays, validating every invariant.
+    pub fn new(
+        nrows: u64,
+        ncols: u64,
+        row_ptr: Vec<u64>,
+        col_idx: Vec<u64>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != nrows as usize + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "row_ptr.len()={} but nrows+1={}",
+                row_ptr.len(),
+                nrows + 1
+            )));
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::InvalidStructure(format!(
+                "row_ptr[0]={} must be 0",
+                row_ptr[0]
+            )));
+        }
+        let nnz = *row_ptr.last().expect("row_ptr non-empty");
+        if col_idx.len() as u64 != nnz || values.len() as u64 != nnz {
+            return Err(SparseError::InvalidStructure(format!(
+                "nnz={} but col_idx.len()={} values.len()={}",
+                nnz,
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        for w in row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::InvalidStructure(
+                    "row_ptr not monotonically non-decreasing".into(),
+                ));
+            }
+        }
+        for r in 0..nrows as usize {
+            let (s, e) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+            let row = &col_idx[s..e];
+            for w in row.windows(2) {
+                if w[1] <= w[0] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {r}: column indices not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= ncols {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {r}: column index {last} >= ncols {ncols}"
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Builds a matrix without validation. Only for callers that construct
+    /// the arrays by a method that guarantees the invariants (e.g. the
+    /// generator); debug builds still assert.
+    pub(crate) fn from_parts_unchecked(
+        nrows: u64,
+        ncols: u64,
+        row_ptr: Vec<u64>,
+        col_idx: Vec<u64>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert!(
+            Self::new(nrows, ncols, row_ptr.clone(), col_idx.clone(), values.clone()).is_ok()
+        );
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// An `nrows × ncols` matrix with no stored entries.
+    pub fn zeros(nrows: u64, ncols: u64) -> Self {
+        Self {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows as usize + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from (row, col, value) triplets. Duplicate
+    /// coordinates are summed, as is conventional for assembly.
+    pub fn from_triplets(nrows: u64, ncols: u64, triplets: &[(u64, u64, f64)]) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= nrows || c >= ncols {
+                return Err(SparseError::InvalidStructure(format!(
+                    "triplet ({r},{c}) out of bounds for {nrows}x{ncols}"
+                )));
+            }
+        }
+        let mut sorted: Vec<(u64, u64, f64)> = triplets.to_vec();
+        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        // Merge duplicates.
+        let mut merged: Vec<(u64, u64, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0u64; nrows as usize + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..nrows as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|t| t.1).collect();
+        let values = merged.iter().map(|t| t.2).collect();
+        Ok(Self::from_parts_unchecked(
+            nrows, ncols, row_ptr, col_idx, values,
+        ))
+    }
+
+    /// An identity matrix of order `n`.
+    pub fn identity(n: u64) -> Self {
+        let row_ptr = (0..=n).collect();
+        let col_idx = (0..n).collect();
+        let values = vec![1.0; n as usize];
+        Self::from_parts_unchecked(n, n, row_ptr, col_idx, values)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> u64 {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> u64 {
+        self.ncols
+    }
+
+    /// Number of stored non-zero entries.
+    pub fn nnz(&self) -> u64 {
+        *self.row_ptr.last().expect("row_ptr non-empty")
+    }
+
+    /// The row-pointer array (`nrows + 1` entries).
+    pub fn row_ptr(&self) -> &[u64] {
+        &self.row_ptr
+    }
+
+    /// The column-index array (`nnz` entries).
+    pub fn col_idx(&self) -> &[u64] {
+        &self.col_idx
+    }
+
+    /// The value array (`nnz` entries).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Size of the matrix when serialized in the binary CRS file format
+    /// (header + arrays), in bytes. This is the unit the storage layer and
+    /// the testbed simulator account I/O in.
+    pub fn file_size_bytes(&self) -> u64 {
+        crate::fileio::file_size_bytes(self.nrows, self.nnz())
+    }
+
+    /// Iterates over `(row, col, value)` of every stored entry.
+    pub fn triplets(&self) -> impl Iterator<Item = (u64, u64, f64)> + '_ {
+        (0..self.nrows as usize).flat_map(move |r| {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            self.col_idx[s..e]
+                .iter()
+                .zip(&self.values[s..e])
+                .map(move |(&c, &v)| (r as u64, c, v))
+        })
+    }
+
+    /// Returns entry `(r, c)`, or 0.0 if not stored.
+    pub fn get(&self, r: u64, c: u64) -> f64 {
+        let (s, e) = (self.row_ptr[r as usize] as usize, self.row_ptr[r as usize + 1] as usize);
+        match self.col_idx[s..e].binary_search(&c) {
+            Ok(k) => self.values[s + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let nnz = self.nnz() as usize;
+        let mut row_ptr = vec![0u64; self.ncols as usize + 1];
+        for &c in &self.col_idx {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0u64; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut next = row_ptr.clone();
+        for (r, c, v) in self.triplets() {
+            let slot = next[c as usize] as usize;
+            col_idx[slot] = r;
+            values[slot] = v;
+            next[c as usize] += 1;
+        }
+        CsrMatrix::from_parts_unchecked(self.ncols, self.nrows, row_ptr, col_idx, values)
+    }
+
+    /// Serial SpMV: `y = A * x`. Allocates the output.
+    pub fn spmv(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut y = vec![0.0; self.nrows as usize];
+        self.spmv_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Serial SpMV into a caller-provided output: `y = A * x`.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() as u64 != self.ncols {
+            return Err(SparseError::DimensionMismatch {
+                got: (x.len() as u64, 1),
+                expected: (self.ncols, 1),
+            });
+        }
+        if y.len() as u64 != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                got: (y.len() as u64, 1),
+                expected: (self.nrows, 1),
+            });
+        }
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let mut acc = 0.0;
+            for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
+                acc += v * x[c as usize];
+            }
+            *yr = acc;
+        }
+        Ok(())
+    }
+
+    /// Parallel SpMV using `nthreads` row-contiguous partitions (crossbeam
+    /// scoped threads). Falls back to the serial kernel for a single thread.
+    ///
+    /// This is the kernel a compute filter runs when the local scheduler
+    /// decides to split a multiply task "to match the parallelism available
+    /// on the node" (§III-C).
+    pub fn spmv_parallel(&self, x: &[f64], y: &mut [f64], nthreads: usize) -> Result<()> {
+        if x.len() as u64 != self.ncols {
+            return Err(SparseError::DimensionMismatch {
+                got: (x.len() as u64, 1),
+                expected: (self.ncols, 1),
+            });
+        }
+        if y.len() as u64 != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                got: (y.len() as u64, 1),
+                expected: (self.nrows, 1),
+            });
+        }
+        let nthreads = nthreads.max(1).min(self.nrows.max(1) as usize);
+        if nthreads == 1 {
+            return self.spmv_into(x, y);
+        }
+        // Partition rows so each thread gets a similar number of non-zeros
+        // (balanced by nnz, not by row count: row lengths vary).
+        let bounds = self.nnz_balanced_row_partition(nthreads);
+        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(nthreads);
+        let mut rest = y;
+        for w in bounds.windows(2) {
+            let len = (w[1] - w[0]) as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            slices.push(head);
+            rest = tail;
+        }
+        crossbeam::scope(|scope| {
+            for (t, ys) in slices.into_iter().enumerate() {
+                let (r0, _r1) = (bounds[t], bounds[t + 1]);
+                let row_ptr = &self.row_ptr;
+                let col_idx = &self.col_idx;
+                let values = &self.values;
+                scope.spawn(move |_| {
+                    for (i, yr) in ys.iter_mut().enumerate() {
+                        let r = r0 as usize + i;
+                        let (s, e) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+                        let mut acc = 0.0;
+                        for (&c, &v) in col_idx[s..e].iter().zip(&values[s..e]) {
+                            acc += v * x[c as usize];
+                        }
+                        *yr = acc;
+                    }
+                });
+            }
+            debug_assert_eq!(bounds[nthreads], self.nrows);
+        })
+        .expect("spmv worker panicked");
+        Ok(())
+    }
+
+    /// Row boundaries `b[0]=0 <= b[1] <= ... <= b[p]=nrows` such that each
+    /// `[b[i], b[i+1])` slab carries roughly `nnz/p` non-zeros.
+    pub fn nnz_balanced_row_partition(&self, parts: usize) -> Vec<u64> {
+        let parts = parts.max(1);
+        let nnz = self.nnz();
+        let mut bounds = Vec::with_capacity(parts + 1);
+        bounds.push(0u64);
+        for i in 1..parts {
+            let target = nnz * i as u64 / parts as u64;
+            // First row whose cumulative nnz exceeds the target.
+            let row = self.row_ptr.partition_point(|&p| p <= target) as u64 - 1;
+            bounds.push(row.max(*bounds.last().expect("non-empty")));
+        }
+        bounds.push(self.nrows);
+        bounds
+    }
+
+    /// Number of floating point operations one SpMV with this matrix
+    /// performs (2 per stored entry: one multiply, one add).
+    pub fn spmv_flops(&self) -> u64 {
+        2 * self.nnz()
+    }
+
+    /// Extracts the sub-matrix of rows `[r0, r1)` and columns `[c0, c1)`,
+    /// reindexed to a local coordinate system. Used to cut a global matrix
+    /// into the K×K grid of §IV.
+    pub fn submatrix(&self, r0: u64, r1: u64, c0: u64, c1: u64) -> Result<CsrMatrix> {
+        if r1 < r0 || r1 > self.nrows || c1 < c0 || c1 > self.ncols {
+            return Err(SparseError::InvalidStructure(format!(
+                "submatrix bounds rows [{r0},{r1}) cols [{c0},{c1}) invalid for {}x{}",
+                self.nrows, self.ncols
+            )));
+        }
+        let mut row_ptr = Vec::with_capacity((r1 - r0) as usize + 1);
+        row_ptr.push(0u64);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in r0..r1 {
+            let (s, e) = (self.row_ptr[r as usize] as usize, self.row_ptr[r as usize + 1] as usize);
+            let cols = &self.col_idx[s..e];
+            let lo = s + cols.partition_point(|&c| c < c0);
+            let hi = s + cols.partition_point(|&c| c < c1);
+            for k in lo..hi {
+                col_idx.push(self.col_idx[k] - c0);
+                values.push(self.values[k]);
+            }
+            row_ptr.push(col_idx.len() as u64);
+        }
+        Ok(CsrMatrix::from_parts_unchecked(
+            r1 - r0,
+            c1 - c0,
+            row_ptr,
+            col_idx,
+            values,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        CsrMatrix::new(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn new_accepts_valid() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 3);
+    }
+
+    #[test]
+    fn new_rejects_bad_row_ptr_len() {
+        assert!(CsrMatrix::new(3, 3, vec![0, 1, 1], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_nonzero_first_ptr() {
+        assert!(CsrMatrix::new(1, 1, vec![1, 1], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_decreasing_row_ptr() {
+        assert!(CsrMatrix::new(2, 3, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_unsorted_columns() {
+        assert!(CsrMatrix::new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_duplicate_columns() {
+        assert!(CsrMatrix::new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_col_out_of_range() {
+        assert!(CsrMatrix::new(1, 3, vec![0, 1], vec![3], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_nnz_mismatch() {
+        assert!(CsrMatrix::new(1, 3, vec![0, 2], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn get_returns_stored_and_zero() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn triplets_roundtrip() {
+        let m = sample();
+        let t: Vec<_> = m.triplets().collect();
+        let m2 = CsrMatrix::from_triplets(3, 3, &t).expect("valid");
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn from_triplets_merges_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)])
+            .expect("valid");
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn identity_spmv_is_identity() {
+        let m = CsrMatrix::identity(5);
+        let x: Vec<f64> = (0..5).map(|i| i as f64 * 1.5).collect();
+        assert_eq!(m.spmv(&x).expect("dims ok"), x);
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let y = m.spmv(&x).expect("dims ok");
+        assert_eq!(y, vec![1.0 * 1.0 + 2.0 * 3.0, 0.0, 3.0 * 1.0 + 4.0 * 2.0]);
+    }
+
+    #[test]
+    fn spmv_rejects_wrong_dims() {
+        let m = sample();
+        assert!(m.spmv(&[1.0, 2.0]).is_err());
+        let mut y = vec![0.0; 2];
+        assert!(m.spmv_into(&[1.0, 2.0, 3.0], &mut y).is_err());
+    }
+
+    #[test]
+    fn spmv_parallel_matches_serial() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let serial = m.spmv(&x).expect("dims ok");
+        for nt in 1..=4 {
+            let mut y = vec![0.0; 3];
+            m.spmv_parallel(&x, &mut y, nt).expect("dims ok");
+            assert_eq!(y, serial, "nthreads={nt}");
+        }
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_entries() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.nrows(), 3);
+    }
+
+    #[test]
+    fn nnz_balanced_partition_covers_all_rows() {
+        let m = sample();
+        for p in 1..=5 {
+            let b = m.nnz_balanced_row_partition(p);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().expect("non-empty"), m.nrows());
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = sample();
+        let s = m.submatrix(0, 2, 1, 3).expect("in bounds");
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.ncols(), 2);
+        assert_eq!(s.get(0, 1), 2.0); // global (0,2)
+        assert_eq!(s.nnz(), 1);
+    }
+
+    #[test]
+    fn submatrix_rejects_bad_bounds() {
+        let m = sample();
+        assert!(m.submatrix(0, 4, 0, 3).is_err());
+        assert!(m.submatrix(2, 1, 0, 3).is_err());
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let m = CsrMatrix::zeros(4, 7);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.spmv(&vec![1.0; 7]).expect("dims ok"), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn spmv_flops_counts_two_per_entry() {
+        assert_eq!(sample().spmv_flops(), 8);
+    }
+}

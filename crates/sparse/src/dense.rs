@@ -1,0 +1,186 @@
+//! Dense vector kernels.
+//!
+//! The Lanczos procedure's cost is "dominated by the associated sparse matrix
+//! vector multiplications (SpMV) and (to a smaller extent) orthonormalization
+//! of Lanczos vectors" (§II) — the orthonormalization is built from these
+//! axpy/dot/norm kernels. Parallel variants use crossbeam scoped threads with
+//! contiguous chunking; reductions sum per-thread partials in a fixed order
+//! so results are deterministic for a given thread count.
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * x + beta * y`.
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby operands must have equal length");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Dot product `xᵀ y`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot operands must have equal length");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise `y += x` (the paper's *sum* reduction task over partial
+/// result vectors: `x^i_u = Σ_v x^i_{u,v}`).
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    assert_eq!(x.len(), y.len(), "add_assign operands must have equal length");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += xi;
+    }
+}
+
+/// Sums a set of equal-length vectors into a fresh output. Panics if the set
+/// is empty or lengths differ.
+pub fn sum_vectors(parts: &[&[f64]]) -> Vec<f64> {
+    let first = parts.first().expect("sum_vectors needs at least one vector");
+    let mut acc = first.to_vec();
+    for p in &parts[1..] {
+        add_assign(&mut acc, p);
+    }
+    acc
+}
+
+/// Parallel dot product over `nthreads` contiguous chunks. Deterministic for
+/// a fixed `nthreads` (partials are combined in chunk order).
+pub fn dot_parallel(x: &[f64], y: &[f64], nthreads: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot operands must have equal length");
+    let nthreads = nthreads.max(1).min(x.len().max(1));
+    if nthreads == 1 || x.len() < 4096 {
+        return dot(x, y);
+    }
+    let chunk = x.len().div_ceil(nthreads);
+    let mut partials = vec![0.0f64; nthreads];
+    crossbeam::scope(|scope| {
+        for (t, part) in partials.iter_mut().enumerate() {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(x.len());
+            if lo >= hi {
+                continue;
+            }
+            let (xs, ys) = (&x[lo..hi], &y[lo..hi]);
+            scope.spawn(move |_| {
+                *part = dot(xs, ys);
+            });
+        }
+    })
+    .expect("dot worker panicked");
+    partials.iter().sum()
+}
+
+/// Parallel `y += alpha * x` over contiguous chunks.
+pub fn axpy_parallel(alpha: f64, x: &[f64], y: &mut [f64], nthreads: usize) {
+    assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
+    let nthreads = nthreads.max(1).min(x.len().max(1));
+    if nthreads == 1 || x.len() < 4096 {
+        return axpy(alpha, x, y);
+    }
+    let chunk = x.len().div_ceil(nthreads);
+    crossbeam::scope(|scope| {
+        for (t, ys) in y.chunks_mut(chunk).enumerate() {
+            let lo = t * chunk;
+            let xs = &x[lo..lo + ys.len()];
+            scope.spawn(move |_| axpy(alpha, xs, ys));
+        }
+    })
+    .expect("axpy worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 42.0]);
+    }
+
+    #[test]
+    fn axpby_basic() {
+        let mut y = vec![1.0, 2.0];
+        axpby(2.0, &[3.0, 4.0], -1.0, &mut y);
+        assert_eq!(y, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn scale_basic() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn sum_vectors_reduces() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        let c = [100.0, 200.0];
+        assert_eq!(sum_vectors(&[&a, &b, &c]), vec![111.0, 222.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn axpy_length_mismatch_panics() {
+        let mut y = vec![0.0];
+        axpy(1.0, &[1.0, 2.0], &mut y);
+    }
+
+    #[test]
+    fn parallel_dot_matches_serial() {
+        let n = 10_000;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let reference = dot(&x, &y);
+        for nt in [1, 2, 3, 8] {
+            let d = dot_parallel(&x, &y, nt);
+            assert!((d - reference).abs() < 1e-9 * reference.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn parallel_axpy_matches_serial() {
+        let n = 9_999;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y1: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5).collect();
+        let mut y2 = y1.clone();
+        axpy(1.5, &x, &mut y1);
+        axpy_parallel(1.5, &x, &mut y2, 4);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn parallel_kernels_handle_tiny_inputs() {
+        let x = vec![1.0];
+        let mut y = vec![2.0];
+        axpy_parallel(3.0, &x, &mut y, 8);
+        assert_eq!(y, vec![5.0]);
+        assert_eq!(dot_parallel(&x, &y, 8), 5.0);
+    }
+}

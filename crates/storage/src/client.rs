@@ -1,0 +1,272 @@
+//! Blocking client handle over the asynchronous storage protocol.
+//!
+//! A compute filter holds a [`StorageClient`] wrapping its bidirectional link
+//! to the local storage filter. Requests are tagged with fresh ids; replies
+//! arriving out of order are stashed until the matching `wait` call. The
+//! split request/wait API (`read_async` + [`StorageClient::wait_read`])
+//! lets a filter keep several operations in flight — the asynchrony the
+//! paper's design centres on — while `read`/`write` offer one-call
+//! convenience.
+
+use crate::meta::{ArrayMeta, Interval};
+use crate::proto::{ClientMsg, MapEntry, NodeStats, Reply};
+use crate::{Result, StorageError};
+use bytes::Bytes;
+use dooc_filterstream::{StreamReader, StreamWriter};
+use std::collections::HashMap;
+
+/// Pending-request token returned by the async API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// Blocking convenience handle to the node-local storage filter.
+pub struct StorageClient {
+    to_storage: StreamWriter,
+    from_storage: StreamReader,
+    /// Storage filter instance of this node (the addressing destination).
+    node: usize,
+    /// This client's global id (reply address).
+    client_id: u64,
+    next_req: u64,
+    stash: HashMap<u64, Reply>,
+}
+
+impl StorageClient {
+    /// Wraps the two stream endpoints. `node` is the storage instance to
+    /// address (the node id); `client_id` is this client's *global* id as
+    /// assigned by the cluster wiring.
+    pub fn new(
+        to_storage: StreamWriter,
+        from_storage: StreamReader,
+        node: usize,
+        client_id: u64,
+    ) -> Self {
+        Self {
+            to_storage,
+            from_storage,
+            node,
+            client_id,
+            next_req: 1,
+            stash: HashMap::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    fn send(&self, msg: &ClientMsg) -> Result<()> {
+        self.to_storage
+            .send_to(self.node, msg.encode())
+            .map_err(|e| StorageError::Protocol(format!("storage link closed: {e}")))
+    }
+
+    fn wait(&mut self, req: u64) -> Result<Reply> {
+        if let Some(r) = self.stash.remove(&req) {
+            return Ok(r);
+        }
+        loop {
+            let buf = self.from_storage.recv().ok_or_else(|| {
+                StorageError::Protocol("storage reply stream closed while waiting".into())
+            })?;
+            let reply = Reply::decode(&buf)?;
+            if reply.req() == req {
+                return Ok(reply);
+            }
+            self.stash.insert(reply.req(), reply);
+        }
+    }
+
+    /// Creates an immutable array homed on this node.
+    pub fn create(&mut self, name: &str, len: u64, block_size: u64) -> Result<()> {
+        let req = self.fresh();
+        self.send(&ClientMsg::Create {
+            req,
+            client: self.client_id,
+            meta: ArrayMeta::new(name, len, block_size),
+        })?;
+        match self.wait(req)? {
+            Reply::Created { .. } => Ok(()),
+            Reply::Err { error, .. } => Err(error),
+            other => Err(StorageError::Protocol(format!(
+                "unexpected reply to create: {other:?}"
+            ))),
+        }
+    }
+
+    /// Registers geometry without waiting (hint; no reply).
+    pub fn register(&mut self, name: &str, len: u64, block_size: u64) -> Result<()> {
+        self.send(&ClientMsg::Register {
+            meta: ArrayMeta::new(name, len, block_size),
+        })
+    }
+
+    /// Starts an asynchronous read of one interval.
+    pub fn read_async(&mut self, array: &str, iv: Interval) -> Result<Ticket> {
+        let req = self.fresh();
+        self.send(&ClientMsg::ReadReq {
+            req,
+            client: self.client_id,
+            array: array.to_string(),
+            iv,
+        })?;
+        Ok(Ticket(req))
+    }
+
+    /// Waits for an asynchronous read; the returned bytes stay valid until
+    /// [`StorageClient::release_read`].
+    pub fn wait_read(&mut self, t: Ticket) -> Result<Bytes> {
+        match self.wait(t.0)? {
+            Reply::ReadReady { data, .. } => Ok(data),
+            Reply::Err { error, .. } => Err(error),
+            other => Err(StorageError::Protocol(format!(
+                "unexpected reply to read: {other:?}"
+            ))),
+        }
+    }
+
+    /// Blocking read of one interval.
+    pub fn read(&mut self, array: &str, iv: Interval) -> Result<Bytes> {
+        let t = self.read_async(array, iv)?;
+        self.wait_read(t)
+    }
+
+    /// Releases a read interval (unpins its block).
+    pub fn release_read(&mut self, array: &str, iv: Interval) -> Result<()> {
+        self.send(&ClientMsg::ReleaseRead {
+            array: array.to_string(),
+            iv,
+        })
+    }
+
+    /// Blocking write of one interval: request grant, ship data, await seal.
+    pub fn write(&mut self, array: &str, iv: Interval, data: Bytes) -> Result<()> {
+        let req = self.fresh();
+        self.send(&ClientMsg::WriteReq {
+            req,
+            client: self.client_id,
+            array: array.to_string(),
+            iv,
+        })?;
+        match self.wait(req)? {
+            Reply::WriteGranted { .. } => {}
+            Reply::Err { error, .. } => return Err(error),
+            other => {
+                return Err(StorageError::Protocol(format!(
+                    "unexpected reply to write request: {other:?}"
+                )))
+            }
+        }
+        let req2 = self.fresh();
+        self.send(&ClientMsg::ReleaseWrite {
+            req: req2,
+            client: self.client_id,
+            array: array.to_string(),
+            iv,
+            data,
+        })?;
+        match self.wait(req2)? {
+            Reply::WriteSealed { .. } => Ok(()),
+            Reply::Err { error, .. } => Err(error),
+            other => Err(StorageError::Protocol(format!(
+                "unexpected reply to write release: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fire-and-forget prefetch hint.
+    pub fn prefetch(&mut self, array: &str, iv: Interval) -> Result<()> {
+        self.send(&ClientMsg::Prefetch {
+            array: array.to_string(),
+            iv,
+        })
+    }
+
+    /// Writes an array's sealed blocks to this node's disk and waits.
+    pub fn persist(&mut self, array: &str) -> Result<()> {
+        let req = self.fresh();
+        self.send(&ClientMsg::Persist {
+            req,
+            client: self.client_id,
+            array: array.to_string(),
+        })?;
+        match self.wait(req)? {
+            Reply::Persisted { .. } => Ok(()),
+            Reply::Err { error, .. } => Err(error),
+            other => Err(StorageError::Protocol(format!(
+                "unexpected reply to persist: {other:?}"
+            ))),
+        }
+    }
+
+    /// Deletes an array cluster-wide.
+    pub fn delete(&mut self, array: &str) -> Result<()> {
+        let req = self.fresh();
+        self.send(&ClientMsg::Delete {
+            req,
+            client: self.client_id,
+            array: array.to_string(),
+        })?;
+        match self.wait(req)? {
+            Reply::Deleted { .. } => Ok(()),
+            Reply::Err { error, .. } => Err(error),
+            other => Err(StorageError::Protocol(format!(
+                "unexpected reply to delete: {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries the node's availability map ("obtain a map of which part of
+    /// the arrays are currently available").
+    pub fn map(&mut self) -> Result<Vec<MapEntry>> {
+        let req = self.fresh();
+        self.send(&ClientMsg::MapQuery {
+            req,
+            client: self.client_id,
+        })?;
+        match self.wait(req)? {
+            Reply::Map { entries, .. } => Ok(entries),
+            Reply::Err { error, .. } => Err(error),
+            other => Err(StorageError::Protocol(format!(
+                "unexpected reply to map query: {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries the node's counters.
+    pub fn stats(&mut self) -> Result<NodeStats> {
+        let req = self.fresh();
+        self.send(&ClientMsg::StatsQuery {
+            req,
+            client: self.client_id,
+        })?;
+        match self.wait(req)? {
+            Reply::Stats { stats, .. } => Ok(stats),
+            Reply::Err { error, .. } => Err(error),
+            other => Err(StorageError::Protocol(format!(
+                "unexpected reply to stats query: {other:?}"
+            ))),
+        }
+    }
+
+    /// Explicitly evicts an array's resident blocks (fire-and-forget;
+    /// blocks not yet on disk are spilled first).
+    pub fn evict(&mut self, array: &str) -> Result<()> {
+        self.send(&ClientMsg::Evict {
+            array: array.to_string(),
+        })
+    }
+
+    /// Asks the local storage filter to shut down (fire-and-forget; typically
+    /// sent by every node's client when the application is quiescent).
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.send(&ClientMsg::Shutdown)
+    }
+
+    /// This client's global id.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+}

@@ -1,0 +1,541 @@
+//! The storage and I/O filters (paper Fig. 2).
+//!
+//! [`StorageFilter`] wraps a [`StorageState`] in a dataflow filter: it
+//! multiplexes three input ports (client requests, peer messages, I/O
+//! completions), feeds them to the state machine, and performs the returned
+//! actions on its output ports.
+//!
+//! [`IoFilter`] is "a separate I/O filter … only connected to the storage
+//! filter", turning [`IoCmd`]s into filesystem operations against the node's
+//! scratch directory so that "the interactions with the file system [are]
+//! completely asynchronous".
+
+use crate::node::{Action, DiscoveredBlock, StorageState};
+use crate::proto::{ClientMsg, IoCmd, IoReply, PeerMsg};
+use crate::meta::ArrayMeta;
+use bytes::Bytes;
+use dooc_filterstream::stream::{select_event, select_event_timeout, SelectEvent, SelectOutcome};
+use dooc_filterstream::{Filter, FilterContext};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Port names used by the storage filter.
+pub mod ports {
+    /// Input: client requests (addressed fan-in).
+    pub const CLIENTS_IN: &str = "clients";
+    /// Input: peer messages.
+    pub const PEER_IN: &str = "peer_in";
+    /// Output: peer messages (addressed, self-loop on the storage filter).
+    pub const PEER_OUT: &str = "peer_out";
+    /// Input: I/O completions.
+    pub const IO_IN: &str = "io_in";
+    /// Output: I/O commands (aligned to the node's I/O filter).
+    pub const IO_OUT: &str = "io_out";
+    /// I/O filter input port.
+    pub const IO_CMD: &str = "cmd";
+    /// I/O filter output port.
+    pub const IO_REPLY: &str = "reply";
+}
+
+/// Maps global client ids to (output port, local instance): several client
+/// filter *declarations* can share one storage cluster; each declaration gets
+/// a contiguous id range and its own reply port.
+#[derive(Clone, Debug, Default)]
+pub struct ClientPortMap {
+    /// (port name, base id, instance count).
+    pub entries: Vec<(String, u64, u64)>,
+}
+
+impl ClientPortMap {
+    /// Resolves a global client id to `(port, local instance)`.
+    pub fn resolve(&self, client: u64) -> Option<(&str, usize)> {
+        self.entries
+            .iter()
+            .find(|(_, base, count)| client >= *base && client < base + count)
+            .map(|(port, base, _)| (port.as_str(), (client - base) as usize))
+    }
+}
+
+/// The per-node storage filter.
+pub struct StorageFilter {
+    state: StorageState,
+    ports: Arc<ClientPortMap>,
+}
+
+impl StorageFilter {
+    /// Wraps a prepared state machine.
+    pub fn new(state: StorageState, ports: Arc<ClientPortMap>) -> Self {
+        Self { state, ports }
+    }
+
+    fn perform(&mut self, ctx: &mut FilterContext, actions: Vec<Action>) -> dooc_filterstream::Result<()> {
+        for a in actions {
+            match a {
+                Action::Reply { client, reply } => {
+                    let (port, inst) = self.ports.resolve(client).ok_or_else(|| {
+                        ctx.error(format!("no client port for id {client}"))
+                    })?;
+                    let port = port.to_string();
+                    ctx.output(&port)?.send_to(inst, reply.encode())?;
+                }
+                Action::Peer { node, msg } => {
+                    ctx.output(ports::PEER_OUT)?.send_to(node as usize, msg.encode())?;
+                }
+                Action::Io(cmd) => {
+                    ctx.output(ports::IO_OUT)?.send(cmd.encode())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Filter for StorageFilter {
+    fn run(&mut self, ctx: &mut FilterContext) -> dooc_filterstream::Result<()> {
+        let mut closed = [false; 3];
+        loop {
+            // While fetches are stalled (data not produced anywhere yet),
+            // poll with a short timeout and retry them on each tick.
+            let timeout = self
+                .state
+                .has_stalled_fetches()
+                .then(|| std::time::Duration::from_millis(2));
+            let event = {
+                let clients = ctx.input(ports::CLIENTS_IN)?;
+                let peers = ctx.input(ports::PEER_IN)?;
+                let io = ctx.input(ports::IO_IN)?;
+                match select_event_timeout(&[clients, peers, io], &mut closed, timeout) {
+                    SelectOutcome::Event(ev) => ev,
+                    SelectOutcome::AllClosed => return Ok(()), // every input closed
+                    SelectOutcome::Timeout => {
+                        let acts = self.state.on_tick();
+                        self.perform(ctx, acts)?;
+                        continue;
+                    }
+                }
+            };
+            let actions = match event {
+                SelectEvent::Buffer(0, buf) => {
+                    let msg = ClientMsg::decode(&buf)
+                        .map_err(|e| ctx.error(format!("client decode: {e}")))?;
+                    self.state.handle_client(msg)
+                }
+                SelectEvent::Buffer(1, buf) => {
+                    // The sender's node id is embedded in messages that need
+                    // it (Fetch carries from_node); other peer messages are
+                    // source-agnostic.
+                    let msg = PeerMsg::decode(&buf)
+                        .map_err(|e| ctx.error(format!("peer decode: {e}")))?;
+                    let from = match &msg {
+                        PeerMsg::Fetch { from_node, .. } => *from_node,
+                        _ => u64::MAX,
+                    };
+                    self.state.handle_peer(from, msg)
+                }
+                SelectEvent::Buffer(_, buf) => {
+                    let msg = IoReply::decode(&buf)
+                        .map_err(|e| ctx.error(format!("io decode: {e}")))?;
+                    self.state.handle_io(msg)
+                }
+                SelectEvent::Closed(0) => {
+                    // Every client link gone (driver finished or crashed):
+                    // implicit shutdown so the cluster can quiesce.
+                    self.state.force_local_done()
+                }
+                SelectEvent::Closed(_) => Vec::new(),
+            };
+            self.perform(ctx, actions)?;
+            if self.state.ready_to_exit() {
+                // The whole cluster is quiescent: no peer will fetch again.
+                // Close outgoing links (cascading I/O filter exit and, once
+                // every node does this, peer-stream closure), then drain.
+                ctx.close_output(ports::PEER_OUT);
+                ctx.close_output(ports::IO_OUT);
+                loop {
+                    let clients = ctx.input(ports::CLIENTS_IN)?;
+                    let peers = ctx.input(ports::PEER_IN)?;
+                    let io = ctx.input(ports::IO_IN)?;
+                    if select_event(&[clients, peers, io], &mut closed).is_none() {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Separator between array name and block index in scratch file names.
+const SEP: char = '@';
+
+fn block_path(scratch: &Path, array: &str, block: u64) -> PathBuf {
+    scratch.join(format!("{array}{SEP}{block}"))
+}
+
+fn meta_path(scratch: &Path, array: &str) -> PathBuf {
+    scratch.join(format!("{array}{SEP}meta"))
+}
+
+/// The per-node I/O filter: executes filesystem commands for its storage
+/// filter until the command stream closes.
+pub struct IoFilter {
+    scratch: PathBuf,
+}
+
+impl IoFilter {
+    /// Creates an I/O filter rooted at `scratch` (created if missing).
+    pub fn new(scratch: PathBuf) -> Self {
+        Self { scratch }
+    }
+
+    fn exec(&self, cmd: IoCmd) -> IoReply {
+        match cmd {
+            IoCmd::Read { array, block, len } => match self.read_block(&array, block, len) {
+                Ok(data) => IoReply::ReadDone { array, block, data },
+                Err(e) => IoReply::Error {
+                    array,
+                    block,
+                    message: e.to_string(),
+                },
+            },
+            IoCmd::Write {
+                array,
+                block,
+                len,
+                block_size,
+                data,
+            } => match self.write_block(&array, block, len, block_size, &data) {
+                Ok(bytes) => IoReply::WriteDone {
+                    array,
+                    block,
+                    bytes,
+                },
+                Err(e) => IoReply::Error {
+                    array,
+                    block,
+                    message: e.to_string(),
+                },
+            },
+            IoCmd::DeleteFiles { array } => match self.delete_files(&array) {
+                Ok(()) => IoReply::WriteDone {
+                    array,
+                    block: u64::MAX,
+                    bytes: 0,
+                },
+                Err(e) => IoReply::Error {
+                    array,
+                    block: u64::MAX,
+                    message: e.to_string(),
+                },
+            },
+        }
+    }
+
+    fn read_block(&self, array: &str, block: u64, len: u64) -> std::io::Result<Bytes> {
+        let path = block_path(&self.scratch, array, block);
+        let path = if path.exists() {
+            path
+        } else {
+            // Discovered single-file arrays live under their bare name.
+            self.scratch.join(array)
+        };
+        let mut f = std::fs::File::open(&path)?;
+        let mut buf = Vec::with_capacity(len as usize);
+        f.read_to_end(&mut buf)?;
+        if buf.len() as u64 != len {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "block file {} has {} bytes, expected {len}",
+                    path.display(),
+                    buf.len()
+                ),
+            ));
+        }
+        Ok(Bytes::from(buf))
+    }
+
+    fn write_block(
+        &self,
+        array: &str,
+        block: u64,
+        len: u64,
+        block_size: u64,
+        data: &Bytes,
+    ) -> std::io::Result<u64> {
+        std::fs::create_dir_all(&self.scratch)?;
+        // Geometry sidecar first (idempotent).
+        let mpath = meta_path(&self.scratch, array);
+        if !mpath.exists() {
+            let mut mf = std::fs::File::create(&mpath)?;
+            mf.write_all(&len.to_le_bytes())?;
+            mf.write_all(&block_size.to_le_bytes())?;
+        }
+        let path = block_path(&self.scratch, array, block);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            f.write_all(data)?;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(data.len() as u64)
+    }
+
+    fn delete_files(&self, array: &str) -> std::io::Result<()> {
+        if !self.scratch.exists() {
+            return Ok(());
+        }
+        let prefix = format!("{array}{SEP}");
+        for entry in std::fs::read_dir(&self.scratch)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name == array || name.starts_with(&prefix) {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Filter for IoFilter {
+    fn run(&mut self, ctx: &mut FilterContext) -> dooc_filterstream::Result<()> {
+        while let Some(buf) = ctx.input(ports::IO_CMD)?.recv() {
+            let cmd = IoCmd::decode(&buf).map_err(|e| ctx.error(format!("cmd decode: {e}")))?;
+            let reply = self.exec(cmd);
+            // The storage may already be shutting down; a closed reply
+            // stream then just ends this filter.
+            if ctx.output(ports::IO_REPLY)?.send(reply.encode()).is_err() {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Scans a scratch directory at startup and reports every block found, with
+/// geometry from sidecars (spilled arrays) or file sizes (externally staged
+/// single-file arrays such as the SpMV sub-matrices).
+pub fn scan_scratch(dir: &Path) -> std::io::Result<Vec<DiscoveredBlock>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    // First pass: sidecars.
+    let mut geometry: std::collections::HashMap<String, (u64, u64)> =
+        std::collections::HashMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(array) = name.strip_suffix(&format!("{SEP}meta")) {
+            let mut f = std::fs::File::open(entry.path())?;
+            let mut w = [0u8; 16];
+            if f.read_exact(&mut w).is_ok() {
+                let len = u64::from_le_bytes(w[0..8].try_into().expect("8 bytes"));
+                let bs = u64::from_le_bytes(w[8..16].try_into().expect("8 bytes"));
+                if bs > 0 {
+                    geometry.insert(array.to_string(), (len, bs));
+                }
+            }
+        }
+    }
+    // Second pass: blocks and single-file arrays.
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        match name.rsplit_once(SEP) {
+            Some((array, suffix)) => {
+                if suffix == "meta" {
+                    continue;
+                }
+                let Ok(block) = suffix.parse::<u64>() else {
+                    continue; // stray .tmp or foreign file
+                };
+                let Some(&(len, bs)) = geometry.get(array) else {
+                    continue; // block without sidecar: unusable
+                };
+                out.push(DiscoveredBlock {
+                    meta: ArrayMeta::new(array, len, bs),
+                    block,
+                });
+            }
+            None => {
+                // Whole-array single-block file.
+                let len = entry.metadata()?.len();
+                if len == 0 {
+                    continue;
+                }
+                out.push(DiscoveredBlock {
+                    meta: ArrayMeta::new(name, len, len),
+                    block: 0,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.meta.name, a.block).cmp(&(&b.meta.name, b.block)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dooc-io-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn io_write_then_read_roundtrip() {
+        let dir = tmpdir("rt");
+        let io = IoFilter::new(dir.clone());
+        let data = Bytes::from(vec![7u8; 64]);
+        let rep = io.exec(IoCmd::Write {
+            array: "arr".into(),
+            block: 2,
+            len: 300,
+            block_size: 64,
+            data: data.clone(),
+        });
+        assert_eq!(
+            rep,
+            IoReply::WriteDone {
+                array: "arr".into(),
+                block: 2,
+                bytes: 64
+            }
+        );
+        let rep = io.exec(IoCmd::Read {
+            array: "arr".into(),
+            block: 2,
+            len: 64,
+        });
+        assert_eq!(
+            rep,
+            IoReply::ReadDone {
+                array: "arr".into(),
+                block: 2,
+                data
+            }
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn io_read_missing_is_error() {
+        let dir = tmpdir("miss");
+        let io = IoFilter::new(dir.clone());
+        assert!(matches!(
+            io.exec(IoCmd::Read {
+                array: "ghost".into(),
+                block: 0,
+                len: 8
+            }),
+            IoReply::Error { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn io_read_length_mismatch_is_error() {
+        let dir = tmpdir("len");
+        let io = IoFilter::new(dir.clone());
+        io.exec(IoCmd::Write {
+            array: "a".into(),
+            block: 0,
+            len: 8,
+            block_size: 8,
+            data: Bytes::from_static(&[1; 8]),
+        });
+        assert!(matches!(
+            io.exec(IoCmd::Read {
+                array: "a".into(),
+                block: 0,
+                len: 9
+            }),
+            IoReply::Error { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_finds_spilled_blocks_and_plain_files() {
+        let dir = tmpdir("scan");
+        let io = IoFilter::new(dir.clone());
+        io.exec(IoCmd::Write {
+            array: "spilled".into(),
+            block: 1,
+            len: 100,
+            block_size: 64,
+            data: Bytes::from(vec![1u8; 36]),
+        });
+        io.exec(IoCmd::Write {
+            array: "spilled".into(),
+            block: 0,
+            len: 100,
+            block_size: 64,
+            data: Bytes::from(vec![2u8; 64]),
+        });
+        std::fs::write(dir.join("plainfile"), vec![5u8; 42]).expect("stage file");
+        let found = scan_scratch(&dir).expect("scan");
+        assert_eq!(found.len(), 3);
+        assert_eq!(found[0].meta.name, "plainfile");
+        assert_eq!(found[0].meta.len, 42);
+        assert_eq!(found[0].meta.block_size, 42);
+        assert_eq!(found[1].meta.name, "spilled");
+        assert_eq!(found[1].block, 0);
+        assert_eq!(found[2].block, 1);
+        assert_eq!(found[1].meta.len, 100);
+        assert_eq!(found[1].meta.block_size, 64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_ignores_orphan_blocks_and_empty_files() {
+        let dir = tmpdir("orphan");
+        std::fs::write(dir.join("orphan@3"), vec![1u8; 8]).expect("write");
+        std::fs::write(dir.join("empty"), Vec::<u8>::new()).expect("write");
+        let found = scan_scratch(&dir).expect("scan");
+        assert!(found.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_files_removes_all_forms() {
+        let dir = tmpdir("del");
+        let io = IoFilter::new(dir.clone());
+        io.exec(IoCmd::Write {
+            array: "a".into(),
+            block: 0,
+            len: 8,
+            block_size: 8,
+            data: Bytes::from_static(&[1; 8]),
+        });
+        std::fs::write(dir.join("a"), vec![2u8; 4]).expect("stage");
+        std::fs::write(dir.join("ab"), vec![2u8; 4]).expect("stage similar name");
+        io.exec(IoCmd::DeleteFiles { array: "a".into() });
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["ab"], "only the unrelated file remains");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_port_map_resolution() {
+        let m = ClientPortMap {
+            entries: vec![("a".into(), 0, 2), ("b".into(), 2, 3)],
+        };
+        assert_eq!(m.resolve(0), Some(("a", 0)));
+        assert_eq!(m.resolve(1), Some(("a", 1)));
+        assert_eq!(m.resolve(2), Some(("b", 0)));
+        assert_eq!(m.resolve(4), Some(("b", 2)));
+        assert_eq!(m.resolve(5), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! DOoC's distributed data storage layer (paper §III-B).
+//!
+//! "A distributed-memory data storage layer allows any computational task
+//! (i.e., filter) to access data stored on any node. It supports prefetching,
+//! automatic memory management and out-of-core operations. … Our technique
+//! relies on *immutable arrays* which alleviates the need for a complex
+//! communication protocol."
+//!
+//! The layer exposes data as one-dimensional arrays structured in fixed-size
+//! blocks. Filters `request` access to an `interval` of an array with *read*
+//! or *write* permission; an interval may not span blocks. Under the
+//! immutable-object paradigm a memory location is written at most once and
+//! cannot be read before it has been written **and released** — this removes
+//! races and coherence protocols by construction.
+//!
+//! Architecture (paper Fig. 2), reproduced filter-for-filter:
+//!
+//! * one **storage filter** per compute node ([`filterimpl::StorageFilter`])
+//!   holding a [`node::StorageState`] — a synchronous, fully unit-testable
+//!   protocol state machine;
+//! * one (or more) **I/O filter** per node ([`filterimpl::IoFilter`]),
+//!   connected only to its storage filter, performing all filesystem reads
+//!   and writes asynchronously against the node's scratch directory;
+//! * complete **peer-to-peer** connections between storage filters (an
+//!   addressed stream); the global block map is *partitioned*, not
+//!   replicated — a node that misses an interval asks a randomly selected
+//!   peer, tracking in-flight requests so no interval is requested twice;
+//! * client filters hold a bidirectional (request/reply) link to their local
+//!   storage filter and speak the [`proto`] message protocol, usually through
+//!   the blocking convenience handle [`client::StorageClient`].
+//!
+//! Memory is reclaimed by reference counting + LRU: when a node's resident
+//! bytes exceed its budget, unpinned blocks that are safe on some disk are
+//! evicted least-recently-used first; dirty blocks are spilled through the
+//! I/O filter before their memory is reclaimed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod filterimpl;
+pub mod meta;
+pub mod node;
+pub mod proto;
+pub mod rangeset;
+
+pub use client::StorageClient;
+pub use cluster::StorageCluster;
+pub use meta::{ArrayMeta, BlockKey, Interval};
+pub use node::{NodeConfig, StorageState};
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The named array is not known anywhere in the cluster.
+    UnknownArray(String),
+    /// An interval was rejected (spans blocks, out of bounds, zero length…).
+    BadInterval {
+        /// Array the interval addressed.
+        array: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Immutability violation: double write, read-before-write on a location
+    /// the protocol can prove will never be written, etc.
+    Immutability(String),
+    /// An array was created twice (array names are cluster-unique).
+    AlreadyExists(String),
+    /// The operation addressed a deleted array.
+    Deleted(String),
+    /// An I/O filter reported a filesystem error.
+    Io(String),
+    /// Internal protocol violation (malformed message, unknown request id).
+    Protocol(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownArray(a) => write!(f, "unknown array '{a}'"),
+            StorageError::BadInterval { array, reason } => {
+                write!(f, "bad interval on '{array}': {reason}")
+            }
+            StorageError::Immutability(m) => write!(f, "immutability violation: {m}"),
+            StorageError::AlreadyExists(a) => write!(f, "array '{a}' already exists"),
+            StorageError::Deleted(a) => write!(f, "array '{a}' was deleted"),
+            StorageError::Io(m) => write!(f, "storage I/O error: {m}"),
+            StorageError::Protocol(m) => write!(f, "storage protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,2457 @@
+//! The storage filter's protocol state machine.
+//!
+//! [`StorageState`] is deliberately *synchronous and I/O-free*: every message
+//! handler consumes one message and returns the list of [`Action`]s the
+//! surrounding filter must perform (reply to a client, message a peer, issue
+//! an I/O command). This makes the entire protocol — request logging,
+//! write-once enforcement, peer probing, LRU reclamation — unit-testable
+//! without threads or a filesystem.
+//!
+//! Protocol recap (paper §III-B):
+//! * "When a request is received, either the storage has all the information
+//!   to answer it and it replies immediately, or it logs the request and
+//!   replies back when all the relevant information becomes available."
+//! * "When a data interval which is not contained in the storage is
+//!   requested, since global mapping … is not replicated on each node but
+//!   instead partitioned, the storage asks the storage filter on a randomly
+//!   selected compute node for this interval. To avoid asking for an
+//!   interval multiple times, the storage keeps track of which interval it
+//!   has requested from other computing nodes."
+//! * "All reading of the data stored on the filesystem are performed
+//!   implicitly … the write operations are performed explicitly upon request
+//!   of a filter."
+//! * "When reclaiming memory, the storage reclaims blocks that are stored on
+//!   the disk … and which are not currently used according to the Least
+//!   Recently Used policy."
+
+use crate::meta::{ArrayMeta, Interval};
+use crate::proto::{
+    BlockAvail, ClientMsg, IoCmd, IoReply, MapEntry, NodeStats, PeerMsg, Reply,
+};
+use crate::rangeset::RangeSet;
+use crate::StorageError;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+
+/// Configuration of one storage node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This node's id (also its peer-stream instance index).
+    pub node: u64,
+    /// Total number of nodes in the cluster.
+    pub nnodes: u64,
+    /// Memory budget in bytes; exceeding it triggers reclamation.
+    pub memory_budget: u64,
+    /// Seed for random peer selection.
+    pub seed: u64,
+}
+
+/// Side effect requested by a handler.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Send a reply to a local client instance.
+    Reply {
+        /// Destination client instance.
+        client: u64,
+        /// The reply.
+        reply: Reply,
+    },
+    /// Send a message to a peer storage node.
+    Peer {
+        /// Destination node id.
+        node: u64,
+        /// The message.
+        msg: PeerMsg,
+    },
+    /// Issue a command to the local I/O filter.
+    Io(IoCmd),
+}
+
+/// Resident form of a block.
+enum BlockMem {
+    /// Being assembled from write intervals; partial reads copy out.
+    Building(Vec<u8>),
+    /// Fully sealed; reads are zero-copy slices.
+    Sealed(Bytes),
+}
+
+/// A local read waiting for data ("logged" request).
+struct ReadWaiter {
+    req: u64,
+    client: u64,
+    /// Offset within the block.
+    off: u64,
+    len: u64,
+}
+
+/// State of an outstanding remote fetch for one block.
+struct FetchState {
+    /// Our fetch request id.
+    req: u64,
+    /// Peers already asked (includes the one currently in flight).
+    tried: Vec<u64>,
+}
+
+#[derive(Default)]
+struct BlockInfo {
+    /// Ranges sealed (written + released), block-local coordinates.
+    sealed: RangeSet,
+    /// Ranges with an outstanding write grant.
+    write_granted: RangeSet,
+    /// Resident bytes, if any.
+    mem: Option<BlockMem>,
+    /// A full sealed copy exists in the local scratch directory.
+    on_disk: bool,
+    /// An I/O read for this block is in flight.
+    loading: bool,
+    /// An I/O write (spill or persist) for this block is in flight.
+    spilling: bool,
+    /// Reclaim memory as soon as the in-flight spill completes.
+    evict_after_spill: bool,
+    /// Active grants (read pins + write grants); pinned blocks are not
+    /// reclaimable.
+    pins: u64,
+    /// LRU clock value of the last access.
+    last_use: u64,
+    /// Logged local reads waiting for the data.
+    read_waiters: Vec<ReadWaiter>,
+    /// Peer fetches waiting for this block to seal (req, from_node).
+    peer_waiters: Vec<(u64, u64)>,
+    /// Outstanding remote fetch, if this node is trying to pull the block.
+    fetch: Option<FetchState>,
+}
+
+impl BlockInfo {
+    fn fully_sealed(&self, block_len: u64) -> bool {
+        self.sealed.covered() == block_len
+    }
+
+    fn avail(&self, block_len: u64) -> BlockAvail {
+        if self.fully_sealed(block_len) {
+            if matches!(self.mem, Some(BlockMem::Sealed(_))) {
+                BlockAvail::InMemory
+            } else if self.on_disk {
+                BlockAvail::OnDisk
+            } else {
+                // Sealed but only building-buffer resident (transient) or
+                // remote; report as in-memory if resident at all.
+                if self.mem.is_some() {
+                    BlockAvail::InMemory
+                } else {
+                    BlockAvail::Unwritten
+                }
+            }
+        } else if self.sealed.is_empty() {
+            BlockAvail::Unwritten
+        } else {
+            BlockAvail::Partial
+        }
+    }
+}
+
+struct ArrayInfo {
+    meta: ArrayMeta,
+    /// Created or discovered on this node (its "home"): reads of unwritten
+    /// intervals may be logged here instead of erroring.
+    home: bool,
+    blocks: HashMap<u64, BlockInfo>,
+    /// Pending persist: (req, client, blocks whose disk write is awaited).
+    persist: Option<(u64, u64, std::collections::HashSet<u64>)>,
+}
+
+/// A block found in the scratch directory at startup.
+#[derive(Clone, Debug)]
+pub struct DiscoveredBlock {
+    /// Array geometry from the file (single-file arrays) or sidecar.
+    pub meta: ArrayMeta,
+    /// Block index present on disk.
+    pub block: u64,
+}
+
+/// The storage node state machine.
+pub struct StorageState {
+    cfg: NodeConfig,
+    arrays: HashMap<String, ArrayInfo>,
+    /// Tombstones of deleted arrays.
+    deleted: HashMap<String, ()>,
+    /// LRU index: clock value -> (array, block). Values are unique.
+    lru: BTreeMap<u64, (String, u64)>,
+    clock: u64,
+    /// Outstanding fetch request ids -> (array, block).
+    fetches: HashMap<u64, (String, u64)>,
+    next_fetch_req: u64,
+    resident: u64,
+    stats: NodeStats,
+    rng: StdRng,
+    /// Fetches that exhausted every peer without an answer: retried on the
+    /// next tick ("replies back when all the relevant information becomes
+    /// available" — the information may simply not exist *yet*).
+    stalled: Vec<(String, u64, u64)>,
+    /// This node's clients are quiescent (local Shutdown consumed).
+    local_done: bool,
+    /// Number of peers that sent a `Bye`.
+    byes: u64,
+}
+
+impl StorageState {
+    /// Creates a node, registering any blocks discovered in its scratch
+    /// directory ("upon start of the system, the storage looks for files in
+    /// that directory and records the name of the arrays as well as their
+    /// sizes").
+    pub fn new(cfg: NodeConfig, discovered: Vec<DiscoveredBlock>) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0xD00C_D00C);
+        let mut st = Self {
+            cfg,
+            arrays: HashMap::new(),
+            deleted: HashMap::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+            fetches: HashMap::new(),
+            next_fetch_req: 0,
+            resident: 0,
+            stats: NodeStats::default(),
+            rng,
+            stalled: Vec::new(),
+            local_done: false,
+            byes: 0,
+        };
+        for d in discovered {
+            let entry = st
+                .arrays
+                .entry(d.meta.name.clone())
+                .or_insert_with(|| ArrayInfo {
+                    meta: d.meta.clone(),
+                    home: true,
+                    blocks: HashMap::new(),
+                    persist: None,
+                });
+            let block_len = entry.meta.block_len(d.block);
+            let info = entry.blocks.entry(d.block).or_default();
+            info.sealed = RangeSet::from_range(0, block_len);
+            info.on_disk = true;
+        }
+        st.stats.budget_bytes = st.cfg.memory_budget;
+        st
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> NodeStats {
+        let mut s = self.stats;
+        s.resident_bytes = self.resident;
+        s
+    }
+
+    /// Number of bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident
+    }
+
+    /// Marks the local side quiescent without a Shutdown message (used when
+    /// every client link closed, e.g. after a client crash). Returns the
+    /// `Bye` broadcast actions if this is the first quiescence signal.
+    pub fn force_local_done(&mut self) -> Vec<Action> {
+        if self.local_done {
+            return Vec::new();
+        }
+        self.handle_client(ClientMsg::Shutdown)
+    }
+
+    /// The whole cluster is quiescent: safe to close peer and I/O links.
+    pub fn ready_to_exit(&self) -> bool {
+        self.local_done && self.byes == self.cfg.nnodes.saturating_sub(1)
+    }
+
+    /// Are any remote fetches stalled awaiting a retry?
+    pub fn has_stalled_fetches(&self) -> bool {
+        !self.stalled.is_empty()
+    }
+
+    /// Retries every stalled fetch with a fresh random probe cycle. Called
+    /// periodically by the storage filter while fetches are stalled.
+    pub fn on_tick(&mut self) -> Vec<Action> {
+        let mut out = Vec::new();
+        for (array, block, offset) in std::mem::take(&mut self.stalled) {
+            let still_wanted = self
+                .arrays
+                .get(&array)
+                .and_then(|a| a.blocks.get(&block))
+                .map(|i| !i.read_waiters.is_empty() && i.fetch.is_none() && i.mem.is_none())
+                .unwrap_or(false);
+            if still_wanted {
+                self.start_fetch(array, block, offset, &mut out);
+            }
+        }
+        out
+    }
+
+    // -- LRU bookkeeping ----------------------------------------------------
+
+    fn touch(&mut self, array: &str, block: u64) {
+        let info = self
+            .arrays
+            .get_mut(array)
+            .and_then(|a| a.blocks.get_mut(&block))
+            .expect("touch of unknown block");
+        if info.last_use != 0 {
+            self.lru.remove(&info.last_use);
+        }
+        self.clock += 1;
+        info.last_use = self.clock;
+        self.lru.insert(self.clock, (array.to_string(), block));
+    }
+
+    fn lru_remove(&mut self, last_use: u64) {
+        if last_use != 0 {
+            self.lru.remove(&last_use);
+        }
+    }
+
+    fn charge(&mut self, bytes: u64, out: &mut Vec<Action>) {
+        self.resident += bytes;
+        self.reclaim(out);
+    }
+
+    fn discharge(&mut self, bytes: u64) {
+        debug_assert!(self.resident >= bytes);
+        self.resident -= bytes;
+    }
+
+    /// LRU reclamation: walk blocks least-recently-used first; drop sealed,
+    /// unpinned, disk-backed blocks; spill sealed, unpinned, *not*-on-disk
+    /// blocks through the I/O filter and drop them on completion.
+    fn reclaim(&mut self, out: &mut Vec<Action>) {
+        if self.resident <= self.cfg.memory_budget {
+            return;
+        }
+        // Projected residency counts in-flight spills as already released.
+        let mut projected = self.resident;
+        let order: Vec<(u64, (String, u64))> =
+            self.lru.iter().map(|(k, v)| (*k, v.clone())).collect();
+        for (_, (array, block)) in order {
+            if projected <= self.cfg.memory_budget {
+                break;
+            }
+            let Some(ainfo) = self.arrays.get_mut(&array) else {
+                continue;
+            };
+            let block_len = ainfo.meta.block_len(block);
+            let meta = ainfo.meta.clone();
+            let Some(info) = ainfo.blocks.get_mut(&block) else {
+                continue;
+            };
+            if info.pins > 0 || info.loading || !info.fully_sealed(block_len) {
+                continue;
+            }
+            match (&info.mem, info.on_disk, info.spilling) {
+                (Some(BlockMem::Sealed(_)), true, false) => {
+                    info.mem = None;
+                    let lu = info.last_use;
+                    info.last_use = 0;
+                    self.lru_remove(lu);
+                    self.discharge(block_len);
+                    projected -= block_len;
+                    self.stats.evictions += 1;
+                }
+                (Some(BlockMem::Sealed(data)), false, false) => {
+                    info.spilling = true;
+                    info.evict_after_spill = true;
+                    out.push(Action::Io(IoCmd::Write {
+                        array: array.clone(),
+                        block,
+                        len: meta.len,
+                        block_size: meta.block_size,
+                        data: data.clone(),
+                    }));
+                    projected -= block_len;
+                }
+                (Some(BlockMem::Sealed(_)), _, true) => {
+                    info.evict_after_spill = true;
+                    projected -= block_len;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // -- client messages ----------------------------------------------------
+
+    /// Handles one client request.
+    pub fn handle_client(&mut self, msg: ClientMsg) -> Vec<Action> {
+        let mut out = Vec::new();
+        match msg {
+            ClientMsg::Create { req, client, meta } => {
+                // A geometry hint (Register) may already sit here; creation
+                // upgrades it to home status as long as no data exists here
+                // and the geometry agrees.
+                let hint_only = self.arrays.get(&meta.name).is_some_and(|a| {
+                    !a.home
+                        && a.blocks.values().all(|b| {
+                            b.sealed.is_empty()
+                                && b.write_granted.is_empty()
+                                && b.mem.is_none()
+                                && !b.on_disk
+                        })
+                });
+                if hint_only {
+                    let a = self.arrays.get_mut(&meta.name).expect("hint present");
+                    if a.meta.len != u64::MAX
+                        && (a.meta.len != meta.len || a.meta.block_size != meta.block_size)
+                    {
+                        out.push(Action::Reply {
+                            client,
+                            reply: Reply::Err {
+                                req,
+                                error: StorageError::Protocol(format!(
+                                    "create of '{}' conflicts with registered geometry",
+                                    meta.name
+                                )),
+                            },
+                        });
+                    } else {
+                        a.meta = meta;
+                        a.home = true;
+                        out.push(Action::Reply {
+                            client,
+                            reply: Reply::Created { req },
+                        });
+                    }
+                } else if self.arrays.contains_key(&meta.name)
+                    || self.deleted.contains_key(&meta.name)
+                {
+                    out.push(Action::Reply {
+                        client,
+                        reply: Reply::Err {
+                            req,
+                            error: StorageError::AlreadyExists(meta.name),
+                        },
+                    });
+                } else {
+                    self.arrays.insert(
+                        meta.name.clone(),
+                        ArrayInfo {
+                            meta,
+                            home: true,
+                            blocks: HashMap::new(),
+                            persist: None,
+                        },
+                    );
+                    out.push(Action::Reply {
+                        client,
+                        reply: Reply::Created { req },
+                    });
+                }
+            }
+            ClientMsg::Register { meta } => {
+                // Geometry hint: adopt only if unknown or placeholder.
+                match self.arrays.get_mut(&meta.name) {
+                    Some(a) if a.meta.len == u64::MAX => {
+                        let name = meta.name.clone();
+                        a.meta = meta;
+                        self.redistribute_placeholder_waiters(&name, &mut out);
+                    }
+                    Some(_) => {}
+                    None => {
+                        if !self.deleted.contains_key(&meta.name) {
+                            self.arrays.insert(
+                                meta.name.clone(),
+                                ArrayInfo {
+                                    meta,
+                                    home: false,
+                                    blocks: HashMap::new(),
+                                    persist: None,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            ClientMsg::ReadReq {
+                req,
+                client,
+                array,
+                iv,
+            } => self.client_read(req, client, array, iv, &mut out),
+            ClientMsg::WriteReq {
+                req,
+                client,
+                array,
+                iv,
+            } => self.client_write(req, client, array, iv, &mut out),
+            ClientMsg::ReleaseRead { array, iv } => self.release_read(array, iv),
+            ClientMsg::ReleaseWrite {
+                req,
+                client,
+                array,
+                iv,
+                data,
+            } => self.release_write(req, client, array, iv, data, &mut out),
+            ClientMsg::Prefetch { array, iv } => self.prefetch(array, iv, &mut out),
+            ClientMsg::Persist { req, client, array } => {
+                self.persist(req, client, array, &mut out)
+            }
+            ClientMsg::Delete { req, client, array } => self.delete(req, client, array, &mut out),
+            ClientMsg::MapQuery { req, client } => {
+                let mut entries = Vec::new();
+                for (name, ainfo) in &self.arrays {
+                    for (&b, info) in &ainfo.blocks {
+                        entries.push(MapEntry {
+                            array: name.clone(),
+                            block: b,
+                            state: info.avail(ainfo.meta.block_len(b)),
+                        });
+                    }
+                }
+                entries.sort_by(|a, b| (&a.array, a.block).cmp(&(&b.array, b.block)));
+                out.push(Action::Reply {
+                    client,
+                    reply: Reply::Map { req, entries },
+                });
+            }
+            ClientMsg::StatsQuery { req, client } => {
+                out.push(Action::Reply {
+                    client,
+                    reply: Reply::Stats {
+                        req,
+                        stats: self.stats(),
+                    },
+                });
+            }
+            ClientMsg::Evict { array } => self.explicit_evict(array, &mut out),
+            ClientMsg::Shutdown => {
+                if !self.local_done {
+                    self.local_done = true;
+                    for n in 0..self.cfg.nnodes {
+                        if n != self.cfg.node {
+                            out.push(Action::Peer {
+                                node: n,
+                                msg: PeerMsg::Bye,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Explicit programmer-driven eviction of an array's resident blocks.
+    fn explicit_evict(&mut self, array: String, out: &mut Vec<Action>) {
+        let Some(ainfo) = self.arrays.get_mut(&array) else {
+            return;
+        };
+        let meta = ainfo.meta.clone();
+        let mut freed: Vec<(u64, u64)> = Vec::new(); // (block_len, last_use)
+        for (&b, info) in ainfo.blocks.iter_mut() {
+            let block_len = meta.block_len(b);
+            if info.pins > 0 || info.loading || !info.fully_sealed(block_len) {
+                continue;
+            }
+            match (&info.mem, info.on_disk, info.spilling) {
+                (Some(BlockMem::Sealed(_)), true, false) => {
+                    info.mem = None;
+                    freed.push((block_len, std::mem::take(&mut info.last_use)));
+                }
+                (Some(BlockMem::Sealed(data)), false, false) => {
+                    info.spilling = true;
+                    info.evict_after_spill = true;
+                    out.push(Action::Io(IoCmd::Write {
+                        array: array.clone(),
+                        block: b,
+                        len: meta.len,
+                        block_size: meta.block_size,
+                        data: data.clone(),
+                    }));
+                }
+                (Some(BlockMem::Sealed(_)), _, true) => {
+                    info.evict_after_spill = true;
+                }
+                _ => {}
+            }
+        }
+        for (len, lu) in freed {
+            self.lru_remove(lu);
+            self.discharge(len);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn err(client: u64, req: u64, error: StorageError, out: &mut Vec<Action>) {
+        out.push(Action::Reply {
+            client,
+            reply: Reply::Err { req, error },
+        });
+    }
+
+    fn client_read(
+        &mut self,
+        req: u64,
+        client: u64,
+        array: String,
+        iv: Interval,
+        out: &mut Vec<Action>,
+    ) {
+        if self.deleted.contains_key(&array) {
+            return Self::err(client, req, StorageError::Deleted(array), out);
+        }
+        match self.arrays.get_mut(&array) {
+            Some(ainfo) => {
+                let (block, off) = match ainfo.meta.locate(iv) {
+                    Ok(x) => x,
+                    Err(e) => return Self::err(client, req, e, out),
+                };
+                let block_len = ainfo.meta.block_len(block);
+                let info = ainfo.blocks.entry(block).or_default();
+                let sealed_here = info.sealed.covers(off, off + iv.len);
+                if sealed_here && info.mem.is_some() {
+                    // Serve immediately.
+                    let data = match info.mem.as_ref().expect("resident") {
+                        BlockMem::Sealed(b) => b.slice(off as usize..(off + iv.len) as usize),
+                        BlockMem::Building(v) => {
+                            Bytes::copy_from_slice(&v[off as usize..(off + iv.len) as usize])
+                        }
+                    };
+                    info.pins += 1;
+                    out.push(Action::Reply {
+                        client,
+                        reply: Reply::ReadReady { req, data },
+                    });
+                    self.touch(&array, block);
+                } else if sealed_here && info.on_disk {
+                    // Implicit out-of-core read.
+                    info.read_waiters.push(ReadWaiter {
+                        req,
+                        client,
+                        off,
+                        len: iv.len,
+                    });
+                    if !info.loading {
+                        info.loading = true;
+                        out.push(Action::Io(IoCmd::Read {
+                            array,
+                            block,
+                            len: block_len,
+                        }));
+                    }
+                } else if ainfo.home || !info.sealed.is_empty() || info.mem.is_some() {
+                    // The block lives (or will live) here but the interval is
+                    // not written yet: log the request.
+                    info.read_waiters.push(ReadWaiter {
+                        req,
+                        client,
+                        off,
+                        len: iv.len,
+                    });
+                } else {
+                    // Not ours: pull the block from a peer.
+                    info.read_waiters.push(ReadWaiter {
+                        req,
+                        client,
+                        off,
+                        len: iv.len,
+                    });
+                    self.start_fetch(array, block, iv.offset, out);
+                }
+            }
+            None => {
+                // Unknown geometry: remember the *global* interval and probe
+                // peers by offset.
+                self.arrays.insert(
+                    array.clone(),
+                    ArrayInfo {
+                        // Placeholder geometry: a single huge block; replaced
+                        // by the real geometry when a peer answers.
+                        meta: ArrayMeta::new(array.clone(), u64::MAX, u64::MAX),
+                        home: false,
+                        blocks: HashMap::new(),
+                        persist: None,
+                    },
+                );
+                let ainfo = self.arrays.get_mut(&array).expect("just inserted");
+                let info = ainfo.blocks.entry(0).or_default();
+                info.read_waiters.push(ReadWaiter {
+                    req,
+                    client,
+                    off: iv.offset,
+                    len: iv.len,
+                });
+                self.start_fetch(array, 0, iv.offset, out);
+            }
+        }
+    }
+
+    /// Begins (or joins) a remote fetch of `array`'s block containing
+    /// `offset`. `block` is this node's best guess of the block index (0 if
+    /// geometry unknown — re-keyed on reply).
+    fn start_fetch(&mut self, array: String, block: u64, offset: u64, out: &mut Vec<Action>) {
+        let ainfo = self.arrays.get_mut(&array).expect("fetch on known array");
+        let info = ainfo.blocks.entry(block).or_default();
+        if info.fetch.is_some() {
+            return; // already in flight — "avoid asking for an interval multiple times"
+        }
+        let req = self.next_fetch_req;
+        self.next_fetch_req += 1;
+        let me = self.cfg.node;
+        // Pick a random peer.
+        let peer = loop {
+            let p = self.rng.gen_range(0..self.cfg.nnodes);
+            if p != me || self.cfg.nnodes == 1 {
+                break p;
+            }
+        };
+        info.fetch = Some(FetchState {
+            req,
+            tried: vec![peer],
+        });
+        self.fetches.insert(req, (array.clone(), block));
+        out.push(Action::Peer {
+            node: peer,
+            msg: PeerMsg::Fetch {
+                req,
+                from_node: me,
+                array,
+                offset,
+            },
+        });
+    }
+
+    /// After learning real geometry for an array that had placeholder
+    /// geometry, move waiters parked under block 0 (with *global* offsets) to
+    /// their true blocks and fetch any block that now lacks one.
+    fn redistribute_placeholder_waiters(&mut self, array: &str, out: &mut Vec<Action>) {
+        let Some(ainfo) = self.arrays.get_mut(array) else {
+            return;
+        };
+        let meta = ainfo.meta.clone();
+        debug_assert_ne!(meta.len, u64::MAX, "geometry must be real now");
+        let parked = ainfo.blocks.remove(&0);
+        let had_fetch = parked.as_ref().and_then(|p| p.fetch.as_ref()).is_some();
+        if let Some(parked) = parked {
+            if let Some(f) = &parked.fetch {
+                self.fetches.remove(&f.req);
+            }
+            let ainfo = self.arrays.get_mut(array).expect("still present");
+            for w in parked.read_waiters {
+                let b = w.off / meta.block_size;
+                let local = w.off - meta.block_start(b);
+                ainfo.blocks.entry(b).or_default().read_waiters.push(ReadWaiter {
+                    req: w.req,
+                    client: w.client,
+                    off: local,
+                    len: w.len,
+                });
+            }
+        }
+        let _ = had_fetch;
+        let pending: Vec<(u64, u64)> = self
+            .arrays
+            .get(array)
+            .map(|a| {
+                a.blocks
+                    .iter()
+                    .filter(|(_, i)| !i.read_waiters.is_empty() && i.fetch.is_none())
+                    .map(|(&b, _)| (b, meta.block_start(b)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (b, off) in pending {
+            self.start_fetch(array.to_string(), b, off, out);
+        }
+    }
+
+    fn client_write(
+        &mut self,
+        req: u64,
+        client: u64,
+        array: String,
+        iv: Interval,
+        out: &mut Vec<Action>,
+    ) {
+        if self.deleted.contains_key(&array) {
+            return Self::err(client, req, StorageError::Deleted(array), out);
+        }
+        let Some(ainfo) = self.arrays.get_mut(&array) else {
+            return Self::err(client, req, StorageError::UnknownArray(array), out);
+        };
+        let (block, off) = match ainfo.meta.locate(iv) {
+            Ok(x) => x,
+            Err(e) => return Self::err(client, req, e, out),
+        };
+        let block_len = ainfo.meta.block_len(block);
+        let info = ainfo.blocks.entry(block).or_default();
+        if info.sealed.intersects(off, off + iv.len)
+            || info.write_granted.intersects(off, off + iv.len)
+            || info.on_disk
+        {
+            return Self::err(
+                client,
+                req,
+                StorageError::Immutability(format!(
+                    "interval [{}, {}) of {}[{}] already written or being written",
+                    off,
+                    off + iv.len,
+                    array,
+                    block
+                )),
+                out,
+            );
+        }
+        info.write_granted.insert(off, off + iv.len);
+        info.pins += 1;
+        let newly_resident = if info.mem.is_none() {
+            info.mem = Some(BlockMem::Building(vec![0u8; block_len as usize]));
+            true
+        } else {
+            false
+        };
+        out.push(Action::Reply {
+            client,
+            reply: Reply::WriteGranted { req },
+        });
+        self.touch(&array, block);
+        if newly_resident {
+            self.charge(block_len, out);
+        }
+    }
+
+    fn release_read(&mut self, array: String, iv: Interval) {
+        let Some(ainfo) = self.arrays.get_mut(&array) else {
+            return;
+        };
+        let Ok((block, _)) = ainfo.meta.locate(iv) else {
+            return;
+        };
+        if let Some(info) = ainfo.blocks.get_mut(&block) {
+            info.pins = info.pins.saturating_sub(1);
+        }
+    }
+
+    fn release_write(
+        &mut self,
+        req: u64,
+        client: u64,
+        array: String,
+        iv: Interval,
+        data: Bytes,
+        out: &mut Vec<Action>,
+    ) {
+        let Some(ainfo) = self.arrays.get_mut(&array) else {
+            return Self::err(client, req, StorageError::UnknownArray(array), out);
+        };
+        let (block, off) = match ainfo.meta.locate(iv) {
+            Ok(x) => x,
+            Err(e) => return Self::err(client, req, e, out),
+        };
+        if data.len() as u64 != iv.len {
+            return Self::err(
+                client,
+                req,
+                StorageError::Protocol(format!(
+                    "release data length {} != interval length {}",
+                    data.len(),
+                    iv.len
+                )),
+                out,
+            );
+        }
+        let block_len = ainfo.meta.block_len(block);
+        let meta = ainfo.meta.clone();
+        let Some(info) = ainfo.blocks.get_mut(&block) else {
+            return Self::err(
+                client,
+                req,
+                StorageError::Protocol("release of unknown block".into()),
+                out,
+            );
+        };
+        if !info.write_granted.covers(off, off + iv.len) {
+            return Self::err(
+                client,
+                req,
+                StorageError::Protocol(format!(
+                    "release of never-granted interval [{}, {})",
+                    off,
+                    off + iv.len
+                )),
+                out,
+            );
+        }
+        // Copy the payload into the building buffer.
+        match info.mem.as_mut() {
+            Some(BlockMem::Building(buf)) => {
+                buf[off as usize..(off + iv.len) as usize].copy_from_slice(&data);
+            }
+            _ => {
+                return Self::err(
+                    client,
+                    req,
+                    StorageError::Protocol("release on non-building block".into()),
+                    out,
+                )
+            }
+        }
+        info.sealed.insert(off, off + iv.len);
+        info.pins = info.pins.saturating_sub(1);
+        out.push(Action::Reply {
+            client,
+            reply: Reply::WriteSealed { req },
+        });
+        // Full seal: freeze and notify peers waiting for the whole block.
+        if info.fully_sealed(block_len) {
+            if let Some(BlockMem::Building(buf)) = info.mem.take() {
+                info.mem = Some(BlockMem::Sealed(Bytes::from(buf)));
+            }
+        }
+        // Serve any logged reads that are now covered.
+        Self::flush_waiters(info, &meta, block, &mut self.stats, out);
+        self.touch(&array, block);
+    }
+
+    /// Serves logged local reads whose interval is sealed and resident, and
+    /// peer fetches if the block is fully sealed.
+    fn flush_waiters(
+        info: &mut BlockInfo,
+        meta: &ArrayMeta,
+        block: u64,
+        stats: &mut NodeStats,
+        out: &mut Vec<Action>,
+    ) {
+        let block_len = meta.block_len(block);
+        if info.mem.is_some() {
+            let mut still_waiting = Vec::new();
+            for w in info.read_waiters.drain(..) {
+                let covered = info.sealed.covers(w.off, w.off + w.len);
+                if covered {
+                    let data = match info.mem.as_ref().expect("resident") {
+                        BlockMem::Sealed(b) => b.slice(w.off as usize..(w.off + w.len) as usize),
+                        BlockMem::Building(v) => {
+                            Bytes::copy_from_slice(&v[w.off as usize..(w.off + w.len) as usize])
+                        }
+                    };
+                    info.pins += 1;
+                    out.push(Action::Reply {
+                        client: w.client,
+                        reply: Reply::ReadReady { req: w.req, data },
+                    });
+                } else {
+                    still_waiting.push(w);
+                }
+            }
+            info.read_waiters = still_waiting;
+        }
+        if info.fully_sealed(block_len) {
+            if let Some(BlockMem::Sealed(bytes)) = &info.mem {
+                for (req, from_node) in info.peer_waiters.drain(..) {
+                    stats.peer_sent_bytes += bytes.len() as u64;
+                    out.push(Action::Peer {
+                        node: from_node,
+                        msg: PeerMsg::FetchFound {
+                            req,
+                            len: meta.len,
+                            block_size: meta.block_size,
+                            block,
+                            data: bytes.clone(),
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    fn prefetch(&mut self, array: String, iv: Interval, out: &mut Vec<Action>) {
+        if self.deleted.contains_key(&array) {
+            return;
+        }
+        let Some(ainfo) = self.arrays.get_mut(&array) else {
+            // Unknown array: treat like a read miss without a waiter.
+            self.arrays.insert(
+                array.clone(),
+                ArrayInfo {
+                    meta: ArrayMeta::new(array.clone(), u64::MAX, u64::MAX),
+                    home: false,
+                    blocks: HashMap::new(),
+                    persist: None,
+                },
+            );
+            self.arrays
+                .get_mut(&array)
+                .expect("just inserted")
+                .blocks
+                .entry(0)
+                .or_default();
+            self.start_fetch(array, 0, iv.offset, out);
+            return;
+        };
+        let Ok((block, _)) = ainfo.meta.locate(iv) else {
+            return; // prefetch is a hint; bad hints are dropped
+        };
+        let block_len = ainfo.meta.block_len(block);
+        let home = ainfo.home;
+        let info = ainfo.blocks.entry(block).or_default();
+        if info.mem.is_some() || info.loading || info.fetch.is_some() {
+            return; // already resident or on its way
+        }
+        if info.on_disk {
+            info.loading = true;
+            out.push(Action::Io(IoCmd::Read {
+                array,
+                block,
+                len: block_len,
+            }));
+        } else if !home && info.sealed.is_empty() {
+            self.start_fetch(array, block, iv.offset, out);
+        }
+        // Home + unwritten: nothing to do until a writer shows up.
+    }
+
+    fn persist(&mut self, req: u64, client: u64, array: String, out: &mut Vec<Action>) {
+        let Some(ainfo) = self.arrays.get_mut(&array) else {
+            return Self::err(client, req, StorageError::UnknownArray(array), out);
+        };
+        if ainfo.persist.is_some() {
+            return Self::err(
+                client,
+                req,
+                StorageError::Protocol("persist already in progress".into()),
+                out,
+            );
+        }
+        let meta = ainfo.meta.clone();
+        let mut awaited = std::collections::HashSet::new();
+        for (&b, info) in ainfo.blocks.iter_mut() {
+            let block_len = meta.block_len(b);
+            if info.fully_sealed(block_len) && !info.on_disk && !info.spilling {
+                if let Some(BlockMem::Sealed(data)) = &info.mem {
+                    info.spilling = true;
+                    awaited.insert(b);
+                    out.push(Action::Io(IoCmd::Write {
+                        array: array.clone(),
+                        block: b,
+                        len: meta.len,
+                        block_size: meta.block_size,
+                        data: data.clone(),
+                    }));
+                }
+            } else if info.spilling {
+                awaited.insert(b); // piggyback on the in-flight spill
+            }
+        }
+        if awaited.is_empty() {
+            out.push(Action::Reply {
+                client,
+                reply: Reply::Persisted { req },
+            });
+        } else {
+            ainfo.persist = Some((req, client, awaited));
+        }
+    }
+
+    fn delete(&mut self, req: u64, client: u64, array: String, out: &mut Vec<Action>) {
+        let Some(ainfo) = self.arrays.get(&array) else {
+            return Self::err(client, req, StorageError::UnknownArray(array), out);
+        };
+        if ainfo.blocks.values().any(|b| b.pins > 0) {
+            return Self::err(
+                client,
+                req,
+                StorageError::Immutability(format!("delete of '{array}' while intervals are held")),
+                out,
+            );
+        }
+        let had_disk = ainfo.blocks.values().any(|b| b.on_disk);
+        self.drop_array_local(&array);
+        self.deleted.insert(array.clone(), ());
+        if had_disk {
+            out.push(Action::Io(IoCmd::DeleteFiles {
+                array: array.clone(),
+            }));
+        }
+        for n in 0..self.cfg.nnodes {
+            if n != self.cfg.node {
+                out.push(Action::Peer {
+                    node: n,
+                    msg: PeerMsg::DeleteNotice {
+                        array: array.clone(),
+                    },
+                });
+            }
+        }
+        out.push(Action::Reply {
+            client,
+            reply: Reply::Deleted { req },
+        });
+    }
+
+    fn drop_array_local(&mut self, array: &str) {
+        if let Some(ainfo) = self.arrays.remove(array) {
+            for (b, info) in ainfo.blocks {
+                if info.mem.is_some() {
+                    self.discharge(ainfo.meta.block_len(b));
+                }
+                self.lru_remove(info.last_use);
+                if let Some(f) = info.fetch {
+                    self.fetches.remove(&f.req);
+                }
+            }
+        }
+    }
+
+    // -- peer messages ------------------------------------------------------
+
+    /// Handles one peer message arriving from node `from`.
+    pub fn handle_peer(&mut self, from: u64, msg: PeerMsg) -> Vec<Action> {
+        let mut out = Vec::new();
+        match msg {
+            PeerMsg::Fetch {
+                req,
+                from_node,
+                array,
+                offset,
+            } => {
+                debug_assert_eq!(from, from_node, "fetch reply address mismatch");
+                match self.arrays.get_mut(&array) {
+                    Some(ainfo) if ainfo.meta.len != u64::MAX => {
+                        let meta = ainfo.meta.clone();
+                        if offset >= meta.len {
+                            out.push(Action::Peer {
+                                node: from_node,
+                                msg: PeerMsg::FetchNotFound { req },
+                            });
+                            return out;
+                        }
+                        let block = offset / meta.block_size;
+                        let block_len = meta.block_len(block);
+                        let info = ainfo.blocks.entry(block).or_default();
+                        if let Some(BlockMem::Sealed(bytes)) = &info.mem {
+                            self.stats.peer_sent_bytes += bytes.len() as u64;
+                            out.push(Action::Peer {
+                                node: from_node,
+                                msg: PeerMsg::FetchFound {
+                                    req,
+                                    len: meta.len,
+                                    block_size: meta.block_size,
+                                    block,
+                                    data: bytes.clone(),
+                                },
+                            });
+                            self.touch(&array, block);
+                        } else if info.on_disk {
+                            info.peer_waiters.push((req, from_node));
+                            if !info.loading {
+                                info.loading = true;
+                                out.push(Action::Io(IoCmd::Read {
+                                    array,
+                                    block,
+                                    len: block_len,
+                                }));
+                            }
+                        } else if ainfo.home
+                            || !info.write_granted.is_empty()
+                            || !info.sealed.is_empty()
+                            || info.mem.is_some()
+                        {
+                            // Production is local (home, or writes already in
+                            // flight): log the request, answer once sealed.
+                            info.peer_waiters.push((req, from_node));
+                        } else {
+                            out.push(Action::Peer {
+                                node: from_node,
+                                msg: PeerMsg::FetchNotFound { req },
+                            });
+                        }
+                    }
+                    _ => {
+                        out.push(Action::Peer {
+                            node: from_node,
+                            msg: PeerMsg::FetchNotFound { req },
+                        });
+                    }
+                }
+            }
+            PeerMsg::FetchFound {
+                req,
+                len,
+                block_size,
+                block,
+                data,
+            } => {
+                let Some((array, local_key)) = self.fetches.remove(&req) else {
+                    return out; // stale (array deleted meanwhile)
+                };
+                self.stats.peer_recv_bytes += data.len() as u64;
+                let Some(ainfo) = self.arrays.get_mut(&array) else {
+                    return out;
+                };
+                // Learn the real geometry if we had a placeholder, then move
+                // waiters parked under the placeholder key to their real
+                // blocks.
+                let had_placeholder = ainfo.meta.len == u64::MAX;
+                if had_placeholder {
+                    ainfo.meta = ArrayMeta::new(array.clone(), len, block_size);
+                }
+                let meta = ainfo.meta.clone();
+                if had_placeholder {
+                    // Remove the placeholder entry entirely; waiter offsets
+                    // in it are global.
+                    let parked = ainfo.blocks.remove(&local_key);
+                    if let Some(parked) = parked {
+                        for w in parked.read_waiters {
+                            let b = w.off / meta.block_size;
+                            let local = w.off - meta.block_start(b);
+                            ainfo
+                                .blocks
+                                .entry(b)
+                                .or_default()
+                                .read_waiters
+                                .push(ReadWaiter {
+                                    req: w.req,
+                                    client: w.client,
+                                    off: local,
+                                    len: w.len,
+                                });
+                        }
+                    }
+                }
+                let block_len = meta.block_len(block);
+                let info = ainfo.blocks.entry(block).or_default();
+                info.fetch = None;
+                debug_assert_eq!(data.len() as u64, block_len);
+                let newly = info.mem.is_none();
+                info.mem = Some(BlockMem::Sealed(data));
+                info.sealed = RangeSet::from_range(0, block_len);
+                Self::flush_waiters(info, &meta, block, &mut self.stats, &mut out);
+                self.touch(&array, block);
+                if newly {
+                    self.charge(block_len, &mut out);
+                }
+                if had_placeholder {
+                    // Waiters redistributed to *other* blocks need their own
+                    // fetches.
+                    let pending: Vec<(u64, u64)> = self
+                        .arrays
+                        .get(&array)
+                        .map(|a| {
+                            a.blocks
+                                .iter()
+                                .filter(|(&b, i)| {
+                                    b != block && !i.read_waiters.is_empty() && i.fetch.is_none()
+                                })
+                                .map(|(&b, _)| (b, meta.block_start(b)))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    for (b, off) in pending {
+                        self.start_fetch(array.clone(), b, off, &mut out);
+                    }
+                }
+            }
+            PeerMsg::FetchNotFound { req } => {
+                let Some((array, block)) = self.fetches.get(&req).cloned() else {
+                    return out;
+                };
+                let me = self.cfg.node;
+                let nnodes = self.cfg.nnodes;
+                let Some(ainfo) = self.arrays.get_mut(&array) else {
+                    return out;
+                };
+                let offset = if ainfo.meta.len == u64::MAX {
+                    // Geometry unknown: waiters hold global offsets.
+                    ainfo
+                        .blocks
+                        .get(&block)
+                        .and_then(|i| i.read_waiters.first().map(|w| w.off))
+                        .unwrap_or(0)
+                } else {
+                    ainfo.meta.block_start(block)
+                };
+                let Some(info) = ainfo.blocks.get_mut(&block) else {
+                    return out;
+                };
+                let Some(fetch) = info.fetch.as_mut() else {
+                    return out;
+                };
+                // Try the next random untried peer.
+                let untried: Vec<u64> = (0..nnodes)
+                    .filter(|&n| n != me && !fetch.tried.contains(&n))
+                    .collect();
+                if untried.is_empty() {
+                    // Every peer denied *right now*: the data may not exist
+                    // yet (the producing task has not run). Stall the fetch
+                    // and retry on the next tick, preserving the paper's
+                    // "reply when the information becomes available"
+                    // semantics.
+                    info.fetch = None;
+                    self.fetches.remove(&req);
+                    self.stalled.push((array.clone(), block, offset));
+                } else {
+                    let peer = untried[self.rng.gen_range(0..untried.len())];
+                    fetch.tried.push(peer);
+                    out.push(Action::Peer {
+                        node: peer,
+                        msg: PeerMsg::Fetch {
+                            req,
+                            from_node: me,
+                            array: array.clone(),
+                            offset,
+                        },
+                    });
+                }
+            }
+            PeerMsg::Bye => {
+                self.byes += 1;
+            }
+            PeerMsg::DeleteNotice { array } => {
+                let had_disk = self
+                    .arrays
+                    .get(&array)
+                    .map(|a| a.blocks.values().any(|b| b.on_disk))
+                    .unwrap_or(false);
+                self.drop_array_local(&array);
+                self.deleted.insert(array.clone(), ());
+                if had_disk {
+                    out.push(Action::Io(IoCmd::DeleteFiles { array }));
+                }
+            }
+        }
+        out
+    }
+
+    // -- I/O completions ----------------------------------------------------
+
+    /// Handles one I/O filter completion.
+    pub fn handle_io(&mut self, reply: IoReply) -> Vec<Action> {
+        let mut out = Vec::new();
+        match reply {
+            IoReply::ReadDone { array, block, data } => {
+                self.stats.disk_read_bytes += data.len() as u64;
+                let Some(ainfo) = self.arrays.get_mut(&array) else {
+                    return out; // deleted while loading
+                };
+                let meta = ainfo.meta.clone();
+                let Some(info) = ainfo.blocks.get_mut(&block) else {
+                    return out;
+                };
+                info.loading = false;
+                let newly = info.mem.is_none();
+                info.mem = Some(BlockMem::Sealed(data));
+                info.sealed = RangeSet::from_range(0, meta.block_len(block));
+                Self::flush_waiters(info, &meta, block, &mut self.stats, &mut out);
+                self.touch(&array, block);
+                if newly {
+                    self.charge(meta.block_len(block), &mut out);
+                }
+            }
+            IoReply::WriteDone {
+                array,
+                block,
+                bytes,
+            } => {
+                self.stats.disk_write_bytes += bytes;
+                let Some(ainfo) = self.arrays.get_mut(&array) else {
+                    return out;
+                };
+                let meta = ainfo.meta.clone();
+                let mut evicted = None;
+                if let Some(info) = ainfo.blocks.get_mut(&block) {
+                    info.spilling = false;
+                    info.on_disk = true;
+                    if info.evict_after_spill && info.pins == 0 && info.mem.take().is_some() {
+                        info.evict_after_spill = false;
+                        evicted = Some(info.last_use);
+                        info.last_use = 0;
+                    }
+                }
+                if let Some((req, client, mut awaited)) = ainfo.persist.take() {
+                    awaited.remove(&block);
+                    if awaited.is_empty() {
+                        out.push(Action::Reply {
+                            client,
+                            reply: Reply::Persisted { req },
+                        });
+                    } else {
+                        ainfo.persist = Some((req, client, awaited));
+                    }
+                }
+                if let Some(lu) = evicted {
+                    self.lru_remove(lu);
+                    self.discharge(meta.block_len(block));
+                    self.stats.evictions += 1;
+                }
+            }
+            IoReply::Error {
+                array,
+                block,
+                message,
+            } => {
+                // Fail every waiter of the block.
+                let Some(ainfo) = self.arrays.get_mut(&array) else {
+                    return out;
+                };
+                if let Some(info) = ainfo.blocks.get_mut(&block) {
+                    info.loading = false;
+                    info.spilling = false;
+                    for w in info.read_waiters.drain(..) {
+                        out.push(Action::Reply {
+                            client: w.client,
+                            reply: Reply::Err {
+                                req: w.req,
+                                error: StorageError::Io(message.clone()),
+                            },
+                        });
+                    }
+                    for (req, from_node) in info.peer_waiters.drain(..) {
+                        out.push(Action::Peer {
+                            node: from_node,
+                            msg: PeerMsg::FetchNotFound { req },
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(node: u64, nnodes: u64, budget: u64) -> NodeConfig {
+        NodeConfig {
+            node,
+            nnodes,
+            memory_budget: budget,
+            seed: 42,
+        }
+    }
+
+    fn state(budget: u64) -> StorageState {
+        StorageState::new(cfg(0, 1, budget), vec![])
+    }
+
+    fn create(st: &mut StorageState, name: &str, len: u64, bs: u64) {
+        let acts = st.handle_client(ClientMsg::Create {
+            req: 1000,
+            client: 0,
+            meta: ArrayMeta::new(name, len, bs),
+        });
+        assert!(
+            matches!(&acts[..], [Action::Reply { reply: Reply::Created { .. }, .. }]),
+            "create failed: {acts:?}"
+        );
+    }
+
+    fn write_all(st: &mut StorageState, name: &str, iv: Interval, byte: u8) -> Vec<Action> {
+        let mut acts = st.handle_client(ClientMsg::WriteReq {
+            req: 1,
+            client: 0,
+            array: name.into(),
+            iv,
+        });
+        assert!(
+            matches!(
+                acts.first(),
+                Some(Action::Reply { reply: Reply::WriteGranted { .. }, .. })
+            ),
+            "grant failed: {acts:?}"
+        );
+        // Keep any grant-time side effects (e.g. eviction spills) visible to
+        // the caller alongside the release actions.
+        acts.remove(0);
+        let mut rel = st.handle_client(ClientMsg::ReleaseWrite {
+            req: 2,
+            client: 0,
+            array: name.into(),
+            iv,
+            data: Bytes::from(vec![byte; iv.len as usize]),
+        });
+        acts.append(&mut rel);
+        acts
+    }
+
+    #[test]
+    fn create_then_write_then_read() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 64, 32);
+        let acts = write_all(&mut st, "a", Interval::new(0, 32), 7);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Reply { reply: Reply::WriteSealed { .. }, .. })));
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 3,
+            client: 5,
+            array: "a".into(),
+            iv: Interval::new(4, 8),
+        });
+        match &acts[..] {
+            [Action::Reply {
+                client: 5,
+                reply: Reply::ReadReady { data, .. },
+            }] => assert_eq!(&data[..], &[7u8; 8]),
+            other => panic!("expected ReadReady, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 64, 32);
+        let acts = st.handle_client(ClientMsg::Create {
+            req: 9,
+            client: 0,
+            meta: ArrayMeta::new("a", 64, 32),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply {
+                reply: Reply::Err {
+                    error: StorageError::AlreadyExists(_),
+                    ..
+                },
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn double_write_is_immutability_error() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 64, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        let acts = st.handle_client(ClientMsg::WriteReq {
+            req: 5,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 32),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply {
+                reply: Reply::Err {
+                    error: StorageError::Immutability(_),
+                    ..
+                },
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn overlapping_write_grants_rejected() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 64, 64);
+        let acts = st.handle_client(ClientMsg::WriteReq {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 16),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply { reply: Reply::WriteGranted { .. }, .. }]
+        ));
+        let acts = st.handle_client(ClientMsg::WriteReq {
+            req: 2,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(8, 16),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply {
+                reply: Reply::Err {
+                    error: StorageError::Immutability(_),
+                    ..
+                },
+                ..
+            }]
+        ));
+        // Disjoint grant on the same block is fine.
+        let acts = st.handle_client(ClientMsg::WriteReq {
+            req: 3,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(16, 16),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply { reply: Reply::WriteGranted { .. }, .. }]
+        ));
+    }
+
+    #[test]
+    fn read_before_write_is_logged_then_served() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 32, 32);
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 7,
+            client: 3,
+            array: "a".into(),
+            iv: Interval::new(0, 8),
+        });
+        assert!(acts.is_empty(), "request must be logged, got {acts:?}");
+        let acts = write_all(&mut st, "a", Interval::new(0, 32), 9);
+        let read = acts.iter().find_map(|a| match a {
+            Action::Reply {
+                client: 3,
+                reply: Reply::ReadReady { req: 7, data },
+            } => Some(data.clone()),
+            _ => None,
+        });
+        assert_eq!(&read.expect("logged read served")[..], &[9u8; 8]);
+    }
+
+    #[test]
+    fn partial_seal_serves_covered_reads_only() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 32, 32);
+        // Two logged reads: one inside the first half, one in the second.
+        st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 16),
+        });
+        st.handle_client(ClientMsg::ReadReq {
+            req: 2,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(16, 16),
+        });
+        let acts = write_all(&mut st, "a", Interval::new(0, 16), 4);
+        let served: Vec<u64> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Reply {
+                    reply: Reply::ReadReady { req, .. },
+                    ..
+                } => Some(*req),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(served, vec![1], "only the covered read is served");
+        let acts = write_all(&mut st, "a", Interval::new(16, 16), 5);
+        let served: Vec<u64> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Reply {
+                    reply: Reply::ReadReady { req, .. },
+                    ..
+                } => Some(*req),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(served, vec![2]);
+    }
+
+    #[test]
+    fn release_of_ungranted_interval_is_protocol_error() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 32, 32);
+        let acts = st.handle_client(ClientMsg::ReleaseWrite {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 8),
+            data: Bytes::from(vec![0u8; 8]),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply {
+                reply: Reply::Err {
+                    error: StorageError::Protocol(_),
+                    ..
+                },
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn interval_spanning_blocks_rejected() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 64, 32);
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(30, 4),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply {
+                reply: Reply::Err {
+                    error: StorageError::BadInterval { .. },
+                    ..
+                },
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn lru_eviction_spills_then_drops() {
+        // Budget of one block: writing a second block must spill the first.
+        let mut st = state(32);
+        create(&mut st, "a", 64, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        assert_eq!(st.resident_bytes(), 32);
+        let acts = write_all(&mut st, "a", Interval::new(32, 32), 2);
+        // Budget exceeded: the LRU (block 0) must be spilled via Io.
+        let spill = acts.iter().find_map(|a| match a {
+            Action::Io(IoCmd::Write { array, block, .. }) => Some((array.clone(), *block)),
+            _ => None,
+        });
+        assert_eq!(spill, Some(("a".into(), 0)), "LRU block spilled");
+        assert_eq!(st.resident_bytes(), 64, "memory freed only on completion");
+        let acts = st.handle_io(IoReply::WriteDone {
+            array: "a".into(),
+            block: 0,
+            bytes: 32,
+        });
+        assert!(acts.is_empty());
+        assert_eq!(st.resident_bytes(), 32, "block 0 dropped after spill");
+        assert_eq!(st.stats().evictions, 1);
+    }
+
+    #[test]
+    fn evicted_block_reloaded_from_disk() {
+        let mut st = state(32);
+        create(&mut st, "a", 64, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        write_all(&mut st, "a", Interval::new(32, 32), 2);
+        st.handle_io(IoReply::WriteDone {
+            array: "a".into(),
+            block: 0,
+            bytes: 32,
+        });
+        // Read of block 0 now requires an implicit out-of-core read.
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 9,
+            client: 1,
+            array: "a".into(),
+            iv: Interval::new(0, 32),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Io(IoCmd::Read { block: 0, .. })]
+        ));
+        let acts = st.handle_io(IoReply::ReadDone {
+            array: "a".into(),
+            block: 0,
+            data: Bytes::from(vec![1u8; 32]),
+        });
+        // The reload evicts block 1 (budget) and serves the read.
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Reply {
+                client: 1,
+                reply: Reply::ReadReady { req: 9, .. }
+            }
+        )));
+        assert_eq!(st.stats().disk_read_bytes, 32);
+    }
+
+    #[test]
+    fn pinned_blocks_are_not_evicted() {
+        let mut st = state(32);
+        create(&mut st, "a", 64, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        // Pin block 0 with a read.
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 32),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply { reply: Reply::ReadReady { .. }, .. }]
+        ));
+        // Write block 1: over budget, but block 0 is pinned -> no spill of it
+        // is allowed to drop it; it may spill (to prepare) but not evict.
+        let acts = write_all(&mut st, "a", Interval::new(32, 32), 2);
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::Io(IoCmd::Write { block: 0, .. }))),
+            "pinned block must not be spill-evicted: {acts:?}"
+        );
+        assert_eq!(st.resident_bytes(), 64);
+        // Release the pin; next pressure event can evict it.
+        st.handle_client(ClientMsg::ReleaseRead {
+            array: "a".into(),
+            iv: Interval::new(0, 32),
+        });
+    }
+
+    #[test]
+    fn discovered_blocks_read_from_disk() {
+        let st = StorageState::new(
+            cfg(0, 1, 1 << 20),
+            vec![DiscoveredBlock {
+                meta: ArrayMeta::new("m", 100, 100),
+                block: 0,
+            }],
+        );
+        let mut st = st;
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "m".into(),
+            iv: Interval::new(0, 100),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Io(IoCmd::Read {
+                block: 0,
+                len: 100,
+                ..
+            })]
+        ));
+        let acts = st.handle_io(IoReply::ReadDone {
+            array: "m".into(),
+            block: 0,
+            data: Bytes::from(vec![3u8; 100]),
+        });
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Reply {
+                reply: Reply::ReadReady { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn concurrent_reads_share_one_io() {
+        let mut st = StorageState::new(
+            cfg(0, 1, 1 << 20),
+            vec![DiscoveredBlock {
+                meta: ArrayMeta::new("m", 64, 64),
+                block: 0,
+            }],
+        );
+        let a1 = st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "m".into(),
+            iv: Interval::new(0, 8),
+        });
+        let a2 = st.handle_client(ClientMsg::ReadReq {
+            req: 2,
+            client: 1,
+            array: "m".into(),
+            iv: Interval::new(8, 8),
+        });
+        assert_eq!(a1.len(), 1, "one io read");
+        assert!(a2.is_empty(), "second read joins the in-flight io");
+        let acts = st.handle_io(IoReply::ReadDone {
+            array: "m".into(),
+            block: 0,
+            data: Bytes::from(vec![1u8; 64]),
+        });
+        let served = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Reply { reply: Reply::ReadReady { .. }, .. }))
+            .count();
+        assert_eq!(served, 2);
+    }
+
+    #[test]
+    fn remote_read_probes_random_peers_until_found() {
+        let mut st = StorageState::new(cfg(0, 4, 1 << 20), vec![]);
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "remote".into(),
+            iv: Interval::new(0, 8),
+        });
+        let (first_peer, fetch_req) = match &acts[..] {
+            [Action::Peer {
+                node,
+                msg: PeerMsg::Fetch { req, .. },
+            }] => (*node, *req),
+            other => panic!("expected a peer fetch, got {other:?}"),
+        };
+        assert_ne!(first_peer, 0, "never asks itself");
+        // First peer misses.
+        let acts = st.handle_peer(first_peer, PeerMsg::FetchNotFound { req: fetch_req });
+        let second_peer = match &acts[..] {
+            [Action::Peer {
+                node,
+                msg: PeerMsg::Fetch { .. },
+            }] => *node,
+            other => panic!("expected a retry, got {other:?}"),
+        };
+        assert_ne!(second_peer, first_peer, "tried peers are excluded");
+        // Second peer answers with the block.
+        let acts = st.handle_peer(
+            second_peer,
+            PeerMsg::FetchFound {
+                req: fetch_req,
+                len: 16,
+                block_size: 16,
+                block: 0,
+                data: Bytes::from(vec![8u8; 16]),
+            },
+        );
+        let data = acts.iter().find_map(|a| match a {
+            Action::Reply {
+                reply: Reply::ReadReady { req: 1, data },
+                ..
+            } => Some(data.clone()),
+            _ => None,
+        });
+        assert_eq!(&data.expect("read served")[..], &[8u8; 8]);
+        assert_eq!(st.stats().peer_recv_bytes, 16);
+    }
+
+    #[test]
+    fn remote_read_stalls_after_all_peers_deny_then_retries() {
+        let mut st = StorageState::new(cfg(0, 3, 1 << 20), vec![]);
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "ghost".into(),
+            iv: Interval::new(0, 8),
+        });
+        let req = match &acts[..] {
+            [Action::Peer {
+                msg: PeerMsg::Fetch { req, .. },
+                ..
+            }] => *req,
+            other => panic!("expected fetch, got {other:?}"),
+        };
+        let acts = st.handle_peer(1, PeerMsg::FetchNotFound { req });
+        assert!(matches!(&acts[..], [Action::Peer { .. }]), "second probe");
+        let acts = st.handle_peer(2, PeerMsg::FetchNotFound { req });
+        assert!(acts.is_empty(), "no error: fetch stalls ({acts:?})");
+        assert!(st.has_stalled_fetches());
+        // A tick restarts the probe cycle.
+        let acts = st.on_tick();
+        assert!(
+            matches!(&acts[..], [Action::Peer { msg: PeerMsg::Fetch { .. }, .. }]),
+            "tick reprobes: {acts:?}"
+        );
+        assert!(!st.has_stalled_fetches());
+    }
+
+    #[test]
+    fn duplicate_fetches_are_suppressed() {
+        let mut st = StorageState::new(cfg(0, 2, 1 << 20), vec![]);
+        st.register_for_test("r", 64, 32);
+        let a1 = st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "r".into(),
+            iv: Interval::new(0, 8),
+        });
+        let a2 = st.handle_client(ClientMsg::ReadReq {
+            req: 2,
+            client: 0,
+            array: "r".into(),
+            iv: Interval::new(8, 8),
+        });
+        assert_eq!(
+            a1.iter().filter(|a| matches!(a, Action::Peer { .. })).count(),
+            1
+        );
+        assert!(
+            a2.iter().all(|a| !matches!(a, Action::Peer { .. })),
+            "same-block fetch deduplicated: {a2:?}"
+        );
+        // Different block -> its own fetch.
+        let a3 = st.handle_client(ClientMsg::ReadReq {
+            req: 3,
+            client: 0,
+            array: "r".into(),
+            iv: Interval::new(32, 8),
+        });
+        assert_eq!(
+            a3.iter().filter(|a| matches!(a, Action::Peer { .. })).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn peer_fetch_served_from_memory() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 32, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 6);
+        let acts = st.handle_peer(
+            1,
+            PeerMsg::Fetch {
+                req: 77,
+                from_node: 1,
+                array: "a".into(),
+                offset: 0,
+            },
+        );
+        match &acts[..] {
+            [Action::Peer {
+                node: 1,
+                msg:
+                    PeerMsg::FetchFound {
+                        req: 77,
+                        len: 32,
+                        block_size: 32,
+                        block: 0,
+                        data,
+                    },
+            }] => assert_eq!(&data[..], &[6u8; 32]),
+            other => panic!("expected FetchFound, got {other:?}"),
+        }
+        assert_eq!(st.stats().peer_sent_bytes, 32);
+    }
+
+    #[test]
+    fn peer_fetch_of_unwritten_home_block_is_queued() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 32, 32);
+        let acts = st.handle_peer(
+            1,
+            PeerMsg::Fetch {
+                req: 5,
+                from_node: 1,
+                array: "a".into(),
+                offset: 0,
+            },
+        );
+        assert!(acts.is_empty(), "queued, not answered: {acts:?}");
+        let acts = write_all(&mut st, "a", Interval::new(0, 32), 2);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Peer {
+                node: 1,
+                msg: PeerMsg::FetchFound { req: 5, .. }
+            }
+        )));
+    }
+
+    #[test]
+    fn peer_fetch_of_unknown_array_is_not_found() {
+        let mut st = state(1 << 20);
+        let acts = st.handle_peer(
+            1,
+            PeerMsg::Fetch {
+                req: 5,
+                from_node: 1,
+                array: "nope".into(),
+                offset: 0,
+            },
+        );
+        assert!(matches!(
+            &acts[..],
+            [Action::Peer {
+                node: 1,
+                msg: PeerMsg::FetchNotFound { req: 5 }
+            }]
+        ));
+    }
+
+    #[test]
+    fn delete_broadcasts_and_tombstones() {
+        let mut st = StorageState::new(cfg(0, 3, 1 << 20), vec![]);
+        create(&mut st, "a", 32, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        let acts = st.handle_client(ClientMsg::Delete {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+        });
+        let notices = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Peer { msg: PeerMsg::DeleteNotice { .. }, .. }))
+            .count();
+        assert_eq!(notices, 2, "both peers notified");
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Reply { reply: Reply::Deleted { .. }, .. })));
+        assert_eq!(st.resident_bytes(), 0);
+        // Subsequent access errors with Deleted.
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 2,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 8),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply {
+                reply: Reply::Err {
+                    error: StorageError::Deleted(_),
+                    ..
+                },
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn delete_while_pinned_rejected() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 32, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 8),
+        });
+        let acts = st.handle_client(ClientMsg::Delete {
+            req: 2,
+            client: 0,
+            array: "a".into(),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply {
+                reply: Reply::Err {
+                    error: StorageError::Immutability(_),
+                    ..
+                },
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn persist_writes_sealed_blocks_and_replies_when_done() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 64, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        write_all(&mut st, "a", Interval::new(32, 32), 2);
+        let acts = st.handle_client(ClientMsg::Persist {
+            req: 9,
+            client: 0,
+            array: "a".into(),
+        });
+        let writes = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Io(IoCmd::Write { .. })))
+            .count();
+        assert_eq!(writes, 2);
+        assert!(
+            !acts
+                .iter()
+                .any(|a| matches!(a, Action::Reply { reply: Reply::Persisted { .. }, .. })),
+            "not persisted yet"
+        );
+        let acts = st.handle_io(IoReply::WriteDone {
+            array: "a".into(),
+            block: 0,
+            bytes: 32,
+        });
+        assert!(acts.is_empty());
+        let acts = st.handle_io(IoReply::WriteDone {
+            array: "a".into(),
+            block: 1,
+            bytes: 32,
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply { reply: Reply::Persisted { req: 9 }, .. }]
+        ));
+        assert_eq!(st.stats().disk_write_bytes, 64);
+    }
+
+    #[test]
+    fn persist_of_already_persisted_is_immediate() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 32, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        st.handle_client(ClientMsg::Persist {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+        });
+        st.handle_io(IoReply::WriteDone {
+            array: "a".into(),
+            block: 0,
+            bytes: 32,
+        });
+        let acts = st.handle_client(ClientMsg::Persist {
+            req: 2,
+            client: 0,
+            array: "a".into(),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply { reply: Reply::Persisted { req: 2 }, .. }]
+        ));
+    }
+
+    #[test]
+    fn map_query_reports_states() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 64, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        st.handle_client(ClientMsg::WriteReq {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(32, 16),
+        });
+        st.handle_client(ClientMsg::ReleaseWrite {
+            req: 2,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(32, 16),
+            data: Bytes::from(vec![1u8; 16]),
+        });
+        let acts = st.handle_client(ClientMsg::MapQuery { req: 3, client: 0 });
+        match &acts[..] {
+            [Action::Reply {
+                reply: Reply::Map { entries, .. },
+                ..
+            }] => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].state, BlockAvail::InMemory);
+                assert_eq!(entries[1].state, BlockAvail::Partial);
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_error_fails_waiters() {
+        let mut st = StorageState::new(
+            cfg(0, 1, 1 << 20),
+            vec![DiscoveredBlock {
+                meta: ArrayMeta::new("m", 64, 64),
+                block: 0,
+            }],
+        );
+        st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 2,
+            array: "m".into(),
+            iv: Interval::new(0, 8),
+        });
+        let acts = st.handle_io(IoReply::Error {
+            array: "m".into(),
+            block: 0,
+            message: "bad sector".into(),
+        });
+        assert!(matches!(
+            &acts[..],
+            [Action::Reply {
+                client: 2,
+                reply: Reply::Err {
+                    req: 1,
+                    error: StorageError::Io(_)
+                }
+            }]
+        ));
+    }
+
+    #[test]
+    fn register_then_read_maps_blocks_correctly() {
+        let mut st = StorageState::new(cfg(0, 2, 1 << 20), vec![]);
+        st.handle_client(ClientMsg::Register {
+            meta: ArrayMeta::new("r", 64, 32),
+        });
+        // Read of second block probes with an offset inside that block.
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "r".into(),
+            iv: Interval::new(40, 8),
+        });
+        match &acts[..] {
+            [Action::Peer {
+                msg: PeerMsg::Fetch { offset, .. },
+                ..
+            }] => assert_eq!(*offset / 32, 1, "fetch addressed inside block 1"),
+            other => panic!("expected fetch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_handshake_requires_all_byes() {
+        let mut st = StorageState::new(cfg(0, 3, 1 << 20), vec![]);
+        assert!(!st.ready_to_exit());
+        let acts = st.handle_client(ClientMsg::Shutdown);
+        let byes = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Peer { msg: PeerMsg::Bye, .. }))
+            .count();
+        assert_eq!(byes, 2, "bye broadcast to both peers");
+        assert!(!st.ready_to_exit(), "waits for peers");
+        st.handle_peer(1, PeerMsg::Bye);
+        assert!(!st.ready_to_exit());
+        st.handle_peer(2, PeerMsg::Bye);
+        assert!(st.ready_to_exit());
+        // Idempotent quiescence.
+        assert!(st.force_local_done().is_empty());
+    }
+
+    #[test]
+    fn single_node_shutdown_is_immediate() {
+        let mut st = state(1 << 20);
+        assert!(!st.ready_to_exit());
+        let acts = st.handle_client(ClientMsg::Shutdown);
+        assert!(acts.is_empty());
+        assert!(st.ready_to_exit());
+    }
+
+    impl StorageState {
+        /// Test helper: register geometry as a non-home array.
+        fn register_for_test(&mut self, name: &str, len: u64, bs: u64) {
+            self.handle_client(ClientMsg::Register {
+                meta: ArrayMeta::new(name, len, bs),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod evict_tests {
+    use super::*;
+
+    #[test]
+    fn explicit_evict_drops_disk_backed_and_spills_dirty() {
+        let mut st = StorageState::new(
+            NodeConfig {
+                node: 0,
+                nnodes: 1,
+                memory_budget: 1 << 20,
+                seed: 1,
+            },
+            vec![],
+        );
+        st.handle_client(ClientMsg::Create {
+            req: 0,
+            client: 0,
+            meta: ArrayMeta::new("a", 64, 32),
+        });
+        for b in 0..2u64 {
+            st.handle_client(ClientMsg::WriteReq {
+                req: 1,
+                client: 0,
+                array: "a".into(),
+                iv: Interval::new(b * 32, 32),
+            });
+            st.handle_client(ClientMsg::ReleaseWrite {
+                req: 2,
+                client: 0,
+                array: "a".into(),
+                iv: Interval::new(b * 32, 32),
+                data: Bytes::from(vec![b as u8; 32]),
+            });
+        }
+        // Persist block 0 so it is disk-backed; block 1 stays dirty.
+        st.handle_client(ClientMsg::Persist {
+            req: 3,
+            client: 0,
+            array: "a".into(),
+        });
+        st.handle_io(IoReply::WriteDone {
+            array: "a".into(),
+            block: 0,
+            bytes: 32,
+        });
+        st.handle_io(IoReply::WriteDone {
+            array: "a".into(),
+            block: 1,
+            bytes: 32,
+        });
+        assert_eq!(st.resident_bytes(), 64);
+        let acts = st.handle_client(ClientMsg::Evict { array: "a".into() });
+        // Both blocks are now on disk, so eviction drops both immediately.
+        assert!(acts.is_empty(), "{acts:?}");
+        assert_eq!(st.resident_bytes(), 0);
+        assert_eq!(st.stats().evictions, 2);
+        // Reads go back through the I/O filter.
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 5,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 32),
+        });
+        assert!(matches!(&acts[..], [Action::Io(IoCmd::Read { block: 0, .. })]));
+    }
+
+    #[test]
+    fn explicit_evict_spills_unspilled_blocks_first() {
+        let mut st = StorageState::new(
+            NodeConfig {
+                node: 0,
+                nnodes: 1,
+                memory_budget: 1 << 20,
+                seed: 1,
+            },
+            vec![],
+        );
+        st.handle_client(ClientMsg::Create {
+            req: 0,
+            client: 0,
+            meta: ArrayMeta::new("a", 32, 32),
+        });
+        st.handle_client(ClientMsg::WriteReq {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 32),
+        });
+        st.handle_client(ClientMsg::ReleaseWrite {
+            req: 2,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 32),
+            data: Bytes::from(vec![7u8; 32]),
+        });
+        let acts = st.handle_client(ClientMsg::Evict { array: "a".into() });
+        assert!(
+            matches!(&acts[..], [Action::Io(IoCmd::Write { block: 0, .. })]),
+            "dirty block must spill: {acts:?}"
+        );
+        assert_eq!(st.resident_bytes(), 32, "freed only after the spill lands");
+        st.handle_io(IoReply::WriteDone {
+            array: "a".into(),
+            block: 0,
+            bytes: 32,
+        });
+        assert_eq!(st.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn evict_skips_pinned_blocks() {
+        let mut st = StorageState::new(
+            NodeConfig {
+                node: 0,
+                nnodes: 1,
+                memory_budget: 1 << 20,
+                seed: 1,
+            },
+            vec![],
+        );
+        st.handle_client(ClientMsg::Create {
+            req: 0,
+            client: 0,
+            meta: ArrayMeta::new("a", 32, 32),
+        });
+        st.handle_client(ClientMsg::WriteReq {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 32),
+        });
+        st.handle_client(ClientMsg::ReleaseWrite {
+            req: 2,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 32),
+            data: Bytes::from(vec![7u8; 32]),
+        });
+        st.handle_client(ClientMsg::ReadReq {
+            req: 3,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 32),
+        });
+        let acts = st.handle_client(ClientMsg::Evict { array: "a".into() });
+        assert!(acts.is_empty(), "pinned block untouched: {acts:?}");
+        assert_eq!(st.resident_bytes(), 32);
+    }
+}

@@ -1,0 +1,271 @@
+//! Property-based tests of the storage layer's core invariants, driven
+//! against the synchronous state machine (no threads, fully deterministic).
+
+use bytes::Bytes;
+use dooc_storage::meta::{ArrayMeta, Interval};
+use dooc_storage::node::{Action, DiscoveredBlock, NodeConfig, StorageState};
+use dooc_storage::proto::{ClientMsg, IoCmd, IoReply, Reply};
+use dooc_storage::rangeset::RangeSet;
+use proptest::prelude::*;
+
+fn cfg(budget: u64) -> NodeConfig {
+    NodeConfig {
+        node: 0,
+        nnodes: 1,
+        memory_budget: budget,
+        seed: 7,
+    }
+}
+
+proptest! {
+    /// Writing disjoint intervals covering a block, in any order, seals the
+    /// block and every read returns exactly the written bytes.
+    #[test]
+    fn write_any_order_read_back(perm in proptest::sample::subsequence((0..8u64).collect::<Vec<_>>(), 8)) {
+        // perm is a subsequence but we need a permutation; derive one by
+        // appending the missing items.
+        let mut order: Vec<u64> = perm.clone();
+        for i in 0..8 {
+            if !order.contains(&i) {
+                order.push(i);
+            }
+        }
+        let mut st = StorageState::new(cfg(1 << 20), vec![]);
+        st.handle_client(ClientMsg::Create {
+            req: 0,
+            client: 0,
+            meta: ArrayMeta::new("a", 64, 64),
+        });
+        for (step, &i) in order.iter().enumerate() {
+            let iv = Interval::new(i * 8, 8);
+            let acts = st.handle_client(ClientMsg::WriteReq {
+                req: 100 + step as u64,
+                client: 0,
+                array: "a".into(),
+                iv,
+            });
+            let granted = matches!(
+                acts.first(),
+                Some(Action::Reply { reply: Reply::WriteGranted { .. }, .. })
+            );
+            prop_assert!(granted, "grant refused at step {}", step);
+            st.handle_client(ClientMsg::ReleaseWrite {
+                req: 200 + step as u64,
+                client: 0,
+                array: "a".into(),
+                iv,
+                data: Bytes::from(vec![i as u8 + 1; 8]),
+            });
+        }
+        // Full-block read sees each segment's fill byte.
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 999,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(0, 64),
+        });
+        let data = acts.iter().find_map(|a| match a {
+            Action::Reply { reply: Reply::ReadReady { data, .. }, .. } => Some(data.clone()),
+            _ => None,
+        });
+        let data = data.expect("sealed block readable");
+        for i in 0..8u64 {
+            for b in 0..8 {
+                prop_assert_eq!(data[(i * 8 + b) as usize], i as u8 + 1);
+            }
+        }
+    }
+
+    /// No sequence of valid writes can ever double-write a byte: second
+    /// grant on any overlapping interval is refused.
+    #[test]
+    fn no_double_write(a in 0u64..56, la in 1u64..8, b in 0u64..56, lb in 1u64..8) {
+        let mut st = StorageState::new(cfg(1 << 20), vec![]);
+        st.handle_client(ClientMsg::Create {
+            req: 0,
+            client: 0,
+            meta: ArrayMeta::new("a", 64, 64),
+        });
+        let g1 = st.handle_client(ClientMsg::WriteReq {
+            req: 1,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(a, la),
+        });
+        let first_granted = matches!(
+            g1.first(),
+            Some(Action::Reply { reply: Reply::WriteGranted { .. }, .. })
+        );
+        prop_assert!(first_granted);
+        let g2 = st.handle_client(ClientMsg::WriteReq {
+            req: 2,
+            client: 0,
+            array: "a".into(),
+            iv: Interval::new(b, lb),
+        });
+        let overlaps = a < b + lb && b < a + la;
+        let granted = matches!(
+            g2.first(),
+            Some(Action::Reply { reply: Reply::WriteGranted { .. }, .. })
+        );
+        prop_assert_eq!(granted, !overlaps, "a=[{},{}) b=[{},{})", a, a+la, b, b+lb);
+    }
+
+    /// Memory accounting: resident bytes never exceed budget + one block
+    /// (the transient overshoot before eviction completes), and spills are
+    /// issued whenever the budget is exceeded with evictable blocks.
+    #[test]
+    fn budget_respected_with_spills(nblocks in 2u64..8, budget_blocks in 1u64..4) {
+        let bs = 64u64;
+        let budget = budget_blocks * bs;
+        let mut st = StorageState::new(cfg(budget), vec![]);
+        st.handle_client(ClientMsg::Create {
+            req: 0,
+            client: 0,
+            meta: ArrayMeta::new("a", nblocks * bs, bs),
+        });
+        let mut pending_spills: Vec<(String, u64)> = Vec::new();
+        for i in 0..nblocks {
+            let iv = Interval::new(i * bs, bs);
+            let mut acts = st.handle_client(ClientMsg::WriteReq {
+                req: 1,
+                client: 0,
+                array: "a".into(),
+                iv,
+            });
+            let mut rel = st.handle_client(ClientMsg::ReleaseWrite {
+                req: 2,
+                client: 0,
+                array: "a".into(),
+                iv,
+                data: Bytes::from(vec![i as u8; bs as usize]),
+            });
+            acts.append(&mut rel);
+            for a in &acts {
+                if let Action::Io(IoCmd::Write { array, block, .. }) = a {
+                    pending_spills.push((array.clone(), *block));
+                }
+            }
+            // Complete spills immediately (synchronous disk).
+            for (array, block) in pending_spills.drain(..) {
+                st.handle_io(IoReply::WriteDone {
+                    array,
+                    block,
+                    bytes: bs,
+                });
+            }
+            prop_assert!(
+                st.resident_bytes() <= budget + bs,
+                "resident {} budget {}",
+                st.resident_bytes(),
+                budget
+            );
+        }
+    }
+}
+
+/// Reads logged before any write are all served after the block seals, in
+/// request order, with correct data.
+#[test]
+fn logged_reads_fifo_served() {
+    let mut st = StorageState::new(cfg(1 << 20), vec![]);
+    st.handle_client(ClientMsg::Create {
+        req: 0,
+        client: 0,
+        meta: ArrayMeta::new("a", 32, 32),
+    });
+    for r in 0..5u64 {
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: r,
+            client: r,
+            array: "a".into(),
+            iv: Interval::new(r, 4),
+        });
+        assert!(acts.is_empty());
+    }
+    st.handle_client(ClientMsg::WriteReq {
+        req: 100,
+        client: 0,
+        array: "a".into(),
+        iv: Interval::new(0, 32),
+    });
+    let acts = st.handle_client(ClientMsg::ReleaseWrite {
+        req: 101,
+        client: 0,
+        array: "a".into(),
+        iv: Interval::new(0, 32),
+        data: Bytes::from((0..32u8).collect::<Vec<_>>()),
+    });
+    let served: Vec<u64> = acts
+        .iter()
+        .filter_map(|a| match a {
+            Action::Reply {
+                reply: Reply::ReadReady { req, data },
+                ..
+            } => {
+                assert_eq!(data[0], *req as u8, "data starts at the request offset");
+                Some(*req)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(served, vec![0, 1, 2, 3, 4]);
+}
+
+proptest! {
+    /// RangeSet models a set of bytes: insert/covers agree with a bitmap
+    /// reference for arbitrary operation sequences.
+    #[test]
+    fn rangeset_matches_bitmap(ops in proptest::collection::vec((0u64..64, 1u64..16), 1..20)) {
+        let mut rs = RangeSet::new();
+        let mut bits = [false; 96];
+        for (start, len) in ops {
+            let end = start + len;
+            rs.insert(start, end);
+            for i in start..end {
+                bits[i as usize] = true;
+            }
+            // Check covers/intersects on a grid of probes.
+            for ps in (0..80u64).step_by(7) {
+                for pl in [1u64, 3, 9] {
+                    let pe = ps + pl;
+                    let all = (ps..pe).all(|i| bits[i as usize]);
+                    let any = (ps..pe).any(|i| bits[i as usize]);
+                    prop_assert_eq!(rs.covers(ps, pe), all);
+                    prop_assert_eq!(rs.intersects(ps, pe), any);
+                }
+            }
+            let total: u64 = bits.iter().filter(|&&b| b).count() as u64;
+            prop_assert_eq!(rs.covered(), total);
+        }
+    }
+}
+
+/// Startup discovery + read path: discovered blocks are immediately
+/// readable through the implicit out-of-core read.
+#[test]
+fn discovery_read_path() {
+    let mut st = StorageState::new(
+        cfg(1 << 20),
+        vec![
+            DiscoveredBlock {
+                meta: ArrayMeta::new("m", 128, 64),
+                block: 0,
+            },
+            DiscoveredBlock {
+                meta: ArrayMeta::new("m", 128, 64),
+                block: 1,
+            },
+        ],
+    );
+    let acts = st.handle_client(ClientMsg::ReadReq {
+        req: 1,
+        client: 0,
+        array: "m".into(),
+        iv: Interval::new(64, 64),
+    });
+    assert!(matches!(
+        &acts[..],
+        [Action::Io(IoCmd::Read { block: 1, len: 64, .. })]
+    ));
+}

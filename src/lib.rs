@@ -1,0 +1,31 @@
+//! # DOoC — Distributed Out-of-Core dataflow middleware
+//!
+//! Umbrella crate for the reproduction of *"An Out-Of-Core Dataflow
+//! Middleware to Reduce the Cost of Large Scale Iterative Solvers"*
+//! (Zhou et al., ICPP 2012): re-exports every subsystem under one roof.
+//!
+//! * [`filterstream`] — the DataCutter-style filter-stream dataflow runtime;
+//! * [`storage`] — the distributed immutable-array storage layer with
+//!   out-of-core capabilities;
+//! * [`scheduler`] — the hierarchical data-aware task scheduler;
+//! * [`core`] — the DOoC runtime gluing the three together;
+//! * [`sparse`] — CSR matrices, the binary CRS file format, the synthetic
+//!   matrix generator, dense kernels;
+//! * [`linalg`] — the iterated-SpMV application, Lanczos, CG, tridiagonal
+//!   eigensolver;
+//! * [`simulator`] — the SSD-testbed and Hopper models behind the paper's
+//!   tables and figures.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use dooc_core as core;
+pub use dooc_filterstream as filterstream;
+pub use dooc_linalg as linalg;
+pub use dooc_scheduler as scheduler;
+pub use dooc_simulator as simulator;
+pub use dooc_sparse as sparse;
+pub use dooc_storage as storage;
+
+/// The crate version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
