@@ -88,7 +88,8 @@ fn spmv_graph(k: u64, iters: u64) -> TaskGraph {
             // one sum per row
         }
         for u in 0..k {
-            let mut t = TaskSpec::new(format!("x_{i}_{u}"), "sum").output(format!("x_{i}_{u}"), 800);
+            let mut t =
+                TaskSpec::new(format!("x_{i}_{u}"), "sum").output(format!("x_{i}_{u}"), 800);
             for v in 0..k {
                 t = t.input(format!("p_{i}_{u}_{v}"), 800);
             }
@@ -115,8 +116,7 @@ fn scheduler_benches(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("local_drain", k), &k, |b, _| {
             b.iter(|| {
                 let oracle: HashSet<String> = HashSet::new();
-                let mut ls =
-                    LocalScheduler::new(&graph, graph.ids(), OrderPolicy::DataAware);
+                let mut ls = LocalScheduler::new(&graph, graph.ids(), OrderPolicy::DataAware);
                 let mut done = 0;
                 while let Some(t) = ls.next_task(&graph, &oracle) {
                     ls.on_complete(&graph, t);
@@ -159,5 +159,10 @@ fn fluid_sim(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, storage_write_read_cycle, scheduler_benches, fluid_sim);
+criterion_group!(
+    benches,
+    storage_write_read_cycle,
+    scheduler_benches,
+    fluid_sim
+);
 criterion_main!(benches);

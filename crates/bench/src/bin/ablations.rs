@@ -19,8 +19,8 @@ fn main() {
 
     // 1. Affinity vs round-robin placement: bytes moved across nodes.
     {
-        use dooc_linalg::spmv_app::{SpmvAppBuilder, StagedBlock, SyncPolicy, tiled_owner};
-        use dooc_sparse::blockgrid::{BlockGrid};
+        use dooc_linalg::spmv_app::{tiled_owner, SpmvAppBuilder, StagedBlock, SyncPolicy};
+        use dooc_sparse::blockgrid::BlockGrid;
         let k = 10u64;
         let nnodes = 4u64;
         let owner = tiled_owner(k, nnodes);
@@ -34,7 +34,9 @@ fn main() {
                 nnz: 10_000,
             })
             .collect();
-        let app = SpmvAppBuilder::new(grid, 4, blocks).sync(SyncPolicy::None).persist_final(false);
+        let app = SpmvAppBuilder::new(grid, 4, blocks)
+            .sync(SyncPolicy::None)
+            .persist_final(false);
         let (graph, external, _) = app.build();
         let aff = assign_affinity(&graph, &external, nnodes).expect("placed");
         let rr = assign_round_robin(&graph, nnodes);
@@ -43,7 +45,8 @@ fn main() {
             "remote input bytes: affinity {:.1} MB, round-robin {:.1} MB ({}x more)\n",
             aff.remote_input_bytes(&graph, &external) as f64 / 1e6,
             rr.remote_input_bytes(&graph, &external) as f64 / 1e6,
-            rr.remote_input_bytes(&graph, &external) / aff.remote_input_bytes(&graph, &external).max(1)
+            rr.remote_input_bytes(&graph, &external)
+                / aff.remote_input_bytes(&graph, &external).max(1)
         );
     }
 

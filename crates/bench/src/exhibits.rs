@@ -4,9 +4,9 @@
 use crate::gantt;
 use crate::tablefmt::Table;
 use dooc_scheduler::OrderPolicy;
+use dooc_simulator::hierarchy;
 use dooc_simulator::mfdn::{self, HopperModel};
 use dooc_simulator::testbed::{run_testbed, PolicyKind, TestbedParams, TestbedResult};
-use dooc_simulator::hierarchy;
 
 /// Node counts of the §V scaling study.
 pub const NODE_COUNTS: &[usize] = &[1, 4, 9, 16, 25, 36];
@@ -42,7 +42,8 @@ pub fn fig1() -> String {
             format!("{}", l.latency_cycles),
         ]);
     }
-    let mut out = String::from("Fig. 1 — memory hierarchy (2012-era values as the paper presents them)\n\n");
+    let mut out =
+        String::from("Fig. 1 — memory hierarchy (2012-era values as the paper presents them)\n\n");
     out.push_str(&t.render());
     out.push_str("\nlatency gaps between consecutive layers:\n");
     for (a, b, r) in hierarchy::latency_ratios() {
@@ -72,8 +73,7 @@ pub fn table1() -> String {
     for (i, c) in mfdn::CASES.iter().enumerate() {
         let row = mfdn::table_one_row(c);
         let np_model = mfdn::minimal_np(c.nnz, 900e6);
-        let derived =
-            dooc_simulator::cibasis::m_scheme_dimension(5, 5, c.nmax, 2 * c.mj as i64);
+        let derived = dooc_simulator::cibasis::m_scheme_dimension(5, 5, c.nmax, 2 * c.mj as i64);
         t.row(vec![
             c.name.to_string(),
             format!("({},{})", c.nmax, c.mj),
@@ -104,13 +104,7 @@ pub fn table1() -> String {
 /// Table II: 99 Lanczos iterations on Hopper, model vs published.
 pub fn table2() -> String {
     let m = HopperModel::calibrated();
-    let mut t = Table::new(&[
-        "stats",
-        "test276",
-        "test1128",
-        "test4560",
-        "test18336",
-    ]);
+    let mut t = Table::new(&["stats", "test276", "test1128", "test4560", "test18336"]);
     let rows: Vec<_> = mfdn::CASES.iter().map(|c| m.table_two_row(c, 99)).collect();
     t.row(
         std::iter::once("t_total model (s)".to_string())
@@ -119,7 +113,11 @@ pub fn table2() -> String {
     );
     t.row(
         std::iter::once("t_total paper (s)".to_string())
-            .chain(mfdn::CASES.iter().map(|c| format!("{:.0}", c.published_total_s)))
+            .chain(
+                mfdn::CASES
+                    .iter()
+                    .map(|c| format!("{:.0}", c.published_total_s)),
+            )
             .collect(),
     );
     t.row(
@@ -255,9 +253,8 @@ pub fn fig3() -> String {
         })
         .collect();
     let app = SpmvAppBuilder::new(grid, 2, blocks);
-    let mut out = String::from(
-        "Fig. 3 — commands emitted for the first two iterations (3x3 grid)\n\n",
-    );
+    let mut out =
+        String::from("Fig. 3 — commands emitted for the first two iterations (3x3 grid)\n\n");
     for cmd in app.command_plan(2) {
         out.push_str(&format!("  {cmd}\n"));
     }
@@ -339,11 +336,7 @@ pub fn fig5() -> String {
 
 /// Fig. 6: runtime relative to minimal I/O time at the 20 GB/s peak.
 pub fn fig6(simple: &[TestbedResult], interleaved: &[TestbedResult]) -> String {
-    let mut t = Table::new(&[
-        "#nodes",
-        "(a) simple",
-        "(b) interleaved",
-    ]);
+    let mut t = Table::new(&["#nodes", "(a) simple", "(b) interleaved"]);
     for (s, i) in simple.iter().zip(interleaved) {
         t.row(vec![
             format!("{}", s.nnodes),

@@ -9,7 +9,6 @@
 use dooc_scheduler::{LocalScheduler, MemoryOracle, OrderPolicy, TaskGraph, TaskId, TaskSpec};
 use std::cell::RefCell;
 
-
 /// One lane entry of the chart.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GanttOp {
@@ -74,8 +73,7 @@ fn fig5_graph(k: u64, iters: u64) -> (TaskGraph, Vec<Vec<TaskId>>) {
         }
         for u in 0..k {
             mine[u as usize].push(TaskId(tasks.len() as u64));
-            let mut t =
-                TaskSpec::new(format!("x_{i}_{u}"), "sum").output(format!("x_{i}_{u}"), 8);
+            let mut t = TaskSpec::new(format!("x_{i}_{u}"), "sum").output(format!("x_{i}_{u}"), 8);
             for v in 0..k {
                 t = t.input(format!("x_{i}_{u}_{v}"), 8);
             }

@@ -69,9 +69,7 @@ pub fn sci(x: f64) -> String {
     }
     let mag = x.abs().log10();
     if (0.01..100_000.0).contains(&x.abs()) {
-        if x.fract() == 0.0 && x.abs() < 100_000.0 {
-            format!("{x:.0}")
-        } else if mag >= 2.0 {
+        if x.fract() == 0.0 || mag >= 2.0 {
             format!("{x:.0}")
         } else {
             format!("{x:.2}")

@@ -1,0 +1,61 @@
+//! DOoC lint pass entry point: `cargo run -p dooc-check --bin lint`.
+//!
+//! Scans the workspace (rooted at the first CLI argument, or found by
+//! walking up from the current directory to the first `Cargo.toml` with a
+//! `crates/` sibling) and exits nonzero if any rule is violated.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                eprintln!("lint: cannot determine working directory: {e}");
+                std::process::exit(2);
+            });
+            match find_root(cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("lint: no workspace root found (pass it as an argument)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match dooc_check::lint::lint_workspace(&root) {
+        Ok(report) => {
+            if report.findings.is_empty() {
+                println!(
+                    "lint clean: {} source files scanned under {}",
+                    report.files_scanned,
+                    root.display()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for f in &report.findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("lint: {} finding(s)", report.findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: scan failed under {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

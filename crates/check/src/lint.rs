@@ -1,0 +1,256 @@
+//! DOoC source lint pass: repo-specific rules, plain line scanning.
+//!
+//! The rules (deliberately simple — no parser, no dependencies):
+//!
+//! 1. **No `unwrap()`/`expect(` in protocol library code** — the four
+//!    runtime crates (`filterstream`, `storage`, `scheduler`, `core`) must
+//!    surface errors through their `Result` types; a stray unwrap in a
+//!    filter thread kills the whole dataflow with an opaque panic. Test
+//!    code (a trailing `#[cfg(test)]` module, or files under `tests/`) is
+//!    exempt.
+//! 2. **No `std::sync` locks** — the workspace standardises on
+//!    `parking_lot` (and [`dooc_filterstream::sync`]'s checked wrapper);
+//!    mixing lock families defeats the lock-order instrumentation.
+//! 3. **No unbounded channels** — filter graphs rely on bounded streams
+//!    for backpressure; an unbounded channel reintroduces the unbounded
+//!    memory growth the paper's design avoids.
+//! 4. **`#![forbid(unsafe_code)]` in every crate root.**
+//!
+//! Scanning is line-based: lines whose trimmed form starts with `//` are
+//! skipped, and within a file everything from the first `#[cfg(test)]`
+//! attribute onward is treated as test code (the repo convention places the
+//! test module last).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose *library* code must be panic-free (rule 1).
+pub const PANIC_FREE_CRATES: &[&str] = &["filterstream", "storage", "scheduler", "core"];
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// File the finding is in (as given to the scanner).
+    pub file: PathBuf,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Short rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+// Patterns are assembled with `concat!` so this file does not itself
+// contain the banned tokens verbatim (the lint scans its own crate).
+const PAT_UNWRAP: &str = concat!(".unwrap", "()");
+const PAT_EXPECT: &str = concat!(".expect", "(");
+const PAT_STD_MUTEX: &str = concat!("std::sync::", "Mutex");
+const PAT_STD_RWLOCK: &str = concat!("std::sync::", "RwLock");
+const PAT_UNBOUNDED: &str = concat!("unbounded", "(");
+const PAT_FORBID_UNSAFE: &str = concat!("#![forbid(", "unsafe_code)]");
+
+/// Lints one source file's content. `panic_free` selects rule 1 in
+/// addition to the always-on rules.
+pub fn lint_source(file: &Path, content: &str, panic_free: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_tests = false;
+    for (i, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        if line.contains("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests || line.starts_with("//") {
+            continue;
+        }
+        let mut report = |rule: &'static str, message: String| {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: i + 1,
+                rule,
+                message,
+            });
+        };
+        if panic_free {
+            if line.contains(PAT_UNWRAP) {
+                report(
+                    "no-unwrap",
+                    "unwrap() in protocol library code — propagate the error".into(),
+                );
+            }
+            if line.contains(PAT_EXPECT) {
+                report(
+                    "no-unwrap",
+                    "expect() in protocol library code — propagate the error".into(),
+                );
+            }
+        }
+        if line.contains(PAT_STD_MUTEX) || line.contains(PAT_STD_RWLOCK) {
+            report(
+                "no-std-locks",
+                "std::sync lock — use parking_lot (or sync::OrderedMutex)".into(),
+            );
+        }
+        if line.contains(PAT_UNBOUNDED) {
+            report(
+                "no-unbounded-channels",
+                "unbounded channel — streams must be bounded for backpressure".into(),
+            );
+        }
+    }
+    findings
+}
+
+/// Checks rule 4 on a crate-root file's content.
+pub fn lint_crate_root(file: &Path, content: &str) -> Vec<Finding> {
+    if content.contains(PAT_FORBID_UNSAFE) {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: file.to_path_buf(),
+            line: 0,
+            rule: "forbid-unsafe",
+            message: format!("crate root lacks {PAT_FORBID_UNSAFE}"),
+        }]
+    }
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan summary of [`lint_workspace`].
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All rule violations found.
+    pub findings: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints the workspace rooted at `root`: every `crates/*/src` tree (rules
+/// 1–3, with rule 1 scoped to [`PANIC_FREE_CRATES`]) and every crate root
+/// including the umbrella `src/lib.rs` (rule 4). `vendor/`, `tests/` and
+/// `benches/` trees are not library code and are skipped.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut roots: Vec<PathBuf> = vec![root.join("src/lib.rs")];
+    for dir in &crate_dirs {
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        roots.push(src.join("lib.rs"));
+        let crate_name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let panic_free = PANIC_FREE_CRATES.contains(&crate_name);
+        let mut files = Vec::new();
+        rust_sources(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let content = fs::read_to_string(&file)?;
+            report.files_scanned += 1;
+            let rel = file.strip_prefix(root).unwrap_or(&file);
+            report
+                .findings
+                .extend(lint_source(rel, &content, panic_free));
+        }
+    }
+
+    for file in roots {
+        if !file.is_file() {
+            continue;
+        }
+        let content = fs::read_to_string(&file)?;
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        report.findings.extend(lint_crate_root(rel, &content));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_flagged_only_in_panic_free_crates() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let f = lint_source(Path::new("a.rs"), src, true);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-unwrap");
+        assert_eq!(f[0].line, 1);
+        assert!(lint_source(Path::new("a.rs"), src, false).is_empty());
+    }
+
+    #[test]
+    fn test_module_and_comments_are_exempt() {
+        let src = "\
+// x.unwrap() in a comment is fine
+fn f() {}
+#[cfg(test)]
+mod tests {
+    fn g() { x.unwrap(); }
+}
+";
+        assert!(lint_source(Path::new("a.rs"), src, true).is_empty());
+    }
+
+    #[test]
+    fn std_locks_and_unbounded_channels_flagged_everywhere() {
+        let src = format!(
+            "use {};\nlet (tx, rx) = {}{};\n",
+            concat!("std::sync::", "Mutex"),
+            concat!("unbounded", ""),
+            "()"
+        );
+        let f = lint_source(Path::new("a.rs"), &src, false);
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"no-std-locks"), "{rules:?}");
+        assert!(rules.contains(&"no-unbounded-channels"), "{rules:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let src = "let x = y.unwrap_or(0).unwrap_or_else(f).unwrap_or_default();\n";
+        assert!(lint_source(Path::new("a.rs"), src, true).is_empty());
+    }
+
+    #[test]
+    fn crate_root_needs_forbid_unsafe() {
+        let ok = format!("{}\npub mod x;\n", concat!("#![forbid(", "unsafe_code)]"));
+        assert!(lint_crate_root(Path::new("lib.rs"), &ok).is_empty());
+        let bad = "pub mod x;\n";
+        let f = lint_crate_root(Path::new("lib.rs"), bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "forbid-unsafe");
+    }
+}

@@ -1,0 +1,23 @@
+//! The lint pass, run against this very workspace: the repo must be clean.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/check sits two levels below the workspace root");
+    let report = dooc_check::lint::lint_workspace(root).expect("scan succeeds");
+    assert!(
+        report.files_scanned > 30,
+        "expected to scan the whole workspace, got {} files",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "lint findings:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -56,6 +56,7 @@ pub use runtime::DoocRuntime;
 pub use worker::{ExecOutcome, TaskExecutor, WorkerContext};
 
 // Re-export the pieces applications touch, so `dooc-core` is self-sufficient.
+pub use dooc_filterstream::sync;
 pub use dooc_scheduler::{DataRef, OrderPolicy, TaskGraph, TaskId, TaskSpec};
 pub use dooc_storage::meta::Interval;
 pub use dooc_storage::proto::NodeStats;

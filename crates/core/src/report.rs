@@ -86,10 +86,7 @@ pub fn render_trace_gantt(report: &RunReport, width: usize) -> String {
                 *c = glyph;
             }
         }
-        out.push_str(&format!(
-            "node{node}: {}\n",
-            String::from_utf8(lane).expect("ascii lane")
-        ));
+        out.push_str(&format!("node{node}: {}\n", String::from_utf8_lossy(&lane)));
     }
     out.push_str("(M = multiply, S = reduction, | = barrier, # = other, . = idle)\n");
     out
@@ -108,6 +105,7 @@ mod tests {
             streams: RuntimeReport {
                 elapsed: Duration::from_secs(10),
                 streams: vec![],
+                ports: vec![],
             },
             trace: vec![
                 TraceEvent {

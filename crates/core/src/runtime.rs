@@ -52,11 +52,7 @@ impl DoocRuntime {
             return Err(DoocError::Config("no scratch directories".into()));
         }
         // Global scheduling: affinity placement.
-        let placement = Arc::new(assign_affinity(
-            &graph,
-            &external_location,
-            nnodes as u64,
-        )?);
+        let placement = Arc::new(assign_affinity(&graph, &external_location, nnodes as u64)?);
 
         // Geometry table: explicit hints, plus single-block defaults derived
         // from the task declarations.
@@ -128,6 +124,26 @@ impl DoocRuntime {
 
         let streams = Runtime::run(layout)?;
         let elapsed = start.elapsed();
+
+        // Shutdown leak audit: every buffer enqueued into a port must have
+        // been dequeued before the filters exited.
+        #[cfg(feature = "order-check")]
+        {
+            let leaks: Vec<String> = streams
+                .undrained_ports()
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{}: delivered {} received {}",
+                        p.name, p.delivered, p.received
+                    )
+                })
+                .collect();
+            assert!(
+                leaks.is_empty(),
+                "stream leak audit: buffers abandoned at shutdown: {leaks:?}"
+            );
+        }
 
         // Collect sinks.
         let mut trace = std::mem::take(&mut *sinks.trace.lock());

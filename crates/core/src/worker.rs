@@ -10,12 +10,12 @@
 use crate::report::TraceEvent;
 use crate::DoocConfig;
 use bytes::Bytes;
+use dooc_filterstream::sync::OrderedMutex;
 use dooc_filterstream::{DataBuffer, Filter, FilterContext};
 use dooc_scheduler::{LocalScheduler, Placement, TaskGraph, TaskId, TaskSpec};
 use dooc_storage::meta::{ArrayMeta, Interval};
 use dooc_storage::proto::{BlockAvail, NodeStats};
 use dooc_storage::StorageClient;
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -98,11 +98,18 @@ impl<'a> WorkerContext<'a> {
     pub fn read_f64s(&mut self, name: &str) -> std::result::Result<Vec<f64>, String> {
         let raw = self.read_array(name)?;
         if raw.len() % 8 != 0 {
-            return Err(format!("array '{name}' length {} not f64-aligned", raw.len()));
+            return Err(format!(
+                "array '{name}' length {} not f64-aligned",
+                raw.len()
+            ));
         }
         Ok(raw
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .map(|c| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                f64::from_le_bytes(b)
+            })
             .collect())
     }
 
@@ -148,10 +155,18 @@ impl<'a> WorkerContext<'a> {
 }
 
 /// Sinks the workers report into (collected by the runtime after the run).
-#[derive(Default)]
 pub(crate) struct Sinks {
-    pub trace: Mutex<Vec<TraceEvent>>,
-    pub stats: Mutex<Vec<(u64, NodeStats)>>,
+    pub trace: OrderedMutex<Vec<TraceEvent>>,
+    pub stats: OrderedMutex<Vec<(u64, NodeStats)>>,
+}
+
+impl Default for Sinks {
+    fn default() -> Self {
+        Self {
+            trace: OrderedMutex::new("core.sinks.trace", Vec::new()),
+            stats: OrderedMutex::new("core.sinks.stats", Vec::new()),
+        }
+    }
 }
 
 pub(crate) struct WorkerFilter {
@@ -204,8 +219,7 @@ impl Filter for WorkerFilter {
         let to_storage = ctx.take_output("sreq")?;
         let from_storage = ctx.take_input("srep")?;
         let base = self.client_base.load(std::sync::atomic::Ordering::SeqCst);
-        let mut client =
-            StorageClient::new(to_storage, from_storage, ctx.instance, base + node);
+        let mut client = StorageClient::new(to_storage, from_storage, ctx.instance, base + node);
         // Geometry hints on every node.
         for (name, len, bs) in &self.config.geometry {
             client
@@ -233,8 +247,7 @@ impl Filter for WorkerFilter {
                 break;
             }
             // 2. Storage map snapshot (the oracle).
-            let resident = Self::snapshot(&mut client, &self.geometry)
-                .map_err(|e| ctx.error(e))?;
+            let resident = Self::snapshot(&mut client, &self.geometry).map_err(|e| ctx.error(e))?;
             // 3. Prefetch the inputs of upcoming tasks.
             for arr in ls.prefetch_candidates(&self.graph, &resident) {
                 if let Some(&(len, bs)) = self.geometry.get(&arr) {
@@ -257,11 +270,9 @@ impl Filter for WorkerFilter {
                     geometry: &self.geometry,
                     input_bytes: 0,
                 };
-                self.executor
-                    .execute(&spec, &mut wctx)
-                    .map_err(|message| {
-                        ctx.error(format!("task '{}' failed: {message}", spec.name))
-                    })?;
+                self.executor.execute(&spec, &mut wctx).map_err(|message| {
+                    ctx.error(format!("task '{}' failed: {message}", spec.name))
+                })?;
                 let input_bytes = wctx.input_bytes;
                 self.sinks.trace.lock().push(TraceEvent {
                     node,
@@ -278,7 +289,14 @@ impl Filter for WorkerFilter {
             }
         }
 
-        // Quiesce: report stats, then shut the local storage down.
+        // Quiesce: every grant the tasks took must have been handed back.
+        #[cfg(feature = "order-check")]
+        assert_eq!(
+            client.outstanding_grants(),
+            0,
+            "grant leak: worker {node} finished with unreleased storage grants"
+        );
+        // Report stats, then shut the local storage down.
         if let Ok(stats) = client.stats() {
             self.sinks.stats.lock().push((node, stats));
         }

@@ -91,9 +91,15 @@ fn fan_out_fan_in_across_nodes() {
     let cfg = DoocConfig::in_temp_dirs("e2e-ffi", 2).expect("cfg");
     stage_f64s(&cfg, 0, "in", &[1.0, 10.0]);
     let graph = TaskGraph::new(vec![
-        TaskSpec::new("a=in*2", "scale").input("in", 16).output("a", 16),
-        TaskSpec::new("b=in*3", "scale").input("in", 16).output("b", 16),
-        TaskSpec::new("c=in*4", "scale").input("in", 16).output("c", 16),
+        TaskSpec::new("a=in*2", "scale")
+            .input("in", 16)
+            .output("a", 16),
+        TaskSpec::new("b=in*3", "scale")
+            .input("in", 16)
+            .output("b", 16),
+        TaskSpec::new("c=in*4", "scale")
+            .input("in", 16)
+            .output("c", 16),
         TaskSpec::new("total", "sum")
             .input("a", 16)
             .input("b", 16)
@@ -141,9 +147,15 @@ fn distributed_pipeline_produces_correct_sum() {
     stage_f64s(&cfg, 1, "v", &[10.0, 20.0, 30.0, 40.0]);
     stage_f64s(&cfg, 2, "w", &[100.0, 200.0, 300.0, 400.0]);
     let graph = TaskGraph::new(vec![
-        TaskSpec::new("su=u*2", "scale").input("u", 32).output("su", 32),
-        TaskSpec::new("sv=v*2", "scale").input("v", 32).output("sv", 32),
-        TaskSpec::new("sw=w*2", "scale").input("w", 32).output("sw", 32),
+        TaskSpec::new("su=u*2", "scale")
+            .input("u", 32)
+            .output("su", 32),
+        TaskSpec::new("sv=v*2", "scale")
+            .input("v", 32)
+            .output("sv", 32),
+        TaskSpec::new("sw=w*2", "scale")
+            .input("w", 32)
+            .output("sw", 32),
         TaskSpec::new("result", "sum")
             .input("su", 32)
             .input("sv", 32)

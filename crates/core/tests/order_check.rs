@@ -1,0 +1,75 @@
+//! Lock-order deadlock detection (`--features order-check` only).
+//!
+//! Detection is by lock *class*, so acquiring two `OrderedMutex`es declared
+//! with the cluster's and the worker's class names is exactly the check the
+//! production locks get: the first thread establishes
+//! `storage.cluster.port_map -> core.sinks.trace` in the global lock-order
+//! graph; the second thread's inverted nesting must panic citing both
+//! acquisition sites.
+
+#![cfg(feature = "order-check")]
+
+use dooc_core::sync::OrderedMutex;
+use std::sync::Arc;
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&'static str>().map(|s| s.to_string()))
+        .expect("panic payload is a string")
+}
+
+#[test]
+fn inverted_lock_order_is_detected_with_both_sites() {
+    let cluster = Arc::new(OrderedMutex::new("storage.cluster.port_map", 0u32));
+    let worker = Arc::new(OrderedMutex::new("core.sinks.trace", 0u32));
+
+    // Thread 1: cluster lock, then worker lock — establishes the order.
+    {
+        let (c, w) = (Arc::clone(&cluster), Arc::clone(&worker));
+        std::thread::spawn(move || {
+            let _gc = c.lock();
+            let _gw = w.lock();
+        })
+        .join()
+        .expect("consistent nesting is fine");
+    }
+
+    // Thread 2: worker lock, then cluster lock — the potential deadlock.
+    let err = {
+        let (c, w) = (Arc::clone(&cluster), Arc::clone(&worker));
+        std::thread::spawn(move || {
+            let _gw = w.lock();
+            let _gc = c.lock();
+        })
+        .join()
+        .expect_err("inverted nesting must be detected")
+    };
+    let msg = panic_message(err);
+    assert!(msg.contains("lock-order violation"), "{msg}");
+    assert!(
+        msg.contains("storage.cluster.port_map") && msg.contains("core.sinks.trace"),
+        "names both lock classes: {msg}"
+    );
+    // Both acquisition sites (file:line:col of the lock() calls) are cited.
+    assert!(
+        msg.matches("order_check.rs").count() >= 2,
+        "cites both acquisition sites: {msg}"
+    );
+}
+
+#[test]
+fn recursive_acquisition_is_detected() {
+    let m = Arc::new(OrderedMutex::new("core.test.recursive", ()));
+    let err = {
+        let m = Arc::clone(&m);
+        std::thread::spawn(move || {
+            let _g1 = m.lock();
+            let _g2 = m.lock(); // would self-deadlock
+        })
+        .join()
+        .expect_err("recursive lock must be detected")
+    };
+    let msg = panic_message(err);
+    assert!(msg.contains("recursive acquisition"), "{msg}");
+}

@@ -146,7 +146,11 @@ fn pinned_read_api_works_end_to_end() {
         .output("out", 3)])
     .expect("graph");
     DoocRuntime::new(cfg.clone())
-        .run(graph, HashMap::from([("in".into(), 0)]), Arc::new(PinnedReader))
+        .run(
+            graph,
+            HashMap::from([("in".into(), 0)]),
+            Arc::new(PinnedReader),
+        )
         .expect("run");
     let out = std::fs::read(cfg.scratch_dirs[0].join("out@0")).expect("persisted");
     assert_eq!(out, vec![2, 4, 6]);
@@ -212,12 +216,16 @@ fn byte_identical_outputs_across_runs() {
     for run in 0..2 {
         let cfg = DoocConfig::in_temp_dirs(&format!("pol-det{run}"), 2).expect("cfg");
         stage(&cfg, 0, "in", &[3, 1, 4, 1, 5, 9, 2, 6]);
-        let graph = TaskGraph::new(vec![
-            TaskSpec::new("a", "pin").input("in", 8).output("mid", 8),
-        ])
+        let graph = TaskGraph::new(vec![TaskSpec::new("a", "pin")
+            .input("in", 8)
+            .output("mid", 8)])
         .expect("graph");
         DoocRuntime::new(cfg.clone())
-            .run(graph, HashMap::from([("in".into(), 0)]), Arc::new(PinnedReader))
+            .run(
+                graph,
+                HashMap::from([("in".into(), 0)]),
+                Arc::new(PinnedReader),
+            )
             .expect("run");
         outs.push(std::fs::read(cfg.scratch_dirs[0].join("mid@0")).expect("persisted"));
         cleanup(&cfg);

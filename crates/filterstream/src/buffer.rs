@@ -70,7 +70,7 @@ impl DataBuffer {
     /// input error).
     pub fn as_u64s(&self) -> Vec<u64> {
         assert!(
-            self.payload.len() % 8 == 0,
+            self.payload.len().is_multiple_of(8),
             "payload length {} not a multiple of 8",
             self.payload.len()
         );
@@ -85,7 +85,7 @@ impl DataBuffer {
     /// Decodes the payload as `f64`s. Panics on misaligned payloads.
     pub fn as_f64s(&self) -> Vec<f64> {
         assert!(
-            self.payload.len() % 8 == 0,
+            self.payload.len().is_multiple_of(8),
             "payload length {} not a multiple of 8",
             self.payload.len()
         );

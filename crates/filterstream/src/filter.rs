@@ -82,18 +82,22 @@ impl FilterContext {
     /// Takes ownership of the input stream bound to `port` (e.g. to wrap it
     /// in a higher-level client handle). Subsequent `input(port)` calls fail.
     pub fn take_input(&mut self, port: &str) -> Result<StreamReader> {
-        self.inputs.remove(port).ok_or_else(|| FsError::UnknownPort {
-            filter: self.name.clone(),
-            port: port.to_string(),
-        })
+        self.inputs
+            .remove(port)
+            .ok_or_else(|| FsError::UnknownPort {
+                filter: self.name.clone(),
+                port: port.to_string(),
+            })
     }
 
     /// Takes ownership of the output stream bound to `port`.
     pub fn take_output(&mut self, port: &str) -> Result<StreamWriter> {
-        self.outputs.remove(port).ok_or_else(|| FsError::UnknownPort {
-            filter: self.name.clone(),
-            port: port.to_string(),
-        })
+        self.outputs
+            .remove(port)
+            .ok_or_else(|| FsError::UnknownPort {
+                filter: self.name.clone(),
+                port: port.to_string(),
+            })
     }
 
     /// Names of all connected input ports.

@@ -56,9 +56,9 @@ impl Layout {
         filter: Box<dyn Filter>,
     ) -> FilterId {
         let mut slot = Some(filter);
-        self.add_replicated(name, vec![node], move |_| {
-            slot.take()
-                .expect("single-instance factory invoked more than once")
+        self.add_replicated(name, vec![node], move |_| match slot.take() {
+            Some(f) => f,
+            None => panic!("single-instance factory invoked more than once"),
         })
     }
 
@@ -73,7 +73,10 @@ impl Layout {
         placements: Vec<NodeId>,
         factory: impl FnMut(usize) -> Box<dyn Filter> + Send + 'static,
     ) -> FilterId {
-        assert!(!placements.is_empty(), "a filter needs at least one instance");
+        assert!(
+            !placements.is_empty(),
+            "a filter needs at least one instance"
+        );
         let id = FilterId(self.filters.len());
         self.filters.push(FilterDecl {
             name: name.into(),
@@ -92,7 +95,14 @@ impl Layout {
         to: FilterId,
         to_port: impl Into<String>,
     ) {
-        self.connect_with(from, from_port, to, to_port, Delivery::RoundRobin, DEFAULT_CAPACITY);
+        self.connect_with(
+            from,
+            from_port,
+            to,
+            to_port,
+            Delivery::RoundRobin,
+            DEFAULT_CAPACITY,
+        );
     }
 
     /// Connects with an explicit delivery policy and stream capacity.
@@ -152,15 +162,11 @@ impl Layout {
                 )));
             }
             if s.delivery == Delivery::Aligned
-                && self.filters[s.from.0].placements.len()
-                    != self.filters[s.to.0].placements.len()
+                && self.filters[s.from.0].placements.len() != self.filters[s.to.0].placements.len()
             {
                 return Err(FsError::InvalidLayout(format!(
                     "aligned stream '{}'.'{}' -> '{}'.'{}' requires equal instance counts",
-                    self.filters[s.from.0].name,
-                    s.from_port,
-                    self.filters[s.to.0].name,
-                    s.to_port
+                    self.filters[s.from.0].name, s.from_port, self.filters[s.to.0].name, s.to_port
                 )));
             }
             match in_ports.entry((s.to.0, s.to_port.as_str())) {

@@ -43,12 +43,14 @@ pub mod filter;
 pub mod layout;
 pub mod runtime;
 pub mod stream;
+pub mod sync;
 
 pub use buffer::DataBuffer;
 pub use filter::{Filter, FilterContext};
 pub use layout::{FilterId, Layout};
-pub use runtime::{Runtime, RuntimeReport};
+pub use runtime::{PortReport, Runtime, RuntimeReport};
 pub use stream::{select_recv, Delivery, StreamReader, StreamWriter};
+pub use sync::OrderedMutex;
 
 /// Identity of a (simulated) compute node filters are placed on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]

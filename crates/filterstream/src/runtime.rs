@@ -9,7 +9,7 @@
 
 use crate::filter::FilterContext;
 use crate::layout::Layout;
-use crate::stream::{Inbox, StreamStats};
+use crate::stream::{Inbox, PortCounters, StreamStats};
 use crate::{FsError, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -28,6 +28,18 @@ pub struct StreamReport {
     pub remote_bytes: u64,
 }
 
+/// Post-run delivery tally of one (consumer filter, input port) inbox.
+#[derive(Clone, Debug)]
+pub struct PortReport {
+    /// `consumer.port` label.
+    pub name: String,
+    /// Buffers enqueued into the port's lanes (each broadcast replica
+    /// counts as one).
+    pub delivered: u64,
+    /// Buffers dequeued by consumer instances.
+    pub received: u64,
+}
+
 /// Result of a completed dataflow run.
 #[derive(Clone, Debug)]
 pub struct RuntimeReport {
@@ -35,6 +47,8 @@ pub struct RuntimeReport {
     pub elapsed: Duration,
     /// Per-stream traffic.
     pub streams: Vec<StreamReport>,
+    /// Per-port delivery tallies (for the shutdown leak audit).
+    pub ports: Vec<PortReport>,
 }
 
 impl RuntimeReport {
@@ -51,6 +65,16 @@ impl RuntimeReport {
     /// Traffic of the stream with the given label, if present.
     pub fn stream(&self, name: &str) -> Option<&StreamReport> {
         self.streams.iter().find(|s| s.name == name)
+    }
+
+    /// Ports whose consumers dequeued fewer buffers than producers
+    /// enqueued — buffers abandoned in a lane at shutdown. An empty result
+    /// means every stream buffer was returned.
+    pub fn undrained_ports(&self) -> Vec<&PortReport> {
+        self.ports
+            .iter()
+            .filter(|p| p.received != p.delivered)
+            .collect()
     }
 }
 
@@ -102,17 +126,24 @@ impl Runtime {
             }
         }
 
-        // Distribute readers.
+        // Distribute readers; keep each inbox's delivery tally for the
+        // post-run leak audit.
         // readers[fidx][inst] : Vec<(port, StreamReader)>
         let mut readers: Vec<Vec<Vec<(String, crate::stream::StreamReader)>>> = filters
             .iter()
             .map(|f| (0..f.placements.len()).map(|_| Vec::new()).collect())
             .collect();
+        let mut port_counters: Vec<(String, Arc<PortCounters>)> = Vec::new();
         for ((fidx, port), mut inbox) in inboxes {
-            for inst in 0..filters[fidx].placements.len() {
-                readers[fidx][inst].push((port.clone(), inbox.take_reader(inst)));
+            port_counters.push((
+                format!("{}.{}", filters[fidx].name, port),
+                Arc::clone(&inbox.counters),
+            ));
+            for (inst, slot) in readers[fidx].iter_mut().enumerate() {
+                slot.push((port.clone(), inbox.take_reader(inst)));
             }
         }
+        port_counters.sort_by(|a, b| a.0.cmp(&b.0));
 
         // Spawn every filter instance.
         let started = Instant::now();
@@ -122,20 +153,18 @@ impl Runtime {
             for (inst, &node) in decl.placements.iter().enumerate().rev() {
                 let inputs: HashMap<_, _> = readers[fidx].pop_if_last(inst);
                 let outputs: HashMap<_, _> = writers[fidx].pop_if_last(inst);
-                let mut ctx = FilterContext::new(
-                    decl.name.clone(),
-                    node,
-                    inst,
-                    replicas,
-                    inputs,
-                    outputs,
-                );
+                let mut ctx =
+                    FilterContext::new(decl.name.clone(), node, inst, replicas, inputs, outputs);
                 let mut filter = (decl.factory)(inst);
                 let name = decl.name.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("{name}[{inst}]"))
                     .spawn(move || -> Result<()> { filter.run(&mut ctx) })
-                    .expect("thread spawn");
+                    .map_err(|e| {
+                        FsError::InvalidLayout(format!(
+                            "failed to spawn thread for {name}[{inst}]: {e}"
+                        ))
+                    })?;
                 handles.push((name, inst, handle));
             }
         }
@@ -180,7 +209,19 @@ impl Runtime {
                 }
             })
             .collect();
-        Ok(RuntimeReport { elapsed, streams })
+        let ports = port_counters
+            .into_iter()
+            .map(|(name, c)| PortReport {
+                name,
+                delivered: c.enqueued.load(std::sync::atomic::Ordering::Relaxed),
+                received: c.dequeued.load(std::sync::atomic::Ordering::Relaxed),
+            })
+            .collect();
+        Ok(RuntimeReport {
+            elapsed,
+            streams,
+            ports,
+        })
     }
 }
 
@@ -235,7 +276,9 @@ mod tests {
         layout.connect(src, "out", sink, "in");
         let report = Runtime::run(layout).expect("run ok");
         assert_eq!(total.load(Ordering::Relaxed), 99 * 100 / 2);
-        let s = report.stream("source.out -> sink.in").expect("stream logged");
+        let s = report
+            .stream("source.out -> sink.in")
+            .expect("stream logged");
         assert_eq!(s.buffers, 100);
         assert_eq!(s.remote_bytes, s.bytes, "cross-node stream fully remote");
     }
@@ -254,8 +297,7 @@ mod tests {
                 Ok(())
             }),
         );
-        let counts: Arc<Vec<AtomicU64>> =
-            Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+        let counts: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
         let c2 = Arc::clone(&counts);
         let workers = layout.add_replicated("worker", vec![NodeId(0); 4], move |_i| {
             let counts = Arc::clone(&c2);
@@ -322,8 +364,7 @@ mod tests {
                 Ok(())
             }),
         );
-        let oks: Arc<Vec<AtomicU64>> =
-            Arc::new((0..nworkers).map(|_| AtomicU64::new(0)).collect());
+        let oks: Arc<Vec<AtomicU64>> = Arc::new((0..nworkers).map(|_| AtomicU64::new(0)).collect());
         let o2 = Arc::clone(&oks);
         let workers = layout.add_replicated("worker", vec![NodeId(1); nworkers], move |_| {
             let oks = Arc::clone(&o2);

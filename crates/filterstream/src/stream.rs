@@ -73,6 +73,18 @@ impl StreamStats {
     }
 }
 
+/// Enqueue/dequeue tally of one inbox, for the shutdown leak audit: every
+/// buffer enqueued into a consumer lane (each broadcast replica counts as
+/// one) should eventually be dequeued by a consumer; a shortfall at the end
+/// of a run means buffers were abandoned in a lane.
+#[derive(Debug, Default)]
+pub struct PortCounters {
+    /// Buffers enqueued into consumer lanes.
+    pub enqueued: AtomicU64,
+    /// Buffers dequeued by consumers.
+    pub dequeued: AtomicU64,
+}
+
 /// The consumer-side channel set of one (filter, input port): either a
 /// single shared queue or one lane per consumer instance.
 #[derive(Clone)]
@@ -89,6 +101,7 @@ pub(crate) struct Inbox {
     pub lanes: InboxLanes,
     readers: Vec<Option<StreamReader>>,
     pub consumer_nodes: Arc<[NodeId]>,
+    pub counters: Arc<PortCounters>,
 }
 
 impl Inbox {
@@ -98,7 +111,11 @@ impl Inbox {
         consumer_nodes: &[NodeId],
         consumer_port: &str,
     ) -> Self {
-        assert!(!consumer_nodes.is_empty(), "inbox needs at least one consumer");
+        assert!(
+            !consumer_nodes.is_empty(),
+            "inbox needs at least one consumer"
+        );
+        let counters = Arc::new(PortCounters::default());
         let (lanes, readers) = match delivery {
             Delivery::RoundRobin => {
                 let (tx, rx) = bounded(capacity);
@@ -108,6 +125,7 @@ impl Inbox {
                         Some(StreamReader {
                             port: consumer_port.to_string(),
                             rx: rx.clone(),
+                            counters: Arc::clone(&counters),
                         })
                     })
                     .collect();
@@ -122,6 +140,7 @@ impl Inbox {
                     readers.push(Some(StreamReader {
                         port: consumer_port.to_string(),
                         rx,
+                        counters: Arc::clone(&counters),
                     }));
                 }
                 (InboxLanes::PerConsumer(txs), readers)
@@ -132,14 +151,16 @@ impl Inbox {
             lanes,
             readers,
             consumer_nodes: consumer_nodes.into(),
+            counters,
         }
     }
 
     /// Takes the reader of consumer instance `i` (exactly once).
     pub fn take_reader(&mut self, i: usize) -> StreamReader {
-        self.readers[i]
-            .take()
-            .expect("reader already taken — each consumer instance gets exactly one")
+        match self.readers[i].take() {
+            Some(r) => r,
+            None => panic!("reader {i} already taken — each consumer instance gets exactly one"),
+        }
     }
 
     /// Creates a writer for producer instance `instance` placed on `node`.
@@ -161,6 +182,7 @@ impl Inbox {
             delivery: self.delivery,
             lanes: self.lanes.clone(),
             stats,
+            counters: Arc::clone(&self.counters),
             instance,
             from_node: node,
             consumer_nodes: Arc::clone(&self.consumer_nodes),
@@ -175,6 +197,9 @@ pub struct StreamWriter {
     delivery: Delivery,
     lanes: InboxLanes,
     stats: Arc<StreamStats>,
+    /// Inbox-level enqueue tally (shared by all streams fanned into the
+    /// consumer port) for the shutdown leak audit.
+    counters: Arc<PortCounters>,
     /// Producer instance index (selects the lane for aligned delivery).
     instance: usize,
     /// Node of the filter holding this writer.
@@ -188,6 +213,7 @@ pub struct StreamWriter {
 
 impl StreamWriter {
     fn account(&self, wire: u64, remote: bool) {
+        self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
         self.stats.buffers.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(wire, Ordering::Relaxed);
         if remote {
@@ -223,6 +249,9 @@ impl StreamWriter {
                         port: self.port.clone(),
                     });
                 }
+                self.counters
+                    .enqueued
+                    .fetch_add(delivered as u64, Ordering::Relaxed);
                 self.stats.buffers.fetch_add(1, Ordering::Relaxed);
                 self.stats.bytes.fetch_add(wire, Ordering::Relaxed);
             }
@@ -282,24 +311,38 @@ impl StreamWriter {
 pub struct StreamReader {
     port: String,
     rx: Receiver<DataBuffer>,
+    /// Inbox-level dequeue tally for the shutdown leak audit.
+    counters: Arc<PortCounters>,
 }
 
 impl StreamReader {
     /// Receives the next buffer; `None` once the port is closed (every
     /// producer endpoint dropped) and drained.
     pub fn recv(&self) -> Option<DataBuffer> {
-        self.rx.recv().ok()
+        let b = self.rx.recv().ok();
+        if b.is_some() {
+            self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
+        b
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<DataBuffer> {
-        self.rx.try_recv().ok()
+        let b = self.rx.try_recv().ok();
+        if b.is_some() {
+            self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
+        b
     }
 
     /// Receives with a timeout; `None` on timeout *or* closure — callers that
     /// must distinguish should use [`StreamReader::recv`].
     pub fn recv_timeout(&self, d: std::time::Duration) -> Option<DataBuffer> {
-        self.rx.recv_timeout(d).ok()
+        let b = self.rx.recv_timeout(d).ok();
+        if b.is_some() {
+            self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
+        b
     }
 
     /// The port name this reader was bound to.
@@ -346,10 +389,7 @@ pub enum SelectEvent {
 /// entry is `true`, returns `None`. Lets a server react to a client stream
 /// disappearing (e.g. treat it as an implicit shutdown) while other inputs
 /// stay open.
-pub fn select_event(
-    readers: &[&StreamReader],
-    closed: &mut [bool],
-) -> Option<SelectEvent> {
+pub fn select_event(readers: &[&StreamReader], closed: &mut [bool]) -> Option<SelectEvent> {
     match select_event_timeout(readers, closed, None) {
         SelectOutcome::Event(e) => Some(e),
         SelectOutcome::AllClosed => None,
@@ -395,7 +435,13 @@ pub fn select_event_timeout(
     let slot = op.index();
     let idx = open[slot];
     match op.recv(&readers[idx].rx) {
-        Ok(buf) => SelectOutcome::Event(SelectEvent::Buffer(idx, buf)),
+        Ok(buf) => {
+            readers[idx]
+                .counters
+                .dequeued
+                .fetch_add(1, Ordering::Relaxed);
+            SelectOutcome::Event(SelectEvent::Buffer(idx, buf))
+        }
         Err(_) => {
             closed[idx] = true;
             SelectOutcome::Event(SelectEvent::Closed(idx))
@@ -472,7 +518,10 @@ mod tests {
         drop(ib);
         w.send_to(2, DataBuffer::tag_only(2)).expect("open");
         w.send_to(0, DataBuffer::tag_only(0)).expect("open");
-        assert!(w.send(DataBuffer::tag_only(9)).is_err(), "plain send rejected");
+        assert!(
+            w.send(DataBuffer::tag_only(9)).is_err(),
+            "plain send rejected"
+        );
         assert!(w.send_to(5, DataBuffer::tag_only(9)).is_err(), "bad dest");
         drop(w);
         assert_eq!(readers[0].recv().expect("to 0").tag, 0);
@@ -490,10 +539,7 @@ mod tests {
         w1.send(DataBuffer::tag_only(1)).expect("open");
         w2.send(DataBuffer::tag_only(2)).expect("open");
         drop(w1);
-        let mut tags = vec![
-            r.recv().expect("first").tag,
-            r.recv().expect("second").tag,
-        ];
+        let mut tags = vec![r.recv().expect("first").tag, r.recv().expect("second").tag];
         tags.sort_unstable();
         assert_eq!(tags, vec![1, 2]);
         assert!(
@@ -501,7 +547,10 @@ mod tests {
             "w2 still open"
         );
         drop(w2);
-        assert!(r.recv().is_none(), "closed after all fan-in writers dropped");
+        assert!(
+            r.recv().is_none(),
+            "closed after all fan-in writers dropped"
+        );
     }
 
     #[test]

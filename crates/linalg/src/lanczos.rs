@@ -220,10 +220,7 @@ mod tests {
             for j in 0..=i {
                 let d = dooc_sparse::dense::dot(&r.basis[i], &r.basis[j]);
                 let want = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (d - want).abs() < 1e-9,
-                    "<q{i}, q{j}> = {d}, want {want}"
-                );
+                assert!((d - want).abs() < 1e-9, "<q{i}, q{j}> = {d}, want {want}");
             }
         }
     }

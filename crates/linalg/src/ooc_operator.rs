@@ -61,7 +61,7 @@ impl OocOperator {
     /// One out-of-core application: `y = A x`.
     fn apply_once(&self, x: &[f64]) -> Result<Vec<f64>, String> {
         self.clean_vector_files();
-        let app = SpmvAppBuilder::new(self.grid.clone(), 1, self.blocks.clone())
+        let app = SpmvAppBuilder::new(self.grid, 1, self.blocks.clone())
             .reduction(ReductionPlan::LocalAggregation)
             .sync(SyncPolicy::None);
         app.stage_initial_vector(&self.config.scratch_dirs, x)
@@ -117,16 +117,14 @@ mod tests {
             .memory_budget(1 << 20);
         let grid = BlockGrid::new(2, 24);
         let gen = GapGenerator::with_d(2);
-        let blocks = SpmvAppBuilder::stage(
-            &config.scratch_dirs,
-            grid.clone(),
-            &gen,
-            9,
-            tiled_owner(2, 1),
-        )
-        .expect("stage");
+        let blocks = SpmvAppBuilder::stage(&config.scratch_dirs, grid, &gen, 9, tiled_owner(2, 1))
+            .expect("stage");
         let reference = assembled(&grid, &gen, 9);
-        (OocOperator::new(config.clone(), grid, blocks), reference, config)
+        (
+            OocOperator::new(config.clone(), grid, blocks),
+            reference,
+            config,
+        )
     }
 
     #[test]
@@ -163,10 +161,7 @@ mod tests {
         let inc = lanczos(&reference, &opts);
         assert_eq!(ooc.steps, inc.steps);
         for (a, b) in ooc.ritz_values.iter().zip(&inc.ritz_values) {
-            assert!(
-                (a - b).abs() < 1e-7 * b.abs().max(1.0),
-                "ritz {a} vs {b}"
-            );
+            assert!((a - b).abs() < 1e-7 * b.abs().max(1.0), "ritz {a} vs {b}");
         }
         for d in &config.scratch_dirs {
             std::fs::remove_dir_all(d).ok();

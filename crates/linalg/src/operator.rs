@@ -17,7 +17,8 @@ impl LinearOperator for CsrMatrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.spmv_into(x, y).expect("dimension mismatch in operator apply");
+        self.spmv_into(x, y)
+            .expect("dimension mismatch in operator apply");
     }
 }
 

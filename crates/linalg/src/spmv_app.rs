@@ -69,6 +69,11 @@ pub struct StagedBlock {
     pub nnz: u64,
 }
 
+/// Output of [`SpmvAppBuilder::build`]: the task graph, the external-array
+/// location map (array name -> owning node), and geometry hints for
+/// `DoocConfig` as `(array, block_size, len)` triples.
+pub type SpmvPlan = (TaskGraph, HashMap<String, u64>, Vec<(String, u64, u64)>);
+
 /// Builder for the iterated-SpMV experiment.
 pub struct SpmvAppBuilder {
     grid: BlockGrid,
@@ -193,13 +198,7 @@ impl SpmvAppBuilder {
 
     /// Builds the task graph, the external-array location map, and the
     /// geometry hints for `DoocConfig`.
-    pub fn build(
-        &self,
-    ) -> (
-        TaskGraph,
-        HashMap<String, u64>,
-        Vec<(String, u64, u64)>,
-    ) {
+    pub fn build(&self) -> SpmvPlan {
         let k = self.grid.k;
         let mut tasks: Vec<TaskSpec> = Vec::new();
         let mut external: HashMap<String, u64> = HashMap::new();
@@ -301,10 +300,8 @@ impl SpmvAppBuilder {
                                     .flops(self.vec_bytes(u) / 8 * vs.len() as u64)
                                     .pin_to(g);
                                 for &v in vs {
-                                    t = t.input(
-                                        BlockGrid::partial_name(i, u, v),
-                                        self.vec_bytes(u),
-                                    );
+                                    t = t
+                                        .input(BlockGrid::partial_name(i, u, v), self.vec_bytes(u));
                                 }
                                 if self.sync == SyncPolicy::PhaseBarriers {
                                     t = t.input(format!("bar_mul_{i}"), 8);
@@ -357,13 +354,14 @@ impl SpmvAppBuilder {
         for i in 1..=iters.min(self.iterations) {
             for u in 0..k {
                 for v in 0..k {
-                    out.push(format!("x_{{{i}}}_{{{u},{v}}} = A_{{{u},{v}}} * x_{{{}}}_{{{v}}}", i - 1));
+                    out.push(format!(
+                        "x_{{{i}}}_{{{u},{v}}} = A_{{{u},{v}}} * x_{{{}}}_{{{v}}}",
+                        i - 1
+                    ));
                 }
             }
             for u in 0..k {
-                let parts: Vec<String> = (0..k)
-                    .map(|v| format!("x_{{{i}}}_{{{u},{v}}}"))
-                    .collect();
+                let parts: Vec<String> = (0..k).map(|v| format!("x_{{{i}}}_{{{u},{v}}}")).collect();
                 out.push(format!("x_{{{i}}}_{{{u}}} = {}", parts.join(" + ")));
             }
         }
@@ -393,12 +391,7 @@ impl SpmvAppBuilder {
 
     /// Reference computation: the same iterated product, in-core, from the
     /// same deterministic blocks. Used by tests and EXPERIMENTS.md checks.
-    pub fn reference_result(
-        &self,
-        gen: &GapGenerator,
-        seed: u64,
-        x0: &[f64],
-    ) -> Vec<f64> {
+    pub fn reference_result(&self, gen: &GapGenerator, seed: u64, x0: &[f64]) -> Vec<f64> {
         let k = self.grid.k;
         let mut x = x0.to_vec();
         for _ in 0..self.iterations {
@@ -645,7 +638,7 @@ mod tests {
     #[test]
     fn pre_sums_are_pinned_to_their_node() {
         let (grid, blocks) = staged(4, 4);
-        let app = SpmvAppBuilder::new(grid.clone(), 1, blocks.clone())
+        let app = SpmvAppBuilder::new(grid, 1, blocks.clone())
             .reduction(ReductionPlan::LocalAggregation)
             .sync(SyncPolicy::None)
             .persist_final(false);
@@ -725,7 +718,7 @@ mod tests {
                 }
             })
             .collect();
-        let app = SpmvAppBuilder::new(grid.clone(), 2, blocks);
+        let app = SpmvAppBuilder::new(grid, 2, blocks);
         let x0: Vec<f64> = (0..8).map(|i| i as f64 + 1.0).collect();
         let got = app.reference_result(&gen, 5, &x0);
         // Manual: assemble the full matrix from blocks and iterate.

@@ -25,7 +25,11 @@ pub struct TridiagEigen {
 pub fn tridiag_eigen(alpha: &[f64], beta: &[f64], want_vectors: bool) -> Option<TridiagEigen> {
     let n = alpha.len();
     assert!(n > 0, "empty tridiagonal matrix");
-    assert_eq!(beta.len(), n.saturating_sub(1), "beta must have n-1 entries");
+    assert_eq!(
+        beta.len(),
+        n.saturating_sub(1),
+        "beta must have n-1 entries"
+    );
     let mut d = alpha.to_vec();
     // e[i] holds the sub-diagonal below row i; e[n-1] = 0.
     let mut e = vec![0.0f64; n];
@@ -123,7 +127,10 @@ mod tests {
     fn assert_close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol}): {a:?} vs {b:?}");
+            assert!(
+                (x - y).abs() < tol,
+                "{x} vs {y} (tol {tol}): {a:?} vs {b:?}"
+            );
         }
     }
 

@@ -3,9 +3,7 @@
 //! against the in-core reference product.
 
 use dooc_core::{DoocConfig, DoocRuntime, OrderPolicy};
-use dooc_linalg::spmv_app::{
-    tiled_owner, ReductionPlan, SpmvAppBuilder, SpmvExecutor, SyncPolicy,
-};
+use dooc_linalg::spmv_app::{tiled_owner, ReductionPlan, SpmvAppBuilder, SpmvExecutor, SyncPolicy};
 use dooc_sparse::blockgrid::BlockGrid;
 use dooc_sparse::genmat::GapGenerator;
 use std::sync::Arc;
@@ -18,6 +16,7 @@ struct Setup {
     x0: Vec<f64>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn setup(
     tag: &str,
     k: u64,
@@ -38,7 +37,7 @@ fn setup(
     let seed = 42;
     let blocks = SpmvAppBuilder::stage(
         &cfg.scratch_dirs,
-        grid.clone(),
+        grid,
         &gen,
         seed,
         tiled_owner(k, nnodes as u64),
@@ -68,7 +67,10 @@ fn run_and_verify(s: Setup) -> dooc_core::RunReport {
     let report = DoocRuntime::new(cfg.clone())
         .run(graph, external, Arc::new(SpmvExecutor))
         .expect("run");
-    let got = s.app.collect_final_vector(&cfg.scratch_dirs).expect("collect");
+    let got = s
+        .app
+        .collect_final_vector(&cfg.scratch_dirs)
+        .expect("collect");
     let want = s.app.reference_result(&s.gen, s.seed, &s.x0);
     assert_eq!(got.len(), want.len());
     for (i, (g, w)) in got.iter().zip(&want).enumerate() {
@@ -177,7 +179,7 @@ fn out_of_core_budget_forces_matrix_reloads() {
         ReductionPlan::RowRoot,
         SyncPolicy::None,
         40_000, // ~one 40x40 sub-matrix file + vectors
-        );
+    );
     let report = run_and_verify(s);
     let st = &report.node_stats[0];
     assert!(st.evictions > 0, "expected evictions, got {st:?}");

@@ -107,7 +107,7 @@ pub fn assign_affinity(
                     .then(load[b as usize].cmp(&load[a as usize])) // lower load wins
                     .then(b.cmp(&a)) // lowest id wins
             })
-            .expect("nnodes > 0");
+            .unwrap_or(0); // non-empty: nnodes > 0 asserted on entry
         node_of_task[id.0 as usize] = best;
         load[best as usize] += t.flops.max(1);
     }
@@ -186,8 +186,14 @@ mod tests {
     fn intermediates_locate_at_their_producer() {
         // chain: a (file on node 1) -> t0 -> t1; t1 must follow t0's output.
         let g = TaskGraph::new(vec![
-            TaskSpec::new("t0", "k").input("f", 100).output("u", 50).flops(1),
-            TaskSpec::new("t1", "k").input("u", 50).output("v", 1).flops(1),
+            TaskSpec::new("t0", "k")
+                .input("f", 100)
+                .output("u", 50)
+                .flops(1),
+            TaskSpec::new("t1", "k")
+                .input("u", 50)
+                .output("v", 1)
+                .flops(1),
         ])
         .expect("valid");
         let mut loc = HashMap::new();
@@ -204,7 +210,11 @@ mod tests {
         // break must alternate (least-loaded).
         let g = TaskGraph::new(
             (0..4)
-                .map(|i| TaskSpec::new(format!("t{i}"), "k").output(format!("o{i}"), 1).flops(10))
+                .map(|i| {
+                    TaskSpec::new(format!("t{i}"), "k")
+                        .output(format!("o{i}"), 1)
+                        .flops(10)
+                })
                 .collect(),
         )
         .expect("valid");

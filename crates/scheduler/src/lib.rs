@@ -52,7 +52,10 @@ impl std::fmt::Display for SchedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SchedError::DuplicateProducer { array } => {
-                write!(f, "array '{array}' has two producers (immutability violation)")
+                write!(
+                    f,
+                    "array '{array}' has two producers (immutability violation)"
+                )
             }
             SchedError::Cycle => write!(f, "task graph contains a cycle"),
             SchedError::UnknownTask(t) => write!(f, "unknown task id {t}"),

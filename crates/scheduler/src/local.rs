@@ -69,7 +69,11 @@ pub struct LocalScheduler {
 
 impl LocalScheduler {
     /// Creates the scheduler for the node owning `mine`.
-    pub fn new(graph: &TaskGraph, mine: impl IntoIterator<Item = TaskId>, policy: OrderPolicy) -> Self {
+    pub fn new(
+        graph: &TaskGraph,
+        mine: impl IntoIterator<Item = TaskId>,
+        policy: OrderPolicy,
+    ) -> Self {
         let tracker = ReadyTracker::new(graph);
         let mine: HashSet<TaskId> = mine.into_iter().collect();
         let ready = tracker
@@ -173,11 +177,7 @@ impl LocalScheduler {
     /// `prefetch_window` planned tasks, in plan order, deduplicated.
     /// "The local scheduler makes sure that there are a given number of
     /// ready tasks whose data are in memory."
-    pub fn prefetch_candidates(
-        &self,
-        graph: &TaskGraph,
-        oracle: &dyn MemoryOracle,
-    ) -> Vec<String> {
+    pub fn prefetch_candidates(&self, graph: &TaskGraph, oracle: &dyn MemoryOracle) -> Vec<String> {
         let mut out = Vec::new();
         let mut seen = HashSet::new();
         for t in self
@@ -265,8 +265,7 @@ mod tests {
         let oracle = OneMatrixSlot::new();
         let mut ls = LocalScheduler::new(&g, g.ids(), policy);
         while let Some(t) = ls.next_task(&g, &oracle) {
-            let arrays: Vec<String> =
-                g.task(t).inputs.iter().map(|d| d.array.clone()).collect();
+            let arrays: Vec<String> = g.task(t).inputs.iter().map(|d| d.array.clone()).collect();
             oracle.ensure(&arrays);
             ls.on_complete(&g, t);
         }
@@ -355,7 +354,10 @@ mod tests {
         let g = iterated_spmv(1, 3);
         let resident: HashSet<String> = ["x_0".to_string()].into_iter().collect();
         let ls = LocalScheduler::new(&g, g.ids(), OrderPolicy::Fifo).with_prefetch_window(1);
-        assert_eq!(ls.prefetch_candidates(&g, &resident), vec!["M_0".to_string()]);
+        assert_eq!(
+            ls.prefetch_candidates(&g, &resident),
+            vec!["M_0".to_string()]
+        );
         let ls = LocalScheduler::new(&g, g.ids(), OrderPolicy::Fifo).with_prefetch_window(3);
         assert_eq!(
             ls.prefetch_candidates(&g, &resident),

@@ -128,7 +128,10 @@ impl TaskGraph {
         let mut producer: HashMap<String, TaskId> = HashMap::new();
         for (i, t) in tasks.iter().enumerate() {
             for out in &t.outputs {
-                if producer.insert(out.array.clone(), TaskId(i as u64)).is_some() {
+                if producer
+                    .insert(out.array.clone(), TaskId(i as u64))
+                    .is_some()
+                {
                     return Err(SchedError::DuplicateProducer {
                         array: out.array.clone(),
                     });
@@ -344,8 +347,7 @@ mod tests {
     fn topo_order_respects_deps() {
         let g = diamond();
         let order = g.topo_order().expect("acyclic");
-        let pos: HashMap<TaskId, usize> =
-            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let pos: HashMap<TaskId, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         for id in g.ids() {
             for &p in g.preds(id) {
                 assert!(pos[&p] < pos[&id]);
@@ -380,10 +382,8 @@ mod tests {
     #[test]
     fn self_input_no_self_loop() {
         // A task may list its own output as input (in-place style); no edge.
-        let g = TaskGraph::new(vec![TaskSpec::new("a", "k")
-            .input("X", 1)
-            .output("X", 1)])
-        .expect("valid");
+        let g = TaskGraph::new(vec![TaskSpec::new("a", "k").input("X", 1).output("X", 1)])
+            .expect("valid");
         assert!(g.preds(TaskId(0)).is_empty());
     }
 

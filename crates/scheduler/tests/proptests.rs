@@ -11,37 +11,35 @@ use std::collections::{HashMap, HashSet};
 /// Builds a random layered DAG: `widths[l]` tasks in layer `l`, each task
 /// consuming a random subset of the previous layer's outputs.
 fn arb_layered_graph() -> impl Strategy<Value = TaskGraph> {
-    (
-        proptest::collection::vec(1usize..5, 1..5),
-        any::<u64>(),
-    )
-        .prop_map(|(widths, seed)| {
-            let mut tasks = Vec::new();
-            let mut rng = seed;
-            let mut next = move || {
-                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                rng >> 33
-            };
-            let mut prev_outputs: Vec<String> = Vec::new();
-            for (l, &w) in widths.iter().enumerate() {
-                let mut outs = Vec::new();
-                for i in 0..w {
-                    let name = format!("t{l}_{i}");
-                    let mut t = TaskSpec::new(&name, "k")
-                        .output(format!("o{l}_{i}"), 1 + next() % 100)
-                        .flops(1 + next() % 50);
-                    for o in &prev_outputs {
-                        if next() % 2 == 0 {
-                            t = t.input(o.clone(), 1 + next() % 100);
-                        }
+    (proptest::collection::vec(1usize..5, 1..5), any::<u64>()).prop_map(|(widths, seed)| {
+        let mut tasks = Vec::new();
+        let mut rng = seed;
+        let mut next = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        let mut prev_outputs: Vec<String> = Vec::new();
+        for (l, &w) in widths.iter().enumerate() {
+            let mut outs = Vec::new();
+            for i in 0..w {
+                let name = format!("t{l}_{i}");
+                let mut t = TaskSpec::new(&name, "k")
+                    .output(format!("o{l}_{i}"), 1 + next() % 100)
+                    .flops(1 + next() % 50);
+                for o in &prev_outputs {
+                    if next() % 2 == 0 {
+                        t = t.input(o.clone(), 1 + next() % 100);
                     }
-                    outs.push(format!("o{l}_{i}"));
-                    tasks.push(t);
                 }
-                prev_outputs = outs;
+                outs.push(format!("o{l}_{i}"));
+                tasks.push(t);
             }
-            TaskGraph::new(tasks).expect("layered construction is acyclic")
-        })
+            prev_outputs = outs;
+        }
+        TaskGraph::new(tasks).expect("layered construction is acyclic")
+    })
 }
 
 proptest! {

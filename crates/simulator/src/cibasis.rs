@@ -140,7 +140,11 @@ pub fn m_scheme_dimension(z: u32, n: u32, nmax: u32, mj2: i64) -> u128 {
     let pn = if z == n {
         None // identical table
     } else {
-        Some(count_species(n, qmax_total - minimal_quanta(z), top_shell(n)))
+        Some(count_species(
+            n,
+            qmax_total - minimal_quanta(z),
+            top_shell(n),
+        ))
     };
     let pn_ref = pn.as_ref().unwrap_or(&pz);
 
@@ -152,7 +156,7 @@ pub fn m_scheme_dimension(z: u32, n: u32, nmax: u32, mj2: i64) -> u128 {
                 continue;
             }
             let dq = q - qmin as usize;
-            if (nmax as usize).wrapping_sub(dq) % 2 != 0 {
+            if !(nmax as usize).wrapping_sub(dq).is_multiple_of(2) {
                 continue; // parity: ΔQ must match N_max's parity
             }
             // Convolve m distributions: sum over mp2 with mn2 = mj2 - mp2.

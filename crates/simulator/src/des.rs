@@ -176,8 +176,7 @@ impl FluidSim {
         let mut residual = self.capacities.clone();
         // Unfrozen flows per resource.
         let mut per_resource: Vec<Vec<FlowId>> = vec![Vec::new(); self.capacities.len()];
-        let mut unfrozen: std::collections::HashSet<FlowId> =
-            self.flows.keys().copied().collect();
+        let mut unfrozen: std::collections::HashSet<FlowId> = self.flows.keys().copied().collect();
         for (id, f) in &self.flows {
             for r in &f.path {
                 per_resource[r.0].push(*id);

@@ -127,7 +127,8 @@ impl TestbedParams {
 
     /// Global sub-matrix grid dimension K.
     pub fn grid_k(&self) -> u64 {
-        self.grid_k_override.unwrap_or(self.sub_per_side * self.side())
+        self.grid_k_override
+            .unwrap_or(self.sub_per_side * self.side())
     }
 
     /// Global matrix dimension (rows).
@@ -199,13 +200,9 @@ enum ArrayKind {
     MatrixFile,
     /// Produced vector/partial/token (transferred over IB from its
     /// producer's node; freed once all consumers finished).
-    Produced {
-        producer: TaskId,
-    },
+    Produced { producer: TaskId },
     /// Staged initial vector on a node.
-    Staged {
-        node: u64,
-    },
+    Staged { node: u64 },
 }
 
 struct ArrayInfo {
@@ -319,12 +316,8 @@ pub fn run_testbed(params: &TestbedParams, policy: PolicyKind) -> TestbedResult 
             let client_link = sim.add_resource(params.client_bw);
             let ib_in = sim.add_resource(params.ib_bw);
             let ib_out = sim.add_resource(params.ib_bw);
-            let mut ls = LocalScheduler::new(
-                &graph,
-                placement.tasks_of(n),
-                OrderPolicy::DataAware,
-            )
-            .with_prefetch_window(params.prefetch_window);
+            let mut ls = LocalScheduler::new(&graph, placement.tasks_of(n), OrderPolicy::DataAware)
+                .with_prefetch_window(params.prefetch_window);
             // Staged vectors start resident on their node (they are tiny and
             // written into memory/the page cache during staging).
             let _ = &mut ls;
@@ -529,9 +522,7 @@ pub fn run_testbed(params: &TestbedParams, policy: PolicyKind) -> TestbedResult 
                         }
                         let dur = match spec.kind.as_str() {
                             "multiply" => spec.flops as f64 / params.node_flops,
-                            "sum" | "sum_final" => {
-                                spec.input_bytes() as f64 / params.sum_bw
-                            }
+                            "sum" | "sum_final" => spec.input_bytes() as f64 / params.sum_bw,
                             _ => 1e-4, // barrier token
                         };
                         nodes[n].compute_busy = true;
@@ -614,8 +605,7 @@ pub fn run_testbed(params: &TestbedParams, policy: PolicyKind) -> TestbedResult 
                     let dead = {
                         let a = arrays.get_mut(&inp.array).expect("known array");
                         a.remaining_consumers = a.remaining_consumers.saturating_sub(1);
-                        a.remaining_consumers == 0
-                            && !matches!(a.kind, ArrayKind::MatrixFile)
+                        a.remaining_consumers == 0 && !matches!(a.kind, ArrayKind::MatrixFile)
                     };
                     if dead {
                         for vn in nodes.iter_mut() {
@@ -651,8 +641,7 @@ pub fn run_testbed(params: &TestbedParams, policy: PolicyKind) -> TestbedResult 
             1.0 - vn.io_time / time_s
         })
         .collect();
-    let non_overlapped =
-        non_overlap_per_node.iter().sum::<f64>() / params.nnodes as f64;
+    let non_overlapped = non_overlap_per_node.iter().sum::<f64>() / params.nnodes as f64;
     // "We extracted the bandwidth obtained by the filesystem I/O components
     // from the logs": bytes over the time spent reading, not over makespan.
     let mean_io_time = nodes.iter().map(|vn| vn.io_time).sum::<f64>() / params.nnodes as f64;
@@ -667,9 +656,7 @@ pub fn run_testbed(params: &TestbedParams, policy: PolicyKind) -> TestbedResult 
         gflops: flops / time_s / 1e9,
         read_bw: bytes_read_nominal as f64 / mean_io_time.max(1e-9),
         non_overlapped,
-        cpu_hours_per_iter: params.nnodes as f64 * 8.0 * time_s
-            / params.iterations as f64
-            / 3600.0,
+        cpu_hours_per_iter: params.nnodes as f64 * 8.0 * time_s / params.iterations as f64 / 3600.0,
         bytes_read: bytes_read_nominal,
     }
 }
@@ -778,7 +765,7 @@ mod tests {
         p.grid_k_override = Some(30);
         let r = run_testbed(&p, PolicyKind::Interleaved);
         assert_eq!(r.dimension, 30 * (p.subvector_bytes / 8));
-        assert!(r.bytes_read as u64 >= 4 * 900 * p.submatrix_bytes * 9 / 10);
+        assert!(r.bytes_read >= 4 * 900 * p.submatrix_bytes * 9 / 10);
     }
 
     #[test]

@@ -207,9 +207,7 @@ mod tests {
         for (coord, block) in &blocks {
             let (r0, r1) = grid.range(coord.u);
             let (c0, c1) = grid.range(coord.v);
-            let part = block
-                .spmv(&x[c0 as usize..c1 as usize])
-                .expect("dims ok");
+            let part = block.spmv(&x[c0 as usize..c1 as usize]).expect("dims ok");
             for (i, val) in part.iter().enumerate() {
                 y[r0 as usize + i] += val;
             }

@@ -101,9 +101,14 @@ impl CsrMatrix {
         col_idx: Vec<u64>,
         values: Vec<f64>,
     ) -> Self {
-        debug_assert!(
-            Self::new(nrows, ncols, row_ptr.clone(), col_idx.clone(), values.clone()).is_ok()
-        );
+        debug_assert!(Self::new(
+            nrows,
+            ncols,
+            row_ptr.clone(),
+            col_idx.clone(),
+            values.clone()
+        )
+        .is_ok());
         Self {
             nrows,
             ncols,
@@ -135,7 +140,7 @@ impl CsrMatrix {
             }
         }
         let mut sorted: Vec<(u64, u64, f64)> = triplets.to_vec();
-        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_by_key(|a| (a.0, a.1));
         // Merge duplicates.
         let mut merged: Vec<(u64, u64, f64)> = Vec::with_capacity(sorted.len());
         for (r, c, v) in sorted {
@@ -216,7 +221,10 @@ impl CsrMatrix {
 
     /// Returns entry `(r, c)`, or 0.0 if not stored.
     pub fn get(&self, r: u64, c: u64) -> f64 {
-        let (s, e) = (self.row_ptr[r as usize] as usize, self.row_ptr[r as usize + 1] as usize);
+        let (s, e) = (
+            self.row_ptr[r as usize] as usize,
+            self.row_ptr[r as usize + 1] as usize,
+        );
         match self.col_idx[s..e].binary_search(&c) {
             Ok(k) => self.values[s + k],
             Err(_) => 0.0,
@@ -373,7 +381,10 @@ impl CsrMatrix {
         let mut col_idx = Vec::new();
         let mut values = Vec::new();
         for r in r0..r1 {
-            let (s, e) = (self.row_ptr[r as usize] as usize, self.row_ptr[r as usize + 1] as usize);
+            let (s, e) = (
+                self.row_ptr[r as usize] as usize,
+                self.row_ptr[r as usize + 1] as usize,
+            );
             let cols = &self.col_idx[s..e];
             let lo = s + cols.partition_point(|&c| c < c0);
             let hi = s + cols.partition_point(|&c| c < c1);
@@ -567,7 +578,7 @@ mod tests {
     fn zeros_has_no_entries() {
         let m = CsrMatrix::zeros(4, 7);
         assert_eq!(m.nnz(), 0);
-        assert_eq!(m.spmv(&vec![1.0; 7]).expect("dims ok"), vec![0.0; 4]);
+        assert_eq!(m.spmv(&[1.0; 7]).expect("dims ok"), vec![0.0; 4]);
     }
 
     #[test]

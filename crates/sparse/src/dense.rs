@@ -44,7 +44,11 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
 /// Element-wise `y += x` (the paper's *sum* reduction task over partial
 /// result vectors: `x^i_u = Σ_v x^i_{u,v}`).
 pub fn add_assign(y: &mut [f64], x: &[f64]) {
-    assert_eq!(x.len(), y.len(), "add_assign operands must have equal length");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "add_assign operands must have equal length"
+    );
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += xi;
     }
@@ -53,7 +57,9 @@ pub fn add_assign(y: &mut [f64], x: &[f64]) {
 /// Sums a set of equal-length vectors into a fresh output. Panics if the set
 /// is empty or lengths differ.
 pub fn sum_vectors(parts: &[&[f64]]) -> Vec<f64> {
-    let first = parts.first().expect("sum_vectors needs at least one vector");
+    let first = parts
+        .first()
+        .expect("sum_vectors needs at least one vector");
     let mut acc = first.to_vec();
     for p in &parts[1..] {
         add_assign(&mut acc, p);

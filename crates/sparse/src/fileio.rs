@@ -158,11 +158,14 @@ pub fn read_header_from<R: Read>(r: &mut R) -> Result<CrsHeader> {
         )));
     }
     let mut word = [0u8; 8];
-    r.read_exact(&mut word).map_err(|e| truncated_or_io(e, "nrows"))?;
+    r.read_exact(&mut word)
+        .map_err(|e| truncated_or_io(e, "nrows"))?;
     let nrows = u64::from_le_bytes(word);
-    r.read_exact(&mut word).map_err(|e| truncated_or_io(e, "ncols"))?;
+    r.read_exact(&mut word)
+        .map_err(|e| truncated_or_io(e, "ncols"))?;
     let ncols = u64::from_le_bytes(word);
-    r.read_exact(&mut word).map_err(|e| truncated_or_io(e, "nnz"))?;
+    r.read_exact(&mut word)
+        .map_err(|e| truncated_or_io(e, "nnz"))?;
     let nnz = u64::from_le_bytes(word);
     Ok(CrsHeader { nrows, ncols, nnz })
 }
@@ -248,10 +251,7 @@ mod tests {
         let m = CsrMatrix::identity(3);
         let mut bytes = to_bytes(&m);
         bytes[0] = b'X';
-        assert!(matches!(
-            from_bytes(&bytes),
-            Err(SparseError::BadFormat(_))
-        ));
+        assert!(matches!(from_bytes(&bytes), Err(SparseError::BadFormat(_))));
     }
 
     #[test]

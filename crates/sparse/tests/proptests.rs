@@ -7,9 +7,8 @@ use proptest::prelude::*;
 fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
     (1u64..40, 1u64..40).prop_flat_map(|(nr, nc)| {
         let triplet = (0..nr, 0..nc, -100.0f64..100.0);
-        proptest::collection::vec(triplet, 0..200).prop_map(move |ts| {
-            CsrMatrix::from_triplets(nr, nc, &ts).expect("triplets in bounds")
-        })
+        proptest::collection::vec(triplet, 0..200)
+            .prop_map(move |ts| CsrMatrix::from_triplets(nr, nc, &ts).expect("triplets in bounds"))
     })
 }
 

@@ -29,6 +29,10 @@ pub struct StorageClient {
     client_id: u64,
     next_req: u64,
     stash: HashMap<u64, Reply>,
+    /// Net grants held: +1 per pinned read / write grant received, -1 per
+    /// release / seal. Zero at quiescence when the application is balanced;
+    /// the worker asserts this under the `order-check` feature.
+    outstanding: i64,
 }
 
 impl StorageClient {
@@ -48,7 +52,14 @@ impl StorageClient {
             client_id,
             next_req: 1,
             stash: HashMap::new(),
+            outstanding: 0,
         }
+    }
+
+    /// Net number of storage grants (pinned reads + write grants) this
+    /// client has received and not yet handed back.
+    pub fn outstanding_grants(&self) -> i64 {
+        self.outstanding
     }
 
     fn fresh(&mut self) -> u64 {
@@ -119,7 +130,10 @@ impl StorageClient {
     /// [`StorageClient::release_read`].
     pub fn wait_read(&mut self, t: Ticket) -> Result<Bytes> {
         match self.wait(t.0)? {
-            Reply::ReadReady { data, .. } => Ok(data),
+            Reply::ReadReady { data, .. } => {
+                self.outstanding += 1;
+                Ok(data)
+            }
             Reply::Err { error, .. } => Err(error),
             other => Err(StorageError::Protocol(format!(
                 "unexpected reply to read: {other:?}"
@@ -138,7 +152,9 @@ impl StorageClient {
         self.send(&ClientMsg::ReleaseRead {
             array: array.to_string(),
             iv,
-        })
+        })?;
+        self.outstanding -= 1;
+        Ok(())
     }
 
     /// Blocking write of one interval: request grant, ship data, await seal.
@@ -151,7 +167,7 @@ impl StorageClient {
             iv,
         })?;
         match self.wait(req)? {
-            Reply::WriteGranted { .. } => {}
+            Reply::WriteGranted { .. } => self.outstanding += 1,
             Reply::Err { error, .. } => return Err(error),
             other => {
                 return Err(StorageError::Protocol(format!(
@@ -168,7 +184,10 @@ impl StorageClient {
             data,
         })?;
         match self.wait(req2)? {
-            Reply::WriteSealed { .. } => Ok(()),
+            Reply::WriteSealed { .. } => {
+                self.outstanding -= 1;
+                Ok(())
+            }
             Reply::Err { error, .. } => Err(error),
             other => Err(StorageError::Protocol(format!(
                 "unexpected reply to write release: {other:?}"

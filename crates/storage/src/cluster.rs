@@ -10,8 +10,8 @@
 
 use crate::filterimpl::{ports, ClientPortMap, IoFilter, StorageFilter};
 use crate::node::{NodeConfig, StorageState};
+use dooc_filterstream::sync::OrderedMutex;
 use dooc_filterstream::{Delivery, FilterId, Layout, NodeId};
-use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -26,7 +26,7 @@ pub struct StorageCluster {
     /// The I/O filter declaration (one instance per node).
     pub io: FilterId,
     nnodes: usize,
-    port_map: Arc<Mutex<ClientPortMap>>,
+    port_map: Arc<OrderedMutex<ClientPortMap>>,
     next_client_port: usize,
     next_client_base: u64,
 }
@@ -45,7 +45,10 @@ impl StorageCluster {
         let nnodes = scratch_dirs.len();
         assert!(nnodes > 0, "a cluster needs at least one node");
         let nodes: Vec<NodeId> = (0..nnodes).map(NodeId).collect();
-        let port_map = Arc::new(Mutex::new(ClientPortMap::default()));
+        let port_map = Arc::new(OrderedMutex::new(
+            "storage.cluster.port_map",
+            ClientPortMap::default(),
+        ));
 
         let pm = Arc::clone(&port_map);
         let dirs = scratch_dirs.clone();
@@ -61,7 +64,10 @@ impl StorageCluster {
             // before Runtime::run, which is guaranteed since both consume
             // the layout by value).
             let snapshot = Arc::new(pm.lock().clone());
-            Box::new(StorageFilter::new(StorageState::new(cfg, discovered), snapshot))
+            Box::new(StorageFilter::new(
+                StorageState::new(cfg, discovered),
+                snapshot,
+            ))
         });
 
         let dirs = scratch_dirs;

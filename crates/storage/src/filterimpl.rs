@@ -10,9 +10,9 @@
 //! scratch directory so that "the interactions with the file system [are]
 //! completely asynchronous".
 
+use crate::meta::ArrayMeta;
 use crate::node::{Action, DiscoveredBlock, StorageState};
 use crate::proto::{ClientMsg, IoCmd, IoReply, PeerMsg};
-use crate::meta::ArrayMeta;
 use bytes::Bytes;
 use dooc_filterstream::stream::{select_event, select_event_timeout, SelectEvent, SelectOutcome};
 use dooc_filterstream::{Filter, FilterContext};
@@ -69,18 +69,24 @@ impl StorageFilter {
         Self { state, ports }
     }
 
-    fn perform(&mut self, ctx: &mut FilterContext, actions: Vec<Action>) -> dooc_filterstream::Result<()> {
+    fn perform(
+        &mut self,
+        ctx: &mut FilterContext,
+        actions: Vec<Action>,
+    ) -> dooc_filterstream::Result<()> {
         for a in actions {
             match a {
                 Action::Reply { client, reply } => {
-                    let (port, inst) = self.ports.resolve(client).ok_or_else(|| {
-                        ctx.error(format!("no client port for id {client}"))
-                    })?;
+                    let (port, inst) = self
+                        .ports
+                        .resolve(client)
+                        .ok_or_else(|| ctx.error(format!("no client port for id {client}")))?;
                     let port = port.to_string();
                     ctx.output(&port)?.send_to(inst, reply.encode())?;
                 }
                 Action::Peer { node, msg } => {
-                    ctx.output(ports::PEER_OUT)?.send_to(node as usize, msg.encode())?;
+                    ctx.output(ports::PEER_OUT)?
+                        .send_to(node as usize, msg.encode())?;
                 }
                 Action::Io(cmd) => {
                     ctx.output(ports::IO_OUT)?.send(cmd.encode())?;
@@ -134,8 +140,8 @@ impl Filter for StorageFilter {
                     self.state.handle_peer(from, msg)
                 }
                 SelectEvent::Buffer(_, buf) => {
-                    let msg = IoReply::decode(&buf)
-                        .map_err(|e| ctx.error(format!("io decode: {e}")))?;
+                    let msg =
+                        IoReply::decode(&buf).map_err(|e| ctx.error(format!("io decode: {e}")))?;
                     self.state.handle_io(msg)
                 }
                 SelectEvent::Closed(0) => {
@@ -331,8 +337,11 @@ pub fn scan_scratch(dir: &Path) -> std::io::Result<Vec<DiscoveredBlock>> {
             let mut f = std::fs::File::open(entry.path())?;
             let mut w = [0u8; 16];
             if f.read_exact(&mut w).is_ok() {
-                let len = u64::from_le_bytes(w[0..8].try_into().expect("8 bytes"));
-                let bs = u64::from_le_bytes(w[8..16].try_into().expect("8 bytes"));
+                let (mut lo, mut hi) = ([0u8; 8], [0u8; 8]);
+                lo.copy_from_slice(&w[0..8]);
+                hi.copy_from_slice(&w[8..16]);
+                let len = u64::from_le_bytes(lo);
+                let bs = u64::from_le_bytes(hi);
                 if bs > 0 {
                     geometry.insert(array.to_string(), (len, bs));
                 }

@@ -39,7 +39,7 @@ impl ArrayMeta {
     /// Length in bytes of block `b`.
     pub fn block_len(&self, b: u64) -> u64 {
         debug_assert!(b < self.nblocks());
-        if b + 1 == self.nblocks() && self.len % self.block_size != 0 {
+        if b + 1 == self.nblocks() && !self.len.is_multiple_of(self.block_size) {
             self.len % self.block_size
         } else {
             self.block_size

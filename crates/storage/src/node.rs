@@ -25,9 +25,7 @@
 //!   Recently Used policy."
 
 use crate::meta::{ArrayMeta, Interval};
-use crate::proto::{
-    BlockAvail, ClientMsg, IoCmd, IoReply, MapEntry, NodeStats, PeerMsg, Reply,
-};
+use crate::proto::{BlockAvail, ClientMsg, IoCmd, IoReply, MapEntry, NodeStats, PeerMsg, Reply};
 use crate::rangeset::RangeSet;
 use crate::StorageError;
 use bytes::Bytes;
@@ -126,6 +124,16 @@ struct BlockInfo {
 impl BlockInfo {
     fn fully_sealed(&self, block_len: u64) -> bool {
         self.sealed.covered() == block_len
+    }
+
+    /// Copies `[off, off+len)` out of the resident buffer, if any.
+    fn slice_resident(&self, off: u64, len: u64) -> Option<Bytes> {
+        match self.mem.as_ref()? {
+            BlockMem::Sealed(b) => Some(b.slice(off as usize..(off + len) as usize)),
+            BlockMem::Building(v) => Some(Bytes::copy_from_slice(
+                &v[off as usize..(off + len) as usize],
+            )),
+        }
     }
 
     fn avail(&self, block_len: u64) -> BlockAvail {
@@ -289,11 +297,13 @@ impl StorageState {
     // -- LRU bookkeeping ----------------------------------------------------
 
     fn touch(&mut self, array: &str, block: u64) {
-        let info = self
+        let Some(info) = self
             .arrays
             .get_mut(array)
             .and_then(|a| a.blocks.get_mut(&block))
-            .expect("touch of unknown block");
+        else {
+            return; // unknown block: nothing to age
+        };
         if info.last_use != 0 {
             self.lru.remove(&info.last_use);
         }
@@ -394,8 +404,7 @@ impl StorageState {
                                 && !b.on_disk
                         })
                 });
-                if hint_only {
-                    let a = self.arrays.get_mut(&meta.name).expect("hint present");
+                if let Some(a) = self.arrays.get_mut(&meta.name).filter(|_| hint_only) {
                     if a.meta.len != u64::MAX
                         && (a.meta.len != meta.len || a.meta.block_size != meta.block_size)
                     {
@@ -488,9 +497,7 @@ impl StorageState {
                 data,
             } => self.release_write(req, client, array, iv, data, &mut out),
             ClientMsg::Prefetch { array, iv } => self.prefetch(array, iv, &mut out),
-            ClientMsg::Persist { req, client, array } => {
-                self.persist(req, client, array, &mut out)
-            }
+            ClientMsg::Persist { req, client, array } => self.persist(req, client, array, &mut out),
             ClientMsg::Delete { req, client, array } => self.delete(req, client, array, &mut out),
             ClientMsg::MapQuery { req, client } => {
                 let mut entries = Vec::new();
@@ -604,14 +611,13 @@ impl StorageState {
                 let block_len = ainfo.meta.block_len(block);
                 let info = ainfo.blocks.entry(block).or_default();
                 let sealed_here = info.sealed.covers(off, off + iv.len);
-                if sealed_here && info.mem.is_some() {
+                let resident = if sealed_here {
+                    info.slice_resident(off, iv.len)
+                } else {
+                    None
+                };
+                if let Some(data) = resident {
                     // Serve immediately.
-                    let data = match info.mem.as_ref().expect("resident") {
-                        BlockMem::Sealed(b) => b.slice(off as usize..(off + iv.len) as usize),
-                        BlockMem::Building(v) => {
-                            Bytes::copy_from_slice(&v[off as usize..(off + iv.len) as usize])
-                        }
-                    };
                     info.pins += 1;
                     out.push(Action::Reply {
                         client,
@@ -657,18 +663,17 @@ impl StorageState {
             None => {
                 // Unknown geometry: remember the *global* interval and probe
                 // peers by offset.
-                self.arrays.insert(
-                    array.clone(),
-                    ArrayInfo {
+                let ainfo = self
+                    .arrays
+                    .entry(array.clone())
+                    .or_insert_with(|| ArrayInfo {
                         // Placeholder geometry: a single huge block; replaced
                         // by the real geometry when a peer answers.
                         meta: ArrayMeta::new(array.clone(), u64::MAX, u64::MAX),
                         home: false,
                         blocks: HashMap::new(),
                         persist: None,
-                    },
-                );
-                let ainfo = self.arrays.get_mut(&array).expect("just inserted");
+                    });
                 let info = ainfo.blocks.entry(0).or_default();
                 info.read_waiters.push(ReadWaiter {
                     req,
@@ -685,7 +690,9 @@ impl StorageState {
     /// `offset`. `block` is this node's best guess of the block index (0 if
     /// geometry unknown — re-keyed on reply).
     fn start_fetch(&mut self, array: String, block: u64, offset: u64, out: &mut Vec<Action>) {
-        let ainfo = self.arrays.get_mut(&array).expect("fetch on known array");
+        let Some(ainfo) = self.arrays.get_mut(&array) else {
+            return; // callers register the array first; a miss is a no-op
+        };
         let info = ainfo.blocks.entry(block).or_default();
         if info.fetch.is_some() {
             return; // already in flight — "avoid asking for an interval multiple times"
@@ -731,16 +738,22 @@ impl StorageState {
             if let Some(f) = &parked.fetch {
                 self.fetches.remove(&f.req);
             }
-            let ainfo = self.arrays.get_mut(array).expect("still present");
-            for w in parked.read_waiters {
-                let b = w.off / meta.block_size;
-                let local = w.off - meta.block_start(b);
-                ainfo.blocks.entry(b).or_default().read_waiters.push(ReadWaiter {
-                    req: w.req,
-                    client: w.client,
-                    off: local,
-                    len: w.len,
-                });
+            if let Some(ainfo) = self.arrays.get_mut(array) {
+                for w in parked.read_waiters {
+                    let b = w.off / meta.block_size;
+                    let local = w.off - meta.block_start(b);
+                    ainfo
+                        .blocks
+                        .entry(b)
+                        .or_default()
+                        .read_waiters
+                        .push(ReadWaiter {
+                            req: w.req,
+                            client: w.client,
+                            off: local,
+                            len: w.len,
+                        });
+                }
             }
         }
         let _ = had_fetch;
@@ -918,28 +931,27 @@ impl StorageState {
         out: &mut Vec<Action>,
     ) {
         let block_len = meta.block_len(block);
-        if info.mem.is_some() {
-            let mut still_waiting = Vec::new();
-            for w in info.read_waiters.drain(..) {
-                let covered = info.sealed.covers(w.off, w.off + w.len);
-                if covered {
-                    let data = match info.mem.as_ref().expect("resident") {
-                        BlockMem::Sealed(b) => b.slice(w.off as usize..(w.off + w.len) as usize),
-                        BlockMem::Building(v) => {
-                            Bytes::copy_from_slice(&v[w.off as usize..(w.off + w.len) as usize])
-                        }
-                    };
+        let waiters = std::mem::take(&mut info.read_waiters);
+        let mut still_waiting = Vec::new();
+        for w in waiters {
+            let covered = info.sealed.covers(w.off, w.off + w.len);
+            let data = if covered {
+                info.slice_resident(w.off, w.len)
+            } else {
+                None
+            };
+            match data {
+                Some(data) => {
                     info.pins += 1;
                     out.push(Action::Reply {
                         client: w.client,
                         reply: Reply::ReadReady { req: w.req, data },
                     });
-                } else {
-                    still_waiting.push(w);
                 }
+                None => still_waiting.push(w),
             }
-            info.read_waiters = still_waiting;
         }
+        info.read_waiters = still_waiting;
         if info.fully_sealed(block_len) {
             if let Some(BlockMem::Sealed(bytes)) = &info.mem {
                 for (req, from_node) in info.peer_waiters.drain(..) {
@@ -965,18 +977,14 @@ impl StorageState {
         }
         let Some(ainfo) = self.arrays.get_mut(&array) else {
             // Unknown array: treat like a read miss without a waiter.
-            self.arrays.insert(
-                array.clone(),
-                ArrayInfo {
+            self.arrays
+                .entry(array.clone())
+                .or_insert_with(|| ArrayInfo {
                     meta: ArrayMeta::new(array.clone(), u64::MAX, u64::MAX),
                     home: false,
                     blocks: HashMap::new(),
                     persist: None,
-                },
-            );
-            self.arrays
-                .get_mut(&array)
-                .expect("just inserted")
+                })
                 .blocks
                 .entry(0)
                 .or_default();
@@ -1437,7 +1445,13 @@ mod tests {
             meta: ArrayMeta::new(name, len, bs),
         });
         assert!(
-            matches!(&acts[..], [Action::Reply { reply: Reply::Created { .. }, .. }]),
+            matches!(
+                &acts[..],
+                [Action::Reply {
+                    reply: Reply::Created { .. },
+                    ..
+                }]
+            ),
             "create failed: {acts:?}"
         );
     }
@@ -1452,7 +1466,10 @@ mod tests {
         assert!(
             matches!(
                 acts.first(),
-                Some(Action::Reply { reply: Reply::WriteGranted { .. }, .. })
+                Some(Action::Reply {
+                    reply: Reply::WriteGranted { .. },
+                    ..
+                })
             ),
             "grant failed: {acts:?}"
         );
@@ -1475,9 +1492,13 @@ mod tests {
         let mut st = state(1 << 20);
         create(&mut st, "a", 64, 32);
         let acts = write_all(&mut st, "a", Interval::new(0, 32), 7);
-        assert!(acts
-            .iter()
-            .any(|a| matches!(a, Action::Reply { reply: Reply::WriteSealed { .. }, .. })));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Reply {
+                reply: Reply::WriteSealed { .. },
+                ..
+            }
+        )));
         let acts = st.handle_client(ClientMsg::ReadReq {
             req: 3,
             client: 5,
@@ -1549,7 +1570,10 @@ mod tests {
         });
         assert!(matches!(
             &acts[..],
-            [Action::Reply { reply: Reply::WriteGranted { .. }, .. }]
+            [Action::Reply {
+                reply: Reply::WriteGranted { .. },
+                ..
+            }]
         ));
         let acts = st.handle_client(ClientMsg::WriteReq {
             req: 2,
@@ -1576,7 +1600,10 @@ mod tests {
         });
         assert!(matches!(
             &acts[..],
-            [Action::Reply { reply: Reply::WriteGranted { .. }, .. }]
+            [Action::Reply {
+                reply: Reply::WriteGranted { .. },
+                ..
+            }]
         ));
     }
 
@@ -1767,13 +1794,18 @@ mod tests {
         });
         assert!(matches!(
             &acts[..],
-            [Action::Reply { reply: Reply::ReadReady { .. }, .. }]
+            [Action::Reply {
+                reply: Reply::ReadReady { .. },
+                ..
+            }]
         ));
         // Write block 1: over budget, but block 0 is pinned -> no spill of it
         // is allowed to drop it; it may spill (to prepare) but not evict.
         let acts = write_all(&mut st, "a", Interval::new(32, 32), 2);
         assert!(
-            !acts.iter().any(|a| matches!(a, Action::Io(IoCmd::Write { block: 0, .. }))),
+            !acts
+                .iter()
+                .any(|a| matches!(a, Action::Io(IoCmd::Write { block: 0, .. }))),
             "pinned block must not be spill-evicted: {acts:?}"
         );
         assert_eq!(st.resident_bytes(), 64);
@@ -1852,7 +1884,15 @@ mod tests {
         });
         let served = acts
             .iter()
-            .filter(|a| matches!(a, Action::Reply { reply: Reply::ReadReady { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Reply {
+                        reply: Reply::ReadReady { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(served, 2);
     }
@@ -1930,7 +1970,13 @@ mod tests {
         // A tick restarts the probe cycle.
         let acts = st.on_tick();
         assert!(
-            matches!(&acts[..], [Action::Peer { msg: PeerMsg::Fetch { .. }, .. }]),
+            matches!(
+                &acts[..],
+                [Action::Peer {
+                    msg: PeerMsg::Fetch { .. },
+                    ..
+                }]
+            ),
             "tick reprobes: {acts:?}"
         );
         assert!(!st.has_stalled_fetches());
@@ -1953,7 +1999,9 @@ mod tests {
             iv: Interval::new(8, 8),
         });
         assert_eq!(
-            a1.iter().filter(|a| matches!(a, Action::Peer { .. })).count(),
+            a1.iter()
+                .filter(|a| matches!(a, Action::Peer { .. }))
+                .count(),
             1
         );
         assert!(
@@ -1968,7 +2016,9 @@ mod tests {
             iv: Interval::new(32, 8),
         });
         assert_eq!(
-            a3.iter().filter(|a| matches!(a, Action::Peer { .. })).count(),
+            a3.iter()
+                .filter(|a| matches!(a, Action::Peer { .. }))
+                .count(),
             1
         );
     }
@@ -2061,12 +2111,24 @@ mod tests {
         });
         let notices = acts
             .iter()
-            .filter(|a| matches!(a, Action::Peer { msg: PeerMsg::DeleteNotice { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Peer {
+                        msg: PeerMsg::DeleteNotice { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(notices, 2, "both peers notified");
-        assert!(acts
-            .iter()
-            .any(|a| matches!(a, Action::Reply { reply: Reply::Deleted { .. }, .. })));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Reply {
+                reply: Reply::Deleted { .. },
+                ..
+            }
+        )));
         assert_eq!(st.resident_bytes(), 0);
         // Subsequent access errors with Deleted.
         let acts = st.handle_client(ClientMsg::ReadReq {
@@ -2132,9 +2194,13 @@ mod tests {
             .count();
         assert_eq!(writes, 2);
         assert!(
-            !acts
-                .iter()
-                .any(|a| matches!(a, Action::Reply { reply: Reply::Persisted { .. }, .. })),
+            !acts.iter().any(|a| matches!(
+                a,
+                Action::Reply {
+                    reply: Reply::Persisted { .. },
+                    ..
+                }
+            )),
             "not persisted yet"
         );
         let acts = st.handle_io(IoReply::WriteDone {
@@ -2150,7 +2216,10 @@ mod tests {
         });
         assert!(matches!(
             &acts[..],
-            [Action::Reply { reply: Reply::Persisted { req: 9 }, .. }]
+            [Action::Reply {
+                reply: Reply::Persisted { req: 9 },
+                ..
+            }]
         ));
         assert_eq!(st.stats().disk_write_bytes, 64);
     }
@@ -2177,7 +2246,10 @@ mod tests {
         });
         assert!(matches!(
             &acts[..],
-            [Action::Reply { reply: Reply::Persisted { req: 2 }, .. }]
+            [Action::Reply {
+                reply: Reply::Persisted { req: 2 },
+                ..
+            }]
         ));
     }
 
@@ -2274,7 +2346,15 @@ mod tests {
         let acts = st.handle_client(ClientMsg::Shutdown);
         let byes = acts
             .iter()
-            .filter(|a| matches!(a, Action::Peer { msg: PeerMsg::Bye, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Peer {
+                        msg: PeerMsg::Bye,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(byes, 2, "bye broadcast to both peers");
         assert!(!st.ready_to_exit(), "waits for peers");
@@ -2369,7 +2449,10 @@ mod evict_tests {
             array: "a".into(),
             iv: Interval::new(0, 32),
         });
-        assert!(matches!(&acts[..], [Action::Io(IoCmd::Read { block: 0, .. })]));
+        assert!(matches!(
+            &acts[..],
+            [Action::Io(IoCmd::Read { block: 0, .. })]
+        ));
     }
 
     #[test]

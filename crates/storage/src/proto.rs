@@ -450,7 +450,9 @@ impl ClientMsg {
                 pb.build(T_CLIENT)
             }
             ClientMsg::Register { meta } => {
-                pb.put_str(&meta.name).put_u64(meta.len).put_u64(meta.block_size);
+                pb.put_str(&meta.name)
+                    .put_u64(meta.len)
+                    .put_u64(meta.block_size);
                 pb.build(T_CLIENT + 11)
             }
             ClientMsg::ReadReq {
@@ -649,7 +651,9 @@ impl Reply {
             Reply::Map { req, entries } => {
                 pb.put_u64(*req).put_u64(entries.len() as u64);
                 for en in entries {
-                    pb.put_str(&en.array).put_u64(en.block).put_u64(en.state.code());
+                    pb.put_str(&en.array)
+                        .put_u64(en.block)
+                        .put_u64(en.state.code());
                 }
                 pb.build(T_REPLY + 6)
             }
@@ -760,7 +764,10 @@ impl PeerMsg {
                 array,
                 offset,
             } => {
-                pb.put_u64(*req).put_u64(*from_node).put_str(array).put_u64(*offset);
+                pb.put_u64(*req)
+                    .put_u64(*from_node)
+                    .put_str(array)
+                    .put_u64(*offset);
                 pb.build(T_PEER)
             }
             PeerMsg::FetchFound {

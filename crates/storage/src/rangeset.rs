@@ -49,6 +49,42 @@ impl RangeSet {
         newly_covered
     }
 
+    /// Removes `[start, end)`, splitting ranges that partially overlap.
+    /// Returns `true` if any byte was actually removed.
+    pub fn remove(&mut self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return false;
+        }
+        // Window of strictly overlapping ranges (adjacency is unaffected).
+        let lo = self.ranges.partition_point(|&(_, e)| e <= start);
+        let hi = self.ranges.partition_point(|&(s, _)| s < end);
+        if lo == hi {
+            return false;
+        }
+        let mut remnants = Vec::with_capacity(2);
+        let (first_s, _) = self.ranges[lo];
+        let (_, last_e) = self.ranges[hi - 1];
+        if first_s < start {
+            remnants.push((first_s, start));
+        }
+        if last_e > end {
+            remnants.push((end, last_e));
+        }
+        self.ranges.splice(lo..hi, remnants);
+        true
+    }
+
+    /// Splits the set at `point`: returns `(left, right)` where `left`
+    /// covers exactly the set's bytes below `point` and `right` those at or
+    /// above it. A range straddling `point` is cut in two.
+    pub fn split_at(&self, point: u64) -> (Self, Self) {
+        let mut left = self.clone();
+        left.remove(point, u64::MAX);
+        let mut right = self.clone();
+        right.remove(0, point);
+        (left, right)
+    }
+
     /// Does the set fully cover `[start, end)`?
     pub fn covers(&self, start: u64, end: u64) -> bool {
         if start >= end {
@@ -162,5 +198,99 @@ mod tests {
         s.insert(0, 5);
         s.insert(10, 20);
         assert_eq!(s.ranges(), &[(0, 5), (10, 20), (30, 40)]);
+    }
+
+    #[test]
+    fn remove_exact_overlap_empties_range() {
+        let mut s = RangeSet::from_range(10, 20);
+        assert!(s.remove(10, 20));
+        assert!(s.is_empty());
+        assert!(!s.remove(10, 20), "second removal is a no-op");
+    }
+
+    #[test]
+    fn remove_splits_straddled_range() {
+        let mut s = RangeSet::from_range(0, 100);
+        assert!(s.remove(40, 60));
+        assert_eq!(s.ranges(), &[(0, 40), (60, 100)]);
+        assert_eq!(s.covered(), 80);
+    }
+
+    #[test]
+    fn remove_spanning_multiple_ranges_keeps_outer_remnants() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        s.insert(40, 50);
+        assert!(s.remove(5, 45));
+        assert_eq!(s.ranges(), &[(0, 5), (45, 50)]);
+    }
+
+    #[test]
+    fn remove_empty_or_disjoint_interval_is_noop() {
+        let mut s = RangeSet::from_range(10, 20);
+        assert!(!s.remove(15, 15), "empty interval");
+        assert!(!s.remove(0, 10), "touching below is not overlap");
+        assert!(!s.remove(20, 30), "touching above is not overlap");
+        assert_eq!(s.ranges(), &[(10, 20)]);
+        let mut empty = RangeSet::new();
+        assert!(!empty.remove(0, 100));
+    }
+
+    #[test]
+    fn split_at_cuts_straddling_range() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        let (l, r) = s.split_at(25);
+        assert_eq!(l.ranges(), &[(0, 10), (20, 25)]);
+        assert_eq!(r.ranges(), &[(25, 30)]);
+    }
+
+    proptest::proptest! {
+        /// Splitting at any point and re-inserting both halves reconstructs
+        /// the original set exactly (split -> merge is the identity).
+        #[test]
+        fn split_then_merge_is_identity(
+            ivs in proptest::collection::vec((0u64..200, 1u64..40), 0..12),
+            point in 0u64..250,
+        ) {
+            let mut s = RangeSet::new();
+            for (start, len) in ivs {
+                s.insert(start, start + len);
+            }
+            let (left, right) = s.split_at(point);
+            let mut merged = RangeSet::new();
+            for &(a, b) in left.ranges().iter().chain(right.ranges()) {
+                merged.insert(a, b);
+            }
+            proptest::prop_assert_eq!(&merged, &s);
+            // The halves partition the byte count.
+            proptest::prop_assert_eq!(left.covered() + right.covered(), s.covered());
+            // And respect the split point.
+            proptest::prop_assert!(!left.intersects(point, u64::MAX));
+            proptest::prop_assert!(!right.intersects(0, point));
+        }
+
+        /// Inserting an interval then removing it leaves at most the
+        /// original bytes; removing then re-inserting covers the interval.
+        #[test]
+        fn remove_is_inverse_of_insert_on_coverage(
+            ivs in proptest::collection::vec((0u64..200, 1u64..40), 0..12),
+            start in 0u64..200,
+            len in 1u64..50,
+        ) {
+            let mut s = RangeSet::new();
+            for (a, l) in ivs {
+                s.insert(a, a + l);
+            }
+            let end = start + len;
+            let mut removed = s.clone();
+            removed.remove(start, end);
+            proptest::prop_assert!(!removed.intersects(start, end));
+            let mut back = removed.clone();
+            back.insert(start, end);
+            proptest::prop_assert!(back.covers(start, end));
+        }
     }
 }

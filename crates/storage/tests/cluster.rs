@@ -13,8 +13,8 @@ use std::sync::Arc;
 fn scratch_dirs(tag: &str, n: usize) -> Vec<PathBuf> {
     (0..n)
         .map(|i| {
-            let d = std::env::temp_dir()
-                .join(format!("dooc-cluster-{tag}-{}-{i}", std::process::id()));
+            let d =
+                std::env::temp_dir().join(format!("dooc-cluster-{tag}-{}-{i}", std::process::id()));
             std::fs::remove_dir_all(&d).ok();
             std::fs::create_dir_all(&d).expect("mkdir");
             d
@@ -53,16 +53,18 @@ where
     let nodes: Vec<NodeId> = (0..nnodes).map(NodeId).collect();
     let drivers = layout.add_replicated("driver", nodes, move |_| {
         let driver = Arc::clone(&driver);
-        Box::new(move |ctx: &mut FilterContext| -> dooc_filterstream::Result<()> {
-            let to = ctx.take_output("sreq")?;
-            let from = ctx.take_input("srep")?;
-            // attach_clients assigned this declaration base id 0, so the
-            // global client id equals the instance index.
-            let mut sc = StorageClient::new(to, from, ctx.instance, ctx.instance as u64);
-            driver(ctx.instance, &mut sc);
-            sc.shutdown().ok();
-            Ok(())
-        })
+        Box::new(
+            move |ctx: &mut FilterContext| -> dooc_filterstream::Result<()> {
+                let to = ctx.take_output("sreq")?;
+                let from = ctx.take_input("srep")?;
+                // attach_clients assigned this declaration base id 0, so the
+                // global client id equals the instance index.
+                let mut sc = StorageClient::new(to, from, ctx.instance, ctx.instance as u64);
+                driver(ctx.instance, &mut sc);
+                sc.shutdown().ok();
+                Ok(())
+            },
+        )
     });
     let base = cluster.attach_clients(&mut layout, drivers, nnodes, "sreq", "srep");
     assert_eq!(base, 0);
@@ -81,10 +83,12 @@ fn single_node_write_read_roundtrip() {
             .expect("write b2");
         let d = sc.read("a", Interval::new(40, 40)).expect("read");
         assert_eq!(&d[..], &[2u8; 40]);
-        sc.release_read("a", Interval::new(40, 40)).expect("release");
+        sc.release_read("a", Interval::new(40, 40))
+            .expect("release");
         let d = sc.read("a", Interval::new(90, 10)).expect("tail read");
         assert_eq!(&d[..], &[3u8; 10]);
-        sc.release_read("a", Interval::new(90, 10)).expect("release");
+        sc.release_read("a", Interval::new(90, 10))
+            .expect("release");
     });
     cleanup(&dirs);
 }
@@ -107,7 +111,9 @@ fn cross_node_read_via_peer_fetch() {
         }
         1 => {
             // Geometry unknown: first read resolves it via peer probing.
-            let d = sc.read("shared", Interval::new(0, 32)).expect("remote read");
+            let d = sc
+                .read("shared", Interval::new(0, 32))
+                .expect("remote read");
             assert_eq!(&d[..], &[7u8; 32]);
             sc.release_read("shared", Interval::new(0, 32)).ok();
             let d = sc
@@ -285,7 +291,10 @@ fn prefetch_brings_block_to_memory() {
             {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "prefetch never landed");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "prefetch never landed"
+            );
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         // The read is now served from memory without further disk reads.
@@ -319,7 +328,8 @@ fn many_concurrent_async_reads() {
                 .map(|x| x as u8)
                 .collect();
             assert_eq!(&d[..], &want[..]);
-            sc.release_read("blob", Interval::new(k as u64 * 16, 16)).ok();
+            sc.release_read("blob", Interval::new(k as u64 * 16, 16))
+                .ok();
         }
     });
     cleanup(&dirs);

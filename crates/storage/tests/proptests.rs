@@ -266,6 +266,10 @@ fn discovery_read_path() {
     });
     assert!(matches!(
         &acts[..],
-        [Action::Io(IoCmd::Read { block: 1, len: 64, .. })]
+        [Action::Io(IoCmd::Read {
+            block: 1,
+            len: 64,
+            ..
+        })]
     ));
 }

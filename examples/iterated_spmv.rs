@@ -41,7 +41,7 @@ fn main() {
     );
     let blocks = SpmvAppBuilder::stage(
         &config.scratch_dirs,
-        grid.clone(),
+        grid,
         &gen,
         seed,
         tiled_owner(k, nnodes as u64),
@@ -63,7 +63,10 @@ fn main() {
     println!(
         "task DAG: {} tasks ({} multiplies, {} reductions)",
         graph.len(),
-        graph.ids().filter(|&i| graph.task(i).kind == "multiply").count(),
+        graph
+            .ids()
+            .filter(|&i| graph.task(i).kind == "multiply")
+            .count(),
         graph
             .ids()
             .filter(|&i| graph.task(i).kind.starts_with("sum"))
@@ -95,7 +98,9 @@ fn main() {
     print!("{}", dooc::core::render_trace_gantt(&report, 72));
 
     // Verify against the in-core reference.
-    let got = app.collect_final_vector(&config.scratch_dirs).expect("result");
+    let got = app
+        .collect_final_vector(&config.scratch_dirs)
+        .expect("result");
     let want = app.reference_result(&gen, seed, &x0);
     let max_rel = got
         .iter()

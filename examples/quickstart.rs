@@ -65,8 +65,12 @@ fn main() {
     // Declare the computation: double each vector where it lives, then
     // reduce the results (DOoC figures out the dependencies itself).
     let graph = TaskGraph::new(vec![
-        TaskSpec::new("du", "double").input("u", 24).output("du", 24),
-        TaskSpec::new("dv", "double").input("v", 24).output("dv", 24),
+        TaskSpec::new("du", "double")
+            .input("u", 24)
+            .output("du", 24),
+        TaskSpec::new("dv", "double")
+            .input("v", 24)
+            .output("dv", 24),
         TaskSpec::new("total", "reduce")
             .input("du", 24)
             .input("dv", 24)
@@ -81,7 +85,11 @@ fn main() {
         .run(graph, external, Arc::new(VectorOps))
         .expect("run to completion");
 
-    println!("executed {} tasks in {:?}", report.trace.len(), report.elapsed);
+    println!(
+        "executed {} tasks in {:?}",
+        report.trace.len(),
+        report.elapsed
+    );
     for e in &report.trace {
         println!("  node{} ran {:10} ({})", e.node, e.name, e.kind);
     }
@@ -92,7 +100,11 @@ fn main() {
     );
 
     // Read the persisted result back.
-    let reducer = report.trace.iter().find(|e| e.kind == "reduce").expect("ran");
+    let reducer = report
+        .trace
+        .iter()
+        .find(|e| e.kind == "reduce")
+        .expect("ran");
     let raw = std::fs::read(config.scratch_dirs[reducer.node as usize].join("total@0"))
         .expect("persisted result");
     let total: Vec<f64> = raw

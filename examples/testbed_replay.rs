@@ -13,9 +13,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(9);
-    println!(
-        "replaying the paper's 4-iteration SpMV workload on {nnodes} simulated nodes"
-    );
+    println!("replaying the paper's 4-iteration SpMV workload on {nnodes} simulated nodes");
     let params = TestbedParams::paper(nnodes);
     println!(
         "workload: {} sub-matrices of {:.1} GB ({} M rows, {:.1e} non-zeros, {:.2} TB total)\n",

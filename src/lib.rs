@@ -19,6 +19,8 @@
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+
 pub use dooc_core as core;
 pub use dooc_filterstream as filterstream;
 pub use dooc_linalg as linalg;

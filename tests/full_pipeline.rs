@@ -46,7 +46,7 @@ fn both_policies_agree_with_reference() {
         let grid = BlockGrid::new(k, n);
         let blocks = SpmvAppBuilder::stage(
             &cfg.scratch_dirs,
-            grid.clone(),
+            grid,
             &gen,
             seed,
             tiled_owner(k, nnodes as u64),
@@ -55,7 +55,8 @@ fn both_policies_agree_with_reference() {
         let app = SpmvAppBuilder::new(grid, 3, blocks)
             .reduction(reduction)
             .sync(sync);
-        app.stage_initial_vector(&cfg.scratch_dirs, &x0).expect("x0");
+        app.stage_initial_vector(&cfg.scratch_dirs, &x0)
+            .expect("x0");
         let (graph, external, geometry) = app.build();
         let mut cfg2 = cfg.clone();
         for (name, len, bs) in geometry {
@@ -94,18 +95,13 @@ fn restart_continues_from_persisted_state() {
         .expect("cfg")
         .memory_budget(1 << 20);
     let grid = BlockGrid::new(k, n);
-    let blocks = SpmvAppBuilder::stage(
-        &cfg.scratch_dirs,
-        grid.clone(),
-        &gen,
-        seed,
-        tiled_owner(k, 1),
-    )
-    .expect("stage");
+    let blocks = SpmvAppBuilder::stage(&cfg.scratch_dirs, grid, &gen, seed, tiled_owner(k, 1))
+        .expect("stage");
 
     // Life 1: two iterations, persisted.
-    let app1 = SpmvAppBuilder::new(grid.clone(), 2, blocks.clone());
-    app1.stage_initial_vector(&cfg.scratch_dirs, &x0).expect("x0");
+    let app1 = SpmvAppBuilder::new(grid, 2, blocks.clone());
+    app1.stage_initial_vector(&cfg.scratch_dirs, &x0)
+        .expect("x0");
     let (graph, external, geometry) = app1.build();
     let mut c = cfg.clone();
     for (name, len, bs) in geometry {
@@ -120,7 +116,8 @@ fn restart_continues_from_persisted_state() {
     // as the new x_0 (staged like any external vector) and run 1 more
     // iteration. The sub-matrix files are *discovered*, not re-staged.
     let app2 = SpmvAppBuilder::new(grid, 1, blocks);
-    app2.stage_initial_vector(&cfg.scratch_dirs, &x2).expect("x2 restage");
+    app2.stage_initial_vector(&cfg.scratch_dirs, &x2)
+        .expect("x2 restage");
     let (graph, external, geometry) = app2.build();
     let mut c = cfg.clone();
     for (name, len, bs) in geometry {

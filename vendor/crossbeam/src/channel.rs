@@ -1,0 +1,516 @@
+//! MPMC channels with a `Select` multiplexer, on std mutex + condvar.
+//!
+//! Semantics follow `crossbeam-channel` for the operations DOoC exercises:
+//! cloneable senders and receivers sharing one queue, `send` blocking when a
+//! bounded queue is full, `recv` failing only once the queue is empty *and*
+//! all senders are gone, and `Select` blocking across several receivers.
+//!
+//! `Select` differs internally from crossbeam's lock-free design: during the
+//! readiness scan it *dequeues* the winning message and stashes it inside the
+//! returned [`SelectedOperation`], so the subsequent `op.recv(&rx)` cannot
+//! race with other consumers. That is indistinguishable from crossbeam's
+//! behaviour for the select-then-recv pattern the filter runtime uses.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and closed.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// Channel is currently empty but senders remain.
+    Empty,
+    /// Channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// Channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Select::select_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct SelectTimeoutError;
+
+impl fmt::Display for SelectTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select timed out")
+    }
+}
+
+impl std::error::Error for SelectTimeoutError {}
+
+/// Wake-up flag a blocked `Select` parks on; channels it watches set the
+/// flag and notify on any state change.
+struct SelectWaker {
+    fired: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl SelectWaker {
+    fn notify(&self) {
+        *self.fired.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        self.cv.notify_all();
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// `None` = unbounded.
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+    /// Selects currently parked on this channel (pruned lazily).
+    wakers: Vec<Weak<SelectWaker>>,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on enqueue and on sender-side disconnect.
+    not_empty: Condvar,
+    /// Signalled on dequeue and on receiver-side disconnect.
+    not_full: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn wake_selects(st: &mut State<T>) {
+        st.wakers.retain(|w| {
+            if let Some(w) = w.upgrade() {
+                w.notify();
+                true
+            } else {
+                false
+            }
+        });
+    }
+}
+
+/// Sending half of a channel; cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Receiving half of a channel; cloneable (clones share the queue).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a bounded channel with capacity `cap`.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    new_chan(Some(cap))
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_chan(None)
+}
+
+fn new_chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+            wakers: Vec::new(),
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the value is enqueued, or fails if all receivers dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let full = st.cap.is_some_and(|c| st.queue.len() >= c);
+            if !full {
+                st.queue.push_back(value);
+                Chan::wake_selects(&mut st);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self
+                .chan
+                .not_full
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().senders += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            Chan::wake_selects(&mut st);
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .chan
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.lock();
+        if let Some(v) = st.queue.pop_front() {
+            self.chan.not_full.notify_one();
+            Ok(v)
+        } else if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocking receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _r) = self
+                .chan
+                .not_empty
+                .wait_timeout(st, left)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.chan.lock().queue.is_empty()
+    }
+
+    /// Registers a select waker; returns whether anything is ready *now*.
+    fn register_waker(&self, waker: &Arc<SelectWaker>) {
+        let mut st = self.chan.lock();
+        st.wakers.retain(|w| w.strong_count() > 0);
+        st.wakers.push(Arc::downgrade(waker));
+    }
+
+    /// Attempts a select-side dequeue: `Some(Ok)` message, `Some(Err)` closed.
+    fn poll_select(&self) -> Option<Result<T, RecvError>> {
+        let mut st = self.chan.lock();
+        if let Some(v) = st.queue.pop_front() {
+            self.chan.not_full.notify_one();
+            Some(Ok(v))
+        } else if st.senders == 0 {
+            Some(Err(RecvError))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().receivers += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+/// Multiplexes blocking receives over several registered receivers.
+pub struct Select<'a, T> {
+    rxs: Vec<&'a Receiver<T>>,
+    /// Rotating scan offset so a chatty low-index channel cannot starve the
+    /// rest.
+    next_start: usize,
+}
+
+/// A ready receive operation returned by [`Select::select`]; the message (or
+/// closure verdict) is already captured, so [`SelectedOperation::recv`]
+/// simply hands it over.
+pub struct SelectedOperation<T> {
+    index: usize,
+    result: Result<T, RecvError>,
+}
+
+impl<'a, T> Select<'a, T> {
+    /// Creates an empty selector.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            rxs: Vec::new(),
+            next_start: 0,
+        }
+    }
+
+    /// Registers a receiver; returns its operation index.
+    pub fn recv(&mut self, rx: &'a Receiver<T>) -> usize {
+        self.rxs.push(rx);
+        self.rxs.len() - 1
+    }
+
+    /// Blocks until one registered receiver is ready (message or closed).
+    pub fn select(&mut self) -> SelectedOperation<T> {
+        self.select_deadline(None)
+            .expect("select with no timeout cannot time out")
+    }
+
+    /// Like [`Select::select`] with a timeout.
+    pub fn select_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<SelectedOperation<T>, SelectTimeoutError> {
+        self.select_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn select_deadline(
+        &mut self,
+        deadline: Option<Instant>,
+    ) -> Result<SelectedOperation<T>, SelectTimeoutError> {
+        assert!(!self.rxs.is_empty(), "select with no operations");
+        let waker = Arc::new(SelectWaker {
+            fired: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        for rx in &self.rxs {
+            rx.register_waker(&waker);
+        }
+        loop {
+            // Scan from a rotating start for fairness across channels.
+            let n = self.rxs.len();
+            let start = self.next_start % n;
+            for k in 0..n {
+                let i = (start + k) % n;
+                if let Some(result) = self.rxs[i].poll_select() {
+                    self.next_start = i + 1;
+                    return Ok(SelectedOperation { index: i, result });
+                }
+            }
+            // Park until any watched channel changes state.
+            let mut fired = waker.fired.lock().unwrap_or_else(|p| p.into_inner());
+            while !*fired {
+                match deadline {
+                    None => {
+                        fired = waker.cv.wait(fired).unwrap_or_else(|p| p.into_inner());
+                    }
+                    Some(d) => {
+                        let left = d.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            return Err(SelectTimeoutError);
+                        }
+                        let (g, _r) = waker
+                            .cv
+                            .wait_timeout(fired, left)
+                            .unwrap_or_else(|p| p.into_inner());
+                        fired = g;
+                    }
+                }
+            }
+            *fired = false;
+        }
+    }
+}
+
+impl<T> SelectedOperation<T> {
+    /// Index of the ready operation (registration order).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Completes the receive. The receiver argument mirrors crossbeam's API;
+    /// the message was already captured at selection time.
+    pub fn recv(self, _rx: &Receiver<T>) -> Result<T, RecvError> {
+        self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(10).unwrap();
+        let h = thread::spawn(move || tx.send(11).map_err(|_| ()));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(10));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(11));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn select_across_channels() {
+        let (tx0, rx0) = bounded::<u32>(2);
+        let (tx1, rx1) = bounded::<u32>(2);
+        tx1.send(42).unwrap();
+        let mut sel = Select::new();
+        assert_eq!(sel.recv(&rx0), 0);
+        assert_eq!(sel.recv(&rx1), 1);
+        let op = sel.select();
+        assert_eq!(op.index(), 1);
+        assert_eq!(op.recv(&rx1), Ok(42));
+
+        // Blocked select woken by a late send.
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx0.send(7).unwrap();
+        });
+        let op = sel.select();
+        assert_eq!(op.index(), 0);
+        assert_eq!(op.recv(&rx0), Ok(7));
+        h.join().unwrap();
+
+        // Disconnection is selected as a ready (closed) operation.
+        drop(tx1);
+        loop {
+            let op = sel.select();
+            if op.index() == 1 {
+                assert_eq!(op.recv(&rx1), Err(RecvError));
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn select_timeout_elapses() {
+        let (_tx, rx) = bounded::<u8>(1);
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        assert!(sel.select_timeout(Duration::from_millis(10)).is_err());
+    }
+}

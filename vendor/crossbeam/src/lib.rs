@@ -1,0 +1,17 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces DOoC uses:
+//!
+//! * [`channel`] — MPMC bounded (and unbounded) channels with blocking
+//!   `send`/`recv`, timeouts, and a [`channel::Select`] multiplexer, built on
+//!   `std::sync::{Mutex, Condvar}`.
+//! * [`scope`] — scoped threads delegating to `std::thread::scope`, with
+//!   crossbeam's `Result`-returning signature (a panicking child surfaces as
+//!   `Err` instead of aborting the caller).
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::scope;

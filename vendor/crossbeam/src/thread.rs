@@ -1,0 +1,90 @@
+//! Scoped threads with crossbeam's `Result`-returning signature, delegating
+//! to `std::thread::scope`. A child panic is caught after all threads join
+//! and surfaces as `Err(payload)` instead of unwinding through the caller.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle to the scope; spawn closures receive a copy (crossbeam's `|_|`
+/// parameter), allowing nested spawns.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread scoped to borrow from `'env`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Runs `f` with a scope handle; joins every spawned thread before
+/// returning. If any thread (or `f` itself) panicked, returns the panic
+/// payload as `Err`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrows_and_joins() {
+        let mut data = vec![0u32; 4];
+        scope(|s| {
+            for (i, d) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *d = i as u32 + 1);
+            }
+        })
+        .expect("no panics");
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("child failure"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let total = std::sync::atomic::AtomicU32::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}
