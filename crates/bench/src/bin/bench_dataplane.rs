@@ -1,0 +1,500 @@
+//! Node data-plane benchmark: pipelined vs blocking array reads, end-to-end
+//! iterated SpMV through the old (per-block round-trip, double-copy) and new
+//! (pipelined, zero-copy, pooled) worker paths, and the serial-vs-pool
+//! crossover calibration for the dense kernels.
+//!
+//! Emits `BENCH_dataplane.json` (override with `--out <path>`). Flags:
+//!
+//! * `--quick`      smaller sizes / fewer reps (the CI smoke configuration);
+//! * `--calibrate`  also sweep the serial/pool crossover for dot, axpy and
+//!   SpMV (the numbers behind `DOT_SERIAL_MAX`, `AXPY_SERIAL_MAX` and
+//!   `SPMV_SERIAL_MAX_NNZ`).
+
+use bytes::Bytes;
+use dooc_core::sync::OrderedMutex;
+use dooc_core::{DoocConfig, DoocRuntime, ExecOutcome, TaskExecutor, TaskSpec, WorkerContext};
+use dooc_filterstream::{FilterContext, Layout, NodeId, Runtime};
+use dooc_linalg::spmv_app::{tiled_owner, ReductionPlan, SpmvAppBuilder, SpmvExecutor, SyncPolicy};
+use dooc_sparse::blockgrid::BlockGrid;
+use dooc_sparse::genmat::GapGenerator;
+use dooc_sparse::{dense, fileio, ComputePool, CsrMatrix};
+use dooc_storage::meta::{ArrayMeta, Interval};
+use dooc_storage::{StorageClient, StorageCluster};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let calibrate = args.iter().any(|a| a == "--calibrate");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_dataplane.json"));
+
+    let mut json = String::from("{\n  \"bench\": \"dataplane\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+
+    // --- 1. read-array latency: pipelined vs one-round-trip-per-block ------
+    let (nblocks, block_bytes, reps) = if quick {
+        (32u64, 4096u64, 5)
+    } else {
+        (64, 8192, 20)
+    };
+    let r = read_latency(nblocks, block_bytes, reps);
+    println!(
+        "read_array {nblocks} x {block_bytes}B blocks ({reps} reps): blocking {:.1} us, pipelined {:.1} us ({:.2}x)",
+        r.blocking_us, r.pipelined_us, r.blocking_us / r.pipelined_us
+    );
+    json.push_str(&format!(
+        "  \"read_array\": {{\n    \"nblocks\": {nblocks},\n    \"block_bytes\": {block_bytes},\n    \"reps\": {reps},\n    \"blocking_us_per_read\": {:.2},\n    \"pipelined_us_per_read\": {:.2},\n    \"speedup\": {:.3},\n    \"copied_bytes_blocking_read\": {},\n    \"copied_bytes_zero_copy_f64_read\": {}\n  }},\n",
+        r.blocking_us,
+        r.pipelined_us,
+        r.blocking_us / r.pipelined_us,
+        r.copied_blocking,
+        r.copied_view
+    ));
+
+    // --- 2. end-to-end iterated SpMV: old vs new worker data plane ---------
+    let (k, n, iters) = if quick {
+        (4u64, 512u64, 2u64)
+    } else {
+        (4, 2048, 3)
+    };
+    json.push_str("  \"spmv_e2e\": [\n");
+    let mut rows = Vec::new();
+    for &nodes in &[1usize, 4] {
+        let before = run_spmv(nodes, k, n, iters, true);
+        let after = run_spmv(nodes, k, n, iters, false);
+        println!(
+            "iterated SpMV k={k} n={n} iters={iters} nodes={nodes}: before {before:.3}s, after {after:.3}s ({:.2}x)",
+            before / after
+        );
+        rows.push(format!(
+            "    {{\"nodes\": {nodes}, \"k\": {k}, \"n\": {n}, \"iterations\": {iters}, \"wall_s_before\": {before:.4}, \"wall_s_after\": {after:.4}, \"speedup\": {:.3}}}",
+            before / after
+        ));
+    }
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    // --- 3. serial/pool crossover calibration ------------------------------
+    if calibrate {
+        json.push_str("  \"calibration\": {\n");
+        json.push_str(&calibrate_dense(quick));
+        json.push_str("  },\n");
+    }
+
+    json.push_str(&format!(
+        "  \"thresholds\": {{\"dot_serial_max\": {}, \"axpy_serial_max\": {}, \"spmv_serial_max_nnz\": {}}}\n}}\n",
+        dense::DOT_SERIAL_MAX,
+        dense::AXPY_SERIAL_MAX,
+        dooc_sparse::pool::SPMV_SERIAL_MAX_NNZ
+    ));
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {}", out_path.display());
+}
+
+struct ReadLatency {
+    blocking_us: f64,
+    pipelined_us: f64,
+    copied_blocking: u64,
+    copied_view: u64,
+}
+
+/// Single-node cluster; one array of `nblocks` blocks held in memory; times
+/// `read_array_blocking` (one round trip per block) against the pipelined
+/// `read_array`, and records the bytes each path memcpy'd.
+fn read_latency(nblocks: u64, block_bytes: u64, reps: u32) -> ReadLatency {
+    let results: Arc<OrderedMutex<Vec<ReadLatency>>> =
+        Arc::new(OrderedMutex::new("bench.readlat", Vec::new()));
+    let sink = Arc::clone(&results);
+    let len = nblocks * block_bytes;
+    let dir = std::env::temp_dir().join(format!("dooc-bench-readlat-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let mut layout = Layout::new();
+    let mut cluster = StorageCluster::build(&mut layout, vec![dir.clone()], 4 * len, 7);
+    let drivers = layout.add_replicated("driver", vec![NodeId(0)], move |_| {
+        let sink = Arc::clone(&sink);
+        Box::new(
+            move |ctx: &mut FilterContext| -> dooc_filterstream::Result<()> {
+                let to = ctx.take_output("sreq")?;
+                let from = ctx.take_input("srep")?;
+                let mut sc = StorageClient::new(to, from, ctx.instance, ctx.instance as u64);
+                let geometry =
+                    std::collections::HashMap::from([("a".to_string(), (len, block_bytes))]);
+                let pool = ComputePool::new(1);
+                let mut wc = WorkerContext::new(0, 1, &mut sc, &geometry, &pool);
+                let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+                wc.write_bytes("a", Bytes::from(data)).expect("write");
+                // Warm both paths once before timing.
+                wc.read_array_blocking("a").expect("warm");
+                wc.read_array("a").expect("warm");
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    wc.read_array_blocking("a").expect("blocking read");
+                }
+                let blocking = t0.elapsed();
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    wc.read_array("a").expect("pipelined read");
+                }
+                let pipelined = t0.elapsed();
+                // Copy accounting on fresh contexts: one blocking byte read
+                // vs one zero-copy f64 read.
+                let mut wc = WorkerContext::new(0, 1, &mut sc, &geometry, &pool);
+                wc.read_array_blocking("a").expect("read");
+                let copied_blocking = wc.copied_bytes();
+                let mut wc = WorkerContext::new(0, 1, &mut sc, &geometry, &pool);
+                wc.read_f64s("a").expect("read f64s");
+                let copied_view = wc.copied_bytes();
+                sink.lock().push(ReadLatency {
+                    blocking_us: blocking.as_secs_f64() * 1e6 / reps as f64,
+                    pipelined_us: pipelined.as_secs_f64() * 1e6 / reps as f64,
+                    copied_blocking,
+                    copied_view,
+                });
+                sc.shutdown().ok();
+                Ok(())
+            },
+        )
+    });
+    cluster.attach_clients(&mut layout, drivers, 1, "sreq", "srep");
+    Runtime::run(layout).expect("cluster run");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut results = results.lock();
+    results.pop().expect("driver reported")
+}
+
+/// The worker data plane exactly as it was before this change: one blocking
+/// round trip per block on reads, an extra byte-chunk re-copy on f64 decode,
+/// a per-block `Bytes::copy_from_slice` on writes, and per-call scoped
+/// threads instead of the persistent pool.
+struct BaselineSpmvExecutor;
+
+impl BaselineSpmvExecutor {
+    fn read_f64s(ctx: &mut WorkerContext, name: &str) -> Result<Vec<f64>, String> {
+        let raw = ctx.read_array_blocking(name)?;
+        if raw.len() % 8 != 0 {
+            return Err(format!(
+                "array '{name}' length {} not f64-aligned",
+                raw.len()
+            ));
+        }
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                f64::from_le_bytes(b)
+            })
+            .collect())
+    }
+
+    fn write_array(ctx: &mut WorkerContext, name: &str, data: &[u8]) -> Result<(), String> {
+        let (len, bs) = ctx
+            .geometry_of(name)
+            .unwrap_or((data.len() as u64, data.len().max(1) as u64));
+        ctx.storage()
+            .create(name, len, bs)
+            .map_err(|e| format!("create {name}: {e}"))?;
+        let meta = ArrayMeta::new(name, len, bs);
+        for b in 0..meta.nblocks() {
+            let start = meta.block_start(b);
+            let blen = meta.block_len(b);
+            ctx.storage()
+                .write(
+                    name,
+                    Interval::new(start, blen),
+                    Bytes::copy_from_slice(&data[start as usize..(start + blen) as usize]),
+                )
+                .map_err(|e| format!("write {name}[{b}]: {e}"))?;
+        }
+        Ok(())
+    }
+
+    fn write_f64s(ctx: &mut WorkerContext, name: &str, xs: &[f64]) -> Result<(), String> {
+        let mut raw = Vec::with_capacity(8 * xs.len());
+        for x in xs {
+            raw.extend_from_slice(&x.to_le_bytes());
+        }
+        Self::write_array(ctx, name, &raw)
+    }
+}
+
+impl TaskExecutor for BaselineSpmvExecutor {
+    fn execute(&self, task: &TaskSpec, ctx: &mut WorkerContext) -> ExecOutcome {
+        match task.kind.as_str() {
+            "multiply" => {
+                let raw = ctx.read_array_blocking(&task.inputs[0].array)?;
+                let m = fileio::from_bytes(&raw).map_err(|e| format!("decode matrix: {e}"))?;
+                let x = Self::read_f64s(ctx, &task.inputs[1].array)?;
+                let mut y = vec![0.0; m.nrows() as usize];
+                m.spmv_parallel(&x, &mut y, ctx.threads)
+                    .map_err(|e| format!("spmv: {e}"))?;
+                Self::write_f64s(ctx, &task.outputs[0].array, &y)
+            }
+            "sum" | "sum_final" => {
+                let mut acc: Option<Vec<f64>> = None;
+                for input in &task.inputs {
+                    if input.array.starts_with("bar_") {
+                        continue;
+                    }
+                    let x = Self::read_f64s(ctx, &input.array)?;
+                    match &mut acc {
+                        None => acc = Some(x),
+                        Some(a) => dense::add_assign(a, &x),
+                    }
+                }
+                let out = acc.ok_or("sum with no data inputs")?;
+                Self::write_f64s(ctx, &task.outputs[0].array, &out)?;
+                if task.kind == "sum_final" {
+                    let name = task.outputs[0].array.clone();
+                    ctx.storage()
+                        .persist(&name)
+                        .map_err(|e| format!("persist {name}: {e}"))?;
+                }
+                Ok(())
+            }
+            "barrier" => Self::write_array(ctx, &task.outputs[0].array, &[0u8; 8]),
+            other => Err(format!("unknown SpMV task kind '{other}'")),
+        }
+    }
+}
+
+/// One end-to-end iterated-SpMV run; returns wall seconds.
+fn run_spmv(nodes: usize, k: u64, n: u64, iterations: u64, baseline: bool) -> f64 {
+    let tag = format!(
+        "bench-dp-{nodes}n-{}",
+        if baseline { "before" } else { "after" }
+    );
+    let cfg = DoocConfig::in_temp_dirs(&tag, nodes)
+        .expect("cfg")
+        .memory_budget(256 << 20)
+        .threads_per_node(2)
+        .prefetch_window(2);
+    let grid = BlockGrid::new(k, n);
+    let gen = GapGenerator::with_d(3);
+    let blocks = SpmvAppBuilder::stage(
+        &cfg.scratch_dirs,
+        grid,
+        &gen,
+        42,
+        tiled_owner(k, nodes as u64),
+    )
+    .expect("stage");
+    let app = SpmvAppBuilder::new(grid, iterations, blocks)
+        .reduction(ReductionPlan::LocalAggregation)
+        .sync(SyncPolicy::IterationBarrier);
+    let x0: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin() + 1.0).collect();
+    app.stage_initial_vector(&cfg.scratch_dirs, &x0)
+        .expect("stage x0");
+    let (graph, external, geometry) = app.build();
+    let mut cfg2 = cfg.clone();
+    for (name, len, bs) in geometry {
+        cfg2 = cfg2.with_geometry(name, len, bs);
+    }
+    let executor: Arc<dyn TaskExecutor> = if baseline {
+        Arc::new(BaselineSpmvExecutor)
+    } else {
+        Arc::new(SpmvExecutor)
+    };
+    let t0 = Instant::now();
+    DoocRuntime::new(cfg2.clone())
+        .run(graph, external, executor)
+        .expect("run");
+    let wall = t0.elapsed().as_secs_f64();
+    for d in &cfg2.scratch_dirs {
+        std::fs::remove_dir_all(d).ok();
+    }
+    wall
+}
+
+/// Sweeps serial vs forced-pool timings for dot/axpy/SpMV to locate the
+/// crossover the `*_SERIAL_MAX` thresholds encode. The pool path is driven
+/// through `ComputePool::run` directly so the thresholds themselves cannot
+/// route it back to serial.
+fn calibrate_dense(quick: bool) -> String {
+    let pool = ComputePool::new(4);
+    let reps = if quick { 5 } else { 20 };
+    let mut out = String::new();
+
+    let sizes: &[usize] = if quick {
+        &[16_384, 65_536, 262_144]
+    } else {
+        &[16_384, 32_768, 65_536, 131_072, 262_144, 524_288, 1_048_576]
+    };
+    let mut dot_rows = Vec::new();
+    let mut axpy_rows = Vec::new();
+    for &n in sizes {
+        let x = Arc::new(
+            (0..n)
+                .map(|i| (i as f64 * 0.37).sin())
+                .collect::<Vec<f64>>(),
+        );
+        let y = Arc::new(
+            (0..n)
+                .map(|i| (i as f64 * 0.11).cos())
+                .collect::<Vec<f64>>(),
+        );
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            acc += dense::dot(&x, &y);
+        }
+        let serial = t0.elapsed().as_secs_f64() / reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            acc += pool_dot(&pool, &x, &y);
+        }
+        let pooled = t0.elapsed().as_secs_f64() / reps as f64;
+        std::hint::black_box(acc);
+        println!(
+            "calibrate dot n={n}: serial {:.1} us, pool {:.1} us",
+            serial * 1e6,
+            pooled * 1e6
+        );
+        dot_rows.push(format!(
+            "      {{\"n\": {n}, \"serial_us\": {:.2}, \"pool_us\": {:.2}}}",
+            serial * 1e6,
+            pooled * 1e6
+        ));
+
+        let mut y1 = (0..n).map(|i| i as f64 * 0.5).collect::<Vec<f64>>();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            dense::axpy(1.0001, &x, &mut y1);
+        }
+        let serial = t0.elapsed().as_secs_f64() / reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            pool_axpy(&pool, 1.0001, &x, &mut y1);
+        }
+        let pooled = t0.elapsed().as_secs_f64() / reps as f64;
+        std::hint::black_box(y1[0]);
+        println!(
+            "calibrate axpy n={n}: serial {:.1} us, pool {:.1} us",
+            serial * 1e6,
+            pooled * 1e6
+        );
+        axpy_rows.push(format!(
+            "      {{\"n\": {n}, \"serial_us\": {:.2}, \"pool_us\": {:.2}}}",
+            serial * 1e6,
+            pooled * 1e6
+        ));
+    }
+    out.push_str("    \"dot\": [\n");
+    out.push_str(&dot_rows.join(",\n"));
+    out.push_str("\n    ],\n    \"axpy\": [\n");
+    out.push_str(&axpy_rows.join(",\n"));
+    out.push_str("\n    ],\n");
+
+    let nnzs: &[u64] = if quick {
+        &[4_096, 65_536]
+    } else {
+        &[4_096, 16_384, 65_536, 262_144, 1_048_576]
+    };
+    let mut spmv_rows = Vec::new();
+    for &target in nnzs {
+        let nrows = (target / 8).max(64);
+        let gen = GapGenerator::for_target_nnz(nrows, nrows, target);
+        let m = Arc::new(gen.generate(nrows, nrows, 7));
+        let x = Arc::new(
+            (0..nrows)
+                .map(|i| (i as f64 * 0.3).sin())
+                .collect::<Vec<f64>>(),
+        );
+        let mut y = vec![0.0; nrows as usize];
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            m.spmv_into(&x, &mut y).expect("dims");
+        }
+        let serial = t0.elapsed().as_secs_f64() / reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            pool_spmv(&pool, &m, &x, &mut y);
+        }
+        let pooled = t0.elapsed().as_secs_f64() / reps as f64;
+        std::hint::black_box(y[0]);
+        println!(
+            "calibrate spmv nnz={}: serial {:.1} us, pool {:.1} us",
+            m.nnz(),
+            serial * 1e6,
+            pooled * 1e6
+        );
+        spmv_rows.push(format!(
+            "      {{\"nnz\": {}, \"serial_us\": {:.2}, \"pool_us\": {:.2}}}",
+            m.nnz(),
+            serial * 1e6,
+            pooled * 1e6
+        ));
+    }
+    out.push_str("    \"spmv\": [\n");
+    out.push_str(&spmv_rows.join(",\n"));
+    out.push_str("\n    ]\n");
+    out
+}
+
+fn pool_dot(pool: &ComputePool, x: &Arc<Vec<f64>>, y: &Arc<Vec<f64>>) -> f64 {
+    let n = x.len();
+    let nt = pool.nthreads();
+    let chunk = n.div_ceil(nt);
+    let jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = (0..nt)
+        .filter(|t| t * chunk < n)
+        .map(|t| {
+            let x = Arc::clone(x);
+            let y = Arc::clone(y);
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            Box::new(move || dense::dot(&x[lo..hi], &y[lo..hi])) as Box<dyn FnOnce() -> f64 + Send>
+        })
+        .collect();
+    pool.run(jobs).iter().sum()
+}
+
+fn pool_axpy(pool: &ComputePool, alpha: f64, x: &Arc<Vec<f64>>, y: &mut [f64]) {
+    let n = x.len();
+    let nt = pool.nthreads();
+    let chunk = n.div_ceil(nt);
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = (0..nt)
+        .filter(|t| t * chunk < n)
+        .map(|t| {
+            let x = Arc::clone(x);
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            let ys = y[lo..hi].to_vec();
+            Box::new(move || {
+                let mut ys = ys;
+                dense::axpy(alpha, &x[lo..hi], &mut ys);
+                ys
+            }) as Box<dyn FnOnce() -> Vec<f64> + Send>
+        })
+        .collect();
+    let mut lo = 0usize;
+    for out in pool.run(jobs) {
+        y[lo..lo + out.len()].copy_from_slice(&out);
+        lo += out.len();
+    }
+}
+
+fn pool_spmv(pool: &ComputePool, m: &Arc<CsrMatrix>, x: &Arc<Vec<f64>>, y: &mut [f64]) {
+    let nt = pool.nthreads();
+    let bounds = m.nnz_balanced_row_partition(nt);
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = (0..nt)
+        .map(|t| {
+            let m = Arc::clone(m);
+            let x = Arc::clone(x);
+            let (r0, r1) = (bounds[t], bounds[t + 1]);
+            Box::new(move || m.spmv_rows(&x, r0, r1)) as Box<dyn FnOnce() -> Vec<f64> + Send>
+        })
+        .collect();
+    for (t, slab) in pool.run(jobs).into_iter().enumerate() {
+        let lo = bounds[t] as usize;
+        y[lo..lo + slab.len()].copy_from_slice(&slab);
+    }
+}

@@ -17,13 +17,19 @@
 //! 3. at most one writer holds a grant per block;
 //! 4. reclaim never evicts a pinned block (`pins > 0` implies resident);
 //! 5. every blocked read is eventually answered once its producer releases
-//!    (no client is still parked at quiescence).
+//!    (no client is still parked at quiescence);
+//! 6. the incremental map protocol (`MapSince`/`MapDelta`) is monotonic: a
+//!    delta's version is never below the client's cursor;
+//! 7. deltas compose: folding every delta a client received always yields
+//!    exactly the node's current availability map at the moment of the last
+//!    query — no changed block is ever omitted.
 //!
 //! Because the healthy model has no violations, [`BugConfig`] can seed
 //! specific protocol bugs (skip a release, grant two writers, evict a
-//! pinned block, forget to flush parked waiters, serve an unsealed read) to
-//! prove the checker finds them — each returns a [`Violation`] carrying the
-//! full action trace from the initial state.
+//! pinned block, forget to flush parked waiters, serve an unsealed read,
+//! forget a version bump on an availability change) to prove the checker
+//! finds them — each returns a [`Violation`] carrying the full action trace
+//! from the initial state.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -43,6 +49,9 @@ pub enum Op {
     StartRead(usize),
     /// `ReleaseRead`: unpin the block.
     ReleaseRead(usize),
+    /// `MapSince(cursor)`: ask for the availability changes since the
+    /// client's version cursor and fold the delta into a local mirror.
+    MapSince,
 }
 
 /// Deliberately seeded protocol bugs, for negative tests of the checker.
@@ -64,6 +73,24 @@ pub struct BugConfig {
     /// A read of a resident-but-unsealed block is served immediately —
     /// exposes bytes of an unreleased write.
     pub serve_unsealed_read: bool,
+    /// An availability change detected during `MapSince` does not bump the
+    /// map version — the changed block is left out of the delta and the
+    /// client's mirror silently diverges from the node's map.
+    pub skip_version_bump: bool,
+}
+
+/// Block availability as reported by the map protocol (the model's
+/// `BlockAvail`), derived from the block's protocol state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Avail {
+    /// Created, nothing written.
+    Unwritten,
+    /// A write grant is outstanding (building buffer allocated).
+    Partial,
+    /// Sealed and resident in memory.
+    InMemory,
+    /// Sealed and spilled to disk.
+    OnDisk,
 }
 
 /// One block of the abstract storage node.
@@ -81,6 +108,41 @@ struct Block {
     pins: i8,
     /// Poison flag: a read was served while the block was unsealed.
     served_unsealed: bool,
+    /// Last availability observed by a map query (the node's lazy change
+    /// detection state).
+    last_avail: Option<Avail>,
+    /// Map version at which this block's availability last changed.
+    avail_version: u8,
+}
+
+impl Block {
+    /// Availability as the map protocol reports it.
+    fn avail(&self) -> Avail {
+        if self.sealed {
+            if self.resident {
+                Avail::InMemory
+            } else {
+                Avail::OnDisk
+            }
+        } else if self.writers > 0 || self.resident {
+            Avail::Partial
+        } else {
+            Avail::Unwritten
+        }
+    }
+}
+
+/// The map-querying client's incremental-snapshot state: its version cursor
+/// and its mirror of the node's availability map, plus poison flags set when
+/// a completed query exposes a protocol violation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+struct Mapper {
+    cursor: u8,
+    mirror: [Option<Avail>; NBLOCKS],
+    /// A completed `MapSince` left the mirror different from the node's map.
+    stale: bool,
+    /// A delta carried a version below the client's cursor.
+    nonmonotonic: bool,
 }
 
 /// One client: its program counter into the script and whether its current
@@ -96,6 +158,11 @@ struct Client {
 pub struct State {
     blocks: [Block; NBLOCKS],
     clients: [Client; NCLIENTS],
+    /// Global monotonic map version (bumped on detected availability
+    /// changes).
+    map_version: u8,
+    /// Incremental-snapshot state of the map-querying client.
+    mapper: Mapper,
 }
 
 /// The bounded model: a bug configuration plus one script per client.
@@ -143,6 +210,31 @@ impl Model {
         Self {
             bug,
             scripts: [script.clone(), script],
+        }
+    }
+
+    /// The map-protocol scenario: client 0 writes, seals, reads and releases
+    /// both blocks while client 1 issues repeated `MapSince` queries — with
+    /// the node's reclaim/load actions interleaved, every availability
+    /// transition (`Unwritten → Partial → InMemory ↔ OnDisk`) races the
+    /// incremental snapshot. Checks version monotonicity and that deltas
+    /// always compose to the full map.
+    pub fn map_protocol(bug: BugConfig) -> Self {
+        Self {
+            bug,
+            scripts: [
+                vec![
+                    Op::StartWrite(0),
+                    Op::SealWrite(0),
+                    Op::StartRead(0),
+                    Op::ReleaseRead(0),
+                    Op::StartWrite(1),
+                    Op::SealWrite(1),
+                    Op::StartRead(1),
+                    Op::ReleaseRead(1),
+                ],
+                vec![Op::MapSince, Op::MapSince, Op::MapSince],
+            ],
         }
     }
 
@@ -204,6 +296,38 @@ impl Model {
             Op::ReleaseRead(b) => {
                 if !self.bug.skip_release {
                     s.blocks[b].pins -= 1;
+                }
+                self.advance(s, c);
+                true
+            }
+            Op::MapSince => {
+                // The node's lazy change detection (`StorageState::map_delta`):
+                // compare each block's current availability with the last
+                // observed one, bump the version on change, and ship every
+                // block stamped after the client's cursor. Served
+                // immediately — a map query never parks.
+                let since = s.mapper.cursor;
+                for b in 0..NBLOCKS {
+                    let now = s.blocks[b].avail();
+                    if s.blocks[b].last_avail != Some(now) {
+                        s.blocks[b].last_avail = Some(now);
+                        if !self.bug.skip_version_bump {
+                            s.map_version += 1;
+                        }
+                        s.blocks[b].avail_version = s.map_version;
+                    }
+                    if s.blocks[b].avail_version > since {
+                        s.mapper.mirror[b] = Some(now);
+                    }
+                }
+                if s.map_version < since {
+                    s.mapper.nonmonotonic = true;
+                }
+                s.mapper.cursor = s.map_version;
+                // Delta composition: folding the delta must leave the mirror
+                // identical to the node's current map.
+                if (0..NBLOCKS).any(|b| s.mapper.mirror[b] != Some(s.blocks[b].avail())) {
+                    s.mapper.stale = true;
                 }
                 self.advance(s, c);
                 true
@@ -300,6 +424,12 @@ impl Model {
                     }
                 }
             }
+        }
+        if s.mapper.nonmonotonic {
+            return Some("map-version-monotonic");
+        }
+        if s.mapper.stale {
+            return Some("map-delta-composes");
         }
         for blk in &s.blocks {
             if blk.pins < 0 {

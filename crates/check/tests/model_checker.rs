@@ -91,6 +91,28 @@ fn serving_unsealed_read_is_caught() {
 }
 
 #[test]
+fn faithful_map_protocol_has_no_violations() {
+    // Repeated MapSince queries race writes, seals, reads, evictions and
+    // reloads; version monotonicity and delta composition hold on every
+    // interleaving.
+    let stats = explore(&Model::map_protocol(BugConfig::default()))
+        .unwrap_or_else(|v| panic!("unexpected violation:\n{v}"));
+    assert!(stats.states > 200, "suspiciously small space: {stats:?}");
+    assert!(stats.terminals >= 1, "{stats:?}");
+}
+
+#[test]
+fn skipped_version_bump_breaks_delta_composition() {
+    expect_violation(
+        &Model::map_protocol(BugConfig {
+            skip_version_bump: true,
+            ..Default::default()
+        }),
+        "map-delta-composes",
+    );
+}
+
+#[test]
 fn counterexample_traces_replay_from_initial_state() {
     // The trace of a violation is a sequence of labelled actions; its
     // length bounds the BFS depth, so it should be short (minimal).

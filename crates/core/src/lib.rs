@@ -53,7 +53,7 @@ pub mod worker;
 pub use config::DoocConfig;
 pub use report::{render_trace_gantt, RunReport, TraceEvent};
 pub use runtime::DoocRuntime;
-pub use worker::{ExecOutcome, TaskExecutor, WorkerContext};
+pub use worker::{ArrayView, ExecOutcome, ResidencyTracker, TaskExecutor, WorkerContext};
 
 // Re-export the pieces applications touch, so `dooc-core` is self-sufficient.
 pub use dooc_filterstream::sync;

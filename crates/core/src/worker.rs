@@ -13,12 +13,21 @@ use bytes::Bytes;
 use dooc_filterstream::sync::OrderedMutex;
 use dooc_filterstream::{DataBuffer, Filter, FilterContext};
 use dooc_scheduler::{LocalScheduler, Placement, TaskGraph, TaskId, TaskSpec};
+use dooc_sparse::ComputePool;
+use dooc_storage::client::MapDelta;
 use dooc_storage::meta::{ArrayMeta, Interval};
 use dooc_storage::proto::{BlockAvail, NodeStats};
 use dooc_storage::StorageClient;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Maximum block reads/writes a [`WorkerContext`] keeps in flight while
+/// pipelining an array operation. Bounds reply-stream occupancy well below
+/// the storage stream capacity so a huge array can never wedge the
+/// request/reply loop, while still collapsing a K-block array's latency from
+/// K round trips to ~1.
+const PIPELINE_WINDOW: usize = 256;
 
 /// Outcome of one task execution (application-level error as a string).
 pub type ExecOutcome = std::result::Result<(), String>;
@@ -30,6 +39,87 @@ pub trait TaskExecutor: Send + Sync {
     fn execute(&self, task: &TaskSpec, ctx: &mut WorkerContext<'_>) -> ExecOutcome;
 }
 
+/// A pinned, zero-copy view of a whole array: one [`Bytes`] handle per
+/// block, straight out of the storage layer's sealed buffers. The blocks
+/// stay pinned (unreclaimable) until [`WorkerContext::release_view`] is
+/// called, so hold views only for the duration of one task.
+pub struct ArrayView {
+    name: String,
+    blocks: Vec<(Interval, Bytes)>,
+    total: u64,
+}
+
+impl ArrayView {
+    /// Total length in bytes.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The array name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pinned blocks in offset order.
+    pub fn blocks(&self) -> &[(Interval, Bytes)] {
+        &self.blocks
+    }
+
+    /// Assembles a contiguous copy (for consumers that need one flat slice).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total as usize);
+        for (_, b) in &self.blocks {
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Decodes the view as little-endian `f64`s directly out of the pinned
+    /// block buffers — no intermediate flat byte buffer. Values straddling a
+    /// block boundary (block size not a multiple of 8) are stitched through
+    /// an 8-byte carry.
+    pub fn decode_f64s(&self) -> std::result::Result<Vec<f64>, String> {
+        if !self.total.is_multiple_of(8) {
+            return Err(format!(
+                "array '{}' length {} not f64-aligned",
+                self.name, self.total
+            ));
+        }
+        let mut out = Vec::with_capacity((self.total / 8) as usize);
+        let mut carry = [0u8; 8];
+        let mut filled = 0usize;
+        for (_, block) in &self.blocks {
+            let mut rest: &[u8] = block;
+            if filled > 0 {
+                let need = (8 - filled).min(rest.len());
+                carry[filled..filled + need].copy_from_slice(&rest[..need]);
+                filled += need;
+                rest = &rest[need..];
+                if filled < 8 {
+                    continue; // block exhausted before the carry filled
+                }
+                out.push(f64::from_le_bytes(carry));
+            }
+            let aligned = rest.len() - rest.len() % 8;
+            for c in rest[..aligned].chunks_exact(8) {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                out.push(f64::from_le_bytes(b));
+            }
+            let tail = &rest[aligned..];
+            carry[..tail.len()].copy_from_slice(tail);
+            filled = tail.len();
+        }
+        debug_assert_eq!(filled, 0, "total is 8-aligned");
+        Ok(out)
+    }
+}
+
 /// Everything a task execution can touch.
 pub struct WorkerContext<'a> {
     /// Node executing the task.
@@ -38,29 +128,150 @@ pub struct WorkerContext<'a> {
     pub threads: usize,
     client: &'a mut StorageClient,
     geometry: &'a HashMap<String, (u64, u64)>,
+    pool: &'a ComputePool,
     /// Input bytes read during this execution (for the trace).
     pub(crate) input_bytes: u64,
+    /// Bytes memcpy'd between storage buffers and task-local buffers during
+    /// this execution (the data-plane copy traffic the zero-copy paths
+    /// avoid; reported by the bench harness).
+    pub(crate) copied_bytes: u64,
 }
 
 impl<'a> WorkerContext<'a> {
+    /// Builds a context around a storage client. Public so benches and
+    /// integration tests can drive the worker data plane without standing up
+    /// a full worker filter.
+    pub fn new(
+        node: u64,
+        threads: usize,
+        client: &'a mut StorageClient,
+        geometry: &'a HashMap<String, (u64, u64)>,
+        pool: &'a ComputePool,
+    ) -> Self {
+        Self {
+            node,
+            threads,
+            client,
+            geometry,
+            pool,
+            input_bytes: 0,
+            copied_bytes: 0,
+        }
+    }
+
     /// Direct access to the storage client (for advanced patterns: async
     /// reads, partial intervals, persist).
     pub fn storage(&mut self) -> &mut StorageClient {
         self.client
     }
 
+    /// The node's persistent compute pool (built once per worker run).
+    pub fn pool(&self) -> &ComputePool {
+        self.pool
+    }
+
+    /// Input bytes read so far during this execution.
+    pub fn input_bytes(&self) -> u64 {
+        self.input_bytes
+    }
+
+    /// Bytes copied between storage and task buffers so far.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied_bytes
+    }
+
+    /// The registered geometry `(len, block_size)` of an array, if known.
+    pub fn geometry_of(&self, name: &str) -> Option<(u64, u64)> {
+        self.geometry.get(name).copied()
+    }
+
     fn geom(&self, name: &str) -> Option<(u64, u64)> {
         self.geometry.get(name).copied()
     }
 
-    /// Reads an entire array into a fresh buffer (block by block; blocks are
-    /// pinned only while being copied).
-    pub fn read_array(&mut self, name: &str) -> std::result::Result<Vec<u8>, String> {
+    fn meta_of(&self, name: &str) -> std::result::Result<ArrayMeta, String> {
         let (len, bs) = self
             .geom(name)
             .ok_or_else(|| format!("unknown geometry for array '{name}'"))?;
-        let meta = ArrayMeta::new(name, len, bs);
-        let mut out = Vec::with_capacity(len as usize);
+        Ok(ArrayMeta::new(name, len, bs))
+    }
+
+    /// Core pipelined read: issues up to [`PIPELINE_WINDOW`] block reads
+    /// ahead of the wait, calling `consume(block, bytes)` in block order
+    /// while later requests are already in flight — a K-block array costs
+    /// ~1 round trip of latency instead of K. Blocks are released (or kept
+    /// pinned, for views) per `keep_pinned`.
+    fn read_blocks<F>(
+        &mut self,
+        meta: &ArrayMeta,
+        keep_pinned: bool,
+        mut consume: F,
+    ) -> std::result::Result<(), String>
+    where
+        F: FnMut(u64, &Bytes),
+    {
+        let name = &meta.name;
+        let nblocks = meta.nblocks();
+        let mut tickets: VecDeque<(u64, dooc_storage::client::Ticket)> =
+            VecDeque::with_capacity(PIPELINE_WINDOW.min(nblocks as usize));
+        let mut next = 0u64;
+        while next < nblocks.min(PIPELINE_WINDOW as u64) {
+            let iv = Interval::new(meta.block_start(next), meta.block_len(next));
+            let t = self
+                .client
+                .read_async(name, iv)
+                .map_err(|e| format!("read {name}[{next}]: {e}"))?;
+            tickets.push_back((next, t));
+            next += 1;
+        }
+        while let Some((b, t)) = tickets.pop_front() {
+            let data = self
+                .client
+                .wait_read(t)
+                .map_err(|e| format!("read {name}[{b}]: {e}"))?;
+            // Refill the window before touching the payload so the storage
+            // filter works on the next block while we copy/decode this one.
+            if next < nblocks {
+                let iv = Interval::new(meta.block_start(next), meta.block_len(next));
+                let t = self
+                    .client
+                    .read_async(name, iv)
+                    .map_err(|e| format!("read {name}[{next}]: {e}"))?;
+                tickets.push_back((next, t));
+                next += 1;
+            }
+            consume(b, &data);
+            self.input_bytes += data.len() as u64;
+            if !keep_pinned {
+                let iv = Interval::new(meta.block_start(b), meta.block_len(b));
+                self.client
+                    .release_read(name, iv)
+                    .map_err(|e| format!("release {name}[{b}]: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads an entire array into a fresh buffer. Block requests are
+    /// pipelined; each block is pinned only while being copied out.
+    pub fn read_array(&mut self, name: &str) -> std::result::Result<Vec<u8>, String> {
+        let meta = self.meta_of(name)?;
+        let mut out = Vec::with_capacity(meta.len as usize);
+        let mut copied = 0u64;
+        self.read_blocks(&meta, false, |_, data| {
+            out.extend_from_slice(data);
+            copied += data.len() as u64;
+        })?;
+        self.copied_bytes += copied;
+        Ok(out)
+    }
+
+    /// Blocking (non-pipelined) variant of [`WorkerContext::read_array`]:
+    /// one request/reply round trip per block. Kept as the baseline the
+    /// pipelined path is benchmarked and property-tested against.
+    pub fn read_array_blocking(&mut self, name: &str) -> std::result::Result<Vec<u8>, String> {
+        let meta = self.meta_of(name)?;
+        let mut out = Vec::with_capacity(meta.len as usize);
         for b in 0..meta.nblocks() {
             let iv = Interval::new(meta.block_start(b), meta.block_len(b));
             let data = self
@@ -73,7 +284,37 @@ impl<'a> WorkerContext<'a> {
                 .map_err(|e| format!("release {name}[{b}]: {e}"))?;
         }
         self.input_bytes += out.len() as u64;
+        self.copied_bytes += out.len() as u64;
         Ok(out)
+    }
+
+    /// Reads an entire array as a pinned zero-copy [`ArrayView`] (pipelined
+    /// block requests, no copy-out). Pair with
+    /// [`WorkerContext::release_view`].
+    pub fn read_view(&mut self, name: &str) -> std::result::Result<ArrayView, String> {
+        let meta = self.meta_of(name)?;
+        let mut blocks = Vec::with_capacity(meta.nblocks() as usize);
+        self.read_blocks(&meta, true, |b, data| {
+            blocks.push((
+                Interval::new(meta.block_start(b), meta.block_len(b)),
+                data.clone(),
+            ));
+        })?;
+        Ok(ArrayView {
+            name: name.to_string(),
+            blocks,
+            total: meta.len,
+        })
+    }
+
+    /// Releases every block pin a view holds.
+    pub fn release_view(&mut self, view: ArrayView) -> std::result::Result<(), String> {
+        for (iv, _) in &view.blocks {
+            self.client
+                .release_read(&view.name, *iv)
+                .map_err(|e| format!("release {}: {e}", view.name))?;
+        }
+        Ok(())
     }
 
     /// Reads a single-block array zero-copy; the caller must call
@@ -94,28 +335,20 @@ impl<'a> WorkerContext<'a> {
             .map_err(|e| format!("release {name}: {e}"))
     }
 
-    /// Reads an array of `f64`s (little-endian bytes).
+    /// Reads an array of `f64`s (little-endian bytes): pipelined block
+    /// requests, values decoded directly out of each block's pinned buffer
+    /// (no intermediate flat byte buffer).
     pub fn read_f64s(&mut self, name: &str) -> std::result::Result<Vec<f64>, String> {
-        let raw = self.read_array(name)?;
-        if raw.len() % 8 != 0 {
-            return Err(format!(
-                "array '{name}' length {} not f64-aligned",
-                raw.len()
-            ));
-        }
-        Ok(raw
-            .chunks_exact(8)
-            .map(|c| {
-                let mut b = [0u8; 8];
-                b.copy_from_slice(c);
-                f64::from_le_bytes(b)
-            })
-            .collect())
+        let view = self.read_view(name)?;
+        let out = view.decode_f64s();
+        self.release_view(view)?;
+        out
     }
 
-    /// Creates and fully writes an array (single block unless a geometry was
-    /// registered). The array is homed on this node.
-    pub fn write_array(&mut self, name: &str, data: &[u8]) -> std::result::Result<(), String> {
+    /// Creates and fully writes an array from a single [`Bytes`] buffer:
+    /// per-block payloads are zero-copy `slice()`s of `data`, and the
+    /// grant/seal round trips of all blocks are pipelined.
+    pub fn write_bytes(&mut self, name: &str, data: Bytes) -> std::result::Result<(), String> {
         let (len, bs) = self
             .geom(name)
             .unwrap_or((data.len() as u64, data.len().max(1) as u64));
@@ -129,28 +362,162 @@ impl<'a> WorkerContext<'a> {
             .create(name, len, bs)
             .map_err(|e| format!("create {name}: {e}"))?;
         let meta = ArrayMeta::new(name, len, bs);
-        for b in 0..meta.nblocks() {
+        let nblocks = meta.nblocks();
+        // Phase 1: request grants ahead, ship each block's slice as soon as
+        // its grant lands; phase 2: collect the seals. At most
+        // PIPELINE_WINDOW grants plus PIPELINE_WINDOW seals are in flight.
+        let mut grants: VecDeque<(u64, dooc_storage::client::Ticket)> = VecDeque::new();
+        let mut seals: VecDeque<(u64, dooc_storage::client::Ticket)> = VecDeque::new();
+        let mut next = 0u64;
+        while next < nblocks.min(PIPELINE_WINDOW as u64) {
+            let iv = Interval::new(meta.block_start(next), meta.block_len(next));
+            let t = self
+                .client
+                .write_async(name, iv)
+                .map_err(|e| format!("write {name}[{next}]: {e}"))?;
+            grants.push_back((next, t));
+            next += 1;
+        }
+        while let Some((b, t)) = grants.pop_front() {
+            self.client
+                .wait_write_granted(t)
+                .map_err(|e| format!("write {name}[{b}]: {e}"))?;
+            if next < nblocks {
+                let iv = Interval::new(meta.block_start(next), meta.block_len(next));
+                let t = self
+                    .client
+                    .write_async(name, iv)
+                    .map_err(|e| format!("write {name}[{next}]: {e}"))?;
+                grants.push_back((next, t));
+                next += 1;
+            }
             let start = meta.block_start(b);
             let blen = meta.block_len(b);
-            let iv = Interval::new(start, blen);
+            let payload = data.slice(start as usize..(start + blen) as usize);
+            let t = self
+                .client
+                .release_write_async(name, Interval::new(start, blen), payload)
+                .map_err(|e| format!("seal {name}[{b}]: {e}"))?;
+            seals.push_back((b, t));
+            if seals.len() > PIPELINE_WINDOW {
+                if let Some((b, t)) = seals.pop_front() {
+                    self.client
+                        .wait_write_sealed(t)
+                        .map_err(|e| format!("seal {name}[{b}]: {e}"))?;
+                }
+            }
+        }
+        while let Some((b, t)) = seals.pop_front() {
             self.client
-                .write(
-                    name,
-                    iv,
-                    Bytes::copy_from_slice(&data[start as usize..(start + blen) as usize]),
-                )
-                .map_err(|e| format!("write {name}[{b}]: {e}"))?;
+                .wait_write_sealed(t)
+                .map_err(|e| format!("seal {name}[{b}]: {e}"))?;
         }
         Ok(())
     }
 
-    /// Writes an `f64` array.
+    /// Creates and fully writes an array from a borrowed slice (one copy
+    /// into a [`Bytes`] buffer, then zero-copy per-block slices).
+    pub fn write_array(&mut self, name: &str, data: &[u8]) -> std::result::Result<(), String> {
+        self.copied_bytes += data.len() as u64;
+        self.write_bytes(name, Bytes::copy_from_slice(data))
+    }
+
+    /// Writes an `f64` array: serialized once into a single buffer, then
+    /// sent as zero-copy per-block slices (the old path copied every block a
+    /// second time).
     pub fn write_f64s(&mut self, name: &str, xs: &[f64]) -> std::result::Result<(), String> {
         let mut raw = Vec::with_capacity(8 * xs.len());
         for x in xs {
             raw.extend_from_slice(&x.to_le_bytes());
         }
-        self.write_array(name, &raw)
+        self.copied_bytes += raw.len() as u64;
+        self.write_bytes(name, Bytes::from(raw))
+    }
+}
+
+/// Incrementally maintained mirror of the node's availability map.
+///
+/// Instead of re-fetching (and re-cloning) every array name each worker loop
+/// tick, the tracker issues [`StorageClient::map_since`] with its version
+/// cursor and folds the returned delta: on a quiescent tick the delta is
+/// empty and *nothing* is allocated or cloned. Residency (every block of an
+/// array in memory) is recomputed only for arrays the delta touched.
+#[derive(Default)]
+pub struct ResidencyTracker {
+    cursor: u64,
+    blocks: HashMap<String, HashMap<u64, BlockAvail>>,
+    resident: HashSet<String>,
+}
+
+impl ResidencyTracker {
+    /// A tracker that has seen nothing (first query returns a full map).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The version cursor (the `since` of the next query).
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Arrays whose blocks are all resident in this node's memory.
+    pub fn resident(&self) -> &HashSet<String> {
+        &self.resident
+    }
+
+    /// Queries the storage for changes since the last refresh and folds them
+    /// in. Returns the updated residency set.
+    pub fn refresh(
+        &mut self,
+        client: &mut StorageClient,
+        geometry: &HashMap<String, (u64, u64)>,
+    ) -> std::result::Result<&HashSet<String>, String> {
+        let delta = client
+            .map_since(self.cursor)
+            .map_err(|e| format!("map-since query: {e}"))?;
+        self.apply(&delta, geometry);
+        Ok(&self.resident)
+    }
+
+    /// Folds one delta into the mirror. Deltas replace arrays wholesale (the
+    /// protocol ships every block of a changed array), so the fold is:
+    /// deleted arrays drop, named arrays swap in their new block set, and
+    /// residency is recomputed for exactly the touched arrays.
+    pub fn apply(&mut self, delta: &MapDelta, geometry: &HashMap<String, (u64, u64)>) {
+        self.cursor = delta.version;
+        for a in &delta.deleted {
+            self.blocks.remove(a);
+            self.resident.remove(a);
+        }
+        let mut touched: HashSet<&str> = HashSet::new();
+        for e in &delta.entries {
+            if touched.insert(&e.array) {
+                self.blocks.insert(e.array.clone(), HashMap::new());
+            }
+        }
+        for e in &delta.entries {
+            if let Some(blocks) = self.blocks.get_mut(&e.array) {
+                blocks.insert(e.block, e.state);
+            }
+        }
+        for name in touched {
+            let all_in_mem = self.blocks.get(name).is_some_and(|blocks| {
+                !blocks.is_empty() && blocks.values().all(|s| *s == BlockAvail::InMemory)
+            });
+            let complete = all_in_mem
+                && match geometry.get(name) {
+                    Some(&(len, bs)) => {
+                        let nblocks = ArrayMeta::new(name, len, bs).nblocks();
+                        self.blocks.get(name).map(|b| b.len() as u64) == Some(nblocks)
+                    }
+                    None => true, // unknown geometry: all known blocks resident
+                };
+            if complete {
+                self.resident.insert(name.to_string());
+            } else {
+                self.resident.remove(name);
+            }
+        }
     }
 }
 
@@ -180,39 +547,6 @@ pub(crate) struct WorkerFilter {
     pub start: Instant,
 }
 
-impl WorkerFilter {
-    /// Availability snapshot: arrays whose blocks are all resident.
-    fn snapshot(
-        client: &mut StorageClient,
-        geometry: &HashMap<String, (u64, u64)>,
-    ) -> std::result::Result<HashSet<String>, String> {
-        let map = client.map().map_err(|e| format!("map query: {e}"))?;
-        let mut in_mem: HashMap<String, u64> = HashMap::new();
-        let mut other: HashSet<String> = HashSet::new();
-        for e in &map {
-            match e.state {
-                BlockAvail::InMemory => *in_mem.entry(e.array.clone()).or_insert(0) += 1,
-                _ => {
-                    other.insert(e.array.clone());
-                }
-            }
-        }
-        Ok(in_mem
-            .into_iter()
-            .filter(|(name, count)| {
-                if other.contains(name) {
-                    return false;
-                }
-                match geometry.get(name) {
-                    Some(&(len, bs)) => ArrayMeta::new(name.clone(), len, bs).nblocks() == *count,
-                    None => true, // unknown geometry: all known blocks resident
-                }
-            })
-            .map(|(name, _)| name)
-            .collect())
-    }
-}
-
 impl Filter for WorkerFilter {
     fn run(&mut self, ctx: &mut FilterContext) -> dooc_filterstream::Result<()> {
         let node = ctx.instance as u64;
@@ -236,6 +570,13 @@ impl Filter for WorkerFilter {
         let mut ls = LocalScheduler::new(&self.graph, mine, self.config.order_policy)
             .with_prefetch_window(self.config.prefetch_window);
 
+        // Built once per worker run; every task execution reuses the same
+        // compute threads instead of spawning/joining per kernel call.
+        let pool = ComputePool::new(self.config.threads_per_node);
+        // Incremental mirror of the storage map: each tick fetches only what
+        // changed since the last one.
+        let mut tracker = ResidencyTracker::new();
+
         let done_in = ctx.take_input("done_in")?;
         // done_out stays in ctx so close_output semantics apply on exit.
         loop {
@@ -246,10 +587,13 @@ impl Filter for WorkerFilter {
             if ls.graph_done() {
                 break;
             }
-            // 2. Storage map snapshot (the oracle).
-            let resident = Self::snapshot(&mut client, &self.geometry).map_err(|e| ctx.error(e))?;
+            // 2. Storage map delta (the oracle, fetched incrementally; a
+            //    quiescent tick allocates nothing).
+            let resident = tracker
+                .refresh(&mut client, &self.geometry)
+                .map_err(|e| ctx.error(e))?;
             // 3. Prefetch the inputs of upcoming tasks.
-            for arr in ls.prefetch_candidates(&self.graph, &resident) {
+            for arr in ls.prefetch_candidates(&self.graph, resident) {
                 if let Some(&(len, bs)) = self.geometry.get(&arr) {
                     let meta = ArrayMeta::new(arr.clone(), len, bs);
                     for b in 0..meta.nblocks() {
@@ -260,16 +604,16 @@ impl Filter for WorkerFilter {
                 }
             }
             // 4. Run one task, or wait for progress.
-            if let Some(t) = ls.next_task(&self.graph, &resident) {
+            if let Some(t) = ls.next_task(&self.graph, resident) {
                 let spec = self.graph.task(t).clone();
                 let started = self.start.elapsed();
-                let mut wctx = WorkerContext {
+                let mut wctx = WorkerContext::new(
                     node,
-                    threads: self.config.threads_per_node,
-                    client: &mut client,
-                    geometry: &self.geometry,
-                    input_bytes: 0,
-                };
+                    self.config.threads_per_node,
+                    &mut client,
+                    &self.geometry,
+                    &pool,
+                );
                 self.executor.execute(&spec, &mut wctx).map_err(|message| {
                     ctx.error(format!("task '{}' failed: {message}", spec.name))
                 })?;

@@ -1,0 +1,309 @@
+//! Tests of the worker data plane: pipelined reads must be byte-for-byte
+//! identical to the blocking baseline under arbitrary array geometries, the
+//! zero-copy f64 decode must survive block-straddling values, and the
+//! incremental residency tracker must agree with a from-scratch snapshot
+//! under partial residency.
+
+use bytes::Bytes;
+use dooc_core::worker::ResidencyTracker;
+use dooc_core::WorkerContext;
+use dooc_filterstream::{FilterContext, Layout, NodeId, Runtime};
+use dooc_sparse::ComputePool;
+use dooc_storage::client::MapDelta;
+use dooc_storage::proto::{BlockAvail, MapEntry};
+use dooc_storage::{StorageClient, StorageCluster};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch_dirs(tag: &str, n: usize) -> Vec<PathBuf> {
+    (0..n)
+        .map(|i| {
+            let d = std::env::temp_dir()
+                .join(format!("dooc-dataplane-{tag}-{}-{i}", std::process::id()));
+            std::fs::remove_dir_all(&d).ok();
+            std::fs::create_dir_all(&d).expect("mkdir");
+            d
+        })
+        .collect()
+}
+
+/// Runs `driver(&mut client)` against a fresh single-node storage cluster and
+/// cleans up the scratch directory afterwards.
+fn run_node<F>(tag: &str, budget: u64, driver: F)
+where
+    F: Fn(&mut StorageClient) + Send + Sync + 'static,
+{
+    let dirs = scratch_dirs(tag, 1);
+    let mut layout = Layout::new();
+    let mut cluster = StorageCluster::build(&mut layout, dirs.clone(), budget, 7);
+    let driver = Arc::new(driver);
+    let drivers = layout.add_replicated("driver", vec![NodeId(0)], move |_| {
+        let driver = Arc::clone(&driver);
+        Box::new(
+            move |ctx: &mut FilterContext| -> dooc_filterstream::Result<()> {
+                let to = ctx.take_output("sreq")?;
+                let from = ctx.take_input("srep")?;
+                let mut sc = StorageClient::new(to, from, ctx.instance, ctx.instance as u64);
+                driver(&mut sc);
+                sc.shutdown().ok();
+                Ok(())
+            },
+        )
+    });
+    let base = cluster.attach_clients(&mut layout, drivers, 1, "sreq", "srep");
+    assert_eq!(base, 0);
+    Runtime::run(layout).expect("cluster run");
+    for d in &dirs {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+fn geometry_of(name: &str, len: u64, bs: u64) -> HashMap<String, (u64, u64)> {
+    let mut g = HashMap::new();
+    g.insert(name.to_string(), (len, bs));
+    g
+}
+
+/// Deterministic pseudo-random payload (keeps proptest inputs small: only
+/// the geometry and a seed shrink, not the whole byte vector).
+fn payload(len: u64, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pipelined read path returns exactly what the blocking baseline
+    /// returns (and what was written) for arbitrary length/block-size
+    /// geometries, including block sizes that are not f64-aligned.
+    #[test]
+    fn pipelined_read_matches_blocking(
+        len in 1u64..3_000,
+        bs in 1u64..700,
+        seed in 0u64..u64::MAX,
+    ) {
+        run_node("prop", 1 << 22, move |sc| {
+            let geometry = geometry_of("a", len, bs);
+            let pool = ComputePool::new(1);
+            let mut ctx = WorkerContext::new(0, 1, sc, &geometry, &pool);
+            let data = payload(len, seed);
+            ctx.write_bytes("a", Bytes::from(data.clone())).expect("write");
+            let pipelined = ctx.read_array("a").expect("pipelined read");
+            assert_eq!(pipelined, data, "pipelined read differs from written bytes");
+            let blocking = ctx.read_array_blocking("a").expect("blocking read");
+            assert_eq!(pipelined, blocking, "pipelined and blocking reads differ");
+        });
+    }
+
+    /// The zero-copy f64 decode (values straddling block boundaries when the
+    /// block size is not a multiple of 8) matches decoding the flat buffer.
+    #[test]
+    fn straddling_f64_decode_matches_flat(
+        nvals in 1usize..256,
+        bs in 1u64..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        run_node("propf64", 1 << 22, move |sc| {
+            let len = (nvals * 8) as u64;
+            let geometry = geometry_of("v", len, bs);
+            let pool = ComputePool::new(1);
+            let mut ctx = WorkerContext::new(0, 1, sc, &geometry, &pool);
+            let raw = payload(len, seed);
+            let expected: Vec<f64> = raw
+                .chunks_exact(8)
+                .map(|c| {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(c);
+                    f64::from_le_bytes(b)
+                })
+                .collect();
+            ctx.write_bytes("v", Bytes::from(raw)).expect("write");
+            let got = ctx.read_f64s("v").expect("read f64s");
+            let same = got.len() == expected.len()
+                && got.iter().zip(&expected).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "straddle-decoded f64s differ from flat decode");
+        });
+    }
+}
+
+/// More blocks than the pipeline window: the refill path must keep the
+/// stream bounded while still reading every block, on both the copy-out and
+/// the view paths.
+#[test]
+fn pipelined_read_beyond_window() {
+    run_node("window", 1 << 23, |sc| {
+        let (len, bs) = (4096u64, 7u64); // 586 blocks >> PIPELINE_WINDOW
+        let geometry = geometry_of("big", len, bs);
+        let pool = ComputePool::new(1);
+        let mut ctx = WorkerContext::new(0, 1, sc, &geometry, &pool);
+        let data = payload(len, 42);
+        ctx.write_bytes("big", Bytes::from(data.clone()))
+            .expect("write");
+        assert_eq!(ctx.read_array("big").expect("read"), data);
+        let view = ctx.read_view("big").expect("view");
+        assert_eq!(view.blocks().len(), 586);
+        assert_eq!(view.to_vec(), data);
+        assert_eq!(view.len(), len);
+        ctx.release_view(view).expect("release view");
+        assert_eq!(
+            ctx.storage().outstanding_grants(),
+            0,
+            "view release must hand every pin back"
+        );
+    });
+}
+
+/// The incremental map protocol: a quiescent repeat query returns an empty
+/// delta (this is what makes the per-tick snapshot allocation-free), and the
+/// tracker folds deltas into the same residency the full map implies.
+#[test]
+fn tracker_refresh_uses_empty_deltas_when_quiescent() {
+    run_node("tick", 1 << 22, |sc| {
+        let geometry = geometry_of("a", 64, 32);
+        let pool = ComputePool::new(1);
+        let mut tracker = ResidencyTracker::new();
+        {
+            let mut ctx = WorkerContext::new(0, 1, sc, &geometry, &pool);
+            ctx.write_bytes("a", Bytes::from(payload(64, 7)))
+                .expect("write");
+        }
+        let resident = tracker.refresh(sc, &geometry).expect("refresh").clone();
+        assert!(
+            resident.contains("a"),
+            "fully written array must be resident"
+        );
+        // Quiescent tick: the wire-level delta is empty — nothing to clone.
+        let cursor = tracker.cursor();
+        let delta = sc.map_since(cursor).expect("map_since");
+        assert_eq!(delta.version, cursor, "no new version when nothing changed");
+        assert!(delta.entries.is_empty(), "quiescent delta ships no entries");
+        assert!(delta.deleted.is_empty());
+        tracker.apply(&delta, &geometry);
+        assert!(
+            tracker.resident().contains("a"),
+            "residency survives empty deltas"
+        );
+    });
+}
+
+// ---- ResidencyTracker unit tests (pure fold logic, no cluster) -------------
+
+fn entry(array: &str, block: u64, state: BlockAvail) -> MapEntry {
+    MapEntry {
+        array: array.to_string(),
+        block,
+        state,
+    }
+}
+
+#[test]
+fn tracker_partial_residency_is_not_resident() {
+    let geometry = geometry_of("a", 100, 40); // 3 blocks
+    let mut t = ResidencyTracker::new();
+    t.apply(
+        &MapDelta {
+            version: 1,
+            entries: vec![
+                entry("a", 0, BlockAvail::InMemory),
+                entry("a", 1, BlockAvail::OnDisk),
+                entry("a", 2, BlockAvail::InMemory),
+            ],
+            deleted: vec![],
+        },
+        &geometry,
+    );
+    assert!(
+        !t.resident().contains("a"),
+        "an evicted block must block residency"
+    );
+    // The evicted block comes back: the delta re-ships the whole array.
+    t.apply(
+        &MapDelta {
+            version: 2,
+            entries: vec![
+                entry("a", 0, BlockAvail::InMemory),
+                entry("a", 1, BlockAvail::InMemory),
+                entry("a", 2, BlockAvail::InMemory),
+            ],
+            deleted: vec![],
+        },
+        &geometry,
+    );
+    assert!(t.resident().contains("a"));
+    assert_eq!(t.cursor(), 2);
+}
+
+#[test]
+fn tracker_requires_every_block_of_known_geometry() {
+    let geometry = geometry_of("a", 100, 40); // 3 blocks expected
+    let mut t = ResidencyTracker::new();
+    t.apply(
+        &MapDelta {
+            version: 5,
+            entries: vec![
+                entry("a", 0, BlockAvail::InMemory),
+                entry("a", 1, BlockAvail::InMemory),
+            ],
+            deleted: vec![],
+        },
+        &geometry,
+    );
+    assert!(
+        !t.resident().contains("a"),
+        "two of three blocks is not residency"
+    );
+}
+
+#[test]
+fn tracker_delete_drops_residency_and_later_deltas_replace_arrays() {
+    let geometry = geometry_of("a", 64, 64);
+    let mut t = ResidencyTracker::new();
+    t.apply(
+        &MapDelta {
+            version: 1,
+            entries: vec![entry("a", 0, BlockAvail::InMemory)],
+            deleted: vec![],
+        },
+        &geometry,
+    );
+    assert!(t.resident().contains("a"));
+    t.apply(
+        &MapDelta {
+            version: 2,
+            entries: vec![],
+            deleted: vec!["a".to_string()],
+        },
+        &geometry,
+    );
+    assert!(!t.resident().contains("a"));
+    assert_eq!(t.cursor(), 2);
+    // Untouched arrays keep their residency across unrelated deltas.
+    t.apply(
+        &MapDelta {
+            version: 3,
+            entries: vec![entry("b", 0, BlockAvail::InMemory)],
+            deleted: vec![],
+        },
+        &HashMap::new(),
+    );
+    t.apply(
+        &MapDelta {
+            version: 4,
+            entries: vec![entry("c", 0, BlockAvail::Partial)],
+            deleted: vec![],
+        },
+        &HashMap::new(),
+    );
+    assert!(t.resident().contains("b"));
+    assert!(!t.resident().contains("c"));
+}

@@ -27,8 +27,8 @@
 
 use dooc_core::{ExecOutcome, TaskExecutor, TaskGraph, TaskSpec, WorkerContext};
 use dooc_sparse::blockgrid::{BlockCoord, BlockGrid};
+use dooc_sparse::fileio;
 use dooc_sparse::genmat::GapGenerator;
-use dooc_sparse::{dense, fileio};
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -443,7 +443,11 @@ impl TaskExecutor for SpmvExecutor {
                 let m = fileio::from_bytes(&raw).map_err(|e| format!("decode matrix: {e}"))?;
                 let x = Self::read_vector(ctx, &task.inputs[1].array)?;
                 let mut y = vec![0.0; m.nrows() as usize];
-                m.spmv_parallel(&x, &mut y, ctx.threads)
+                // The node's persistent pool, not per-call scoped threads.
+                let m = std::sync::Arc::new(m);
+                let x = std::sync::Arc::new(x);
+                ctx.pool()
+                    .spmv(&m, &x, &mut y)
                     .map_err(|e| format!("spmv: {e}"))?;
                 ctx.write_f64s(&task.outputs[0].array, &y)
             }
@@ -456,7 +460,9 @@ impl TaskExecutor for SpmvExecutor {
                     let x = Self::read_vector(ctx, &input.array)?;
                     match &mut acc {
                         None => acc = Some(x),
-                        Some(a) => dense::add_assign(a, &x),
+                        // Pool-backed y += x (serial below the measured
+                        // threshold, pool fan-out above it).
+                        Some(a) => ctx.pool().axpy(1.0, &std::sync::Arc::new(x), a),
                     }
                 }
                 let out = acc.ok_or("sum with no data inputs")?;

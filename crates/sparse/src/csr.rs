@@ -343,6 +343,22 @@ impl CsrMatrix {
         Ok(())
     }
 
+    /// Computes rows `[r0, r1)` of `A * x` into a fresh vector (the slab a
+    /// pool worker produces; see [`crate::pool::ComputePool::spmv`]).
+    pub fn spmv_rows(&self, x: &[f64], r0: u64, r1: u64) -> Vec<f64> {
+        let mut out = vec![0.0f64; (r1 - r0) as usize];
+        for (i, yr) in out.iter_mut().enumerate() {
+            let r = r0 as usize + i;
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let mut acc = 0.0;
+            for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
+                acc += v * x[c as usize];
+            }
+            *yr = acc;
+        }
+        out
+    }
+
     /// Row boundaries `b[0]=0 <= b[1] <= ... <= b[p]=nrows` such that each
     /// `[b[i], b[i+1])` slab carries roughly `nnz/p` non-zeros.
     pub fn nnz_balanced_row_partition(&self, parts: usize) -> Vec<u64> {

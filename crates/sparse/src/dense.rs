@@ -7,6 +7,20 @@
 //! contiguous chunking; reductions sum per-thread partials in a fixed order
 //! so results are deterministic for a given thread count.
 
+/// Below this many elements `dot_parallel` (and the pool variant) runs
+/// serially: thread hand-off costs more than the reduction. Calibrated with
+/// `bench_dataplane --calibrate`: serial/pool parity at n = 1,048,576
+/// (883 us vs 881 us); serial wins 4.2x at 16k (12.7 us vs 53.8 us).
+pub const DOT_SERIAL_MAX: usize = 1_048_576;
+
+/// Below this many elements `axpy_parallel` (and the pool variant) runs
+/// serially. The axpy pool path re-assembles owned chunks (an extra O(n)
+/// copy on top of an already memory-bound kernel), so no crossover was
+/// observed in the calibration sweep (serial 704 us vs pool 5,078 us at
+/// n = 1,048,576, the largest point); the threshold sits past every vector
+/// the experiments move so the serial kernel is used throughout.
+pub const AXPY_SERIAL_MAX: usize = 4_194_304;
+
 /// `y += alpha * x`.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
@@ -72,7 +86,7 @@ pub fn sum_vectors(parts: &[&[f64]]) -> Vec<f64> {
 pub fn dot_parallel(x: &[f64], y: &[f64], nthreads: usize) -> f64 {
     assert_eq!(x.len(), y.len(), "dot operands must have equal length");
     let nthreads = nthreads.max(1).min(x.len().max(1));
-    if nthreads == 1 || x.len() < 4096 {
+    if nthreads == 1 || x.len() < DOT_SERIAL_MAX {
         return dot(x, y);
     }
     let chunk = x.len().div_ceil(nthreads);
@@ -98,7 +112,7 @@ pub fn dot_parallel(x: &[f64], y: &[f64], nthreads: usize) -> f64 {
 pub fn axpy_parallel(alpha: f64, x: &[f64], y: &mut [f64], nthreads: usize) {
     assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
     let nthreads = nthreads.max(1).min(x.len().max(1));
-    if nthreads == 1 || x.len() < 4096 {
+    if nthreads == 1 || x.len() < AXPY_SERIAL_MAX {
         return axpy(alpha, x, y);
     }
     let chunk = x.len().div_ceil(nthreads);
@@ -160,7 +174,7 @@ mod tests {
 
     #[test]
     fn parallel_dot_matches_serial() {
-        let n = 10_000;
+        let n = DOT_SERIAL_MAX + 10_000; // above the serial-routing threshold
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
         let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
         let reference = dot(&x, &y);
@@ -172,7 +186,7 @@ mod tests {
 
     #[test]
     fn parallel_axpy_matches_serial() {
-        let n = 9_999;
+        let n = AXPY_SERIAL_MAX + 9_999; // above the serial-routing threshold
         let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let mut y1: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5).collect();
         let mut y2 = y1.clone();

@@ -30,10 +30,12 @@ pub mod csr;
 pub mod dense;
 pub mod fileio;
 pub mod genmat;
+pub mod pool;
 
 pub use blockgrid::{BlockCoord, BlockGrid};
 pub use csr::CsrMatrix;
 pub use genmat::GapGenerator;
+pub use pool::ComputePool;
 
 /// Errors produced by the sparse substrate.
 #[derive(Debug)]

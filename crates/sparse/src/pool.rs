@@ -1,0 +1,332 @@
+//! Persistent compute-thread pool for the node-local kernels.
+//!
+//! The scoped-thread kernels ([`CsrMatrix::spmv_parallel`],
+//! [`dense::dot_parallel`], [`dense::axpy_parallel`]) spawn and join fresh OS
+//! threads on *every* call — fine for a one-off multiply, but a worker filter
+//! executing thousands of tasks pays the spawn/join latency each time.
+//! [`ComputePool`] keeps the threads alive for the lifetime of a worker run
+//! and feeds them jobs over a bounded channel.
+//!
+//! The repo forbids `unsafe` everywhere, so the pool cannot lend `&mut`
+//! slices to its workers the way a scoped spawn does. Instead jobs are
+//! `'static` closures over [`Arc`]-shared inputs that *return* their owned
+//! output slab; the caller reassembles slabs in partition order. For SpMV the
+//! extra assembly copy is `8·nrows` bytes against `2·nnz` flops of irregular
+//! work — noise. For the O(n) dense kernels the copy is proportional to the
+//! work itself, which is why they route through the serial path below the
+//! measured thresholds in [`dense`].
+
+use crate::csr::CsrMatrix;
+use crate::{dense, Result, SparseError};
+use std::sync::Arc;
+
+/// A job queued to the pool: runs on one worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Below this many non-zeros an SpMV runs serially on the submitting thread:
+/// the fan-out/reassembly round trip costs more than the multiply itself.
+/// Calibrated with `bench_dataplane --calibrate`: serial/pool parity at
+/// ~1.0M nnz (2,537 us vs 2,559 us); serial wins 8.4x at 3.9k nnz
+/// (3.8 us vs 32.0 us).
+pub const SPMV_SERIAL_MAX_NNZ: usize = 1_048_576;
+
+/// A fixed-size pool of persistent compute threads.
+///
+/// Dropping the pool closes the job channel and joins every worker.
+pub struct ComputePool {
+    tx: Option<crossbeam::channel::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ComputePool {
+    /// Spawns a pool of `nthreads` workers (at least one).
+    pub fn new(nthreads: usize) -> Self {
+        let nthreads = nthreads.max(1);
+        // Deep enough that a full fan-out of one kernel call never blocks
+        // the submitting thread mid-loop.
+        let (tx, rx) = crossbeam::channel::bounded::<Job>(nthreads * 4);
+        let workers = (0..nthreads)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("dooc-compute-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn compute worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn nthreads(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn sender(&self) -> &crossbeam::channel::Sender<Job> {
+        self.tx.as_ref().expect("pool alive until drop")
+    }
+
+    /// Runs the given jobs on the pool and returns their outputs in input
+    /// order. Blocks until every job finished.
+    pub fn run<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = jobs.len();
+        let (otx, orx) = crossbeam::channel::bounded::<(usize, T)>(n.max(1));
+        for (i, job) in jobs.into_iter().enumerate() {
+            let otx = otx.clone();
+            self.sender()
+                .send(Box::new(move || {
+                    let out = job();
+                    let _ = otx.send((i, out));
+                }))
+                .unwrap_or_else(|_| panic!("compute pool closed"));
+        }
+        drop(otx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, out) = orx.recv().expect("compute job vanished");
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Pool-backed parallel SpMV `y = A * x`, nnz-balanced across the pool's
+    /// workers. Matches [`CsrMatrix::spmv_into`] bit-for-bit (same per-row
+    /// accumulation order).
+    pub fn spmv(&self, m: &Arc<CsrMatrix>, x: &Arc<Vec<f64>>, y: &mut [f64]) -> Result<()> {
+        if x.len() as u64 != m.ncols() {
+            return Err(SparseError::DimensionMismatch {
+                got: (x.len() as u64, 1),
+                expected: (m.ncols(), 1),
+            });
+        }
+        if y.len() as u64 != m.nrows() {
+            return Err(SparseError::DimensionMismatch {
+                got: (y.len() as u64, 1),
+                expected: (m.nrows(), 1),
+            });
+        }
+        let nthreads = self.nthreads().min(m.nrows().max(1) as usize);
+        if nthreads == 1 || (m.nnz() as usize) < SPMV_SERIAL_MAX_NNZ {
+            return m.spmv_into(x, y);
+        }
+        self.spmv_fanout(m, x, y, nthreads);
+        Ok(())
+    }
+
+    /// The pool fan-out body of [`ComputePool::spmv`], without the serial
+    /// routing (kept separate so tests cover it at any input size).
+    fn spmv_fanout(&self, m: &Arc<CsrMatrix>, x: &Arc<Vec<f64>>, y: &mut [f64], nthreads: usize) {
+        let bounds = m.nnz_balanced_row_partition(nthreads);
+        let jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = (0..nthreads)
+            .map(|t| {
+                let m = Arc::clone(m);
+                let x = Arc::clone(x);
+                let (r0, r1) = (bounds[t], bounds[t + 1]);
+                Box::new(move || m.spmv_rows(&x, r0, r1)) as Box<dyn FnOnce() -> Vec<f64> + Send>
+            })
+            .collect();
+        for (t, slab) in self.run(jobs).into_iter().enumerate() {
+            let lo = bounds[t] as usize;
+            y[lo..lo + slab.len()].copy_from_slice(&slab);
+        }
+    }
+
+    /// Pool-backed parallel dot product. Deterministic for a fixed pool size
+    /// (chunk partials summed in order). Falls back to the serial kernel
+    /// below [`dense::DOT_SERIAL_MAX`].
+    pub fn dot(&self, x: &Arc<Vec<f64>>, y: &Arc<Vec<f64>>) -> f64 {
+        assert_eq!(x.len(), y.len(), "dot operands must have equal length");
+        let n = x.len();
+        let nthreads = self.nthreads().min(n.max(1));
+        if nthreads == 1 || n < dense::DOT_SERIAL_MAX {
+            return dense::dot(x, y);
+        }
+        self.dot_fanout(x, y, nthreads)
+    }
+
+    /// The pool fan-out body of [`ComputePool::dot`], without the serial
+    /// routing.
+    fn dot_fanout(&self, x: &Arc<Vec<f64>>, y: &Arc<Vec<f64>>, nthreads: usize) -> f64 {
+        let n = x.len();
+        let chunk = n.div_ceil(nthreads);
+        let jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = (0..nthreads)
+            .filter(|t| t * chunk < n)
+            .map(|t| {
+                let x = Arc::clone(x);
+                let y = Arc::clone(y);
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                Box::new(move || dense::dot(&x[lo..hi], &y[lo..hi]))
+                    as Box<dyn FnOnce() -> f64 + Send>
+            })
+            .collect();
+        self.run(jobs).iter().sum()
+    }
+
+    /// Pool-backed parallel `y += alpha * x`. The O(n) kernel only wins on
+    /// large vectors (the pool variant re-assembles owned chunks), so it
+    /// routes through the serial kernel below [`dense::AXPY_SERIAL_MAX`].
+    pub fn axpy(&self, alpha: f64, x: &Arc<Vec<f64>>, y: &mut [f64]) {
+        assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
+        let n = x.len();
+        let nthreads = self.nthreads().min(n.max(1));
+        if nthreads == 1 || n < dense::AXPY_SERIAL_MAX {
+            return dense::axpy(alpha, x, y);
+        }
+        self.axpy_fanout(alpha, x, y, nthreads)
+    }
+
+    /// The pool fan-out body of [`ComputePool::axpy`], without the serial
+    /// routing.
+    fn axpy_fanout(&self, alpha: f64, x: &Arc<Vec<f64>>, y: &mut [f64], nthreads: usize) {
+        let n = x.len();
+        let chunk = n.div_ceil(nthreads);
+        let jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = (0..nthreads)
+            .filter(|t| t * chunk < n)
+            .map(|t| {
+                let x = Arc::clone(x);
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                let ys = y[lo..hi].to_vec();
+                Box::new(move || {
+                    let mut ys = ys;
+                    dense::axpy(alpha, &x[lo..hi], &mut ys);
+                    ys
+                }) as Box<dyn FnOnce() -> Vec<f64> + Send>
+            })
+            .collect();
+        let mut lo = 0usize;
+        for out in self.run(jobs) {
+            y[lo..lo + out.len()].copy_from_slice(&out);
+            lo += out.len();
+        }
+    }
+}
+
+impl Drop for ComputePool {
+    fn drop(&mut self) {
+        self.tx = None; // close the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_preserves_order() {
+        let pool = ComputePool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_jobs_than_workers() {
+        let pool = ComputePool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..100usize)
+            .map(|i| Box::new(move || i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(pool.run(jobs).len(), 100);
+    }
+
+    #[test]
+    fn pool_spmv_matches_serial() {
+        let m = Arc::new(
+            CsrMatrix::from_triplets(
+                64,
+                64,
+                &(0..64)
+                    .flat_map(|r| [(r, r, 2.0), (r, (r + 1) % 64, -1.0)])
+                    .collect::<Vec<_>>(),
+            )
+            .expect("valid"),
+        );
+        let x = Arc::new(
+            (0..64)
+                .map(|i| (i as f64 * 0.3).sin())
+                .collect::<Vec<f64>>(),
+        );
+        let serial = m.spmv(&x).expect("dims ok");
+        for nt in [1, 2, 3, 8] {
+            let pool = ComputePool::new(nt);
+            // Public API (routes serial below the nnz threshold)...
+            let mut y = vec![0.0; 64];
+            pool.spmv(&m, &x, &mut y).expect("dims ok");
+            assert_eq!(y, serial, "pool size {nt}");
+            // ...and the fan-out body itself, bit-for-bit.
+            let mut y = vec![0.0; 64];
+            pool.spmv_fanout(&m, &x, &mut y, nt.min(64));
+            assert_eq!(y, serial, "fan-out, pool size {nt}");
+        }
+    }
+
+    #[test]
+    fn pool_dot_and_axpy_match_serial() {
+        let n = 100_000;
+        let x = Arc::new(
+            (0..n)
+                .map(|i| (i as f64 * 0.37).sin())
+                .collect::<Vec<f64>>(),
+        );
+        let yv: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let y = Arc::new(yv.clone());
+        let reference = dense::dot(&x, &y);
+        let pool = ComputePool::new(4);
+        // Public API (routes serial below the thresholds)...
+        let d = pool.dot(&x, &y);
+        assert!((d - reference).abs() < 1e-9 * reference.abs().max(1.0));
+        // ...and the fan-out bodies themselves.
+        let d = pool.dot_fanout(&x, &y, 4);
+        assert!((d - reference).abs() < 1e-9 * reference.abs().max(1.0));
+        let mut y1 = yv.clone();
+        let mut y2 = yv.clone();
+        let mut y3 = yv;
+        dense::axpy(1.5, &x, &mut y1);
+        pool.axpy(1.5, &x, &mut y2);
+        assert_eq!(y1, y2);
+        pool.axpy_fanout(1.5, &x, &mut y3, 4);
+        assert_eq!(y1, y3);
+    }
+
+    #[test]
+    fn pool_reuse_across_many_calls() {
+        let pool = ComputePool::new(3);
+        let m = Arc::new(CsrMatrix::identity(32));
+        let x = Arc::new(vec![1.25f64; 32]);
+        for _ in 0..50 {
+            let mut y = vec![0.0; 32];
+            pool.spmv(&m, &x, &mut y).expect("dims ok");
+            assert_eq!(y, *x);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_route_serial() {
+        let pool = ComputePool::new(8);
+        let x = Arc::new(vec![1.0]);
+        let y = Arc::new(vec![5.0]);
+        assert_eq!(pool.dot(&x, &y), 5.0);
+        let mut yv = vec![2.0];
+        pool.axpy(3.0, &x, &mut yv);
+        assert_eq!(yv, vec![5.0]);
+    }
+}

@@ -19,6 +19,19 @@ use std::collections::HashMap;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Ticket(u64);
 
+/// Incremental availability map returned by [`StorageClient::map_since`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MapDelta {
+    /// The node's map version at reply time; pass as the next `since`.
+    pub version: u64,
+    /// Every block of every array whose availability changed since `since`
+    /// (array-granularity replacement: fold by swapping each named array's
+    /// whole block set).
+    pub entries: Vec<MapEntry>,
+    /// Arrays deleted since `since`.
+    pub deleted: Vec<String>,
+}
+
 /// Blocking convenience handle to the node-local storage filter.
 pub struct StorageClient {
     to_storage: StreamWriter,
@@ -157,8 +170,9 @@ impl StorageClient {
         Ok(())
     }
 
-    /// Blocking write of one interval: request grant, ship data, await seal.
-    pub fn write(&mut self, array: &str, iv: Interval, data: Bytes) -> Result<()> {
+    /// Starts an asynchronous write: requests the grant without waiting for
+    /// it. Pair with [`StorageClient::wait_write_granted`].
+    pub fn write_async(&mut self, array: &str, iv: Interval) -> Result<Ticket> {
         let req = self.fresh();
         self.send(&ClientMsg::WriteReq {
             req,
@@ -166,24 +180,46 @@ impl StorageClient {
             array: array.to_string(),
             iv,
         })?;
-        match self.wait(req)? {
-            Reply::WriteGranted { .. } => self.outstanding += 1,
-            Reply::Err { error, .. } => return Err(error),
-            other => {
-                return Err(StorageError::Protocol(format!(
-                    "unexpected reply to write request: {other:?}"
-                )))
+        Ok(Ticket(req))
+    }
+
+    /// Waits for a write grant requested with [`StorageClient::write_async`].
+    pub fn wait_write_granted(&mut self, t: Ticket) -> Result<()> {
+        match self.wait(t.0)? {
+            Reply::WriteGranted { .. } => {
+                self.outstanding += 1;
+                Ok(())
             }
+            Reply::Err { error, .. } => Err(error),
+            other => Err(StorageError::Protocol(format!(
+                "unexpected reply to write request: {other:?}"
+            ))),
         }
-        let req2 = self.fresh();
+    }
+
+    /// Ships the data of a granted write without waiting for the seal. Pair
+    /// with [`StorageClient::wait_write_sealed`].
+    pub fn release_write_async(
+        &mut self,
+        array: &str,
+        iv: Interval,
+        data: Bytes,
+    ) -> Result<Ticket> {
+        let req = self.fresh();
         self.send(&ClientMsg::ReleaseWrite {
-            req: req2,
+            req,
             client: self.client_id,
             array: array.to_string(),
             iv,
             data,
         })?;
-        match self.wait(req2)? {
+        Ok(Ticket(req))
+    }
+
+    /// Waits for the seal confirmation of a
+    /// [`StorageClient::release_write_async`].
+    pub fn wait_write_sealed(&mut self, t: Ticket) -> Result<()> {
+        match self.wait(t.0)? {
             Reply::WriteSealed { .. } => {
                 self.outstanding -= 1;
                 Ok(())
@@ -193,6 +229,14 @@ impl StorageClient {
                 "unexpected reply to write release: {other:?}"
             ))),
         }
+    }
+
+    /// Blocking write of one interval: request grant, ship data, await seal.
+    pub fn write(&mut self, array: &str, iv: Interval, data: Bytes) -> Result<()> {
+        let t = self.write_async(array, iv)?;
+        self.wait_write_granted(t)?;
+        let t2 = self.release_write_async(array, iv, data)?;
+        self.wait_write_sealed(t2)
     }
 
     /// Fire-and-forget prefetch hint.
@@ -250,6 +294,34 @@ impl StorageClient {
             Reply::Err { error, .. } => Err(error),
             other => Err(StorageError::Protocol(format!(
                 "unexpected reply to map query: {other:?}"
+            ))),
+        }
+    }
+
+    /// Incremental form of [`StorageClient::map`]: returns only what changed
+    /// after map version `since` (0 = full snapshot) plus the node's current
+    /// version to use as the next cursor.
+    pub fn map_since(&mut self, since: u64) -> Result<MapDelta> {
+        let req = self.fresh();
+        self.send(&ClientMsg::MapSince {
+            req,
+            client: self.client_id,
+            since,
+        })?;
+        match self.wait(req)? {
+            Reply::MapDelta {
+                version,
+                entries,
+                deleted,
+                ..
+            } => Ok(MapDelta {
+                version,
+                entries,
+                deleted,
+            }),
+            Reply::Err { error, .. } => Err(error),
+            other => Err(StorageError::Protocol(format!(
+                "unexpected reply to map-since query: {other:?}"
             ))),
         }
     }

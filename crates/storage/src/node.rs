@@ -119,6 +119,9 @@ struct BlockInfo {
     peer_waiters: Vec<(u64, u64)>,
     /// Outstanding remote fetch, if this node is trying to pull the block.
     fetch: Option<FetchState>,
+    /// Availability last reported through a map query (lazy change
+    /// detection for [`ClientMsg::MapSince`] deltas).
+    last_avail: Option<BlockAvail>,
 }
 
 impl BlockInfo {
@@ -167,6 +170,27 @@ struct ArrayInfo {
     blocks: HashMap<u64, BlockInfo>,
     /// Pending persist: (req, client, blocks whose disk write is awaited).
     persist: Option<(u64, u64, std::collections::HashSet<u64>)>,
+    /// Map version at which any of this array's block availabilities last
+    /// changed. Deltas ship at array granularity: a client folding a delta
+    /// replaces the array's whole block set, which also makes block re-keys
+    /// (placeholder-geometry resolution) expressible.
+    avail_version: u64,
+    /// Block count at the last map query (detects block additions/removals
+    /// that leave every surviving block's availability untouched).
+    last_nblocks: usize,
+}
+
+impl ArrayInfo {
+    fn new(meta: ArrayMeta, home: bool) -> Self {
+        Self {
+            meta,
+            home,
+            blocks: HashMap::new(),
+            persist: None,
+            avail_version: 0,
+            last_nblocks: 0,
+        }
+    }
 }
 
 /// A block found in the scratch directory at startup.
@@ -182,8 +206,12 @@ pub struct DiscoveredBlock {
 pub struct StorageState {
     cfg: NodeConfig,
     arrays: HashMap<String, ArrayInfo>,
-    /// Tombstones of deleted arrays.
-    deleted: HashMap<String, ()>,
+    /// Tombstones of deleted arrays, with the map version of the deletion.
+    deleted: HashMap<String, u64>,
+    /// Monotonic availability-map version; bumped whenever a map query
+    /// detects a changed array or an array is deleted. Clients use it as the
+    /// `since` cursor of [`ClientMsg::MapSince`].
+    map_version: u64,
     /// LRU index: clock value -> (array, block). Values are unique.
     lru: BTreeMap<u64, (String, u64)>,
     clock: u64,
@@ -214,6 +242,7 @@ impl StorageState {
             cfg,
             arrays: HashMap::new(),
             deleted: HashMap::new(),
+            map_version: 0,
             lru: BTreeMap::new(),
             clock: 0,
             fetches: HashMap::new(),
@@ -229,12 +258,7 @@ impl StorageState {
             let entry = st
                 .arrays
                 .entry(d.meta.name.clone())
-                .or_insert_with(|| ArrayInfo {
-                    meta: d.meta.clone(),
-                    home: true,
-                    blocks: HashMap::new(),
-                    persist: None,
-                });
+                .or_insert_with(|| ArrayInfo::new(d.meta.clone(), true));
             let block_len = entry.meta.block_len(d.block);
             let info = entry.blocks.entry(d.block).or_default();
             info.sealed = RangeSet::from_range(0, block_len);
@@ -254,6 +278,56 @@ impl StorageState {
     /// Number of bytes currently resident.
     pub fn resident_bytes(&self) -> u64 {
         self.resident
+    }
+
+    /// Current availability-map version (monotonic; 0 = nothing reported).
+    pub fn map_version(&self) -> u64 {
+        self.map_version
+    }
+
+    /// Computes the incremental availability map for a client that last saw
+    /// version `since` (0 = full snapshot). Changes are detected lazily by
+    /// comparing each block's current availability against the one recorded
+    /// at the previous query, so handlers never need to stamp versions at
+    /// every mutation site. Returns `(version, entries, deleted)`; `entries`
+    /// holds *every* block of each changed array (replacement granularity is
+    /// the array — see [`ArrayInfo::avail_version`]).
+    fn map_delta(&mut self, since: u64) -> (u64, Vec<MapEntry>, Vec<String>) {
+        let mut entries = Vec::new();
+        for (name, ainfo) in self.arrays.iter_mut() {
+            let meta = ainfo.meta.clone();
+            let mut changed = ainfo.blocks.len() != ainfo.last_nblocks;
+            ainfo.last_nblocks = ainfo.blocks.len();
+            for (&b, info) in ainfo.blocks.iter_mut() {
+                let now = info.avail(meta.block_len(b));
+                if info.last_avail != Some(now) {
+                    info.last_avail = Some(now);
+                    changed = true;
+                }
+            }
+            if changed {
+                self.map_version += 1;
+                ainfo.avail_version = self.map_version;
+            }
+            if ainfo.avail_version > since {
+                for (&b, info) in ainfo.blocks.iter() {
+                    entries.push(MapEntry {
+                        array: name.clone(),
+                        block: b,
+                        state: info.avail(meta.block_len(b)),
+                    });
+                }
+            }
+        }
+        entries.sort_by(|a, b| (&a.array, a.block).cmp(&(&b.array, b.block)));
+        let mut deleted: Vec<String> = self
+            .deleted
+            .iter()
+            .filter(|(_, &v)| v > since)
+            .map(|(a, _)| a.clone())
+            .collect();
+        deleted.sort();
+        (self.map_version, entries, deleted)
     }
 
     /// Marks the local side quiescent without a Shutdown message (used when
@@ -437,15 +511,8 @@ impl StorageState {
                         },
                     });
                 } else {
-                    self.arrays.insert(
-                        meta.name.clone(),
-                        ArrayInfo {
-                            meta,
-                            home: true,
-                            blocks: HashMap::new(),
-                            persist: None,
-                        },
-                    );
+                    self.arrays
+                        .insert(meta.name.clone(), ArrayInfo::new(meta, true));
                     out.push(Action::Reply {
                         client,
                         reply: Reply::Created { req },
@@ -463,15 +530,8 @@ impl StorageState {
                     Some(_) => {}
                     None => {
                         if !self.deleted.contains_key(&meta.name) {
-                            self.arrays.insert(
-                                meta.name.clone(),
-                                ArrayInfo {
-                                    meta,
-                                    home: false,
-                                    blocks: HashMap::new(),
-                                    persist: None,
-                                },
-                            );
+                            self.arrays
+                                .insert(meta.name.clone(), ArrayInfo::new(meta, false));
                         }
                     }
                 }
@@ -514,6 +574,18 @@ impl StorageState {
                 out.push(Action::Reply {
                     client,
                     reply: Reply::Map { req, entries },
+                });
+            }
+            ClientMsg::MapSince { req, client, since } => {
+                let (version, entries, deleted) = self.map_delta(since);
+                out.push(Action::Reply {
+                    client,
+                    reply: Reply::MapDelta {
+                        req,
+                        version,
+                        entries,
+                        deleted,
+                    },
                 });
             }
             ClientMsg::StatsQuery { req, client } => {
@@ -663,17 +735,11 @@ impl StorageState {
             None => {
                 // Unknown geometry: remember the *global* interval and probe
                 // peers by offset.
-                let ainfo = self
-                    .arrays
-                    .entry(array.clone())
-                    .or_insert_with(|| ArrayInfo {
-                        // Placeholder geometry: a single huge block; replaced
-                        // by the real geometry when a peer answers.
-                        meta: ArrayMeta::new(array.clone(), u64::MAX, u64::MAX),
-                        home: false,
-                        blocks: HashMap::new(),
-                        persist: None,
-                    });
+                let ainfo = self.arrays.entry(array.clone()).or_insert_with(|| {
+                    // Placeholder geometry: a single huge block; replaced
+                    // by the real geometry when a peer answers.
+                    ArrayInfo::new(ArrayMeta::new(array.clone(), u64::MAX, u64::MAX), false)
+                });
                 let info = ainfo.blocks.entry(0).or_default();
                 info.read_waiters.push(ReadWaiter {
                     req,
@@ -979,11 +1045,8 @@ impl StorageState {
             // Unknown array: treat like a read miss without a waiter.
             self.arrays
                 .entry(array.clone())
-                .or_insert_with(|| ArrayInfo {
-                    meta: ArrayMeta::new(array.clone(), u64::MAX, u64::MAX),
-                    home: false,
-                    blocks: HashMap::new(),
-                    persist: None,
+                .or_insert_with(|| {
+                    ArrayInfo::new(ArrayMeta::new(array.clone(), u64::MAX, u64::MAX), false)
                 })
                 .blocks
                 .entry(0)
@@ -1069,7 +1132,8 @@ impl StorageState {
         }
         let had_disk = ainfo.blocks.values().any(|b| b.on_disk);
         self.drop_array_local(&array);
-        self.deleted.insert(array.clone(), ());
+        self.map_version += 1;
+        self.deleted.insert(array.clone(), self.map_version);
         if had_disk {
             out.push(Action::Io(IoCmd::DeleteFiles {
                 array: array.clone(),
@@ -1316,7 +1380,8 @@ impl StorageState {
                     .map(|a| a.blocks.values().any(|b| b.on_disk))
                     .unwrap_or(false);
                 self.drop_array_local(&array);
-                self.deleted.insert(array.clone(), ());
+                self.map_version += 1;
+                self.deleted.insert(array.clone(), self.map_version);
                 if had_disk {
                     out.push(Action::Io(IoCmd::DeleteFiles { array }));
                 }
@@ -1670,6 +1735,180 @@ mod tests {
             })
             .collect();
         assert_eq!(served, vec![2]);
+    }
+
+    /// Runs a MapSince query and unpacks the reply.
+    fn map_delta_of(st: &mut StorageState, since: u64) -> (u64, Vec<MapEntry>, Vec<String>) {
+        let acts = st.handle_client(ClientMsg::MapSince {
+            req: 900,
+            client: 0,
+            since,
+        });
+        match &acts[..] {
+            [Action::Reply {
+                reply:
+                    Reply::MapDelta {
+                        version,
+                        entries,
+                        deleted,
+                        ..
+                    },
+                ..
+            }] => (*version, entries.clone(), deleted.clone()),
+            other => panic!("expected MapDelta, got {other:?}"),
+        }
+    }
+
+    fn full_map(st: &mut StorageState) -> Vec<MapEntry> {
+        let acts = st.handle_client(ClientMsg::MapQuery {
+            req: 901,
+            client: 0,
+        });
+        match &acts[..] {
+            [Action::Reply {
+                reply: Reply::Map { entries, .. },
+                ..
+            }] => entries.clone(),
+            other => panic!("expected Map, got {other:?}"),
+        }
+    }
+
+    /// Folds one delta into a client-side mirror (array-granularity
+    /// replacement, deletions drop the whole array).
+    fn fold_delta(
+        mirror: &mut HashMap<String, BTreeMap<u64, BlockAvail>>,
+        entries: &[MapEntry],
+        deleted: &[String],
+    ) {
+        for a in deleted {
+            mirror.remove(a);
+        }
+        let mut touched: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for en in entries {
+            if touched.insert(&en.array) {
+                mirror.insert(en.array.clone(), BTreeMap::new());
+            }
+        }
+        for en in entries {
+            if let Some(blocks) = mirror.get_mut(&en.array) {
+                blocks.insert(en.block, en.state);
+            }
+        }
+    }
+
+    fn flatten(mirror: &HashMap<String, BTreeMap<u64, BlockAvail>>) -> Vec<MapEntry> {
+        let mut v: Vec<MapEntry> = mirror
+            .iter()
+            .flat_map(|(a, blocks)| {
+                blocks.iter().map(|(&b, &s)| MapEntry {
+                    array: a.clone(),
+                    block: b,
+                    state: s,
+                })
+            })
+            .collect();
+        v.sort_by(|a, b| (&a.array, a.block).cmp(&(&b.array, b.block)));
+        v
+    }
+
+    #[test]
+    fn map_since_zero_is_full_snapshot() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 64, 32);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        create(&mut st, "b", 16, 16);
+        let (v, entries, deleted) = map_delta_of(&mut st, 0);
+        assert!(v > 0, "changes must have bumped the version");
+        assert_eq!(entries, full_map(&mut st));
+        assert!(deleted.is_empty());
+    }
+
+    #[test]
+    fn map_since_version_monotonic_and_quiescent() {
+        let mut st = state(1 << 20);
+        create(&mut st, "a", 64, 32);
+        let (v1, _, _) = map_delta_of(&mut st, 0);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        let (v2, e2, _) = map_delta_of(&mut st, v1);
+        assert!(v2 >= v1, "map version must be monotonic");
+        assert!(
+            e2.iter().any(|e| e.array == "a" && e.block == 0),
+            "the sealed block must appear in the delta: {e2:?}"
+        );
+        // No changes since v2: the delta is empty and the version stable.
+        let (v3, e3, d3) = map_delta_of(&mut st, v2);
+        assert_eq!(v3, v2);
+        assert!(e3.is_empty(), "quiescent delta must be empty: {e3:?}");
+        assert!(d3.is_empty());
+    }
+
+    #[test]
+    fn map_since_deltas_compose_to_full_map() {
+        let mut st = state(1 << 20);
+        let mut mirror: HashMap<String, BTreeMap<u64, BlockAvail>> = HashMap::new();
+        let mut cursor = 0u64;
+        let step = |st: &mut StorageState,
+                    mirror: &mut HashMap<String, BTreeMap<u64, BlockAvail>>,
+                    cursor: &mut u64| {
+            let (v, entries, deleted) = map_delta_of(st, *cursor);
+            assert!(v >= *cursor, "version went backwards");
+            fold_delta(mirror, &entries, &deleted);
+            *cursor = v;
+            assert_eq!(
+                flatten(mirror),
+                full_map(st),
+                "delta ∘ base must equal the full map"
+            );
+        };
+        step(&mut st, &mut mirror, &mut cursor);
+        create(&mut st, "a", 96, 32);
+        step(&mut st, &mut mirror, &mut cursor);
+        write_all(&mut st, "a", Interval::new(0, 32), 1);
+        write_all(&mut st, "a", Interval::new(32, 16), 2);
+        step(&mut st, &mut mirror, &mut cursor);
+        create(&mut st, "b", 32, 32);
+        write_all(&mut st, "b", Interval::new(0, 32), 3);
+        // Persist then evict: b's block transitions InMemory -> OnDisk.
+        let acts = st.handle_client(ClientMsg::Persist {
+            req: 50,
+            client: 0,
+            array: "b".into(),
+        });
+        for a in acts {
+            if let Action::Io(IoCmd::Write { array, block, .. }) = a {
+                st.handle_io(IoReply::WriteDone {
+                    array,
+                    block,
+                    bytes: 32,
+                });
+            }
+        }
+        st.handle_client(ClientMsg::Evict { array: "b".into() });
+        step(&mut st, &mut mirror, &mut cursor);
+        // Finish a, then delete it.
+        write_all(&mut st, "a", Interval::new(48, 16), 4);
+        write_all(&mut st, "a", Interval::new(64, 32), 5);
+        step(&mut st, &mut mirror, &mut cursor);
+        let acts = st.handle_client(ClientMsg::Delete {
+            req: 60,
+            client: 0,
+            array: "a".into(),
+        });
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Reply {
+                reply: Reply::Deleted { .. },
+                ..
+            }
+        )));
+        let before = cursor;
+        let (v, entries, deleted) = map_delta_of(&mut st, cursor);
+        assert!(v > before, "deletion must bump the version");
+        assert_eq!(deleted, vec!["a".to_string()]);
+        fold_delta(&mut mirror, &entries, &deleted);
+        cursor = v;
+        assert_eq!(flatten(&mirror), full_map(&mut st));
+        let _ = cursor;
     }
 
     #[test]

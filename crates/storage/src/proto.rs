@@ -185,6 +185,19 @@ pub enum ClientMsg {
         /// Reply address.
         client: u64,
     },
+    /// Ask for the availability entries that changed after map version
+    /// `since` (0 means "everything", i.e. a full snapshot). The reply is a
+    /// [`Reply::MapDelta`] carrying the node's current version, so repeated
+    /// queries form an incremental snapshot protocol: the client folds each
+    /// delta into its mirror instead of re-receiving every entry per tick.
+    MapSince {
+        /// Request id.
+        req: u64,
+        /// Reply address.
+        client: u64,
+        /// Last map version the client has folded in.
+        since: u64,
+    },
     /// Ask for this node's counters.
     StatsQuery {
         /// Request id.
@@ -248,6 +261,20 @@ pub enum Reply {
         req: u64,
         /// Entries for every locally known block.
         entries: Vec<MapEntry>,
+    },
+    /// Incremental availability map: only blocks whose availability changed
+    /// after the `since` version of the matching [`ClientMsg::MapSince`],
+    /// plus arrays deleted since then. Folding `entries`/`deleted` into the
+    /// client's mirror of version `since` yields the full map at `version`.
+    MapDelta {
+        /// Echoed request id.
+        req: u64,
+        /// The node's map version at reply time; pass as the next `since`.
+        version: u64,
+        /// Entries whose availability changed in `(since, version]`.
+        entries: Vec<MapEntry>,
+        /// Arrays deleted in `(since, version]` (drop them from the mirror).
+        deleted: Vec<String>,
     },
     /// Node counters.
     Stats {
@@ -517,6 +544,10 @@ impl ClientMsg {
                 pb.put_str(array);
                 pb.build(T_CLIENT + 12)
             }
+            ClientMsg::MapSince { req, client, since } => {
+                pb.put_u64(*req).put_u64(*client).put_u64(*since);
+                pb.build(T_CLIENT + 13)
+            }
             ClientMsg::Shutdown => pb.build(T_CLIENT + 10),
         }
     }
@@ -584,6 +615,11 @@ impl ClientMsg {
             t if t == T_CLIENT + 12 => ClientMsg::Evict {
                 array: r.str().ok_or_else(e)?,
             },
+            t if t == T_CLIENT + 13 => ClientMsg::MapSince {
+                req: r.u64().ok_or_else(e)?,
+                client: r.u64().ok_or_else(e)?,
+                since: r.u64().ok_or_else(e)?,
+            },
             t if t == T_CLIENT + 11 => ClientMsg::Register {
                 meta: ArrayMeta::new(
                     r.str().ok_or_else(e)?,
@@ -609,6 +645,7 @@ impl ClientMsg {
             | ClientMsg::Persist { client, .. }
             | ClientMsg::Delete { client, .. }
             | ClientMsg::MapQuery { client, .. }
+            | ClientMsg::MapSince { client, .. }
             | ClientMsg::StatsQuery { client, .. } => Some(*client),
             ClientMsg::ReleaseRead { .. }
             | ClientMsg::Prefetch { .. }
@@ -673,6 +710,26 @@ impl Reply {
                 err_put(&mut pb, error);
                 pb.build(T_REPLY + 8)
             }
+            Reply::MapDelta {
+                req,
+                version,
+                entries,
+                deleted,
+            } => {
+                pb.put_u64(*req)
+                    .put_u64(*version)
+                    .put_u64(entries.len() as u64);
+                for en in entries {
+                    pb.put_str(&en.array)
+                        .put_u64(en.block)
+                        .put_u64(en.state.code());
+                }
+                pb.put_u64(deleted.len() as u64);
+                for a in deleted {
+                    pb.put_str(a);
+                }
+                pb.build(T_REPLY + 9)
+            }
         }
     }
 
@@ -729,6 +786,30 @@ impl Reply {
                 req: r.u64().ok_or_else(e)?,
                 error: err_get(&mut r).ok_or_else(e)?,
             },
+            t if t == T_REPLY + 9 => {
+                let req = r.u64().ok_or_else(e)?;
+                let version = r.u64().ok_or_else(e)?;
+                let n = r.u64().ok_or_else(e)?;
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    entries.push(MapEntry {
+                        array: r.str().ok_or_else(e)?,
+                        block: r.u64().ok_or_else(e)?,
+                        state: BlockAvail::from_code(r.u64().ok_or_else(e)?).ok_or_else(e)?,
+                    });
+                }
+                let nd = r.u64().ok_or_else(e)?;
+                let mut deleted = Vec::with_capacity(nd as usize);
+                for _ in 0..nd {
+                    deleted.push(r.str().ok_or_else(e)?);
+                }
+                Reply::MapDelta {
+                    req,
+                    version,
+                    entries,
+                    deleted,
+                }
+            }
             t => {
                 return Err(StorageError::Protocol(format!(
                     "unexpected tag {t:#x} for reply message"
@@ -747,6 +828,7 @@ impl Reply {
             | Reply::Persisted { req }
             | Reply::Deleted { req }
             | Reply::Map { req, .. }
+            | Reply::MapDelta { req, .. }
             | Reply::Stats { req, .. }
             | Reply::Err { req, .. } => *req,
         }
@@ -1004,6 +1086,11 @@ mod tests {
             },
             ClientMsg::Evict { array: "ev".into() },
             ClientMsg::MapQuery { req: 8, client: 4 },
+            ClientMsg::MapSince {
+                req: 10,
+                client: 4,
+                since: 17,
+            },
             ClientMsg::StatsQuery { req: 9, client: 5 },
             ClientMsg::Shutdown,
         ];
@@ -1039,6 +1126,22 @@ mod tests {
                         state: BlockAvail::Unwritten,
                     },
                 ],
+            },
+            Reply::MapDelta {
+                req: 10,
+                version: 42,
+                entries: vec![MapEntry {
+                    array: "c".into(),
+                    block: 1,
+                    state: BlockAvail::OnDisk,
+                }],
+                deleted: vec!["gone".into(), "also-gone".into()],
+            },
+            Reply::MapDelta {
+                req: 11,
+                version: 0,
+                entries: vec![],
+                deleted: vec![],
             },
             Reply::Stats {
                 req: 8,
@@ -1164,6 +1267,15 @@ mod tests {
         assert_eq!(
             ClientMsg::MapQuery { req: 1, client: 7 }.reply_client(),
             Some(7)
+        );
+        assert_eq!(
+            ClientMsg::MapSince {
+                req: 1,
+                client: 6,
+                since: 0
+            }
+            .reply_client(),
+            Some(6)
         );
         assert_eq!(ClientMsg::Shutdown.reply_client(), None);
         assert_eq!(
