@@ -3,7 +3,12 @@
 //! (pipelined, zero-copy, pooled) worker paths, and the serial-vs-pool
 //! crossover calibration for the dense kernels.
 //!
-//! Emits `BENCH_dataplane.json` (override with `--out <path>`). Flags:
+//! Emits `BENCH_dataplane.json` (override with `--out <path>`), plus a
+//! traced 2-node SpMV run exported as `TRACE_dataplane.json` (Chrome
+//! `trace_event` format — load it in Perfetto) and `METRICS_dataplane.txt`.
+//! The timed sections above run with tracing *disabled*; a dedicated
+//! section re-times `read_array` with tracing enabled to report the
+//! observability overhead. Flags:
 //!
 //! * `--quick`      smaller sizes / fewer reps (the CI smoke configuration);
 //! * `--calibrate`  also sweep the serial/pool crossover for dot, axpy and
@@ -58,6 +63,23 @@ fn main() {
         r.copied_view
     ));
 
+    // --- 1b. observability overhead on read_array --------------------------
+    // Re-run the same benchmark with tracing enabled; the sections above ran
+    // with it disabled (the default), so the pair brackets the cost.
+    dooc_obs::enable();
+    let r_on = read_latency(nblocks, block_bytes, reps);
+    dooc_obs::disable();
+    dooc_obs::take_events(); // discard: this section only measures cost
+    let overhead_pct = (r_on.pipelined_us / r.pipelined_us - 1.0) * 100.0;
+    println!(
+        "read_array obs overhead: disabled {:.1} us, enabled {:.1} us ({overhead_pct:+.1}%)",
+        r.pipelined_us, r_on.pipelined_us
+    );
+    json.push_str(&format!(
+        "  \"obs_overhead\": {{\n    \"pipelined_us_disabled\": {:.2},\n    \"pipelined_us_enabled\": {:.2},\n    \"overhead_pct\": {overhead_pct:.2}\n  }},\n",
+        r.pipelined_us, r_on.pipelined_us
+    ));
+
     // --- 2. end-to-end iterated SpMV: old vs new worker data plane ---------
     let (k, n, iters) = if quick {
         (4u64, 512u64, 2u64)
@@ -87,6 +109,42 @@ fn main() {
         json.push_str(&calibrate_dense(quick));
         json.push_str("  },\n");
     }
+
+    // --- 4. traced 2-node run: Chrome trace + metrics artifacts ------------
+    let trace_path = out_path.with_file_name("TRACE_dataplane.json");
+    let metrics_path = out_path.with_file_name("METRICS_dataplane.txt");
+    let (tk, tn, ti) = if quick {
+        (2u64, 256u64, 2u64)
+    } else {
+        (4, 1024, 2)
+    };
+    let summary = dooc_bench::live::run_traced_spmv(
+        "bench-dp-traced",
+        2,
+        tk,
+        tn,
+        ti,
+        &trace_path,
+        &metrics_path,
+    )
+    .expect("traced run");
+    println!(
+        "traced 2-node SpMV: {} events ({} dropped) across layers {:?} in {:.3}s -> {} / {}",
+        summary.events,
+        summary.dropped,
+        summary.categories,
+        summary.wall_s,
+        trace_path.display(),
+        metrics_path.display()
+    );
+    json.push_str(&format!(
+        "  \"traced_run\": {{\n    \"nodes\": 2,\n    \"k\": {tk},\n    \"n\": {tn},\n    \"iterations\": {ti},\n    \"events\": {},\n    \"dropped\": {},\n    \"wall_s\": {:.4},\n    \"trace\": {:?},\n    \"metrics\": {:?}\n  }},\n",
+        summary.events,
+        summary.dropped,
+        summary.wall_s,
+        trace_path.display().to_string(),
+        metrics_path.display().to_string()
+    ));
 
     json.push_str(&format!(
         "  \"thresholds\": {{\"dot_serial_max\": {}, \"axpy_serial_max\": {}, \"spmv_serial_max_nnz\": {}}}\n}}\n",

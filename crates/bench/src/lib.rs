@@ -11,4 +11,5 @@
 
 pub mod exhibits;
 pub mod gantt;
+pub mod live;
 pub mod tablefmt;

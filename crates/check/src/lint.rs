@@ -15,6 +15,13 @@
 //!    for backpressure; an unbounded channel reintroduces the unbounded
 //!    memory growth the paper's design avoids.
 //! 4. **`#![forbid(unsafe_code)]` in every crate root.**
+//! 5. **No bare `release_read` calls outside the `storage` crate** — the
+//!    storage client hands out RAII [`ReadGuard`]s that release their pin on
+//!    drop; callers that release manually reintroduce the leak class the
+//!    guard API removed. The pipelined `*_raw` escape hatch is allowed (the
+//!    pattern requires the exact method name). Unlike rules 1–3 this rule
+//!    also applies to `tests/` and `benches/` trees: migrated test code must
+//!    not drift back to the manual protocol.
 //!
 //! Scanning is line-based: lines whose trimmed form starts with `//` are
 //! skipped, and within a file everything from the first `#[cfg(test)]`
@@ -26,7 +33,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose *library* code must be panic-free (rule 1).
-pub const PANIC_FREE_CRATES: &[&str] = &["filterstream", "storage", "scheduler", "core"];
+pub const PANIC_FREE_CRATES: &[&str] = &["filterstream", "storage", "scheduler", "core", "obs"];
 
 /// One rule violation at a source location.
 #[derive(Clone, Debug)]
@@ -62,10 +69,16 @@ const PAT_STD_MUTEX: &str = concat!("std::sync::", "Mutex");
 const PAT_STD_RWLOCK: &str = concat!("std::sync::", "RwLock");
 const PAT_UNBOUNDED: &str = concat!("unbounded", "(");
 const PAT_FORBID_UNSAFE: &str = concat!("#![forbid(", "unsafe_code)]");
+const PAT_RELEASE_READ: &str = concat!(".release_read", "(");
 
-/// Lints one source file's content. `panic_free` selects rule 1 in
-/// addition to the always-on rules.
-pub fn lint_source(file: &Path, content: &str, panic_free: bool) -> Vec<Finding> {
+/// Lints one source file's content. `panic_free` selects rule 1 and
+/// `ban_release_read` selects rule 5 in addition to the always-on rules.
+pub fn lint_source(
+    file: &Path,
+    content: &str,
+    panic_free: bool,
+    ban_release_read: bool,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut in_tests = false;
     for (i, raw) in content.lines().enumerate() {
@@ -73,7 +86,7 @@ pub fn lint_source(file: &Path, content: &str, panic_free: bool) -> Vec<Finding>
         if line.contains("#[cfg(test)]") {
             in_tests = true;
         }
-        if in_tests || line.starts_with("//") {
+        if line.starts_with("//") {
             continue;
         }
         let mut report = |rule: &'static str, message: String| {
@@ -84,6 +97,18 @@ pub fn lint_source(file: &Path, content: &str, panic_free: bool) -> Vec<Finding>
                 message,
             });
         };
+        // Rule 5 applies to test code too — check before the test-module skip.
+        if ban_release_read && line.contains(PAT_RELEASE_READ) {
+            report(
+                "no-bare-release-read",
+                "manual release_read — hold a ReadGuard (wait_read/read) and let drop \
+                 release the pin, or use the *_raw pipelined API"
+                    .into(),
+            );
+        }
+        if in_tests {
+            continue;
+        }
         if panic_free {
             if line.contains(PAT_UNWRAP) {
                 report(
@@ -109,6 +134,29 @@ pub fn lint_source(file: &Path, content: &str, panic_free: bool) -> Vec<Finding>
                 "no-unbounded-channels",
                 "unbounded channel — streams must be bounded for backpressure".into(),
             );
+        }
+    }
+    findings
+}
+
+/// Scans content for rule 5 only (bare `release_read`) — used on `tests/`
+/// and `benches/` trees where the other rules do not apply.
+pub fn lint_release_read(file: &Path, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("//") {
+            continue;
+        }
+        if line.contains(PAT_RELEASE_READ) {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: i + 1,
+                rule: "no-bare-release-read",
+                message: "manual release_read — hold a ReadGuard (wait_read/read) and let \
+                          drop release the pin, or use the *_raw pipelined API"
+                    .into(),
+            });
         }
     }
     findings
@@ -151,9 +199,11 @@ pub struct LintReport {
 }
 
 /// Lints the workspace rooted at `root`: every `crates/*/src` tree (rules
-/// 1–3, with rule 1 scoped to [`PANIC_FREE_CRATES`]) and every crate root
-/// including the umbrella `src/lib.rs` (rule 4). `vendor/`, `tests/` and
-/// `benches/` trees are not library code and are skipped.
+/// 1–3 and 5, with rule 1 scoped to [`PANIC_FREE_CRATES`] and rule 5
+/// exempting the `storage` crate's own internals) and every crate root
+/// including the umbrella `src/lib.rs` (rule 4). `crates/*/tests` and
+/// `crates/*/benches` trees are scanned for rule 5 only; `vendor/` is
+/// skipped entirely.
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let mut report = LintReport::default();
     let crates_dir = root.join("crates");
@@ -173,6 +223,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         roots.push(src.join("lib.rs"));
         let crate_name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
         let panic_free = PANIC_FREE_CRATES.contains(&crate_name);
+        // The storage crate implements the protocol; its internal
+        // `release_read` handling is the thing everyone else must not call.
+        let ban_release_read = crate_name != "storage";
         let mut files = Vec::new();
         rust_sources(&src, &mut files)?;
         files.sort();
@@ -182,7 +235,22 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             let rel = file.strip_prefix(root).unwrap_or(&file);
             report
                 .findings
-                .extend(lint_source(rel, &content, panic_free));
+                .extend(lint_source(rel, &content, panic_free, ban_release_read));
+        }
+        for sub in ["tests", "benches"] {
+            let tree = dir.join(sub);
+            if !tree.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            rust_sources(&tree, &mut files)?;
+            files.sort();
+            for file in files {
+                let content = fs::read_to_string(&file)?;
+                report.files_scanned += 1;
+                let rel = file.strip_prefix(root).unwrap_or(&file);
+                report.findings.extend(lint_release_read(rel, &content));
+            }
         }
     }
 
@@ -204,11 +272,11 @@ mod tests {
     #[test]
     fn unwrap_flagged_only_in_panic_free_crates() {
         let src = "fn f() { x.unwrap(); }\n";
-        let f = lint_source(Path::new("a.rs"), src, true);
+        let f = lint_source(Path::new("a.rs"), src, true, false);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "no-unwrap");
         assert_eq!(f[0].line, 1);
-        assert!(lint_source(Path::new("a.rs"), src, false).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, false, false).is_empty());
     }
 
     #[test]
@@ -221,7 +289,7 @@ mod tests {
     fn g() { x.unwrap(); }
 }
 ";
-        assert!(lint_source(Path::new("a.rs"), src, true).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, true, false).is_empty());
     }
 
     #[test]
@@ -232,7 +300,7 @@ mod tests {
             concat!("unbounded", ""),
             "()"
         );
-        let f = lint_source(Path::new("a.rs"), &src, false);
+        let f = lint_source(Path::new("a.rs"), &src, false, false);
         let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
         assert!(rules.contains(&"no-std-locks"), "{rules:?}");
         assert!(rules.contains(&"no-unbounded-channels"), "{rules:?}");
@@ -241,7 +309,43 @@ mod tests {
     #[test]
     fn unwrap_or_variants_not_flagged() {
         let src = "let x = y.unwrap_or(0).unwrap_or_else(f).unwrap_or_default();\n";
-        assert!(lint_source(Path::new("a.rs"), src, true).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, true, false).is_empty());
+    }
+
+    #[test]
+    fn bare_release_read_flagged_even_in_test_modules() {
+        let src = format!(
+            "fn f() {{ sc{}iv); }}\n#[cfg(test)]\nmod t {{ fn g() {{ sc{}iv); }} }}\n",
+            concat!(".release_read", "(\"a\", "),
+            concat!(".release_read", "(\"a\", "),
+        );
+        let f = lint_source(Path::new("a.rs"), &src, false, true);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "no-bare-release-read"));
+        assert!(
+            lint_source(Path::new("a.rs"), &src, false, false).is_empty(),
+            "rule off for the storage crate itself"
+        );
+    }
+
+    #[test]
+    fn release_read_raw_escape_hatch_allowed() {
+        let src = "fn f() { sc.release_read_raw(\"a\", iv)?; }\n";
+        assert!(lint_source(Path::new("a.rs"), src, false, true).is_empty());
+        assert!(lint_release_read(Path::new("a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn release_read_scan_for_test_trees() {
+        let src = format!(
+            "// sc{}iv) in a comment is fine\nfn f() {{ sc{}iv); }}\n",
+            concat!(".release_read", "(\"a\", "),
+            concat!(".release_read", "(\"a\", "),
+        );
+        let f = lint_release_read(Path::new("tests/t.rs"), &src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].rule, "no-bare-release-read");
     }
 
     #[test]

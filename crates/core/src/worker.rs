@@ -12,15 +12,38 @@ use crate::DoocConfig;
 use bytes::Bytes;
 use dooc_filterstream::sync::OrderedMutex;
 use dooc_filterstream::{DataBuffer, Filter, FilterContext};
+use dooc_obs::metrics::{counter, histogram, Counter, Gauge, Histogram};
+use dooc_obs::Category;
 use dooc_scheduler::{LocalScheduler, Placement, TaskGraph, TaskId, TaskSpec};
 use dooc_sparse::ComputePool;
 use dooc_storage::client::MapDelta;
 use dooc_storage::meta::{ArrayMeta, Interval};
 use dooc_storage::proto::{BlockAvail, NodeStats};
-use dooc_storage::StorageClient;
+use dooc_storage::{ReadGuard, SealTicket, StorageClient, WriteTicket};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Worker-layer metric handles, resolved once (the registry lookup takes a
+/// lock; the per-event updates are gated relaxed atomics).
+struct WorkerObs {
+    tasks_executed: &'static Counter,
+    input_bytes: &'static Counter,
+    prefetch_requests: &'static Counter,
+    pipeline_occupancy: &'static Histogram,
+    ready_tasks: &'static Gauge,
+}
+
+fn obs() -> &'static WorkerObs {
+    static O: OnceLock<WorkerObs> = OnceLock::new();
+    O.get_or_init(|| WorkerObs {
+        tasks_executed: counter("worker.tasks_executed"),
+        input_bytes: counter("worker.input_bytes"),
+        prefetch_requests: counter("sched.prefetch_requests"),
+        pipeline_occupancy: histogram("worker.pipeline_occupancy"),
+        ready_tasks: dooc_obs::metrics::gauge("sched.ready_tasks"),
+    })
+}
 
 /// Maximum block reads/writes a [`WorkerContext`] keeps in flight while
 /// pipelining an array operation. Bounds reply-stream occupancy well below
@@ -39,13 +62,13 @@ pub trait TaskExecutor: Send + Sync {
     fn execute(&self, task: &TaskSpec, ctx: &mut WorkerContext<'_>) -> ExecOutcome;
 }
 
-/// A pinned, zero-copy view of a whole array: one [`Bytes`] handle per
-/// block, straight out of the storage layer's sealed buffers. The blocks
-/// stay pinned (unreclaimable) until [`WorkerContext::release_view`] is
-/// called, so hold views only for the duration of one task.
+/// A pinned, zero-copy view of a whole array: one [`ReadGuard`] per block,
+/// straight out of the storage layer's sealed buffers. The blocks stay
+/// pinned (unreclaimable) until the view drops, so hold views only for the
+/// duration of one task.
 pub struct ArrayView {
     name: String,
-    blocks: Vec<(Interval, Bytes)>,
+    blocks: Vec<(Interval, ReadGuard)>,
     total: u64,
 }
 
@@ -66,7 +89,7 @@ impl ArrayView {
     }
 
     /// The pinned blocks in offset order.
-    pub fn blocks(&self) -> &[(Interval, Bytes)] {
+    pub fn blocks(&self) -> &[(Interval, ReadGuard)] {
         &self.blocks
     }
 
@@ -199,20 +222,21 @@ impl<'a> WorkerContext<'a> {
     /// Core pipelined read: issues up to [`PIPELINE_WINDOW`] block reads
     /// ahead of the wait, calling `consume(block, bytes)` in block order
     /// while later requests are already in flight — a K-block array costs
-    /// ~1 round trip of latency instead of K. Blocks are released (or kept
-    /// pinned, for views) per `keep_pinned`.
-    fn read_blocks<F>(
+    /// ~1 round trip of latency instead of K. Uses the storage client's raw
+    /// read API: pins are recycled at window rate, so each is released
+    /// explicitly right after `consume` instead of through a [`ReadGuard`].
+    fn read_blocks_raw<F>(
         &mut self,
         meta: &ArrayMeta,
-        keep_pinned: bool,
         mut consume: F,
     ) -> std::result::Result<(), String>
     where
         F: FnMut(u64, &Bytes),
     {
+        let _span = dooc_obs::span(Category::Worker, "worker:read", self.node as i64);
         let name = &meta.name;
         let nblocks = meta.nblocks();
-        let mut tickets: VecDeque<(u64, dooc_storage::client::Ticket)> =
+        let mut tickets: VecDeque<(u64, dooc_storage::ReadTicket)> =
             VecDeque::with_capacity(PIPELINE_WINDOW.min(nblocks as usize));
         let mut next = 0u64;
         while next < nblocks.min(PIPELINE_WINDOW as u64) {
@@ -225,9 +249,10 @@ impl<'a> WorkerContext<'a> {
             next += 1;
         }
         while let Some((b, t)) = tickets.pop_front() {
+            obs().pipeline_occupancy.record(tickets.len() as u64 + 1);
             let data = self
                 .client
-                .wait_read(t)
+                .wait_read_raw(t)
                 .map_err(|e| format!("read {name}[{b}]: {e}"))?;
             // Refill the window before touching the payload so the storage
             // filter works on the next block while we copy/decode this one.
@@ -241,15 +266,66 @@ impl<'a> WorkerContext<'a> {
                 next += 1;
             }
             consume(b, &data);
-            self.input_bytes += data.len() as u64;
-            if !keep_pinned {
-                let iv = Interval::new(meta.block_start(b), meta.block_len(b));
-                self.client
-                    .release_read(name, iv)
-                    .map_err(|e| format!("release {name}[{b}]: {e}"))?;
-            }
+            self.count_input(data.len() as u64);
+            let iv = Interval::new(meta.block_start(b), meta.block_len(b));
+            self.client
+                .release_read_raw(name, iv)
+                .map_err(|e| format!("release {name}[{b}]: {e}"))?;
         }
         Ok(())
+    }
+
+    /// Pinned variant of [`WorkerContext::read_blocks_raw`]: same pipelined
+    /// window, but each block's pin is handed to `consume` as a
+    /// [`ReadGuard`] instead of being released, so the caller decides how
+    /// long it stays resident.
+    fn read_blocks_pinned<F>(
+        &mut self,
+        meta: &ArrayMeta,
+        mut consume: F,
+    ) -> std::result::Result<(), String>
+    where
+        F: FnMut(u64, ReadGuard),
+    {
+        let _span = dooc_obs::span(Category::Worker, "worker:read", self.node as i64);
+        let name = &meta.name;
+        let nblocks = meta.nblocks();
+        let mut tickets: VecDeque<(u64, dooc_storage::ReadTicket)> =
+            VecDeque::with_capacity(PIPELINE_WINDOW.min(nblocks as usize));
+        let mut next = 0u64;
+        while next < nblocks.min(PIPELINE_WINDOW as u64) {
+            let iv = Interval::new(meta.block_start(next), meta.block_len(next));
+            let t = self
+                .client
+                .read_async(name, iv)
+                .map_err(|e| format!("read {name}[{next}]: {e}"))?;
+            tickets.push_back((next, t));
+            next += 1;
+        }
+        while let Some((b, t)) = tickets.pop_front() {
+            obs().pipeline_occupancy.record(tickets.len() as u64 + 1);
+            let guard = self
+                .client
+                .wait_read(t)
+                .map_err(|e| format!("read {name}[{b}]: {e}"))?;
+            if next < nblocks {
+                let iv = Interval::new(meta.block_start(next), meta.block_len(next));
+                let t = self
+                    .client
+                    .read_async(name, iv)
+                    .map_err(|e| format!("read {name}[{next}]: {e}"))?;
+                tickets.push_back((next, t));
+                next += 1;
+            }
+            self.count_input(guard.len() as u64);
+            consume(b, guard);
+        }
+        Ok(())
+    }
+
+    fn count_input(&mut self, n: u64) {
+        self.input_bytes += n;
+        obs().input_bytes.add(n);
     }
 
     /// Reads an entire array into a fresh buffer. Block requests are
@@ -258,7 +334,7 @@ impl<'a> WorkerContext<'a> {
         let meta = self.meta_of(name)?;
         let mut out = Vec::with_capacity(meta.len as usize);
         let mut copied = 0u64;
-        self.read_blocks(&meta, false, |_, data| {
+        self.read_blocks_raw(&meta, |_, data| {
             out.extend_from_slice(data);
             copied += data.len() as u64;
         })?;
@@ -274,31 +350,25 @@ impl<'a> WorkerContext<'a> {
         let mut out = Vec::with_capacity(meta.len as usize);
         for b in 0..meta.nblocks() {
             let iv = Interval::new(meta.block_start(b), meta.block_len(b));
-            let data = self
+            let guard = self
                 .client
                 .read(name, iv)
                 .map_err(|e| format!("read {name}[{b}]: {e}"))?;
-            out.extend_from_slice(&data);
-            self.client
-                .release_read(name, iv)
-                .map_err(|e| format!("release {name}[{b}]: {e}"))?;
+            out.extend_from_slice(&guard);
         }
-        self.input_bytes += out.len() as u64;
-        self.copied_bytes += out.len() as u64;
+        let n = out.len() as u64;
+        self.count_input(n);
+        self.copied_bytes += n;
         Ok(out)
     }
 
     /// Reads an entire array as a pinned zero-copy [`ArrayView`] (pipelined
-    /// block requests, no copy-out). Pair with
-    /// [`WorkerContext::release_view`].
+    /// block requests, no copy-out). Every block unpins when the view drops.
     pub fn read_view(&mut self, name: &str) -> std::result::Result<ArrayView, String> {
         let meta = self.meta_of(name)?;
         let mut blocks = Vec::with_capacity(meta.nblocks() as usize);
-        self.read_blocks(&meta, true, |b, data| {
-            blocks.push((
-                Interval::new(meta.block_start(b), meta.block_len(b)),
-                data.clone(),
-            ));
+        self.read_blocks_pinned(&meta, |b, guard| {
+            blocks.push((Interval::new(meta.block_start(b), meta.block_len(b)), guard));
         })?;
         Ok(ArrayView {
             name: name.to_string(),
@@ -307,32 +377,19 @@ impl<'a> WorkerContext<'a> {
         })
     }
 
-    /// Releases every block pin a view holds.
-    pub fn release_view(&mut self, view: ArrayView) -> std::result::Result<(), String> {
-        for (iv, _) in &view.blocks {
-            self.client
-                .release_read(&view.name, *iv)
-                .map_err(|e| format!("release {}: {e}", view.name))?;
-        }
-        Ok(())
-    }
-
-    /// Reads a single-block array zero-copy; the caller must call
-    /// [`WorkerContext::release`] with the same interval when done.
-    pub fn read_pinned(&mut self, name: &str, iv: Interval) -> std::result::Result<Bytes, String> {
-        let data = self
+    /// Reads a single-block interval zero-copy; the pin is handed back when
+    /// the returned guard drops.
+    pub fn read_pinned(
+        &mut self,
+        name: &str,
+        iv: Interval,
+    ) -> std::result::Result<ReadGuard, String> {
+        let guard = self
             .client
             .read(name, iv)
             .map_err(|e| format!("read {name}: {e}"))?;
-        self.input_bytes += data.len() as u64;
-        Ok(data)
-    }
-
-    /// Releases a pinned interval.
-    pub fn release(&mut self, name: &str, iv: Interval) -> std::result::Result<(), String> {
-        self.client
-            .release_read(name, iv)
-            .map_err(|e| format!("release {name}: {e}"))
+        self.count_input(guard.len() as u64);
+        Ok(guard)
     }
 
     /// Reads an array of `f64`s (little-endian bytes): pipelined block
@@ -340,9 +397,7 @@ impl<'a> WorkerContext<'a> {
     /// (no intermediate flat byte buffer).
     pub fn read_f64s(&mut self, name: &str) -> std::result::Result<Vec<f64>, String> {
         let view = self.read_view(name)?;
-        let out = view.decode_f64s();
-        self.release_view(view)?;
-        out
+        view.decode_f64s()
     }
 
     /// Creates and fully writes an array from a single [`Bytes`] buffer:
@@ -358,6 +413,7 @@ impl<'a> WorkerContext<'a> {
                 data.len()
             ));
         }
+        let _span = dooc_obs::span(Category::Worker, "worker:write", self.node as i64);
         self.client
             .create(name, len, bs)
             .map_err(|e| format!("create {name}: {e}"))?;
@@ -366,8 +422,8 @@ impl<'a> WorkerContext<'a> {
         // Phase 1: request grants ahead, ship each block's slice as soon as
         // its grant lands; phase 2: collect the seals. At most
         // PIPELINE_WINDOW grants plus PIPELINE_WINDOW seals are in flight.
-        let mut grants: VecDeque<(u64, dooc_storage::client::Ticket)> = VecDeque::new();
-        let mut seals: VecDeque<(u64, dooc_storage::client::Ticket)> = VecDeque::new();
+        let mut grants: VecDeque<(u64, WriteTicket)> = VecDeque::new();
+        let mut seals: VecDeque<(u64, SealTicket)> = VecDeque::new();
         let mut next = 0u64;
         while next < nblocks.min(PIPELINE_WINDOW as u64) {
             let iv = Interval::new(meta.block_start(next), meta.block_len(next));
@@ -568,7 +624,8 @@ impl Filter for WorkerFilter {
 
         let mine = self.placement.tasks_of(node);
         let mut ls = LocalScheduler::new(&self.graph, mine, self.config.order_policy)
-            .with_prefetch_window(self.config.prefetch_window);
+            .with_prefetch_window(self.config.prefetch_window)
+            .with_node(node as i64);
 
         // Built once per worker run; every task execution reuses the same
         // compute threads instead of spawning/joining per kernel call.
@@ -595,17 +652,32 @@ impl Filter for WorkerFilter {
             // 3. Prefetch the inputs of upcoming tasks.
             for arr in ls.prefetch_candidates(&self.graph, resident) {
                 if let Some(&(len, bs)) = self.geometry.get(&arr) {
+                    dooc_obs::instant_arg(
+                        Category::Scheduler,
+                        "sched:prefetch",
+                        node as i64,
+                        || arr.clone(),
+                    );
                     let meta = ArrayMeta::new(arr.clone(), len, bs);
                     for b in 0..meta.nblocks() {
+                        obs().prefetch_requests.inc();
                         client
                             .prefetch(&arr, Interval::new(meta.block_start(b), meta.block_len(b)))
                             .map_err(|e| ctx.error(format!("prefetch {arr}: {e}")))?;
                     }
                 }
             }
+            obs().ready_tasks.set(ls.ready_count() as i64);
             // 4. Run one task, or wait for progress.
             if let Some(t) = ls.next_task(&self.graph, resident) {
                 let spec = self.graph.task(t).clone();
+                let _task_span = dooc_obs::enabled().then(|| {
+                    dooc_obs::span(
+                        Category::Worker,
+                        dooc_obs::intern(&format!("task:{}", spec.kind)),
+                        node as i64,
+                    )
+                });
                 let started = self.start.elapsed();
                 let mut wctx = WorkerContext::new(
                     node,
@@ -617,6 +689,7 @@ impl Filter for WorkerFilter {
                 self.executor.execute(&spec, &mut wctx).map_err(|message| {
                     ctx.error(format!("task '{}' failed: {message}", spec.name))
                 })?;
+                obs().tasks_executed.inc();
                 let input_bytes = wctx.input_bytes;
                 self.sinks.trace.lock().push(TraceEvent {
                     node,

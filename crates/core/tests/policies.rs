@@ -127,9 +127,9 @@ impl TaskExecutor for PinnedReader {
     fn execute(&self, task: &TaskSpec, ctx: &mut WorkerContext) -> ExecOutcome {
         use dooc_core::Interval;
         let iv = Interval::new(0, task.inputs[0].bytes);
-        let data = ctx.read_pinned(&task.inputs[0].array, iv)?;
-        let doubled: Vec<u8> = data.iter().map(|b| b.wrapping_mul(2)).collect();
-        ctx.release(&task.inputs[0].array, iv)?;
+        let guard = ctx.read_pinned(&task.inputs[0].array, iv)?;
+        let doubled: Vec<u8> = guard.iter().map(|b| b.wrapping_mul(2)).collect();
+        drop(guard);
         ctx.write_array(&task.outputs[0].array, &doubled)?;
         ctx.storage()
             .persist(&task.outputs[0].array)

@@ -159,7 +159,16 @@ impl Runtime {
                 let name = decl.name.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("{name}[{inst}]"))
-                    .spawn(move || -> Result<()> { filter.run(&mut ctx) })
+                    .spawn(move || -> Result<()> {
+                        let _span = dooc_obs::enabled().then(|| {
+                            dooc_obs::span(
+                                dooc_obs::Category::Filterstream,
+                                dooc_obs::intern(&format!("filter:{}", ctx.name)),
+                                ctx.node.0 as i64,
+                            )
+                        });
+                        filter.run(&mut ctx)
+                    })
                     .map_err(|e| {
                         FsError::InvalidLayout(format!(
                             "failed to spawn thread for {name}[{inst}]: {e}"

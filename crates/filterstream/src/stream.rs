@@ -27,8 +27,26 @@
 use crate::buffer::DataBuffer;
 use crate::{FsError, NodeId, Result};
 use crossbeam::channel::{bounded, Receiver, Select, Sender};
+use dooc_obs::metrics::{counter, Counter};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Stream-layer metric handles, resolved once (updates are gated relaxed
+/// atomics, so the disabled cost per send/recv is one load and a branch).
+struct FsObs {
+    buffers_sent: &'static Counter,
+    bytes_sent: &'static Counter,
+    buffers_recv: &'static Counter,
+}
+
+fn fs_obs() -> &'static FsObs {
+    static O: OnceLock<FsObs> = OnceLock::new();
+    O.get_or_init(|| FsObs {
+        buffers_sent: counter("fs.buffers_sent"),
+        bytes_sent: counter("fs.bytes_sent"),
+        buffers_recv: counter("fs.buffers_recv"),
+    })
+}
 
 /// Delivery policy of a stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -214,6 +232,8 @@ pub struct StreamWriter {
 impl StreamWriter {
     fn account(&self, wire: u64, remote: bool) {
         self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
+        fs_obs().buffers_sent.inc();
+        fs_obs().bytes_sent.add(wire);
         self.stats.buffers.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(wire, Ordering::Relaxed);
         if remote {
@@ -252,6 +272,8 @@ impl StreamWriter {
                 self.counters
                     .enqueued
                     .fetch_add(delivered as u64, Ordering::Relaxed);
+                fs_obs().buffers_sent.inc();
+                fs_obs().bytes_sent.add(wire);
                 self.stats.buffers.fetch_add(1, Ordering::Relaxed);
                 self.stats.bytes.fetch_add(wire, Ordering::Relaxed);
             }
@@ -322,6 +344,7 @@ impl StreamReader {
         let b = self.rx.recv().ok();
         if b.is_some() {
             self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+            fs_obs().buffers_recv.inc();
         }
         b
     }
@@ -331,6 +354,7 @@ impl StreamReader {
         let b = self.rx.try_recv().ok();
         if b.is_some() {
             self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+            fs_obs().buffers_recv.inc();
         }
         b
     }
@@ -341,6 +365,7 @@ impl StreamReader {
         let b = self.rx.recv_timeout(d).ok();
         if b.is_some() {
             self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+            fs_obs().buffers_recv.inc();
         }
         b
     }

@@ -1,0 +1,167 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Serializes a [`TraceSnapshot`] in the Trace Event Format's "JSON object"
+//! flavor: open the file in `chrome://tracing` or drop it on
+//! <https://ui.perfetto.dev>. Mapping: `pid` is the DOoC node id (`-1` for
+//! events not tied to one node), `tid` is the recording thread, `cat` the
+//! runtime layer, `ts` microseconds since the trace epoch.
+
+use crate::ring::{EventKind, TraceSnapshot};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serializes a snapshot as Chrome `trace_event` JSON.
+pub fn chrome_trace(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(128 * snap.events.len() + 1024);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if *first {
+            *first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+
+    // One thread_name metadata event per (pid, tid) track present.
+    let tracks: BTreeSet<(i64, u64)> = snap.events.iter().map(|(tid, e)| (e.node, *tid)).collect();
+    for (pid, tid) in &tracks {
+        let name = snap
+            .threads
+            .iter()
+            .find(|(t, _)| t == tid)
+            .map(|(_, n)| n.as_str())
+            .unwrap_or("?");
+        push_sep(&mut out, &mut first);
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":");
+        let _ = write!(out, "{pid},\"tid\":{tid},\"args\":{{\"name\":\"");
+        esc(name, &mut out);
+        out.push_str("\"}}");
+    }
+
+    for (tid, e) in &snap.events {
+        push_sep(&mut out, &mut first);
+        let ph = match e.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+        };
+        out.push_str("{\"name\":\"");
+        esc(e.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{},\"tid\":{tid}",
+            e.cat.as_str(),
+            e.t_us,
+            e.node
+        );
+        if e.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if let Some(arg) = &e.arg {
+            out.push_str(",\"args\":{\"detail\":\"");
+            esc(arg, &mut out);
+            out.push_str("\"}");
+        }
+        out.push('}');
+    }
+
+    if snap.dropped > 0 {
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"obs:dropped_events\",\"cat\":\"worker\",\"ph\":\"i\",\"ts\":0,\"pid\":-1,\"tid\":0,\"s\":\"t\",\"args\":{{\"detail\":\"{} events dropped (ring overflow)\"}}}}",
+            snap.dropped
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{Event, EventKind};
+    use crate::validate::validate_chrome_trace;
+    use crate::Category;
+
+    fn ev(t_us: u64, kind: EventKind, name: &'static str, node: i64, arg: Option<&str>) -> Event {
+        Event {
+            t_us,
+            kind,
+            cat: Category::Worker,
+            name,
+            node,
+            arg: arg.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn exported_trace_validates() {
+        let snap = TraceSnapshot {
+            events: vec![
+                (1, ev(10, EventKind::Begin, "task:spmv", 0, None)),
+                (1, ev(20, EventKind::Instant, "evict", 0, Some("a@0"))),
+                (1, ev(30, EventKind::End, "task:spmv", 0, None)),
+            ],
+            threads: vec![(1, "worker[0]".to_string())],
+            dropped: 0,
+        };
+        let json = chrome_trace(&snap);
+        let check = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(check.spans, 1);
+        assert_eq!(check.instants, 1);
+        assert!(check.categories.contains("worker"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let snap = TraceSnapshot {
+            events: vec![(
+                1,
+                ev(1, EventKind::Instant, "odd", -1, Some("say \"hi\"\\\n")),
+            )],
+            threads: vec![(1, "t\"1".to_string())],
+            dropped: 0,
+        };
+        let json = chrome_trace(&snap);
+        validate_chrome_trace(&json).expect("escaped payload still parses");
+    }
+
+    #[test]
+    fn dropped_events_are_reported() {
+        let snap = TraceSnapshot {
+            events: vec![],
+            threads: vec![],
+            dropped: 5,
+        };
+        let json = chrome_trace(&snap);
+        assert!(json.contains("obs:dropped_events"));
+        validate_chrome_trace(&json).expect("valid");
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let json = chrome_trace(&TraceSnapshot::default());
+        let check = validate_chrome_trace(&json).expect("valid");
+        assert_eq!(check.events, 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Schema validators for the two artifacts this crate emits: Chrome
+//! `trace_event` JSON and the plain-text metrics dump. CI runs these (via
+//! the `obs_validate` binary) against the files produced by the bench and
+//! reproduce harnesses, so a malformed exporter fails the build rather
+//! than silently producing a trace no viewer can open.
+
+use crate::json::{parse, Json};
+use std::collections::BTreeSet;
+
+/// Summary of a validated trace, for callers that want to assert on
+/// coverage (e.g. "spans from all four layers present").
+#[derive(Clone, Debug, Default)]
+pub struct TraceCheck {
+    /// Total non-metadata events.
+    pub events: usize,
+    /// Matched begin/end pairs.
+    pub spans: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Distinct `cat` strings seen.
+    pub categories: BTreeSet<String>,
+}
+
+fn field<'a>(ev: &'a Json, key: &str, idx: usize) -> Result<&'a Json, String> {
+    ev.get(key)
+        .ok_or_else(|| format!("event {idx}: missing \"{key}\""))
+}
+
+fn num_field(ev: &Json, key: &str, idx: usize) -> Result<f64, String> {
+    field(ev, key, idx)?
+        .as_f64()
+        .ok_or_else(|| format!("event {idx}: \"{key}\" is not a number"))
+}
+
+/// Validates Chrome `trace_event` JSON ("JSON object" flavor): a
+/// `traceEvents` array whose events carry `name`/`ph`/`pid`/`tid` (plus
+/// `ts` for non-metadata events), with per-track `B`/`E` pairs properly
+/// nested and name-matched.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let root = parse(text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"traceEvents\" array")?;
+
+    let mut check = TraceCheck::default();
+    // Per-(pid, tid) stack of open span names.
+    let mut open: Vec<((i64, i64), Vec<String>)> = Vec::new();
+    for (idx, ev) in events.iter().enumerate() {
+        let name = field(ev, "name", idx)?
+            .as_str()
+            .ok_or_else(|| format!("event {idx}: \"name\" is not a string"))?;
+        let ph = field(ev, "ph", idx)?
+            .as_str()
+            .ok_or_else(|| format!("event {idx}: \"ph\" is not a string"))?;
+        let pid = num_field(ev, "pid", idx)? as i64;
+        let tid = num_field(ev, "tid", idx)? as i64;
+        if ph == "M" {
+            continue;
+        }
+        num_field(ev, "ts", idx)?;
+        check.events += 1;
+        if let Some(cat) = ev.get("cat").and_then(Json::as_str) {
+            check.categories.insert(cat.to_string());
+        }
+        let track = (pid, tid);
+        match ph {
+            "B" => match open.iter_mut().find(|(t, _)| *t == track) {
+                Some((_, stack)) => stack.push(name.to_string()),
+                None => open.push((track, vec![name.to_string()])),
+            },
+            "E" => {
+                let stack = open
+                    .iter_mut()
+                    .find(|(t, _)| *t == track)
+                    .map(|(_, s)| s)
+                    .ok_or_else(|| format!("event {idx}: \"E\" with no open span on {track:?}"))?;
+                match stack.pop() {
+                    Some(opened) if opened == name => check.spans += 1,
+                    Some(opened) => {
+                        return Err(format!(
+                            "event {idx}: \"E\" for \"{name}\" but open span is \"{opened}\""
+                        ))
+                    }
+                    None => {
+                        return Err(format!("event {idx}: \"E\" with no open span on {track:?}"))
+                    }
+                }
+            }
+            "i" => check.instants += 1,
+            other => return Err(format!("event {idx}: unsupported ph \"{other}\"")),
+        }
+    }
+    for (track, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("span \"{name}\" on {track:?} never closed"));
+        }
+    }
+    Ok(check)
+}
+
+/// Summary of a validated metrics dump.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsCheck {
+    /// Total metric lines.
+    pub entries: usize,
+    /// Metric names seen.
+    pub names: BTreeSet<String>,
+}
+
+/// Validates the plain-text metrics dump line grammar produced by
+/// [`crate::dump_metrics`]. Blank lines and `#` comments are skipped.
+pub fn validate_metrics_dump(text: &str) -> Result<MetricsCheck, String> {
+    let mut check = MetricsCheck::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (kind, name, rest): (&str, &str, Vec<&str>) = match (parts.next(), parts.next()) {
+            (Some(k), Some(n)) => (k, n, parts.collect()),
+            _ => return Err(format!("line {}: too few fields", lineno + 1)),
+        };
+        let bad = |what: &str| format!("line {}: {kind} {name}: {what}", lineno + 1);
+        match kind {
+            "counter" => match rest.as_slice() {
+                [v] if v.parse::<u64>().is_ok() => {}
+                _ => return Err(bad("expected one u64 value")),
+            },
+            "gauge" => match rest.as_slice() {
+                [v] if v.parse::<i64>().is_ok() => {}
+                _ => return Err(bad("expected one i64 value")),
+            },
+            "derived" => match rest.as_slice() {
+                [v] if v.parse::<f64>().is_ok() => {}
+                _ => return Err(bad("expected one f64 value")),
+            },
+            "histogram" => {
+                let mut saw_count = false;
+                let mut saw_sum = false;
+                for kv in &rest {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| bad("expected key=value fields"))?;
+                    match k {
+                        "count" | "sum" | "max" => {
+                            if v.parse::<u64>().is_err() {
+                                return Err(bad("count/sum/max must be u64"));
+                            }
+                            saw_count |= k == "count";
+                            saw_sum |= k == "sum";
+                        }
+                        "buckets" => {
+                            for cell in v.split(',') {
+                                let ok = cell
+                                    .split_once(':')
+                                    .map(|(lo, n)| {
+                                        lo.parse::<u64>().is_ok() && n.parse::<u64>().is_ok()
+                                    })
+                                    .unwrap_or(false);
+                                if !ok {
+                                    return Err(bad("buckets must be lo:count,..."));
+                                }
+                            }
+                        }
+                        other => return Err(bad(&format!("unknown field \"{other}\""))),
+                    }
+                }
+                if !saw_count || !saw_sum {
+                    return Err(bad("histogram requires count= and sum="));
+                }
+            }
+            other => return Err(format!("line {}: unknown kind \"{other}\"", lineno + 1)),
+        }
+        check.entries += 1;
+        check.names.insert(name.to_string());
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_wellformed_trace() {
+        let text = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"w"}},
+            {"name":"outer","cat":"worker","ph":"B","ts":1,"pid":0,"tid":1},
+            {"name":"inner","cat":"storage","ph":"B","ts":2,"pid":0,"tid":1},
+            {"name":"inner","cat":"storage","ph":"E","ts":3,"pid":0,"tid":1},
+            {"name":"tick","cat":"scheduler","ph":"i","ts":4,"pid":0,"tid":1,"s":"t"},
+            {"name":"outer","cat":"worker","ph":"E","ts":5,"pid":0,"tid":1}
+        ]}"#;
+        let check = validate_chrome_trace(text).expect("valid");
+        assert_eq!(check.spans, 2);
+        assert_eq!(check.instants, 1);
+        assert_eq!(check.events, 5);
+        assert!(check.categories.contains("scheduler"));
+    }
+
+    #[test]
+    fn rejects_mismatched_pairs() {
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":0,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("never closed"));
+
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":0,"tid":1},
+            {"name":"b","ph":"E","ts":2,"pid":0,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(crossed)
+            .unwrap_err()
+            .contains("open span"));
+
+        let orphan = r#"{"traceEvents":[
+            {"name":"a","ph":"E","ts":1,"pid":0,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(orphan).is_err());
+    }
+
+    #[test]
+    fn tracks_are_independent() {
+        // Interleaved spans on different (pid, tid) tracks are fine.
+        let text = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":0,"tid":1},
+            {"name":"b","ph":"B","ts":2,"pid":1,"tid":2},
+            {"name":"a","ph":"E","ts":3,"pid":0,"tid":1},
+            {"name":"b","ph":"E","ts":4,"pid":1,"tid":2}
+        ]}"#;
+        assert_eq!(validate_chrome_trace(text).expect("valid").spans, 2);
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let no_ts = r#"{"traceEvents":[{"name":"a","ph":"i","pid":0,"tid":1}]}"#;
+        assert!(validate_chrome_trace(no_ts).unwrap_err().contains("ts"));
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn accepts_wellformed_metrics() {
+        let text = "# dooc metrics\n\
+                    counter storage.bytes_loaded 4096\n\
+                    gauge sched.ready_tasks -1\n\
+                    histogram worker.occupancy count=2 sum=10 max=8 buckets=2:1,8:1\n\
+                    derived storage.cache_hit_rate 0.7500\n";
+        let check = validate_metrics_dump(text).expect("valid");
+        assert_eq!(check.entries, 4);
+        assert!(check.names.contains("storage.bytes_loaded"));
+    }
+
+    #[test]
+    fn rejects_malformed_metrics() {
+        for bad in [
+            "counter x notanumber",
+            "counter x -1",
+            "gauge y",
+            "histogram h max=3",
+            "histogram h count=1 sum=2 buckets=1;2",
+            "widget w 1",
+        ] {
+            assert!(validate_metrics_dump(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -75,6 +75,8 @@ pub fn assign_affinity(
     nnodes: u64,
 ) -> Result<Placement> {
     assert!(nnodes > 0, "need at least one node");
+    let _span = dooc_obs::enabled()
+        .then(|| dooc_obs::span(dooc_obs::Category::Scheduler, "sched:assign", -1));
     let order = graph.topo_order()?;
     let mut node_of_task = vec![0u64; graph.len()];
     let mut load = vec![0u64; nnodes as usize]; // assigned flops per node
@@ -110,6 +112,20 @@ pub fn assign_affinity(
             .unwrap_or(0); // non-empty: nnodes > 0 asserted on entry
         node_of_task[id.0 as usize] = best;
         load[best as usize] += t.flops.max(1);
+        if dooc_obs::enabled() {
+            dooc_obs::metrics::counter("sched.assignments").inc();
+            dooc_obs::instant_arg(
+                dooc_obs::Category::Scheduler,
+                "sched:place",
+                best as i64,
+                || {
+                    format!(
+                        "{} -> node {best} ({} affinity bytes)",
+                        t.name, bytes_on[best as usize]
+                    )
+                },
+            );
+        }
     }
     Ok(Placement { node_of_task })
 }

@@ -65,6 +65,8 @@ pub struct LocalScheduler {
     prefetch_window: usize,
     /// Tasks handed out but not yet completed.
     running: HashSet<TaskId>,
+    /// Node id used when tracing scheduling decisions (-1 when unknown).
+    node: i64,
 }
 
 impl LocalScheduler {
@@ -88,6 +90,7 @@ impl LocalScheduler {
             ready,
             prefetch_window: 2,
             running: HashSet::new(),
+            node: -1,
         }
     }
 
@@ -95,6 +98,12 @@ impl LocalScheduler {
     /// kept warm).
     pub fn with_prefetch_window(mut self, w: usize) -> Self {
         self.prefetch_window = w;
+        self
+    }
+
+    /// Sets the node id attached to traced scheduling decisions.
+    pub fn with_node(mut self, node: i64) -> Self {
+        self.node = node;
         self
     }
 
@@ -153,6 +162,24 @@ impl LocalScheduler {
                         best = i;
                         best_score = s;
                     }
+                }
+                if best != 0 && dooc_obs::enabled() {
+                    // Data-aware reorder: a later-ready task jumped the queue
+                    // because more of its inputs are resident.
+                    dooc_obs::metrics::counter("sched.reorders").inc();
+                    let picked = self.ready[best];
+                    dooc_obs::instant_arg(
+                        dooc_obs::Category::Scheduler,
+                        "sched:reorder",
+                        self.node,
+                        || {
+                            format!(
+                                "{} over {} ({best_score} resident input bytes)",
+                                graph.task(picked).name,
+                                graph.task(self.ready[0]).name
+                            )
+                        },
+                    );
                 }
                 best
             }

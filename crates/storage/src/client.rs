@@ -7,6 +7,20 @@
 //! lets a filter keep several operations in flight — the asynchrony the
 //! paper's design centres on — while `read`/`write` offer one-call
 //! convenience.
+//!
+//! Two safety layers sit on top of the wire protocol:
+//!
+//! * **Typed tickets.** [`Ticket`] is parameterized by the operation kind
+//!   ([`Read`], [`Write`], [`Seal`]), so redeeming a write ticket with
+//!   [`StorageClient::wait_read`] is a compile error, and tickets are
+//!   single-use move-only tokens — a ticket cannot be redeemed twice.
+//! * **RAII read pins.** [`StorageClient::read`] / `wait_read` return a
+//!   [`ReadGuard`] that unpins the interval when dropped, so a pinned block
+//!   can no longer be leaked by an early return. The pipelined worker data
+//!   plane, which recycles pins at high rate inside a sliding window, can
+//!   opt out via [`StorageClient::wait_read_raw`] +
+//!   [`StorageClient::release_read_raw`]; a lint (`dooc-check`) keeps bare
+//!   releases from spreading beyond it.
 
 use crate::meta::{ArrayMeta, Interval};
 use crate::proto::{ClientMsg, MapEntry, NodeStats, Reply};
@@ -14,10 +28,46 @@ use crate::{Result, StorageError};
 use bytes::Bytes;
 use dooc_filterstream::{StreamReader, StreamWriter};
 use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Pending-request token returned by the async API.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct Ticket(u64);
+/// Ticket kind marker: a pending pinned read.
+#[derive(Debug)]
+pub enum Read {}
+
+/// Ticket kind marker: a pending write grant.
+#[derive(Debug)]
+pub enum Write {}
+
+/// Ticket kind marker: a pending seal confirmation.
+#[derive(Debug)]
+pub enum Seal {}
+
+/// Pending-request token returned by the async API, typed by the operation
+/// it belongs to and consumed (moved) by the matching `wait_*` call.
+#[must_use = "a ticket must be redeemed with the matching wait_* call"]
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct Ticket<K> {
+    req: u64,
+    _kind: PhantomData<K>,
+}
+
+impl<K> Ticket<K> {
+    fn new(req: u64) -> Self {
+        Self {
+            req,
+            _kind: PhantomData,
+        }
+    }
+}
+
+/// A pending pinned read ([`StorageClient::read_async`]).
+pub type ReadTicket = Ticket<Read>;
+/// A pending write grant ([`StorageClient::write_async`]).
+pub type WriteTicket = Ticket<Write>;
+/// A pending seal confirmation ([`StorageClient::release_write_async`]).
+pub type SealTicket = Ticket<Seal>;
 
 /// Incremental availability map returned by [`StorageClient::map_since`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -32,9 +82,103 @@ pub struct MapDelta {
     pub deleted: Vec<String>,
 }
 
+/// The shared half of the client a [`ReadGuard`] needs to unpin on drop:
+/// the outbound stream plus the grant counter.
+struct Releaser {
+    to_storage: StreamWriter,
+    node: usize,
+    outstanding: AtomicU64,
+}
+
+impl Releaser {
+    fn send(&self, msg: &ClientMsg) -> Result<()> {
+        self.to_storage
+            .send_to(self.node, msg.encode())
+            .map_err(|e| StorageError::Protocol(format!("storage link closed: {e}")))
+    }
+
+    /// Sends the unpin and decrements the grant count. Send failures are
+    /// swallowed: a guard dropped after shutdown has nothing left to unpin.
+    fn release(&self, array: &str, iv: Interval) {
+        let _ = self.send(&ClientMsg::ReleaseRead {
+            array: array.to_string(),
+            iv,
+        });
+        self.take_grant();
+    }
+
+    fn take_grant(&self) {
+        let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(
+            prev > 0,
+            "storage grant underflow: released more than granted"
+        );
+        if prev == 0 {
+            // Undo the wrap in release builds; the debug assertion above is
+            // the real diagnostic.
+            self.outstanding.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A pinned read interval: the bytes plus the obligation to unpin them.
+///
+/// Dereferences to [`Bytes`]; the pin is handed back to the storage filter
+/// when the guard drops, so the unpin can no longer be forgotten or skipped
+/// by an early return. Guards share the client's outbound stream and may
+/// outlive individual client calls (but should drop before the storage
+/// filter shuts down for the release to take effect).
+#[must_use = "dropping the guard immediately unpins the interval"]
+pub struct ReadGuard {
+    data: Bytes,
+    array: String,
+    iv: Interval,
+    rel: Arc<Releaser>,
+}
+
+impl ReadGuard {
+    /// The pinned bytes (also available through `Deref`).
+    pub fn bytes(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// The array this interval was read from.
+    pub fn array(&self) -> &str {
+        &self.array
+    }
+
+    /// The interval covered by the pin.
+    pub fn interval(&self) -> Interval {
+        self.iv
+    }
+}
+
+impl std::ops::Deref for ReadGuard {
+    type Target = Bytes;
+
+    fn deref(&self) -> &Bytes {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for ReadGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadGuard")
+            .field("array", &self.array)
+            .field("iv", &self.iv)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+impl Drop for ReadGuard {
+    fn drop(&mut self) {
+        self.rel.release(&self.array, self.iv);
+    }
+}
+
 /// Blocking convenience handle to the node-local storage filter.
 pub struct StorageClient {
-    to_storage: StreamWriter,
     from_storage: StreamReader,
     /// Storage filter instance of this node (the addressing destination).
     node: usize,
@@ -42,10 +186,11 @@ pub struct StorageClient {
     client_id: u64,
     next_req: u64,
     stash: HashMap<u64, Reply>,
-    /// Net grants held: +1 per pinned read / write grant received, -1 per
-    /// release / seal. Zero at quiescence when the application is balanced;
-    /// the worker asserts this under the `order-check` feature.
-    outstanding: i64,
+    /// Geometry of reads in flight, so `wait_read` can build the guard (the
+    /// `ReadReady` reply does not echo array/interval).
+    pending_reads: HashMap<u64, (String, Interval)>,
+    /// Shared with every [`ReadGuard`] handed out.
+    rel: Arc<Releaser>,
 }
 
 impl StorageClient {
@@ -59,20 +204,26 @@ impl StorageClient {
         client_id: u64,
     ) -> Self {
         Self {
-            to_storage,
             from_storage,
             node,
             client_id,
             next_req: 1,
             stash: HashMap::new(),
-            outstanding: 0,
+            pending_reads: HashMap::new(),
+            rel: Arc::new(Releaser {
+                to_storage,
+                node,
+                outstanding: AtomicU64::new(0),
+            }),
         }
     }
 
-    /// Net number of storage grants (pinned reads + write grants) this
-    /// client has received and not yet handed back.
-    pub fn outstanding_grants(&self) -> i64 {
-        self.outstanding
+    /// Number of storage grants (pinned reads + write grants) received and
+    /// not yet handed back — live [`ReadGuard`]s count. Zero at quiescence
+    /// when the application is balanced; the worker asserts this under the
+    /// `order-check` feature.
+    pub fn outstanding_grants(&self) -> u64 {
+        self.rel.outstanding.load(Ordering::Acquire)
     }
 
     fn fresh(&mut self) -> u64 {
@@ -82,9 +233,7 @@ impl StorageClient {
     }
 
     fn send(&self, msg: &ClientMsg) -> Result<()> {
-        self.to_storage
-            .send_to(self.node, msg.encode())
-            .map_err(|e| StorageError::Protocol(format!("storage link closed: {e}")))
+        self.rel.send(msg)
     }
 
     fn wait(&mut self, req: u64) -> Result<Reply> {
@@ -128,7 +277,7 @@ impl StorageClient {
     }
 
     /// Starts an asynchronous read of one interval.
-    pub fn read_async(&mut self, array: &str, iv: Interval) -> Result<Ticket> {
+    pub fn read_async(&mut self, array: &str, iv: Interval) -> Result<ReadTicket> {
         let req = self.fresh();
         self.send(&ClientMsg::ReadReq {
             req,
@@ -136,15 +285,39 @@ impl StorageClient {
             array: array.to_string(),
             iv,
         })?;
-        Ok(Ticket(req))
+        self.pending_reads.insert(req, (array.to_string(), iv));
+        Ok(Ticket::new(req))
     }
 
-    /// Waits for an asynchronous read; the returned bytes stay valid until
-    /// [`StorageClient::release_read`].
-    pub fn wait_read(&mut self, t: Ticket) -> Result<Bytes> {
-        match self.wait(t.0)? {
+    /// Waits for an asynchronous read; the interval stays pinned until the
+    /// returned guard drops.
+    pub fn wait_read(&mut self, t: ReadTicket) -> Result<ReadGuard> {
+        let (array, iv) = self.take_pending(t.req)?;
+        match self.wait(t.req)? {
             Reply::ReadReady { data, .. } => {
-                self.outstanding += 1;
+                self.rel.outstanding.fetch_add(1, Ordering::AcqRel);
+                Ok(ReadGuard {
+                    data,
+                    array,
+                    iv,
+                    rel: Arc::clone(&self.rel),
+                })
+            }
+            Reply::Err { error, .. } => Err(error),
+            other => Err(StorageError::Protocol(format!(
+                "unexpected reply to read: {other:?}"
+            ))),
+        }
+    }
+
+    /// Escape hatch for the pipelined worker data plane: like
+    /// [`StorageClient::wait_read`] but returns the bare bytes, leaving the
+    /// caller responsible for [`StorageClient::release_read_raw`].
+    pub fn wait_read_raw(&mut self, t: ReadTicket) -> Result<Bytes> {
+        let _ = self.take_pending(t.req)?;
+        match self.wait(t.req)? {
+            Reply::ReadReady { data, .. } => {
+                self.rel.outstanding.fetch_add(1, Ordering::AcqRel);
                 Ok(data)
             }
             Reply::Err { error, .. } => Err(error),
@@ -154,25 +327,33 @@ impl StorageClient {
         }
     }
 
-    /// Blocking read of one interval.
-    pub fn read(&mut self, array: &str, iv: Interval) -> Result<Bytes> {
+    fn take_pending(&mut self, req: u64) -> Result<(String, Interval)> {
+        self.pending_reads.remove(&req).ok_or_else(|| {
+            StorageError::Protocol(format!("read ticket {req} has no pending request"))
+        })
+    }
+
+    /// Blocking read of one interval; unpinned when the guard drops.
+    pub fn read(&mut self, array: &str, iv: Interval) -> Result<ReadGuard> {
         let t = self.read_async(array, iv)?;
         self.wait_read(t)
     }
 
-    /// Releases a read interval (unpins its block).
-    pub fn release_read(&mut self, array: &str, iv: Interval) -> Result<()> {
+    /// Escape hatch paired with [`StorageClient::wait_read_raw`]: releases a
+    /// pin acquired through the raw API. Outside the worker's pipelined
+    /// window, prefer dropping the [`ReadGuard`].
+    pub fn release_read_raw(&mut self, array: &str, iv: Interval) -> Result<()> {
         self.send(&ClientMsg::ReleaseRead {
             array: array.to_string(),
             iv,
         })?;
-        self.outstanding -= 1;
+        self.rel.take_grant();
         Ok(())
     }
 
     /// Starts an asynchronous write: requests the grant without waiting for
     /// it. Pair with [`StorageClient::wait_write_granted`].
-    pub fn write_async(&mut self, array: &str, iv: Interval) -> Result<Ticket> {
+    pub fn write_async(&mut self, array: &str, iv: Interval) -> Result<WriteTicket> {
         let req = self.fresh();
         self.send(&ClientMsg::WriteReq {
             req,
@@ -180,14 +361,14 @@ impl StorageClient {
             array: array.to_string(),
             iv,
         })?;
-        Ok(Ticket(req))
+        Ok(Ticket::new(req))
     }
 
     /// Waits for a write grant requested with [`StorageClient::write_async`].
-    pub fn wait_write_granted(&mut self, t: Ticket) -> Result<()> {
-        match self.wait(t.0)? {
+    pub fn wait_write_granted(&mut self, t: WriteTicket) -> Result<()> {
+        match self.wait(t.req)? {
             Reply::WriteGranted { .. } => {
-                self.outstanding += 1;
+                self.rel.outstanding.fetch_add(1, Ordering::AcqRel);
                 Ok(())
             }
             Reply::Err { error, .. } => Err(error),
@@ -204,7 +385,7 @@ impl StorageClient {
         array: &str,
         iv: Interval,
         data: Bytes,
-    ) -> Result<Ticket> {
+    ) -> Result<SealTicket> {
         let req = self.fresh();
         self.send(&ClientMsg::ReleaseWrite {
             req,
@@ -213,15 +394,15 @@ impl StorageClient {
             iv,
             data,
         })?;
-        Ok(Ticket(req))
+        Ok(Ticket::new(req))
     }
 
     /// Waits for the seal confirmation of a
     /// [`StorageClient::release_write_async`].
-    pub fn wait_write_sealed(&mut self, t: Ticket) -> Result<()> {
-        match self.wait(t.0)? {
+    pub fn wait_write_sealed(&mut self, t: SealTicket) -> Result<()> {
+        match self.wait(t.req)? {
             Reply::WriteSealed { .. } => {
-                self.outstanding -= 1;
+                self.rel.take_grant();
                 Ok(())
             }
             Reply::Err { error, .. } => Err(error),
@@ -351,8 +532,20 @@ impl StorageClient {
     }
 
     /// Asks the local storage filter to shut down (fire-and-forget; typically
-    /// sent by every node's client when the application is quiescent).
+    /// sent by every node's client when the application is quiescent). Warns
+    /// through the observability layer if grants are still outstanding —
+    /// releases sent after the filter exits are lost.
     pub fn shutdown(&mut self) -> Result<()> {
+        let leaked = self.outstanding_grants();
+        if leaked > 0 {
+            dooc_obs::instant_arg(
+                dooc_obs::Category::Storage,
+                "storage:shutdown_with_grants",
+                self.node as i64,
+                || format!("{leaked} grants still outstanding at shutdown"),
+            );
+            dooc_obs::metrics::counter("storage.shutdown_grant_leaks").add(leaked);
+        }
         self.send(&ClientMsg::Shutdown)
     }
 

@@ -121,13 +121,19 @@ impl Filter for StorageFilter {
                     }
                 }
             };
+            let node = ctx.node.0 as i64;
             let actions = match event {
                 SelectEvent::Buffer(0, buf) => {
+                    let _span = dooc_obs::enabled().then(|| {
+                        dooc_obs::span(dooc_obs::Category::Storage, "storage:client", node)
+                    });
                     let msg = ClientMsg::decode(&buf)
                         .map_err(|e| ctx.error(format!("client decode: {e}")))?;
                     self.state.handle_client(msg)
                 }
                 SelectEvent::Buffer(1, buf) => {
+                    let _span = dooc_obs::enabled()
+                        .then(|| dooc_obs::span(dooc_obs::Category::Storage, "storage:peer", node));
                     // The sender's node id is embedded in messages that need
                     // it (Fetch carries from_node); other peer messages are
                     // source-agnostic.
@@ -140,6 +146,8 @@ impl Filter for StorageFilter {
                     self.state.handle_peer(from, msg)
                 }
                 SelectEvent::Buffer(_, buf) => {
+                    let _span = dooc_obs::enabled()
+                        .then(|| dooc_obs::span(dooc_obs::Category::Storage, "storage:io", node));
                     let msg =
                         IoReply::decode(&buf).map_err(|e| ctx.error(format!("io decode: {e}")))?;
                     self.state.handle_io(msg)

@@ -45,7 +45,7 @@ pub mod node;
 pub mod proto;
 pub mod rangeset;
 
-pub use client::{MapDelta, StorageClient};
+pub use client::{MapDelta, ReadGuard, ReadTicket, SealTicket, StorageClient, Ticket, WriteTicket};
 pub use cluster::StorageCluster;
 pub use meta::{ArrayMeta, BlockKey, Interval};
 pub use node::{NodeConfig, StorageState};

@@ -29,9 +29,37 @@ use crate::proto::{BlockAvail, ClientMsg, IoCmd, IoReply, MapEntry, NodeStats, P
 use crate::rangeset::RangeSet;
 use crate::StorageError;
 use bytes::Bytes;
+use dooc_obs::metrics::{counter, Counter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
+
+/// Storage-layer metric handles, resolved once. Forced in
+/// [`StorageState::new`] so every counter appears (zeroed) in metric dumps
+/// even before its first event.
+struct StorageObs {
+    bytes_loaded: &'static Counter,
+    blocks_loaded: &'static Counter,
+    blocks_evicted: &'static Counter,
+    blocks_spilled: &'static Counter,
+    blocks_sealed: &'static Counter,
+    read_hits: &'static Counter,
+    read_misses: &'static Counter,
+}
+
+fn storage_obs() -> &'static StorageObs {
+    static O: OnceLock<StorageObs> = OnceLock::new();
+    O.get_or_init(|| StorageObs {
+        bytes_loaded: counter("storage.bytes_loaded"),
+        blocks_loaded: counter("storage.blocks_loaded"),
+        blocks_evicted: counter("storage.blocks_evicted"),
+        blocks_spilled: counter("storage.blocks_spilled"),
+        blocks_sealed: counter("storage.blocks_sealed"),
+        read_hits: counter("storage.read_hits"),
+        read_misses: counter("storage.read_misses"),
+    })
+}
 
 /// Configuration of one storage node.
 #[derive(Clone, Debug)]
@@ -237,6 +265,9 @@ impl StorageState {
     /// that directory and records the name of the arrays as well as their
     /// sizes").
     pub fn new(cfg: NodeConfig, discovered: Vec<DiscoveredBlock>) -> Self {
+        // Register the storage metrics up front so dumps show them zeroed
+        // rather than omitting layers that saw no traffic.
+        let _ = storage_obs();
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0xD00C_D00C);
         let mut st = Self {
             cfg,
@@ -437,10 +468,18 @@ impl StorageState {
                     self.discharge(block_len);
                     projected -= block_len;
                     self.stats.evictions += 1;
+                    storage_obs().blocks_evicted.inc();
+                    dooc_obs::instant_arg(
+                        dooc_obs::Category::Storage,
+                        "storage:evict",
+                        self.cfg.node as i64,
+                        || format!("{array}@{block} (lru reclaim)"),
+                    );
                 }
                 (Some(BlockMem::Sealed(data)), false, false) => {
                     info.spilling = true;
                     info.evict_after_spill = true;
+                    storage_obs().blocks_spilled.inc();
                     out.push(Action::Io(IoCmd::Write {
                         array: array.clone(),
                         block,
@@ -621,7 +660,7 @@ impl StorageState {
             return;
         };
         let meta = ainfo.meta.clone();
-        let mut freed: Vec<(u64, u64)> = Vec::new(); // (block_len, last_use)
+        let mut freed: Vec<(u64, u64, u64)> = Vec::new(); // (block, block_len, last_use)
         for (&b, info) in ainfo.blocks.iter_mut() {
             let block_len = meta.block_len(b);
             if info.pins > 0 || info.loading || !info.fully_sealed(block_len) {
@@ -630,11 +669,12 @@ impl StorageState {
             match (&info.mem, info.on_disk, info.spilling) {
                 (Some(BlockMem::Sealed(_)), true, false) => {
                     info.mem = None;
-                    freed.push((block_len, std::mem::take(&mut info.last_use)));
+                    freed.push((b, block_len, std::mem::take(&mut info.last_use)));
                 }
                 (Some(BlockMem::Sealed(data)), false, false) => {
                     info.spilling = true;
                     info.evict_after_spill = true;
+                    storage_obs().blocks_spilled.inc();
                     out.push(Action::Io(IoCmd::Write {
                         array: array.clone(),
                         block: b,
@@ -649,10 +689,17 @@ impl StorageState {
                 _ => {}
             }
         }
-        for (len, lu) in freed {
+        for (block, len, lu) in freed {
             self.lru_remove(lu);
             self.discharge(len);
             self.stats.evictions += 1;
+            storage_obs().blocks_evicted.inc();
+            dooc_obs::instant_arg(
+                dooc_obs::Category::Storage,
+                "storage:evict",
+                self.cfg.node as i64,
+                || format!("{array}@{block} (explicit)"),
+            );
         }
     }
 
@@ -690,6 +737,7 @@ impl StorageState {
                 };
                 if let Some(data) = resident {
                     // Serve immediately.
+                    storage_obs().read_hits.inc();
                     info.pins += 1;
                     out.push(Action::Reply {
                         client,
@@ -698,6 +746,7 @@ impl StorageState {
                     self.touch(&array, block);
                 } else if sealed_here && info.on_disk {
                     // Implicit out-of-core read.
+                    storage_obs().read_misses.inc();
                     info.read_waiters.push(ReadWaiter {
                         req,
                         client,
@@ -715,6 +764,7 @@ impl StorageState {
                 } else if ainfo.home || !info.sealed.is_empty() || info.mem.is_some() {
                     // The block lives (or will live) here but the interval is
                     // not written yet: log the request.
+                    storage_obs().read_misses.inc();
                     info.read_waiters.push(ReadWaiter {
                         req,
                         client,
@@ -723,6 +773,7 @@ impl StorageState {
                     });
                 } else {
                     // Not ours: pull the block from a peer.
+                    storage_obs().read_misses.inc();
                     info.read_waiters.push(ReadWaiter {
                         req,
                         client,
@@ -735,6 +786,7 @@ impl StorageState {
             None => {
                 // Unknown geometry: remember the *global* interval and probe
                 // peers by offset.
+                storage_obs().read_misses.inc();
                 let ainfo = self.arrays.entry(array.clone()).or_insert_with(|| {
                     // Placeholder geometry: a single huge block; replaced
                     // by the real geometry when a peer answers.
@@ -971,6 +1023,7 @@ impl StorageState {
             }
         }
         info.sealed.insert(off, off + iv.len);
+        storage_obs().blocks_sealed.inc();
         info.pins = info.pins.saturating_sub(1);
         out.push(Action::Reply {
             client,
@@ -1398,6 +1451,8 @@ impl StorageState {
         match reply {
             IoReply::ReadDone { array, block, data } => {
                 self.stats.disk_read_bytes += data.len() as u64;
+                storage_obs().bytes_loaded.add(data.len() as u64);
+                storage_obs().blocks_loaded.inc();
                 let Some(ainfo) = self.arrays.get_mut(&array) else {
                     return out; // deleted while loading
                 };
@@ -1450,6 +1505,13 @@ impl StorageState {
                     self.lru_remove(lu);
                     self.discharge(meta.block_len(block));
                     self.stats.evictions += 1;
+                    storage_obs().blocks_evicted.inc();
+                    dooc_obs::instant_arg(
+                        dooc_obs::Category::Storage,
+                        "storage:evict",
+                        self.cfg.node as i64,
+                        || format!("{array}@{block} (after spill)"),
+                    );
                 }
             }
             IoReply::Error {

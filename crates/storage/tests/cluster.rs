@@ -83,12 +83,11 @@ fn single_node_write_read_roundtrip() {
             .expect("write b2");
         let d = sc.read("a", Interval::new(40, 40)).expect("read");
         assert_eq!(&d[..], &[2u8; 40]);
-        sc.release_read("a", Interval::new(40, 40))
-            .expect("release");
+        drop(d);
         let d = sc.read("a", Interval::new(90, 10)).expect("tail read");
         assert_eq!(&d[..], &[3u8; 10]);
-        sc.release_read("a", Interval::new(90, 10))
-            .expect("release");
+        drop(d);
+        assert_eq!(sc.outstanding_grants(), 0, "guards returned every pin");
     });
     cleanup(&dirs);
 }
@@ -107,7 +106,6 @@ fn cross_node_read_via_peer_fetch() {
             // array we wait on (pure dataflow synchronization).
             let d = sc.read("flag", Interval::new(0, 1)).expect("flag");
             assert_eq!(&d[..], &[1u8]);
-            sc.release_read("flag", Interval::new(0, 1)).ok();
         }
         1 => {
             // Geometry unknown: first read resolves it via peer probing.
@@ -115,12 +113,12 @@ fn cross_node_read_via_peer_fetch() {
                 .read("shared", Interval::new(0, 32))
                 .expect("remote read");
             assert_eq!(&d[..], &[7u8; 32]);
-            sc.release_read("shared", Interval::new(0, 32)).ok();
+            drop(d);
             let d = sc
                 .read("shared", Interval::new(32, 32))
                 .expect("remote read 2");
             assert_eq!(&d[..], &[8u8; 32]);
-            sc.release_read("shared", Interval::new(32, 32)).ok();
+            drop(d);
             let st = sc.stats().expect("stats");
             assert_eq!(st.peer_recv_bytes, 64, "both blocks fetched remotely");
             sc.create("flag", 1, 1).expect("flag create");
@@ -146,14 +144,12 @@ fn read_blocks_until_remote_writer_finishes() {
                 .expect("write");
             let d = sc.read("done", Interval::new(0, 1)).expect("done flag");
             assert_eq!(&d[..], &[1u8]);
-            sc.release_read("done", Interval::new(0, 1)).ok();
         }
         _ => {
             sc.register("late", 16, 16).expect("register hint");
             match sc.read("late", Interval::new(0, 16)) {
                 Ok(d) => {
                     assert_eq!(&d[..], &[5u8; 16]);
-                    sc.release_read("late", Interval::new(0, 16)).ok();
                 }
                 Err(e) => {
                     // Racing all-peers-denied is possible if probing beats
@@ -163,7 +159,6 @@ fn read_blocks_until_remote_writer_finishes() {
                         .read("late", Interval::new(0, 16))
                         .unwrap_or_else(|e2| panic!("retry failed: {e} then {e2}"));
                     assert_eq!(&d[..], &[5u8; 16]);
-                    sc.release_read("late", Interval::new(0, 16)).ok();
                 }
             }
             sc.create("done", 1, 1).expect("create");
@@ -191,7 +186,7 @@ fn out_of_core_spill_and_reload() {
         assert!(st.resident_bytes <= 64, "budget respected: {st:?}");
         let d = sc.read("big", Interval::new(0, 64)).expect("reload");
         assert_eq!(&d[..], &[1u8; 64]);
-        sc.release_read("big", Interval::new(0, 64)).ok();
+        drop(d);
         let st = sc.stats().expect("stats");
         assert!(st.disk_read_bytes >= 64, "reload went through disk: {st:?}");
         assert!(st.evictions >= 1);
@@ -223,7 +218,6 @@ fn persist_then_restart_discovers_arrays() {
         assert!(kept.iter().all(|e| e.state == BlockAvail::OnDisk));
         let d = sc.read("kept", Interval::new(16, 16)).expect("read");
         assert_eq!(&d[..], &[2u8; 16]);
-        sc.release_read("kept", Interval::new(16, 16)).ok();
     });
     cleanup(&dirs);
 }
@@ -241,7 +235,6 @@ fn staged_plain_file_is_readable_as_array() {
                 .read("A_0_0.crs", Interval::new(0, 200))
                 .expect("remote staged read");
             assert_eq!(&d[..], &[9u8; 200]);
-            sc.release_read("A_0_0.crs", Interval::new(0, 200)).ok();
         }
     });
     cleanup(&dirs);
@@ -257,7 +250,7 @@ fn delete_propagates_cluster_wide() {
             // Wait for node 1 to read it (it sets a flag), then delete.
             let d = sc.read("flag", Interval::new(0, 1)).expect("flag");
             assert_eq!(&d[..], &[1u8]);
-            sc.release_read("flag", Interval::new(0, 1)).ok();
+            drop(d);
             sc.delete("gone").expect("delete");
             let err = sc.read("gone", Interval::new(0, 16));
             assert!(err.is_err(), "deleted array unreadable");
@@ -265,7 +258,7 @@ fn delete_propagates_cluster_wide() {
         _ => {
             let d = sc.read("gone", Interval::new(0, 16)).expect("read");
             assert_eq!(&d[..], &[1u8; 16]);
-            sc.release_read("gone", Interval::new(0, 16)).ok();
+            drop(d);
             sc.create("flag", 1, 1).expect("create");
             sc.write("flag", Interval::new(0, 1), Bytes::from(vec![1u8]))
                 .expect("write");
@@ -301,7 +294,7 @@ fn prefetch_brings_block_to_memory() {
         let before = sc.stats().expect("stats").disk_read_bytes;
         let d = sc.read("mat", Interval::new(0, 128)).expect("read");
         assert_eq!(&d[..], &[4u8; 128]);
-        sc.release_read("mat", Interval::new(0, 128)).ok();
+        drop(d);
         let after = sc.stats().expect("stats").disk_read_bytes;
         assert_eq!(before, after, "no extra disk read after prefetch");
     });
@@ -328,9 +321,10 @@ fn many_concurrent_async_reads() {
                 .map(|x| x as u8)
                 .collect();
             assert_eq!(&d[..], &want[..]);
-            sc.release_read("blob", Interval::new(k as u64 * 16, 16))
-                .ok();
+            assert_eq!(d.array(), "blob");
+            assert_eq!(d.interval(), Interval::new(k as u64 * 16, 16));
         }
+        assert_eq!(sc.outstanding_grants(), 0);
     });
     cleanup(&dirs);
 }

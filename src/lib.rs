@@ -14,7 +14,9 @@
 //! * [`linalg`] — the iterated-SpMV application, Lanczos, CG, tridiagonal
 //!   eigensolver;
 //! * [`simulator`] — the SSD-testbed and Hopper models behind the paper's
-//!   tables and figures.
+//!   tables and figures;
+//! * [`obs`] — structured tracing (Chrome `trace_event` export) and a
+//!   metrics registry spanning all runtime layers.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -24,6 +26,7 @@
 pub use dooc_core as core;
 pub use dooc_filterstream as filterstream;
 pub use dooc_linalg as linalg;
+pub use dooc_obs as obs;
 pub use dooc_scheduler as scheduler;
 pub use dooc_simulator as simulator;
 pub use dooc_sparse as sparse;
