@@ -28,6 +28,7 @@ fn storage_write_read_cycle(c: &mut Criterion) {
                         nnodes: 1,
                         memory_budget: 1 << 30,
                         seed: 1,
+                        recovery: Default::default(),
                     },
                     vec![],
                 );

@@ -13,7 +13,11 @@
 //! * `--quick`      smaller sizes / fewer reps (the CI smoke configuration);
 //! * `--calibrate`  also sweep the serial/pool crossover for dot, axpy and
 //!   SpMV (the numbers behind `DOT_SERIAL_MAX`, `AXPY_SERIAL_MAX` and
-//!   `SPMV_SERIAL_MAX_NNZ`).
+//!   `SPMV_SERIAL_MAX_NNZ`);
+//! * `--baseline <json>`  a previous `BENCH_dataplane.json` produced by a
+//!   binary built *without* `--features faultline`; the `faultline` section
+//!   then reports the pipelined `read_array` overhead of carrying the
+//!   (disarmed) failpoint hooks relative to that hook-free baseline.
 
 use bytes::Bytes;
 use dooc_core::sync::OrderedMutex;
@@ -39,6 +43,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_dataplane.json"));
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
 
     let mut json = String::from("{\n  \"bench\": \"dataplane\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
@@ -79,6 +88,30 @@ fn main() {
         "  \"obs_overhead\": {{\n    \"pipelined_us_disabled\": {:.2},\n    \"pipelined_us_enabled\": {:.2},\n    \"overhead_pct\": {overhead_pct:.2}\n  }},\n",
         r.pipelined_us, r_on.pipelined_us
     ));
+
+    // --- 1c. faultline hook overhead on read_array -------------------------
+    // With `--features faultline` every storage I/O carries a disarmed
+    // failpoint (one relaxed atomic load, mirroring the obs gate). The timed
+    // section above already ran with the hooks in whatever state this binary
+    // was built with; comparing against a `--baseline` run of a hook-free
+    // build brackets the cost of compiling them in.
+    let compiled = cfg!(feature = "faultline");
+    let baseline_us = baseline_path.as_deref().and_then(baseline_pipelined_us);
+    json.push_str(&format!(
+        "  \"faultline\": {{\n    \"compiled\": {compiled},\n    \"armed\": false,\n    \"pipelined_us_per_read\": {:.2}",
+        r.pipelined_us
+    ));
+    if let Some(base) = baseline_us {
+        let fl_overhead_pct = (r.pipelined_us / base - 1.0) * 100.0;
+        println!(
+            "read_array faultline overhead (compiled: {compiled}, disarmed): baseline {base:.1} us, this build {:.1} us ({fl_overhead_pct:+.1}%)",
+            r.pipelined_us
+        );
+        json.push_str(&format!(
+            ",\n    \"baseline_pipelined_us_per_read\": {base:.2},\n    \"overhead_pct_vs_baseline\": {fl_overhead_pct:.2}"
+        ));
+    }
+    json.push_str("\n  },\n");
 
     // --- 2. end-to-end iterated SpMV: old vs new worker data plane ---------
     let (k, n, iters) = if quick {
@@ -155,6 +188,20 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {}", out_path.display());
+}
+
+/// Pulls `read_array.pipelined_us_per_read` out of a previous
+/// `BENCH_dataplane.json` by scanning for the first occurrence of the key —
+/// the file is our own flat output, so a full JSON parser buys nothing here.
+fn baseline_pipelined_us(path: &std::path::Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"pipelined_us_per_read\":";
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 struct ReadLatency {

@@ -22,6 +22,14 @@
 //!    pattern requires the exact method name). Unlike rules 1–3 this rule
 //!    also applies to `tests/` and `benches/` trees: migrated test code must
 //!    not drift back to the manual protocol.
+//! 6. **Every `fail::at` failpoint in library code names a registered
+//!    site** — the site argument must be a string literal from
+//!    [`REGISTERED_FAULT_SITES`] (mirroring `dooc_faultline::SITES`, with a
+//!    cross-check test keeping the two lists in sync). Ad-hoc site strings
+//!    would silently never fire from a chaos schedule, and non-literal
+//!    arguments defeat auditability of where faults can be injected. The
+//!    `faultline` crate itself (whose API docs and internals mention the
+//!    call) is exempt, as is test code.
 //!
 //! Scanning is line-based: lines whose trimmed form starts with `//` are
 //! skipped, and within a file everything from the first `#[cfg(test)]`
@@ -34,6 +42,16 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose *library* code must be panic-free (rule 1).
 pub const PANIC_FREE_CRATES: &[&str] = &["filterstream", "storage", "scheduler", "core", "obs"];
+
+/// The failpoint sites library code may name in `fail::at` calls (rule 6).
+/// Must mirror `dooc_faultline::SITES`; a test cross-checks the two lists
+/// against the faultline crate's source so they cannot drift apart.
+pub const REGISTERED_FAULT_SITES: &[&str] = &[
+    "storage.io.read",
+    "storage.io.write",
+    "storage.node.crash",
+    "worker.task.crash",
+];
 
 /// One rule violation at a source location.
 #[derive(Clone, Debug)]
@@ -70,14 +88,44 @@ const PAT_STD_RWLOCK: &str = concat!("std::sync::", "RwLock");
 const PAT_UNBOUNDED: &str = concat!("unbounded", "(");
 const PAT_FORBID_UNSAFE: &str = concat!("#![forbid(", "unsafe_code)]");
 const PAT_RELEASE_READ: &str = concat!(".release_read", "(");
+const PAT_FAIL_AT: &str = concat!("fail::", "at(");
 
-/// Lints one source file's content. `panic_free` selects rule 1 and
-/// `ban_release_read` selects rule 5 in addition to the always-on rules.
+/// Rule 6 helper: checks one line's `fail::at(` call sites. Returns an
+/// error message when the site argument is not a string literal naming a
+/// registered fault site.
+fn check_fail_site(line: &str) -> Option<String> {
+    let mut rest = line;
+    while let Some(pos) = rest.find(PAT_FAIL_AT) {
+        let args = rest[pos + PAT_FAIL_AT.len()..].trim_start();
+        let Some(lit) = args.strip_prefix('"') else {
+            return Some(
+                "fail::at site must be a string literal so injectable sites stay auditable".into(),
+            );
+        };
+        let Some(end) = lit.find('"') else {
+            return Some("fail::at site literal does not close on this line".into());
+        };
+        let site = &lit[..end];
+        if !REGISTERED_FAULT_SITES.contains(&site) {
+            return Some(format!(
+                "fail::at site \"{site}\" is not in the registered site list \
+                 (dooc_faultline::SITES) — chaos schedules cannot reach it"
+            ));
+        }
+        rest = &lit[end..];
+    }
+    None
+}
+
+/// Lints one source file's content. `panic_free` selects rule 1,
+/// `ban_release_read` selects rule 5, and `check_fault_sites` selects rule 6
+/// in addition to the always-on rules.
 pub fn lint_source(
     file: &Path,
     content: &str,
     panic_free: bool,
     ban_release_read: bool,
+    check_fault_sites: bool,
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut in_tests = false;
@@ -134,6 +182,11 @@ pub fn lint_source(
                 "no-unbounded-channels",
                 "unbounded channel — streams must be bounded for backpressure".into(),
             );
+        }
+        if check_fault_sites {
+            if let Some(message) = check_fail_site(line) {
+                report("registered-fault-sites", message);
+            }
         }
     }
     findings
@@ -226,6 +279,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         // The storage crate implements the protocol; its internal
         // `release_read` handling is the thing everyone else must not call.
         let ban_release_read = crate_name != "storage";
+        // The faultline crate defines the failpoint API; everyone else must
+        // call it only with registered site literals (rule 6).
+        let check_fault_sites = crate_name != "faultline";
         let mut files = Vec::new();
         rust_sources(&src, &mut files)?;
         files.sort();
@@ -233,9 +289,13 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             let content = fs::read_to_string(&file)?;
             report.files_scanned += 1;
             let rel = file.strip_prefix(root).unwrap_or(&file);
-            report
-                .findings
-                .extend(lint_source(rel, &content, panic_free, ban_release_read));
+            report.findings.extend(lint_source(
+                rel,
+                &content,
+                panic_free,
+                ban_release_read,
+                check_fault_sites,
+            ));
         }
         for sub in ["tests", "benches"] {
             let tree = dir.join(sub);
@@ -272,11 +332,11 @@ mod tests {
     #[test]
     fn unwrap_flagged_only_in_panic_free_crates() {
         let src = "fn f() { x.unwrap(); }\n";
-        let f = lint_source(Path::new("a.rs"), src, true, false);
+        let f = lint_source(Path::new("a.rs"), src, true, false, false);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "no-unwrap");
         assert_eq!(f[0].line, 1);
-        assert!(lint_source(Path::new("a.rs"), src, false, false).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, false, false, false).is_empty());
     }
 
     #[test]
@@ -289,7 +349,7 @@ mod tests {
     fn g() { x.unwrap(); }
 }
 ";
-        assert!(lint_source(Path::new("a.rs"), src, true, false).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, true, false, false).is_empty());
     }
 
     #[test]
@@ -300,7 +360,7 @@ mod tests {
             concat!("unbounded", ""),
             "()"
         );
-        let f = lint_source(Path::new("a.rs"), &src, false, false);
+        let f = lint_source(Path::new("a.rs"), &src, false, false, false);
         let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
         assert!(rules.contains(&"no-std-locks"), "{rules:?}");
         assert!(rules.contains(&"no-unbounded-channels"), "{rules:?}");
@@ -309,7 +369,7 @@ mod tests {
     #[test]
     fn unwrap_or_variants_not_flagged() {
         let src = "let x = y.unwrap_or(0).unwrap_or_else(f).unwrap_or_default();\n";
-        assert!(lint_source(Path::new("a.rs"), src, true, false).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, true, false, false).is_empty());
     }
 
     #[test]
@@ -319,11 +379,11 @@ mod tests {
             concat!(".release_read", "(\"a\", "),
             concat!(".release_read", "(\"a\", "),
         );
-        let f = lint_source(Path::new("a.rs"), &src, false, true);
+        let f = lint_source(Path::new("a.rs"), &src, false, true, false);
         assert_eq!(f.len(), 2, "{f:?}");
         assert!(f.iter().all(|x| x.rule == "no-bare-release-read"));
         assert!(
-            lint_source(Path::new("a.rs"), &src, false, false).is_empty(),
+            lint_source(Path::new("a.rs"), &src, false, false, false).is_empty(),
             "rule off for the storage crate itself"
         );
     }
@@ -331,7 +391,7 @@ mod tests {
     #[test]
     fn release_read_raw_escape_hatch_allowed() {
         let src = "fn f() { sc.release_read_raw(\"a\", iv)?; }\n";
-        assert!(lint_source(Path::new("a.rs"), src, false, true).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, false, true, false).is_empty());
         assert!(lint_release_read(Path::new("a.rs"), src).is_empty());
     }
 
@@ -356,5 +416,64 @@ mod tests {
         let f = lint_crate_root(Path::new("lib.rs"), bad);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn registered_fault_sites_pass_rule_6() {
+        let src = format!(
+            "fn f() {{ if let Some(f) = dooc_faultline::{}\"storage.io.read\") {{}} }}\n",
+            concat!("fail::", "at("),
+        );
+        assert!(lint_source(Path::new("a.rs"), &src, false, false, true).is_empty());
+        // Rule off: the faultline crate itself may mention the call freely.
+        let bad = format!("fn f() {{ {}site) }}\n", concat!("fail::", "at("));
+        assert!(lint_source(Path::new("a.rs"), &bad, false, false, false).is_empty());
+    }
+
+    #[test]
+    fn unregistered_fault_site_flagged() {
+        let src = format!(
+            "fn f() {{ {}\"storage.made.up\"); }}\n",
+            concat!("fail::", "at("),
+        );
+        let f = lint_source(Path::new("a.rs"), &src, false, false, true);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "registered-fault-sites");
+        assert!(f[0].message.contains("storage.made.up"), "{f:?}");
+    }
+
+    #[test]
+    fn non_literal_fault_site_flagged() {
+        let src = format!("fn f() {{ {}site_var); }}\n", concat!("fail::", "at("));
+        let f = lint_source(Path::new("a.rs"), &src, false, false, true);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "registered-fault-sites");
+        assert!(f[0].message.contains("string literal"), "{f:?}");
+    }
+
+    #[test]
+    fn fault_sites_exempt_in_test_modules() {
+        let src = format!(
+            "fn f() {{}}\n#[cfg(test)]\nmod t {{ fn g() {{ {}\"anything.goes\"); }} }}\n",
+            concat!("fail::", "at("),
+        );
+        assert!(lint_source(Path::new("a.rs"), &src, false, false, true).is_empty());
+    }
+
+    #[test]
+    fn registered_sites_mirror_faultline_sites() {
+        // Parse `pub const SITES` out of the faultline crate's source so the
+        // lint's copy cannot silently drift from the real registry.
+        let src = std::fs::read_to_string(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../faultline/src/lib.rs"),
+        )
+        .expect("read faultline source");
+        let start = src.find("pub const SITES").expect("SITES declaration");
+        let body = &src[start..start + src[start..].find("];").expect("array end")];
+        let declared: Vec<&str> = body.split('"').skip(1).step_by(2).collect();
+        assert_eq!(
+            declared, REGISTERED_FAULT_SITES,
+            "lint.rs REGISTERED_FAULT_SITES must mirror dooc_faultline::SITES"
+        );
     }
 }

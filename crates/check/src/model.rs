@@ -22,14 +22,20 @@
 //!    delta's version is never below the client's cursor;
 //! 7. deltas compose: folding every delta a client received always yields
 //!    exactly the node's current availability map at the moment of the last
-//!    query — no changed block is ever omitted.
+//!    query — no changed block is ever omitted;
+//! 8. every blocking wait is paired with a timeout transition: when the
+//!    event a parked client waits for *fails* (the model's `LoadError`),
+//!    the node must arm a recovery transition (`RetryLoad` — the real
+//!    system's backoff tick) that can still end the wait. A failed load
+//!    with nothing armed is a latent hang.
 //!
 //! Because the healthy model has no violations, [`BugConfig`] can seed
 //! specific protocol bugs (skip a release, grant two writers, evict a
 //! pinned block, forget to flush parked waiters, serve an unsealed read,
-//! forget a version bump on an availability change) to prove the checker
-//! finds them — each returns a [`Violation`] carrying the full action trace
-//! from the initial state.
+//! forget a version bump on an availability change, drop the timeout
+//! transition after a failed load) to prove the checker finds them — each
+//! returns a [`Violation`] carrying the full action trace from the initial
+//! state.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -77,6 +83,10 @@ pub struct BugConfig {
     /// map version — the changed block is left out of the delta and the
     /// client's mirror silently diverges from the node's map.
     pub skip_version_bump: bool,
+    /// A failed load does not arm the retry/timeout transition (the real
+    /// system's `io_retry` backoff entry is forgotten) — the parked reader's
+    /// blocking wait can never end: a latent hang.
+    pub no_timeout_transition: bool,
 }
 
 /// Block availability as reported by the map protocol (the model's
@@ -108,6 +118,12 @@ struct Block {
     pins: i8,
     /// Poison flag: a read was served while the block was unsealed.
     served_unsealed: bool,
+    /// An in-flight load of this block failed (disk error injected by the
+    /// node's nondeterministic `LoadError` action).
+    load_failed: bool,
+    /// The failure armed a retry/timeout transition (`RetryLoad` enabled).
+    /// Invariant 8: `load_failed` without `timeout_armed` is a latent hang.
+    timeout_armed: bool,
     /// Last availability observed by a map query (the node's lazy change
     /// detection state).
     last_avail: Option<Avail>,
@@ -398,11 +414,29 @@ impl Model {
             // Load: bring an evicted block back for a parked reader.
             let wanted = (0..NCLIENTS)
                 .any(|c| s.clients[c].blocked && self.op(s, c) == Some(Op::StartRead(b)));
-            if blk.on_disk && !blk.resident && blk.sealed && wanted {
+            if blk.on_disk && !blk.resident && blk.sealed && wanted && !blk.load_failed {
                 let mut next = s.clone();
                 next.blocks[b].resident = true;
                 self.flush(&mut next);
                 out.push((format!("node: Load(block{b})"), next));
+                // The same load can instead fail (disk error). The healthy
+                // node arms a retry/timeout transition in the same step; the
+                // seeded bug forgets it — leaving the parked reader's wait
+                // with no transition that can ever end it.
+                let mut next = s.clone();
+                next.blocks[b].load_failed = true;
+                next.blocks[b].timeout_armed = !self.bug.no_timeout_transition;
+                out.push((format!("node: LoadError(block{b})"), next));
+            }
+            // RetryLoad: the armed timeout fires (the real system's backoff
+            // tick re-issuing the read); the wait ends one way or the other.
+            if blk.load_failed && blk.timeout_armed {
+                let mut next = s.clone();
+                next.blocks[b].load_failed = false;
+                next.blocks[b].timeout_armed = false;
+                next.blocks[b].resident = true;
+                self.flush(&mut next);
+                out.push((format!("node: RetryLoad(block{b})"), next));
             }
         }
         out
@@ -432,6 +466,11 @@ impl Model {
             return Some("map-delta-composes");
         }
         for blk in &s.blocks {
+            // Invariant 8: a failed load someone is blocked on must have a
+            // timeout/retry transition armed, or the wait can never end.
+            if blk.load_failed && !blk.timeout_armed {
+                return Some("wait-timeout-armed");
+            }
             if blk.pins < 0 {
                 return Some("negative-refcount");
             }

@@ -91,6 +91,33 @@ fn serving_unsealed_read_is_caught() {
 }
 
 #[test]
+fn failed_loads_with_armed_timeouts_have_no_violations() {
+    // The healthy model's loads can fail nondeterministically; every failure
+    // arms the retry/timeout transition, so no interleaving — including
+    // repeated fail/retry cycles — strands a parked reader.
+    let stats = explore(&Model::standard(BugConfig::default()))
+        .unwrap_or_else(|v| panic!("unexpected violation:\n{v}"));
+    assert!(stats.terminals >= 1, "{stats:?}");
+}
+
+#[test]
+fn missing_timeout_transition_is_a_latent_hang() {
+    // Invariant 8: a blocking wait whose load failed with no retry/timeout
+    // armed can never end. The checker must pinpoint the latent hang and
+    // carry the LoadError step in the counterexample.
+    let v = explore(&Model::standard(BugConfig {
+        no_timeout_transition: true,
+        ..Default::default()
+    }))
+    .expect_err("seeded bug");
+    assert_eq!(v.invariant, "wait-timeout-armed", "wrong invariant:\n{v}");
+    assert!(
+        v.trace.iter().any(|s| s.contains("LoadError")),
+        "counterexample must contain the failed load:\n{v}"
+    );
+}
+
+#[test]
 fn faithful_map_protocol_has_no_violations() {
     // Repeated MapSince queries race writes, seals, reads, evictions and
     // reloads; version monotonicity and delta composition hold on every

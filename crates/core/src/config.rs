@@ -2,6 +2,7 @@
 
 use crate::{DoocError, Result};
 use dooc_scheduler::OrderPolicy;
+use dooc_storage::{RecoveryPolicy, RetryPolicy};
 use std::path::PathBuf;
 
 /// Configuration of a DOoC cluster run.
@@ -27,6 +28,14 @@ pub struct DoocConfig {
     /// Arrays not listed default to single-block geometry derived from the
     /// task graph's byte declarations.
     pub geometry: Vec<(String, u64, u64)>,
+    /// Storage-node fault recovery: I/O retry budget and backoff, peer-fetch
+    /// deadlines, stall timeouts. The default retries transient I/O errors
+    /// but never times out (matching the pre-fault-injection behaviour).
+    pub recovery: RecoveryPolicy,
+    /// Client-side request deadlines and idempotent-retry budget applied to
+    /// every worker's storage client. The default waits forever (no
+    /// deadline), so fault-free runs behave exactly as before.
+    pub client_retry: RetryPolicy,
 }
 
 impl DoocConfig {
@@ -40,6 +49,8 @@ impl DoocConfig {
             prefetch_window: 2,
             seed: 0xD00C,
             geometry: Vec::new(),
+            recovery: RecoveryPolicy::default(),
+            client_retry: RetryPolicy::default(),
         }
     }
 
@@ -104,6 +115,18 @@ impl DoocConfig {
     /// Registers a known array geometry.
     pub fn with_geometry(mut self, name: impl Into<String>, len: u64, block_size: u64) -> Self {
         self.geometry.push((name.into(), len, block_size));
+        self
+    }
+
+    /// Sets the storage nodes' fault-recovery policy.
+    pub fn recovery(mut self, r: RecoveryPolicy) -> Self {
+        self.recovery = r;
+        self
+    }
+
+    /// Sets the workers' client-side retry policy (request deadlines).
+    pub fn client_retry(mut self, r: RetryPolicy) -> Self {
+        self.client_retry = r;
         self
     }
 }

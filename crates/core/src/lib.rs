@@ -60,6 +60,7 @@ pub use dooc_filterstream::sync;
 pub use dooc_scheduler::{DataRef, OrderPolicy, TaskGraph, TaskId, TaskSpec};
 pub use dooc_storage::meta::Interval;
 pub use dooc_storage::proto::NodeStats;
+pub use dooc_storage::{RecoveryPolicy, RetryPolicy};
 
 /// Errors surfaced by the DOoC runtime.
 #[derive(Debug)]

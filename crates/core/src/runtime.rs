@@ -80,11 +80,12 @@ impl DoocRuntime {
         let start = Instant::now();
 
         let mut layout = Layout::new();
-        let mut cluster = StorageCluster::build(
+        let mut cluster = StorageCluster::build_with(
             &mut layout,
             self.config.scratch_dirs.clone(),
             self.config.memory_budget,
             self.config.seed,
+            self.config.recovery.clone(),
         );
 
         let nodes: Vec<NodeId> = (0..nnodes).map(NodeId).collect();

@@ -83,6 +83,8 @@ pub enum Category {
     Scheduler,
     /// The per-node worker: task executions, read/write pipeline windows.
     Worker,
+    /// Fault injection and recovery: injected failpoints, retries, replays.
+    Fault,
 }
 
 impl Category {
@@ -93,6 +95,7 @@ impl Category {
             Category::Storage => "storage",
             Category::Scheduler => "scheduler",
             Category::Worker => "worker",
+            Category::Fault => "fault",
         }
     }
 }
@@ -147,6 +150,7 @@ mod tests {
         assert_eq!(Category::Storage.as_str(), "storage");
         assert_eq!(Category::Scheduler.as_str(), "scheduler");
         assert_eq!(Category::Worker.as_str(), "worker");
+        assert_eq!(Category::Fault.as_str(), "fault");
     }
 
     #[test]

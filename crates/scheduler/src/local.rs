@@ -189,6 +189,28 @@ impl LocalScheduler {
         Some(t)
     }
 
+    /// Returns a handed-out task to the *front* of the ready queue: its
+    /// worker died (or was crashed by fault injection) before reporting
+    /// completion. Replay is safe because task inputs are immutable arrays —
+    /// re-reading them yields the bytes the first attempt saw. Returns
+    /// `false` (and does nothing) if the task was not running.
+    pub fn requeue(&mut self, id: TaskId) -> bool {
+        if !self.running.remove(&id) {
+            return false;
+        }
+        self.ready.insert(0, id);
+        if dooc_obs::enabled() {
+            dooc_obs::metrics::counter("sched.requeues").inc();
+            dooc_obs::instant_arg(
+                dooc_obs::Category::Scheduler,
+                "sched:requeue",
+                self.node,
+                move || format!("task {} requeued for re-execution", id.0),
+            );
+        }
+        true
+    }
+
     /// The order the scheduler currently *plans* to run its ready tasks in
     /// (best-score first under data-aware). Prefetch planning peeks at this.
     pub fn planned_order(&self, graph: &TaskGraph, oracle: &dyn MemoryOracle) -> Vec<TaskId> {
@@ -389,6 +411,26 @@ mod tests {
         assert_eq!(
             ls.prefetch_candidates(&g, &resident),
             vec!["M_0".to_string(), "M_1".to_string(), "M_2".to_string()]
+        );
+    }
+
+    #[test]
+    fn requeue_replays_a_running_task() {
+        let g = iterated_spmv(1, 2);
+        let oracle: HashSet<String> = HashSet::new();
+        let mut ls = LocalScheduler::new(&g, g.ids(), OrderPolicy::Fifo);
+        let t = ls.next_task(&g, &oracle).expect("ready");
+        assert!(ls.requeue(t), "running task goes back to the queue");
+        assert_eq!(
+            ls.next_task(&g, &oracle),
+            Some(t),
+            "requeued task is offered first"
+        );
+        ls.on_complete(&g, t);
+        assert!(!ls.requeue(t), "completed task cannot be requeued");
+        assert!(
+            !ls.requeue(TaskId(999)),
+            "never-scheduled task cannot be requeued"
         );
     }
 

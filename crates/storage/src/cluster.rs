@@ -9,7 +9,7 @@
 //! contiguous global client-id range used as the reply address space.
 
 use crate::filterimpl::{ports, ClientPortMap, IoFilter, StorageFilter};
-use crate::node::{NodeConfig, StorageState};
+use crate::node::{NodeConfig, RecoveryPolicy};
 use dooc_filterstream::sync::OrderedMutex;
 use dooc_filterstream::{Delivery, FilterId, Layout, NodeId};
 use std::path::PathBuf;
@@ -42,6 +42,24 @@ impl StorageCluster {
         memory_budget: u64,
         seed: u64,
     ) -> Self {
+        Self::build_with(
+            layout,
+            scratch_dirs,
+            memory_budget,
+            seed,
+            RecoveryPolicy::default(),
+        )
+    }
+
+    /// Like [`StorageCluster::build`] but with an explicit fault-recovery
+    /// policy (I/O retry budget, fetch deadlines) applied to every node.
+    pub fn build_with(
+        layout: &mut Layout,
+        scratch_dirs: Vec<PathBuf>,
+        memory_budget: u64,
+        seed: u64,
+        recovery: RecoveryPolicy,
+    ) -> Self {
         let nnodes = scratch_dirs.len();
         assert!(nnodes > 0, "a cluster needs at least one node");
         let nodes: Vec<NodeId> = (0..nnodes).map(NodeId).collect();
@@ -58,16 +76,13 @@ impl StorageCluster {
                 nnodes: nnodes as u64,
                 memory_budget,
                 seed: seed.wrapping_add(i as u64),
+                recovery: recovery.clone(),
             };
-            let discovered = crate::filterimpl::scan_scratch(&dirs[i]).unwrap_or_default();
             // Snapshot the port map at spawn time (attach_clients must run
             // before Runtime::run, which is guaranteed since both consume
             // the layout by value).
             let snapshot = Arc::new(pm.lock().clone());
-            Box::new(StorageFilter::new(
-                StorageState::new(cfg, discovered),
-                snapshot,
-            ))
+            Box::new(StorageFilter::recoverable(cfg, dirs[i].clone(), snapshot))
         });
 
         let dirs = scratch_dirs;

@@ -11,7 +11,7 @@
 //! completely asynchronous".
 
 use crate::meta::ArrayMeta;
-use crate::node::{Action, DiscoveredBlock, StorageState};
+use crate::node::{Action, DiscoveredBlock, NodeConfig, StorageState};
 use crate::proto::{ClientMsg, IoCmd, IoReply, PeerMsg};
 use bytes::Bytes;
 use dooc_filterstream::stream::{select_event, select_event_timeout, SelectEvent, SelectOutcome};
@@ -19,6 +19,20 @@ use dooc_filterstream::{Filter, FilterContext};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// What a storage filter needs to rebuild its state machine after an
+/// injected whole-node crash: its configuration, its scratch directory (for
+/// restart discovery) and a journal of the metadata messages it consumed
+/// (standing in for the durable metadata log a production deployment would
+/// keep). Requests in flight are *not* journaled — crashes are only injected
+/// at locally-quiescent points ([`StorageState::crash_safe`]), and clients
+/// recover cross-node losses through retries and map re-resolution.
+#[cfg(feature = "faultline")]
+struct RestartContext {
+    cfg: NodeConfig,
+    scratch: PathBuf,
+    journal: Vec<ClientMsg>,
+}
 
 /// Port names used by the storage filter.
 pub mod ports {
@@ -61,12 +75,75 @@ impl ClientPortMap {
 pub struct StorageFilter {
     state: StorageState,
     ports: Arc<ClientPortMap>,
+    #[cfg(feature = "faultline")]
+    restart: Option<RestartContext>,
 }
 
 impl StorageFilter {
     /// Wraps a prepared state machine.
     pub fn new(state: StorageState, ports: Arc<ClientPortMap>) -> Self {
-        Self { state, ports }
+        Self {
+            state,
+            ports,
+            #[cfg(feature = "faultline")]
+            restart: None,
+        }
+    }
+
+    /// Builds the state machine from `cfg` + scratch-directory discovery and
+    /// keeps both around so an injected `storage.node.crash` failpoint can
+    /// rebuild the node from scratch (crash-restart recovery).
+    pub fn recoverable(cfg: NodeConfig, scratch: PathBuf, ports: Arc<ClientPortMap>) -> Self {
+        let discovered = scan_scratch(&scratch).unwrap_or_default();
+        let state = StorageState::new(cfg.clone(), discovered);
+        #[cfg(not(feature = "faultline"))]
+        let _ = (cfg, scratch);
+        Self {
+            state,
+            ports,
+            #[cfg(feature = "faultline")]
+            restart: Some(RestartContext {
+                cfg,
+                scratch,
+                journal: Vec::new(),
+            }),
+        }
+    }
+
+    /// Consults the `storage.node.crash` failpoint at a locally-quiescent
+    /// point and, when it fires, rebuilds the node: fresh state machine,
+    /// restart discovery of the scratch directory, metadata journal replay
+    /// (replies re-generated during replay are dropped — the clients already
+    /// received them in the previous incarnation).
+    #[cfg(feature = "faultline")]
+    fn maybe_crash(&mut self, node: i64) {
+        // Gate first: with injection disarmed this is one relaxed atomic
+        // load, not an O(blocks) `crash_safe` scan per filter-loop turn.
+        if !dooc_faultline::enabled() {
+            return;
+        }
+        let Some(rc) = self.restart.as_ref() else {
+            return;
+        };
+        if !self.state.crash_safe() {
+            return;
+        }
+        if dooc_faultline::fail::at("storage.node.crash").is_none() {
+            return;
+        }
+        dooc_obs::instant_arg(
+            dooc_obs::Category::Fault,
+            "storage:node_crash",
+            node,
+            || format!("node {node}: crash-restart injected"),
+        );
+        dooc_obs::metrics::counter("storage.node_restarts").inc();
+        let discovered = scan_scratch(&rc.scratch).unwrap_or_default();
+        let mut st = StorageState::new(rc.cfg.clone(), discovered);
+        for msg in &rc.journal {
+            let _ = st.handle_client(msg.clone());
+        }
+        self.state = st;
     }
 
     fn perform(
@@ -101,11 +178,14 @@ impl Filter for StorageFilter {
     fn run(&mut self, ctx: &mut FilterContext) -> dooc_filterstream::Result<()> {
         let mut closed = [false; 3];
         loop {
-            // While fetches are stalled (data not produced anywhere yet),
-            // poll with a short timeout and retry them on each tick.
+            #[cfg(feature = "faultline")]
+            self.maybe_crash(ctx.node.0 as i64);
+            // While the recovery clock has work (stalled fetches, read
+            // retries in backoff, fetch deadlines), poll with a short
+            // timeout and advance it on each tick.
             let timeout = self
                 .state
-                .has_stalled_fetches()
+                .needs_tick()
                 .then(|| std::time::Duration::from_millis(2));
             let event = {
                 let clients = ctx.input(ports::CLIENTS_IN)?;
@@ -129,6 +209,13 @@ impl Filter for StorageFilter {
                     });
                     let msg = ClientMsg::decode(&buf)
                         .map_err(|e| ctx.error(format!("client decode: {e}")))?;
+                    #[cfg(feature = "faultline")]
+                    if let Some(rc) = self.restart.as_mut() {
+                        // Metadata journal for crash-restart replay.
+                        if matches!(msg, ClientMsg::Create { .. } | ClientMsg::Register { .. }) {
+                            rc.journal.push(msg.clone());
+                        }
+                    }
                     self.state.handle_client(msg)
                 }
                 SelectEvent::Buffer(1, buf) => {
@@ -203,6 +290,38 @@ impl IoFilter {
     }
 
     fn exec(&self, cmd: IoCmd) -> IoReply {
+        // Deterministic fault injection on the async I/O path: an injected
+        // error reports the command as failed without touching the disk (the
+        // storage node's retry policy takes over); an injected delay models
+        // a slow device.
+        #[cfg(feature = "faultline")]
+        {
+            let (fault, site) = match &cmd {
+                IoCmd::Read { .. } => (dooc_faultline::fail::at("storage.io.read"), "read"),
+                IoCmd::Write { .. } | IoCmd::DeleteFiles { .. } => {
+                    (dooc_faultline::fail::at("storage.io.write"), "write")
+                }
+            };
+            match fault {
+                Some(dooc_faultline::Fault::Delay(ms)) => {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                Some(_) => {
+                    let (array, block) = match &cmd {
+                        IoCmd::Read { array, block, .. } | IoCmd::Write { array, block, .. } => {
+                            (array.clone(), *block)
+                        }
+                        IoCmd::DeleteFiles { array } => (array.clone(), u64::MAX),
+                    };
+                    return IoReply::Error {
+                        array,
+                        block,
+                        message: format!("injected fault at storage.io.{site}"),
+                    };
+                }
+                None => {}
+            }
+        }
         match cmd {
             IoCmd::Read { array, block, len } => match self.read_block(&array, block, len) {
                 Ok(data) => IoReply::ReadDone { array, block, data },

@@ -45,10 +45,12 @@ pub mod node;
 pub mod proto;
 pub mod rangeset;
 
-pub use client::{MapDelta, ReadGuard, ReadTicket, SealTicket, StorageClient, Ticket, WriteTicket};
+pub use client::{
+    MapDelta, ReadGuard, ReadTicket, RetryPolicy, SealTicket, StorageClient, Ticket, WriteTicket,
+};
 pub use cluster::StorageCluster;
 pub use meta::{ArrayMeta, BlockKey, Interval};
-pub use node::{NodeConfig, StorageState};
+pub use node::{NodeConfig, RecoveryPolicy, StorageState};
 
 /// Errors surfaced by the storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +75,15 @@ pub enum StorageError {
     Io(String),
     /// Internal protocol violation (malformed message, unknown request id).
     Protocol(String),
+    /// An out-of-core read failed even after the node's bounded retry
+    /// policy was exhausted (or retries were disabled). Unlike [`Self::Io`]
+    /// — which reports a single filesystem error verbatim — this is the
+    /// storage node's final verdict on a block it could not produce.
+    IoFailed(String),
+    /// A request exceeded its deadline: either the client-side wait deadline
+    /// (`StorageClient` retry policy) or the node's fetch/stall deadline on
+    /// a random-peer map lookup. Surfaced instead of hanging forever.
+    Timeout(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -87,6 +98,8 @@ impl std::fmt::Display for StorageError {
             StorageError::Deleted(a) => write!(f, "array '{a}' was deleted"),
             StorageError::Io(m) => write!(f, "storage I/O error: {m}"),
             StorageError::Protocol(m) => write!(f, "storage protocol error: {m}"),
+            StorageError::IoFailed(m) => write!(f, "storage read failed: {m}"),
+            StorageError::Timeout(m) => write!(f, "storage request timed out: {m}"),
         }
     }
 }

@@ -46,6 +46,8 @@ struct StorageObs {
     blocks_sealed: &'static Counter,
     read_hits: &'static Counter,
     read_misses: &'static Counter,
+    io_retries: &'static Counter,
+    fetch_retries: &'static Counter,
 }
 
 fn storage_obs() -> &'static StorageObs {
@@ -58,7 +60,42 @@ fn storage_obs() -> &'static StorageObs {
         blocks_sealed: counter("storage.blocks_sealed"),
         read_hits: counter("storage.read_hits"),
         read_misses: counter("storage.read_misses"),
+        io_retries: counter("storage.io_retries"),
+        fetch_retries: counter("storage.fetch_retries"),
     })
+}
+
+/// Fault-recovery knobs of one storage node. The defaults keep the seed
+/// behaviour except for bounded I/O-read retries: fetch deadlines and stall
+/// limits are opt-in because a fetch may legitimately wait forever for a
+/// producer task that has not run yet.
+#[derive(Clone, Debug)]
+pub struct RecoveryPolicy {
+    /// How many times a failed out-of-core *read* is re-issued before the
+    /// waiters get [`StorageError::IoFailed`]. 0 disables retries.
+    pub io_retry_max: u32,
+    /// Ticks to wait before the first read retry; doubles on every further
+    /// attempt (exponential backoff).
+    pub io_retry_backoff_ticks: u64,
+    /// Ticks an in-flight peer fetch may stay unanswered before the probe is
+    /// abandoned and the next random peer is asked. `None` waits forever
+    /// (seed behaviour: only an explicit `FetchNotFound` moves on).
+    pub fetch_deadline_ticks: Option<u64>,
+    /// How many whole stall/retry rounds (every peer denied, tick, re-probe
+    /// everyone) a fetch may go through before its waiters get
+    /// [`StorageError::Timeout`]. `None` retries forever (seed behaviour).
+    pub stall_retry_max: Option<u64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            io_retry_max: 2,
+            io_retry_backoff_ticks: 1,
+            fetch_deadline_ticks: None,
+            stall_retry_max: None,
+        }
+    }
 }
 
 /// Configuration of one storage node.
@@ -72,6 +109,8 @@ pub struct NodeConfig {
     pub memory_budget: u64,
     /// Seed for random peer selection.
     pub seed: u64,
+    /// Retry/deadline policy for I/O errors and peer fetches.
+    pub recovery: RecoveryPolicy,
 }
 
 /// Side effect requested by a handler.
@@ -118,6 +157,17 @@ struct FetchState {
     req: u64,
     /// Peers already asked (includes the one currently in flight).
     tried: Vec<u64>,
+    /// Ticks the current probe has been in flight (for the optional
+    /// [`RecoveryPolicy::fetch_deadline_ticks`] deadline).
+    age: u64,
+}
+
+/// A failed out-of-core read scheduled for re-issue at tick `due`.
+struct IoRetry {
+    due: u64,
+    array: String,
+    block: u64,
+    len: u64,
 }
 
 #[derive(Default)]
@@ -253,6 +303,16 @@ pub struct StorageState {
     /// next tick ("replies back when all the relevant information becomes
     /// available" — the information may simply not exist *yet*).
     stalled: Vec<(String, u64, u64)>,
+    /// Monotonic tick counter ([`Self::on_tick`]); the clock retries and
+    /// deadlines are measured against.
+    tick: u64,
+    /// Failed out-of-core reads awaiting their backoff tick.
+    io_retry: Vec<IoRetry>,
+    /// Read-retry attempts already spent per block.
+    io_attempts: HashMap<(String, u64), u32>,
+    /// Completed stall/re-probe rounds per block (for
+    /// [`RecoveryPolicy::stall_retry_max`]).
+    stall_rounds: HashMap<(String, u64), u64>,
     /// This node's clients are quiescent (local Shutdown consumed).
     local_done: bool,
     /// Number of peers that sent a `Bye`.
@@ -282,6 +342,10 @@ impl StorageState {
             stats: NodeStats::default(),
             rng,
             stalled: Vec::new(),
+            tick: 0,
+            io_retry: Vec::new(),
+            io_attempts: HashMap::new(),
+            stall_rounds: HashMap::new(),
             local_done: false,
             byes: 0,
         };
@@ -381,10 +445,57 @@ impl StorageState {
         !self.stalled.is_empty()
     }
 
-    /// Retries every stalled fetch with a fresh random probe cycle. Called
-    /// periodically by the storage filter while fetches are stalled.
+    /// Is this node at a locally-quiescent point where a fail-stop crash
+    /// loses no unrecoverable state? True when no grant is outstanding, no
+    /// request is logged, no I/O or fetch is in flight, and every sealed
+    /// byte is safe on the local disk. Fault injection
+    /// (`storage.node.crash`) only fires at such points: a crash-restart
+    /// then forgets nothing that cannot be rebuilt from the scratch
+    /// directory, the metadata journal, and peer retries.
+    pub fn crash_safe(&self) -> bool {
+        if !self.fetches.is_empty()
+            || !self.stalled.is_empty()
+            || !self.io_retry.is_empty()
+            || self.local_done
+        {
+            return false;
+        }
+        self.arrays.values().all(|a| {
+            a.persist.is_none()
+                && a.blocks.iter().all(|(&b, i)| {
+                    i.pins == 0
+                        && i.write_granted.is_empty()
+                        && !i.loading
+                        && !i.spilling
+                        && i.read_waiters.is_empty()
+                        && i.peer_waiters.is_empty()
+                        && i.fetch.is_none()
+                        && (i.sealed.is_empty()
+                            || (i.fully_sealed(a.meta.block_len(b)) && i.on_disk))
+                })
+        })
+    }
+
+    /// Does the state machine need periodic [`Self::on_tick`] calls right
+    /// now? True while fetches are stalled, failed reads await their backoff
+    /// tick, or in-flight fetches are aging against a deadline.
+    pub fn needs_tick(&self) -> bool {
+        !self.stalled.is_empty()
+            || !self.io_retry.is_empty()
+            || (self.cfg.recovery.fetch_deadline_ticks.is_some() && !self.fetches.is_empty())
+    }
+
+    /// One step of the recovery clock. Retries every stalled fetch with a
+    /// fresh random probe cycle (or times its waiters out once
+    /// [`RecoveryPolicy::stall_retry_max`] rounds are spent), re-issues
+    /// failed reads whose backoff expired, and abandons in-flight peer
+    /// probes older than [`RecoveryPolicy::fetch_deadline_ticks`]. Called
+    /// periodically by the storage filter while [`Self::needs_tick`].
     pub fn on_tick(&mut self) -> Vec<Action> {
+        self.tick += 1;
         let mut out = Vec::new();
+        // Stalled fetches: every peer denied in the last round.
+        let stall_max = self.cfg.recovery.stall_retry_max;
         for (array, block, offset) in std::mem::take(&mut self.stalled) {
             let still_wanted = self
                 .arrays
@@ -392,8 +503,106 @@ impl StorageState {
                 .and_then(|a| a.blocks.get(&block))
                 .map(|i| !i.read_waiters.is_empty() && i.fetch.is_none() && i.mem.is_none())
                 .unwrap_or(false);
-            if still_wanted {
+            if !still_wanted {
+                self.stall_rounds.remove(&(array, block));
+                continue;
+            }
+            let rounds = self
+                .stall_rounds
+                .entry((array.clone(), block))
+                .and_modify(|r| *r += 1)
+                .or_insert(1);
+            if stall_max.is_some_and(|max| *rounds > max) {
+                // The data never appeared anywhere: stop hiding the hang.
+                self.stall_rounds.remove(&(array.clone(), block));
+                if let Some(info) = self
+                    .arrays
+                    .get_mut(&array)
+                    .and_then(|a| a.blocks.get_mut(&block))
+                {
+                    for w in info.read_waiters.drain(..) {
+                        out.push(Action::Reply {
+                            client: w.client,
+                            reply: Reply::Err {
+                                req: w.req,
+                                error: StorageError::Timeout(format!(
+                                    "fetch of {array}@{block}: no peer produced the data"
+                                )),
+                            },
+                        });
+                    }
+                }
+                dooc_obs::instant_arg(
+                    dooc_obs::Category::Fault,
+                    "storage:fetch_timeout",
+                    self.cfg.node as i64,
+                    || format!("{array}@{block} after {stall_max:?} stall rounds"),
+                );
+            } else {
+                storage_obs().fetch_retries.inc();
                 self.start_fetch(array, block, offset, &mut out);
+            }
+        }
+        // Failed reads whose backoff expired: re-issue the I/O command.
+        // `loading` stayed true across the backoff, so no duplicate read was
+        // started meanwhile.
+        let tick = self.tick;
+        let due: Vec<IoRetry> = {
+            let (due, later) = std::mem::take(&mut self.io_retry)
+                .into_iter()
+                .partition(|r| r.due <= tick);
+            self.io_retry = later;
+            due
+        };
+        for r in due {
+            let still_loading = self
+                .arrays
+                .get(&r.array)
+                .and_then(|a| a.blocks.get(&r.block))
+                .is_some_and(|i| i.loading);
+            if !still_loading {
+                self.io_attempts.remove(&(r.array, r.block));
+                continue; // deleted or satisfied some other way meanwhile
+            }
+            storage_obs().io_retries.inc();
+            dooc_obs::instant_arg(
+                dooc_obs::Category::Fault,
+                "storage:io_retry",
+                self.cfg.node as i64,
+                || format!("{}@{} re-issued", r.array, r.block),
+            );
+            out.push(Action::Io(IoCmd::Read {
+                array: r.array,
+                block: r.block,
+                len: r.len,
+            }));
+        }
+        // Age in-flight peer probes; past the deadline, treat the silent
+        // peer as having answered FetchNotFound and move to the next one.
+        if let Some(deadline) = self.cfg.recovery.fetch_deadline_ticks {
+            let mut expired = Vec::new();
+            for (&req, (array, block)) in self.fetches.iter() {
+                if let Some(f) = self
+                    .arrays
+                    .get_mut(array)
+                    .and_then(|a| a.blocks.get_mut(block))
+                    .and_then(|i| i.fetch.as_mut())
+                {
+                    f.age += 1;
+                    if f.age >= deadline {
+                        expired.push(req);
+                    }
+                }
+            }
+            for req in expired {
+                storage_obs().fetch_retries.inc();
+                dooc_obs::instant_arg(
+                    dooc_obs::Category::Fault,
+                    "storage:fetch_deadline",
+                    self.cfg.node as i64,
+                    || format!("fetch req {req} unanswered for {deadline} ticks"),
+                );
+                self.fetch_setback(req, &mut out);
             }
         }
         out
@@ -616,6 +825,11 @@ impl StorageState {
                 });
             }
             ClientMsg::MapSince { req, client, since } => {
+                // A cursor ahead of our version means the client talked to a
+                // previous incarnation of this node (crash + restart): serve
+                // a full snapshot so it can rebuild its mirror. The client
+                // detects the regression by `version < since`.
+                let since = if since > self.map_version { 0 } else { since };
                 let (version, entries, deleted) = self.map_delta(since);
                 out.push(Action::Reply {
                     client,
@@ -828,6 +1042,7 @@ impl StorageState {
         info.fetch = Some(FetchState {
             req,
             tried: vec![peer],
+            age: 0,
         });
         self.fetches.insert(req, (array.clone(), block));
         out.push(Action::Peer {
@@ -839,6 +1054,64 @@ impl StorageState {
                 offset,
             },
         });
+    }
+
+    /// One peer probe of fetch `req` came back empty — by an explicit
+    /// `FetchNotFound` or by exceeding the fetch deadline. Try the next
+    /// random untried peer; once every peer denied, stall the fetch for the
+    /// tick loop ("the data may not exist *yet*").
+    fn fetch_setback(&mut self, req: u64, out: &mut Vec<Action>) {
+        let Some((array, block)) = self.fetches.get(&req).cloned() else {
+            return;
+        };
+        let me = self.cfg.node;
+        let nnodes = self.cfg.nnodes;
+        let Some(ainfo) = self.arrays.get_mut(&array) else {
+            return;
+        };
+        let offset = if ainfo.meta.len == u64::MAX {
+            // Geometry unknown: waiters hold global offsets.
+            ainfo
+                .blocks
+                .get(&block)
+                .and_then(|i| i.read_waiters.first().map(|w| w.off))
+                .unwrap_or(0)
+        } else {
+            ainfo.meta.block_start(block)
+        };
+        let Some(info) = ainfo.blocks.get_mut(&block) else {
+            return;
+        };
+        let Some(fetch) = info.fetch.as_mut() else {
+            return;
+        };
+        // Try the next random untried peer.
+        let untried: Vec<u64> = (0..nnodes)
+            .filter(|&n| n != me && !fetch.tried.contains(&n))
+            .collect();
+        if untried.is_empty() {
+            // Every peer denied *right now*: the data may not exist
+            // yet (the producing task has not run). Stall the fetch
+            // and retry on the next tick, preserving the paper's
+            // "reply when the information becomes available"
+            // semantics.
+            info.fetch = None;
+            self.fetches.remove(&req);
+            self.stalled.push((array.clone(), block, offset));
+        } else {
+            let peer = untried[self.rng.gen_range(0..untried.len())];
+            fetch.tried.push(peer);
+            fetch.age = 0;
+            out.push(Action::Peer {
+                node: peer,
+                msg: PeerMsg::Fetch {
+                    req,
+                    from_node: me,
+                    array: array.clone(),
+                    offset,
+                },
+            });
+        }
     }
 
     /// After learning real geometry for an array that had placeholder
@@ -1304,6 +1577,8 @@ impl StorageState {
                 let Some((array, local_key)) = self.fetches.remove(&req) else {
                     return out; // stale (array deleted meanwhile)
                 };
+                self.stall_rounds.remove(&(array.clone(), block));
+                self.stall_rounds.remove(&(array.clone(), local_key));
                 self.stats.peer_recv_bytes += data.len() as u64;
                 let Some(ainfo) = self.arrays.get_mut(&array) else {
                     return out;
@@ -1371,58 +1646,7 @@ impl StorageState {
                     }
                 }
             }
-            PeerMsg::FetchNotFound { req } => {
-                let Some((array, block)) = self.fetches.get(&req).cloned() else {
-                    return out;
-                };
-                let me = self.cfg.node;
-                let nnodes = self.cfg.nnodes;
-                let Some(ainfo) = self.arrays.get_mut(&array) else {
-                    return out;
-                };
-                let offset = if ainfo.meta.len == u64::MAX {
-                    // Geometry unknown: waiters hold global offsets.
-                    ainfo
-                        .blocks
-                        .get(&block)
-                        .and_then(|i| i.read_waiters.first().map(|w| w.off))
-                        .unwrap_or(0)
-                } else {
-                    ainfo.meta.block_start(block)
-                };
-                let Some(info) = ainfo.blocks.get_mut(&block) else {
-                    return out;
-                };
-                let Some(fetch) = info.fetch.as_mut() else {
-                    return out;
-                };
-                // Try the next random untried peer.
-                let untried: Vec<u64> = (0..nnodes)
-                    .filter(|&n| n != me && !fetch.tried.contains(&n))
-                    .collect();
-                if untried.is_empty() {
-                    // Every peer denied *right now*: the data may not exist
-                    // yet (the producing task has not run). Stall the fetch
-                    // and retry on the next tick, preserving the paper's
-                    // "reply when the information becomes available"
-                    // semantics.
-                    info.fetch = None;
-                    self.fetches.remove(&req);
-                    self.stalled.push((array.clone(), block, offset));
-                } else {
-                    let peer = untried[self.rng.gen_range(0..untried.len())];
-                    fetch.tried.push(peer);
-                    out.push(Action::Peer {
-                        node: peer,
-                        msg: PeerMsg::Fetch {
-                            req,
-                            from_node: me,
-                            array: array.clone(),
-                            offset,
-                        },
-                    });
-                }
-            }
+            PeerMsg::FetchNotFound { req } => self.fetch_setback(req, &mut out),
             PeerMsg::Bye => {
                 self.byes += 1;
             }
@@ -1453,6 +1677,7 @@ impl StorageState {
                 self.stats.disk_read_bytes += data.len() as u64;
                 storage_obs().bytes_loaded.add(data.len() as u64);
                 storage_obs().blocks_loaded.inc();
+                self.io_attempts.remove(&(array.clone(), block));
                 let Some(ainfo) = self.arrays.get_mut(&array) else {
                     return out; // deleted while loading
                 };
@@ -1518,33 +1743,94 @@ impl StorageState {
                 array,
                 block,
                 message,
-            } => {
-                // Fail every waiter of the block.
-                let Some(ainfo) = self.arrays.get_mut(&array) else {
-                    return out;
-                };
-                if let Some(info) = ainfo.blocks.get_mut(&block) {
-                    info.loading = false;
-                    info.spilling = false;
-                    for w in info.read_waiters.drain(..) {
-                        out.push(Action::Reply {
-                            client: w.client,
-                            reply: Reply::Err {
-                                req: w.req,
-                                error: StorageError::Io(message.clone()),
-                            },
-                        });
-                    }
-                    for (req, from_node) in info.peer_waiters.drain(..) {
-                        out.push(Action::Peer {
-                            node: from_node,
-                            msg: PeerMsg::FetchNotFound { req },
-                        });
-                    }
-                }
-            }
+            } => self.io_error(array, block, message, &mut out),
         }
         out
+    }
+
+    /// An I/O command failed. Read failures go through the bounded-retry
+    /// policy: `loading` stays true across the backoff (new readers keep
+    /// parking as waiters instead of issuing duplicate reads) and the read
+    /// is re-issued on a later tick; once [`RecoveryPolicy::io_retry_max`]
+    /// attempts are spent, waiters get [`StorageError::IoFailed`] and peers
+    /// a `FetchNotFound`. Write (spill/persist) failures are not retried —
+    /// the block is still resident, so nothing was lost — but a pending
+    /// persist awaiting the block fails instead of hanging.
+    fn io_error(&mut self, array: String, block: u64, message: String, out: &mut Vec<Action>) {
+        let policy = self.cfg.recovery.clone();
+        let Some(ainfo) = self.arrays.get_mut(&array) else {
+            return; // deleted while in flight (also covers DeleteFiles errors)
+        };
+        let block_len = ainfo.meta.block_len(block);
+        let Some(info) = ainfo.blocks.get_mut(&block) else {
+            return;
+        };
+        if info.loading {
+            let key = (array.clone(), block);
+            let attempt = *self.io_attempts.get(&key).unwrap_or(&0);
+            if attempt < policy.io_retry_max {
+                self.io_attempts.insert(key, attempt + 1);
+                let backoff = policy.io_retry_backoff_ticks.max(1) << attempt.min(32);
+                self.io_retry.push(IoRetry {
+                    due: self.tick + backoff,
+                    array: array.clone(),
+                    block,
+                    len: block_len,
+                });
+                dooc_obs::instant_arg(
+                    dooc_obs::Category::Fault,
+                    "storage:io_error",
+                    self.cfg.node as i64,
+                    || {
+                        format!(
+                            "{array}@{block}: {message} (retry {}/{} in {backoff} ticks)",
+                            attempt + 1,
+                            policy.io_retry_max
+                        )
+                    },
+                );
+                return;
+            }
+            // Retries exhausted (or disabled): this node's final verdict.
+            self.io_attempts.remove(&key);
+            info.loading = false;
+            let attempts = attempt + 1;
+            for w in info.read_waiters.drain(..) {
+                out.push(Action::Reply {
+                    client: w.client,
+                    reply: Reply::Err {
+                        req: w.req,
+                        error: StorageError::IoFailed(format!(
+                            "{array}@{block}: {message} ({attempts} attempts)"
+                        )),
+                    },
+                });
+            }
+            for (req, from_node) in info.peer_waiters.drain(..) {
+                out.push(Action::Peer {
+                    node: from_node,
+                    msg: PeerMsg::FetchNotFound { req },
+                });
+            }
+            return;
+        }
+        // Write path: clear the in-flight spill and surface the error to a
+        // pending persist instead of letting it wait forever.
+        info.spilling = false;
+        info.evict_after_spill = false;
+        if let Some((req, client, awaited)) = ainfo.persist.take() {
+            if awaited.contains(&block) {
+                out.push(Action::Reply {
+                    client,
+                    reply: Reply::Err {
+                        req,
+                        error: StorageError::Io(format!("persist of {array}@{block}: {message}")),
+                    },
+                });
+            } else {
+                ainfo.persist = Some((req, client, awaited));
+            }
+        }
     }
 }
 
@@ -1558,6 +1844,13 @@ mod tests {
             nnodes,
             memory_budget: budget,
             seed: 42,
+            recovery: RecoveryPolicy {
+                // Unit tests drive the state machine message by message;
+                // retries would force every I/O-error test through the tick
+                // loop, so keep the seed behaviour unless a test opts in.
+                io_retry_max: 0,
+                ..RecoveryPolicy::default()
+            },
         }
     }
 
@@ -2588,6 +2881,7 @@ mod tests {
 
     #[test]
     fn io_error_fails_waiters() {
+        // Retries disabled (see `cfg`): the first error is final and typed.
         let mut st = StorageState::new(
             cfg(0, 1, 1 << 20),
             vec![DiscoveredBlock {
@@ -2612,10 +2906,249 @@ mod tests {
                 client: 2,
                 reply: Reply::Err {
                     req: 1,
-                    error: StorageError::Io(_)
+                    error: StorageError::IoFailed(_)
                 }
             }]
         ));
+    }
+
+    #[test]
+    fn io_error_retries_then_succeeds() {
+        let recovery = RecoveryPolicy {
+            io_retry_max: 2,
+            ..RecoveryPolicy::default()
+        };
+        let mut st = StorageState::new(
+            NodeConfig {
+                recovery,
+                ..cfg(0, 1, 1 << 20)
+            },
+            vec![DiscoveredBlock {
+                meta: ArrayMeta::new("m", 64, 64),
+                block: 0,
+            }],
+        );
+        st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 2,
+            array: "m".into(),
+            iv: Interval::new(0, 8),
+        });
+        // First error: absorbed, retry scheduled, nothing surfaces.
+        let acts = st.handle_io(IoReply::Error {
+            array: "m".into(),
+            block: 0,
+            message: "bad sector".into(),
+        });
+        assert!(acts.is_empty(), "error absorbed by retry: {acts:?}");
+        assert!(st.needs_tick());
+        // Backoff is 1 tick: the next tick re-issues the read.
+        let acts = st.on_tick();
+        assert!(
+            matches!(
+                &acts[..],
+                [Action::Io(IoCmd::Read {
+                    block: 0,
+                    len: 64,
+                    ..
+                })]
+            ),
+            "expected re-issued read, got {acts:?}"
+        );
+        // The retried read succeeds and serves the parked waiter.
+        let acts = st.handle_io(IoReply::ReadDone {
+            array: "m".into(),
+            block: 0,
+            data: Bytes::from(vec![9u8; 64]),
+        });
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Reply {
+                    client: 2,
+                    reply: Reply::ReadReady { req: 1, .. }
+                }
+            )),
+            "waiter served after retry: {acts:?}"
+        );
+        assert!(!st.needs_tick());
+    }
+
+    #[test]
+    fn io_error_exhausts_retries_into_iofailed() {
+        let recovery = RecoveryPolicy {
+            io_retry_max: 1,
+            ..RecoveryPolicy::default()
+        };
+        let mut st = StorageState::new(
+            NodeConfig {
+                recovery,
+                ..cfg(0, 1, 1 << 20)
+            },
+            vec![DiscoveredBlock {
+                meta: ArrayMeta::new("m", 64, 64),
+                block: 0,
+            }],
+        );
+        st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 2,
+            array: "m".into(),
+            iv: Interval::new(0, 8),
+        });
+        assert!(st
+            .handle_io(IoReply::Error {
+                array: "m".into(),
+                block: 0,
+                message: "bad sector".into(),
+            })
+            .is_empty());
+        let acts = st.on_tick();
+        assert!(matches!(&acts[..], [Action::Io(IoCmd::Read { .. })]));
+        // Second failure exhausts the single retry: typed, final error.
+        let acts = st.handle_io(IoReply::Error {
+            array: "m".into(),
+            block: 0,
+            message: "bad sector".into(),
+        });
+        match &acts[..] {
+            [Action::Reply {
+                client: 2,
+                reply:
+                    Reply::Err {
+                        req: 1,
+                        error: StorageError::IoFailed(m),
+                    },
+            }] => assert!(m.contains("2 attempts"), "attempt count in '{m}'"),
+            other => panic!("expected IoFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_rounds_exhaust_into_timeout() {
+        let recovery = RecoveryPolicy {
+            stall_retry_max: Some(2),
+            ..RecoveryPolicy::default()
+        };
+        let mut st = StorageState::new(
+            NodeConfig {
+                recovery,
+                ..cfg(0, 2, 1 << 20)
+            },
+            vec![],
+        );
+        // Remote read: probe peer 1, which denies -> stall.
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "ghost".into(),
+            iv: Interval::new(0, 8),
+        });
+        let fetch_req = |acts: &[Action]| match acts {
+            [Action::Peer {
+                msg: PeerMsg::Fetch { req, .. },
+                ..
+            }] => *req,
+            other => panic!("expected fetch, got {other:?}"),
+        };
+        let mut req = fetch_req(&acts);
+        // Two full stall/retry rounds are allowed ...
+        for _ in 0..2 {
+            assert!(st.handle_peer(1, PeerMsg::FetchNotFound { req }).is_empty());
+            assert!(st.has_stalled_fetches());
+            let acts = st.on_tick();
+            req = fetch_req(&acts);
+        }
+        // ... the third denial times the waiter out on the next tick.
+        assert!(st.handle_peer(1, PeerMsg::FetchNotFound { req }).is_empty());
+        let acts = st.on_tick();
+        assert!(
+            matches!(
+                &acts[..],
+                [Action::Reply {
+                    client: 0,
+                    reply: Reply::Err {
+                        req: 1,
+                        error: StorageError::Timeout(_)
+                    }
+                }]
+            ),
+            "expected timeout, got {acts:?}"
+        );
+    }
+
+    #[test]
+    fn fetch_deadline_moves_to_next_peer() {
+        let recovery = RecoveryPolicy {
+            fetch_deadline_ticks: Some(2),
+            ..RecoveryPolicy::default()
+        };
+        let mut st = StorageState::new(
+            NodeConfig {
+                recovery,
+                ..cfg(0, 3, 1 << 20)
+            },
+            vec![],
+        );
+        let acts = st.handle_client(ClientMsg::ReadReq {
+            req: 1,
+            client: 0,
+            array: "ghost".into(),
+            iv: Interval::new(0, 8),
+        });
+        let first_peer = match &acts[..] {
+            [Action::Peer {
+                node,
+                msg: PeerMsg::Fetch { .. },
+            }] => *node,
+            other => panic!("expected fetch, got {other:?}"),
+        };
+        assert!(st.needs_tick(), "deadline arms the tick loop");
+        // The probed peer stays silent (crashed): after the deadline the
+        // probe is abandoned and the other peer is asked.
+        assert!(st.on_tick().is_empty(), "first tick only ages the probe");
+        let acts = st.on_tick();
+        match &acts[..] {
+            [Action::Peer {
+                node,
+                msg: PeerMsg::Fetch { .. },
+            }] => assert_ne!(*node, first_peer, "silent peer not re-probed"),
+            other => panic!("expected fetch to next peer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spill_error_fails_pending_persist() {
+        let mut st = state(1 << 20);
+        create(&mut st, "p", 32, 32);
+        write_all(&mut st, "p", Interval::new(0, 32), 3);
+        let acts = st.handle_client(ClientMsg::Persist {
+            req: 9,
+            client: 1,
+            array: "p".into(),
+        });
+        assert!(
+            matches!(&acts[..], [Action::Io(IoCmd::Write { .. })]),
+            "persist spills: {acts:?}"
+        );
+        let acts = st.handle_io(IoReply::Error {
+            array: "p".into(),
+            block: 0,
+            message: "disk full".into(),
+        });
+        assert!(
+            matches!(
+                &acts[..],
+                [Action::Reply {
+                    client: 1,
+                    reply: Reply::Err {
+                        req: 9,
+                        error: StorageError::Io(_)
+                    }
+                }]
+            ),
+            "persist fails instead of hanging: {acts:?}"
+        );
     }
 
     #[test]
@@ -2698,6 +3231,7 @@ mod evict_tests {
                 nnodes: 1,
                 memory_budget: 1 << 20,
                 seed: 1,
+                recovery: RecoveryPolicy::default(),
             },
             vec![],
         );
@@ -2764,6 +3298,7 @@ mod evict_tests {
                 nnodes: 1,
                 memory_budget: 1 << 20,
                 seed: 1,
+                recovery: RecoveryPolicy::default(),
             },
             vec![],
         );
@@ -2807,6 +3342,7 @@ mod evict_tests {
                 nnodes: 1,
                 memory_budget: 1 << 20,
                 seed: 1,
+                recovery: RecoveryPolicy::default(),
             },
             vec![],
         );

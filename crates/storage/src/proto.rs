@@ -436,6 +436,8 @@ fn err_put(pb: &mut PayloadBuilder, e: &StorageError) {
         StorageError::Deleted(a) => (4, a, ""),
         StorageError::Io(m) => (5, m, ""),
         StorageError::Protocol(m) => (6, m, ""),
+        StorageError::IoFailed(m) => (7, m, ""),
+        StorageError::Timeout(m) => (8, m, ""),
     };
     pb.put_u64(k).put_str(a).put_str(b);
 }
@@ -455,6 +457,8 @@ fn err_get(r: &mut PayloadReader) -> Option<StorageError> {
         4 => StorageError::Deleted(a),
         5 => StorageError::Io(a),
         6 => StorageError::Protocol(a),
+        7 => StorageError::IoFailed(a),
+        8 => StorageError::Timeout(a),
         _ => return None,
     })
 }
@@ -1161,6 +1165,14 @@ mod tests {
                     array: "a".into(),
                     reason: "spans blocks".into(),
                 },
+            },
+            Reply::Err {
+                req: 12,
+                error: StorageError::IoFailed("a@0: 3 attempts".into()),
+            },
+            Reply::Err {
+                req: 13,
+                error: StorageError::Timeout("fetch of a@0".into()),
             },
         ];
         for m in msgs {

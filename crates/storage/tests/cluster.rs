@@ -301,6 +301,112 @@ fn prefetch_brings_block_to_memory() {
     cleanup(&dirs);
 }
 
+/// Negative tests: with recovery *disabled*, injected faults must surface
+/// as the typed errors of the fault model — never as hangs or panics.
+#[cfg(feature = "faultline")]
+mod faults {
+    use super::*;
+    use dooc_faultline as faultline;
+    use dooc_storage::node::RecoveryPolicy;
+    use dooc_storage::{RetryPolicy, StorageError};
+
+    /// [`run_cluster_in`] with explicit recovery + client retry policies.
+    fn run_cluster_faulty<F>(
+        dirs: &[PathBuf],
+        recovery: RecoveryPolicy,
+        retry: RetryPolicy,
+        driver: F,
+    ) where
+        F: Fn(usize, &mut StorageClient) + Send + Sync + 'static,
+    {
+        let nnodes = dirs.len();
+        let mut layout = Layout::new();
+        let mut cluster =
+            StorageCluster::build_with(&mut layout, dirs.to_vec(), 1 << 20, 7, recovery);
+        let driver = Arc::new(driver);
+        let nodes: Vec<NodeId> = (0..nnodes).map(NodeId).collect();
+        let drivers = layout.add_replicated("driver", nodes, move |_| {
+            let driver = Arc::clone(&driver);
+            let retry = retry.clone();
+            Box::new(
+                move |ctx: &mut FilterContext| -> dooc_filterstream::Result<()> {
+                    let to = ctx.take_output("sreq")?;
+                    let from = ctx.take_input("srep")?;
+                    let mut sc = StorageClient::new(to, from, ctx.instance, ctx.instance as u64);
+                    sc.set_retry_policy(retry.clone());
+                    driver(ctx.instance, &mut sc);
+                    sc.shutdown().ok();
+                    Ok(())
+                },
+            )
+        });
+        cluster.attach_clients(&mut layout, drivers, nnodes, "sreq", "srep");
+        Runtime::run(layout).expect("cluster run");
+    }
+
+    #[test]
+    fn injected_io_error_without_retries_is_io_failed() {
+        let _g = faultline::test_gate();
+        let dirs = scratch_dirs("neg-ioerr", 1);
+        std::fs::write(dirs[0].join("mat"), vec![3u8; 64]).expect("stage");
+        faultline::reset();
+        faultline::seed(1);
+        faultline::configure(
+            "storage.io.read",
+            faultline::FaultSpec::error().with_prob(1.0),
+        );
+        faultline::enable();
+        run_cluster_faulty(
+            &dirs,
+            RecoveryPolicy {
+                io_retry_max: 0, // retries disabled: the first error is final
+                ..RecoveryPolicy::default()
+            },
+            RetryPolicy::default(),
+            |_, sc| {
+                let err = sc
+                    .read("mat", Interval::new(0, 64))
+                    .expect_err("injected I/O error must fail the read");
+                assert!(
+                    matches!(err, StorageError::IoFailed(_)),
+                    "expected typed IoFailed, got {err:?}"
+                );
+            },
+        );
+        faultline::reset();
+        cleanup(&dirs);
+    }
+
+    #[test]
+    fn too_short_deadline_surfaces_timeout() {
+        let _g = faultline::test_gate();
+        faultline::reset();
+        let dirs = scratch_dirs("neg-deadline", 1);
+        run_cluster_faulty(
+            &dirs,
+            RecoveryPolicy::default(),
+            RetryPolicy {
+                deadline: Some(std::time::Duration::from_millis(40)),
+                max_retries: 1,
+                backoff: std::time::Duration::from_millis(5),
+            },
+            |_, sc| {
+                // Registered but never written: the read parks server-side
+                // forever; only the client deadline can end the wait.
+                sc.register("ghost", 16, 16).expect("register");
+                let err = sc
+                    .read("ghost", Interval::new(0, 16))
+                    .expect_err("read of never-written data must time out");
+                assert!(
+                    matches!(err, StorageError::Timeout(_)),
+                    "expected typed Timeout, got {err:?}"
+                );
+            },
+        );
+        cleanup(&dirs);
+    }
+}
+
 #[test]
 fn many_concurrent_async_reads() {
     // One node, many interleaved outstanding reads (the overlap pattern the

@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use dooc_storage::meta::{ArrayMeta, Interval};
-use dooc_storage::node::{Action, DiscoveredBlock, NodeConfig, StorageState};
+use dooc_storage::node::{Action, DiscoveredBlock, NodeConfig, RecoveryPolicy, StorageState};
 use dooc_storage::proto::{ClientMsg, IoCmd, IoReply, Reply};
 use dooc_storage::rangeset::RangeSet;
 use proptest::prelude::*;
@@ -14,6 +14,7 @@ fn cfg(budget: u64) -> NodeConfig {
         nnodes: 1,
         memory_budget: budget,
         seed: 7,
+        recovery: RecoveryPolicy::default(),
     }
 }
 
@@ -238,6 +239,131 @@ proptest! {
             let total: u64 = bits.iter().filter(|&&b| b).count() as u64;
             prop_assert_eq!(rs.covered(), total);
         }
+    }
+}
+
+proptest! {
+    /// Fault interleavings: a script of injected disk-read failures, applied
+    /// to an arbitrary stream of out-of-core reads, never corrupts the grant
+    /// ledger. Every request terminates — `ReadReady` (then released) or a
+    /// typed [`StorageError::IoFailed`] once the retry budget is spent — and
+    /// afterwards the node is back at a quiescent point: no pinned block, no
+    /// `loading` flag stuck, no retry queued ([`StorageState::crash_safe`]
+    /// checks exactly the ledger + evictability state this satellite is
+    /// about).
+    #[test]
+    fn injected_read_failures_preserve_ledger(
+        nblocks in 1u64..4,
+        reqs in proptest::collection::vec((0u64..4, 0u64..3), 1..12),
+        failures in proptest::collection::vec(any::<bool>(), 1..24),
+    ) {
+        let bs = 64u64;
+        let recovery = RecoveryPolicy {
+            io_retry_max: 2,
+            io_retry_backoff_ticks: 1,
+            fetch_deadline_ticks: None,
+            stall_retry_max: None,
+        };
+        let discovered: Vec<DiscoveredBlock> = (0..nblocks)
+            .map(|b| DiscoveredBlock {
+                meta: ArrayMeta::new("m", nblocks * bs, bs),
+                block: b,
+            })
+            .collect();
+        let mut st = StorageState::new(
+            NodeConfig {
+                node: 0,
+                nnodes: 1,
+                memory_budget: 1 << 20,
+                seed: 7,
+                recovery,
+            },
+            discovered,
+        );
+
+        // The failure script decides each emitted `IoCmd::Read`'s fate.
+        let mut script = failures.iter().cycle();
+        let mut answered = vec![0usize; reqs.len()];
+        let mut queue: std::collections::VecDeque<Action> = Default::default();
+        let mut drive = |st: &mut StorageState,
+                         queue: &mut std::collections::VecDeque<Action>,
+                         answered: &mut [usize],
+                         acts: Vec<Action>| {
+            queue.extend(acts);
+            let mut steps = 0usize;
+            while let Some(act) = queue.pop_front() {
+                steps += 1;
+                assert!(steps < 10_000, "action cascade did not terminate");
+                match act {
+                    Action::Io(IoCmd::Read { array, block, len }) => {
+                        let reply = if *script.next().expect("cyclic") {
+                            IoReply::Error {
+                                array,
+                                block,
+                                message: "injected read failure".into(),
+                            }
+                        } else {
+                            IoReply::ReadDone {
+                                array,
+                                block,
+                                data: Bytes::from(vec![block as u8 + 1; len as usize]),
+                            }
+                        };
+                        queue.extend(st.handle_io(reply));
+                    }
+                    Action::Io(_) => {} // spill/persist traffic: irrelevant here
+                    Action::Reply { reply: Reply::ReadReady { req, data }, .. } => {
+                        answered[req as usize] += 1;
+                        let (blk, _) = reqs[req as usize];
+                        let block = blk % nblocks;
+                        assert_eq!(data[0], block as u8 + 1, "read served wrong block");
+                        let rel = st.handle_client(ClientMsg::ReleaseRead {
+                            array: "m".into(),
+                            iv: Interval::new(block * bs, bs),
+                        });
+                        queue.extend(rel);
+                    }
+                    Action::Reply { reply: Reply::Err { req, error }, .. } => {
+                        answered[req as usize] += 1;
+                        assert!(
+                            matches!(error, dooc_storage::StorageError::IoFailed(_)),
+                            "read failure must surface as IoFailed, got {error:?}"
+                        );
+                    }
+                    Action::Reply { .. } | Action::Peer { .. } => {}
+                }
+            }
+        };
+
+        for (req, &(blk, client)) in reqs.iter().enumerate() {
+            let block = blk % nblocks;
+            let acts = st.handle_client(ClientMsg::ReadReq {
+                req: req as u64,
+                client,
+                array: "m".into(),
+                iv: Interval::new(block * bs, bs),
+            });
+            drive(&mut st, &mut queue, &mut answered, acts);
+        }
+        // Drain the recovery clock: backoff retries must either succeed or
+        // exhaust the budget — never leave the node needing ticks forever.
+        let mut ticks = 0;
+        while st.needs_tick() {
+            ticks += 1;
+            prop_assert!(ticks < 1_000, "recovery clock never quiesced");
+            let acts = st.on_tick();
+            drive(&mut st, &mut queue, &mut answered, acts);
+        }
+
+        for (req, n) in answered.iter().enumerate() {
+            prop_assert_eq!(*n, 1, "request {} answered {} times", req, n);
+        }
+        // Ledger clean: no pins, no write grants, no loading/spilling block,
+        // no parked waiter, nothing unevictable.
+        prop_assert!(
+            st.crash_safe(),
+            "node not quiescent after fault interleaving (leaked pin/grant/loading state)"
+        );
     }
 }
 
