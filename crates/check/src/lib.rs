@@ -1,6 +1,6 @@
 //! Verification tooling for the DOoC reproduction.
 //!
-//! Two subsystems, both dependency-free:
+//! Three subsystems:
 //!
 //! * [`model`] — an explicit-state model checker over a bounded abstraction
 //!   of the storage layer's request/release protocol (`storage::proto` +
@@ -8,13 +8,23 @@
 //!   clients operating on two blocks and checks the protocol invariants on
 //!   every reachable state. Seedable bugs ([`model::BugConfig`]) prove the
 //!   checker actually catches violations.
+//! * [`explore`] (feature `model`) — dooc-shuttle, a deterministic
+//!   interleaving explorer over the *real* runtime types: `dooc-sync`
+//!   primitives run on a virtual cooperative scheduler, and seeded
+//!   random-walk plus bounded-preemption DFS search the schedule space.
+//!   Failures come with a replayable schedule token. Run via
+//!   `cargo test -p dooc-check --features model -- explore`.
 //! * [`lint`] — a plain-text source lint pass enforcing repo-wide coding
 //!   rules (no `unwrap`/`expect` in protocol library code, no
 //!   `std::sync::Mutex`, no unbounded channels, `forbid(unsafe_code)` in
-//!   every crate root). Run via `cargo run -p dooc-check --bin lint`.
+//!   every crate root, sync primitives via `dooc-sync`). Run via
+//!   `cargo run -p dooc-check --bin lint` (`--json` for machine-readable
+//!   findings).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "model")]
+pub mod explore;
 pub mod lint;
 pub mod model;

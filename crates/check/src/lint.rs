@@ -8,12 +8,14 @@
 //!    filter thread kills the whole dataflow with an opaque panic. Test
 //!    code (a trailing `#[cfg(test)]` module, or files under `tests/`) is
 //!    exempt.
-//! 2. **No `std::sync` locks** — the workspace standardises on
-//!    `parking_lot` (and [`dooc_filterstream::sync`]'s checked wrapper);
-//!    mixing lock families defeats the lock-order instrumentation.
+//! 2. **No `std::sync` locks** — the workspace standardises on the
+//!    `dooc-sync` facade (`Mutex`, `RwLock`, the checked `OrderedMutex`);
+//!    mixing lock families defeats both the lock-order instrumentation and
+//!    schedule exploration.
 //! 3. **No unbounded channels** — filter graphs rely on bounded streams
 //!    for backpressure; an unbounded channel reintroduces the unbounded
-//!    memory growth the paper's design avoids.
+//!    memory growth the paper's design avoids. The `sync` crate, which
+//!    implements the channel facade, is exempt.
 //! 4. **`#![forbid(unsafe_code)]` in every crate root.**
 //! 5. **No bare `release_read` calls outside the `storage` crate** — the
 //!    storage client hands out RAII [`ReadGuard`]s that release their pin on
@@ -30,6 +32,15 @@
 //!    arguments defeat auditability of where faults can be injected. The
 //!    `faultline` crate itself (whose API docs and internals mention the
 //!    call) is exempt, as is test code.
+//! 7. **Runtime crates import sync primitives from `dooc-sync`** — the
+//!    crates in [`SYNC_DISCIPLINED_CRATES`] must not reference
+//!    `parking_lot` or `crossbeam` directly. The dooc-sync facade is what
+//!    lets the dooc-check schedule explorer swap every lock, atomic and
+//!    channel for virtual-scheduler versions (the `model` feature); a
+//!    direct import silently escapes exploration and replay. The exemption
+//!    list ([`SYNC_DISCIPLINE_EXEMPT_CRATES`]) is closed: a mirror test
+//!    asserts the two lists exactly partition `crates/`, so a new crate
+//!    must be classified explicitly.
 //!
 //! Scanning is line-based: lines whose trimmed form starts with `//` are
 //! skipped, and within a file everything from the first `#[cfg(test)]`
@@ -51,6 +62,27 @@ pub const REGISTERED_FAULT_SITES: &[&str] = &[
     "storage.io.write",
     "storage.node.crash",
     "worker.task.crash",
+];
+
+/// Crates whose library code must take locks, atomics and channels from
+/// `dooc-sync` rather than `parking_lot`/`crossbeam` directly (rule 7), so
+/// the schedule explorer's `model` builds capture every primitive.
+pub const SYNC_DISCIPLINED_CRATES: &[&str] = &["core", "filterstream", "scheduler", "storage"];
+
+/// Crates exempt from rule 7. `sync` implements the facade itself; the rest
+/// sit outside the explored runtime (tooling, observability, math kernels,
+/// benches and the discrete-event simulator). Together with
+/// [`SYNC_DISCIPLINED_CRATES`] this must exactly partition `crates/` — a
+/// mirror test enforces it so new crates are classified deliberately.
+pub const SYNC_DISCIPLINE_EXEMPT_CRATES: &[&str] = &[
+    "bench",
+    "check",
+    "faultline",
+    "linalg",
+    "obs",
+    "simulator",
+    "sparse",
+    "sync",
 ];
 
 /// One rule violation at a source location.
@@ -89,6 +121,27 @@ const PAT_UNBOUNDED: &str = concat!("unbounded", "(");
 const PAT_FORBID_UNSAFE: &str = concat!("#![forbid(", "unsafe_code)]");
 const PAT_RELEASE_READ: &str = concat!(".release_read", "(");
 const PAT_FAIL_AT: &str = concat!("fail::", "at(");
+const PAT_PARKING_LOT: &str = concat!("parking", "_lot");
+const PAT_CROSSBEAM: &str = concat!("cross", "beam");
+
+/// Per-file rule toggles for [`lint_source`], derived from the crate the
+/// file belongs to ([`lint_workspace`] sets them; tests set them directly).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LintOpts {
+    /// Rule 1: ban `unwrap()`/`expect(` ([`PANIC_FREE_CRATES`]).
+    pub panic_free: bool,
+    /// Rule 3: ban unbounded channels (off only for the `sync` crate, which
+    /// implements the channel facade itself).
+    pub ban_unbounded: bool,
+    /// Rule 5: ban bare `release_read(` (off for the `storage` crate).
+    pub ban_release_read: bool,
+    /// Rule 6: `fail::at` sites must be registered string literals (off for
+    /// the `faultline` crate).
+    pub check_fault_sites: bool,
+    /// Rule 7: sync primitives must come from `dooc-sync`
+    /// ([`SYNC_DISCIPLINED_CRATES`]).
+    pub sync_discipline: bool,
+}
 
 /// Rule 6 helper: checks one line's `fail::at(` call sites. Returns an
 /// error message when the site argument is not a string literal naming a
@@ -117,16 +170,10 @@ fn check_fail_site(line: &str) -> Option<String> {
     None
 }
 
-/// Lints one source file's content. `panic_free` selects rule 1,
-/// `ban_release_read` selects rule 5, and `check_fault_sites` selects rule 6
-/// in addition to the always-on rules.
-pub fn lint_source(
-    file: &Path,
-    content: &str,
-    panic_free: bool,
-    ban_release_read: bool,
-    check_fault_sites: bool,
-) -> Vec<Finding> {
+/// Lints one source file's content under the given rule toggles; rules 2
+/// and 4 have no toggle (rule 2 runs on every file here, rule 4 runs via
+/// [`lint_crate_root`]).
+pub fn lint_source(file: &Path, content: &str, opts: LintOpts) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut in_tests = false;
     for (i, raw) in content.lines().enumerate() {
@@ -146,7 +193,7 @@ pub fn lint_source(
             });
         };
         // Rule 5 applies to test code too — check before the test-module skip.
-        if ban_release_read && line.contains(PAT_RELEASE_READ) {
+        if opts.ban_release_read && line.contains(PAT_RELEASE_READ) {
             report(
                 "no-bare-release-read",
                 "manual release_read — hold a ReadGuard (wait_read/read) and let drop \
@@ -157,7 +204,7 @@ pub fn lint_source(
         if in_tests {
             continue;
         }
-        if panic_free {
+        if opts.panic_free {
             if line.contains(PAT_UNWRAP) {
                 report(
                     "no-unwrap",
@@ -174,19 +221,28 @@ pub fn lint_source(
         if line.contains(PAT_STD_MUTEX) || line.contains(PAT_STD_RWLOCK) {
             report(
                 "no-std-locks",
-                "std::sync lock — use parking_lot (or sync::OrderedMutex)".into(),
+                "std::sync lock — use dooc-sync (or its OrderedMutex)".into(),
             );
         }
-        if line.contains(PAT_UNBOUNDED) {
+        if opts.ban_unbounded && line.contains(PAT_UNBOUNDED) {
             report(
                 "no-unbounded-channels",
                 "unbounded channel — streams must be bounded for backpressure".into(),
             );
         }
-        if check_fault_sites {
+        if opts.check_fault_sites {
             if let Some(message) = check_fail_site(line) {
                 report("registered-fault-sites", message);
             }
+        }
+        if opts.sync_discipline && (line.contains(PAT_PARKING_LOT) || line.contains(PAT_CROSSBEAM))
+        {
+            report(
+                "sync-discipline",
+                "direct parking_lot/crossbeam reference in a runtime crate — import \
+                 the primitive from dooc-sync so model builds can explore it"
+                    .into(),
+            );
         }
     }
     findings
@@ -275,13 +331,21 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         }
         roots.push(src.join("lib.rs"));
         let crate_name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
-        let panic_free = PANIC_FREE_CRATES.contains(&crate_name);
-        // The storage crate implements the protocol; its internal
-        // `release_read` handling is the thing everyone else must not call.
-        let ban_release_read = crate_name != "storage";
-        // The faultline crate defines the failpoint API; everyone else must
-        // call it only with registered site literals (rule 6).
-        let check_fault_sites = crate_name != "faultline";
+        let opts = LintOpts {
+            panic_free: PANIC_FREE_CRATES.contains(&crate_name),
+            // The sync crate implements the channel facade (including the
+            // model scheduler's virtual channels); everyone else must stay
+            // bounded.
+            ban_unbounded: crate_name != "sync",
+            // The storage crate implements the protocol; its internal
+            // `release_read` handling is the thing everyone else must not
+            // call.
+            ban_release_read: crate_name != "storage",
+            // The faultline crate defines the failpoint API; everyone else
+            // must call it only with registered site literals (rule 6).
+            check_fault_sites: crate_name != "faultline",
+            sync_discipline: SYNC_DISCIPLINED_CRATES.contains(&crate_name),
+        };
         let mut files = Vec::new();
         rust_sources(&src, &mut files)?;
         files.sort();
@@ -289,13 +353,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             let content = fs::read_to_string(&file)?;
             report.files_scanned += 1;
             let rel = file.strip_prefix(root).unwrap_or(&file);
-            report.findings.extend(lint_source(
-                rel,
-                &content,
-                panic_free,
-                ban_release_read,
-                check_fault_sites,
-            ));
+            report.findings.extend(lint_source(rel, &content, opts));
         }
         for sub in ["tests", "benches"] {
             let tree = dir.join(sub);
@@ -329,14 +387,25 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
 mod tests {
     use super::*;
 
+    /// Old-signature shim: rule-3 on (the pre-LintOpts default), rule 7 off.
+    fn opts(panic_free: bool, ban_release_read: bool, check_fault_sites: bool) -> LintOpts {
+        LintOpts {
+            panic_free,
+            ban_unbounded: true,
+            ban_release_read,
+            check_fault_sites,
+            sync_discipline: false,
+        }
+    }
+
     #[test]
     fn unwrap_flagged_only_in_panic_free_crates() {
         let src = "fn f() { x.unwrap(); }\n";
-        let f = lint_source(Path::new("a.rs"), src, true, false, false);
+        let f = lint_source(Path::new("a.rs"), src, opts(true, false, false));
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "no-unwrap");
         assert_eq!(f[0].line, 1);
-        assert!(lint_source(Path::new("a.rs"), src, false, false, false).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, opts(false, false, false)).is_empty());
     }
 
     #[test]
@@ -349,7 +418,7 @@ mod tests {
     fn g() { x.unwrap(); }
 }
 ";
-        assert!(lint_source(Path::new("a.rs"), src, true, false, false).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, opts(true, false, false)).is_empty());
     }
 
     #[test]
@@ -360,7 +429,7 @@ mod tests {
             concat!("unbounded", ""),
             "()"
         );
-        let f = lint_source(Path::new("a.rs"), &src, false, false, false);
+        let f = lint_source(Path::new("a.rs"), &src, opts(false, false, false));
         let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
         assert!(rules.contains(&"no-std-locks"), "{rules:?}");
         assert!(rules.contains(&"no-unbounded-channels"), "{rules:?}");
@@ -369,7 +438,7 @@ mod tests {
     #[test]
     fn unwrap_or_variants_not_flagged() {
         let src = "let x = y.unwrap_or(0).unwrap_or_else(f).unwrap_or_default();\n";
-        assert!(lint_source(Path::new("a.rs"), src, true, false, false).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, opts(true, false, false)).is_empty());
     }
 
     #[test]
@@ -379,11 +448,11 @@ mod tests {
             concat!(".release_read", "(\"a\", "),
             concat!(".release_read", "(\"a\", "),
         );
-        let f = lint_source(Path::new("a.rs"), &src, false, true, false);
+        let f = lint_source(Path::new("a.rs"), &src, opts(false, true, false));
         assert_eq!(f.len(), 2, "{f:?}");
         assert!(f.iter().all(|x| x.rule == "no-bare-release-read"));
         assert!(
-            lint_source(Path::new("a.rs"), &src, false, false, false).is_empty(),
+            lint_source(Path::new("a.rs"), &src, opts(false, false, false)).is_empty(),
             "rule off for the storage crate itself"
         );
     }
@@ -391,7 +460,7 @@ mod tests {
     #[test]
     fn release_read_raw_escape_hatch_allowed() {
         let src = "fn f() { sc.release_read_raw(\"a\", iv)?; }\n";
-        assert!(lint_source(Path::new("a.rs"), src, false, true, false).is_empty());
+        assert!(lint_source(Path::new("a.rs"), src, opts(false, true, false)).is_empty());
         assert!(lint_release_read(Path::new("a.rs"), src).is_empty());
     }
 
@@ -424,10 +493,10 @@ mod tests {
             "fn f() {{ if let Some(f) = dooc_faultline::{}\"storage.io.read\") {{}} }}\n",
             concat!("fail::", "at("),
         );
-        assert!(lint_source(Path::new("a.rs"), &src, false, false, true).is_empty());
+        assert!(lint_source(Path::new("a.rs"), &src, opts(false, false, true)).is_empty());
         // Rule off: the faultline crate itself may mention the call freely.
         let bad = format!("fn f() {{ {}site) }}\n", concat!("fail::", "at("));
-        assert!(lint_source(Path::new("a.rs"), &bad, false, false, false).is_empty());
+        assert!(lint_source(Path::new("a.rs"), &bad, opts(false, false, false)).is_empty());
     }
 
     #[test]
@@ -436,7 +505,7 @@ mod tests {
             "fn f() {{ {}\"storage.made.up\"); }}\n",
             concat!("fail::", "at("),
         );
-        let f = lint_source(Path::new("a.rs"), &src, false, false, true);
+        let f = lint_source(Path::new("a.rs"), &src, opts(false, false, true));
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "registered-fault-sites");
         assert!(f[0].message.contains("storage.made.up"), "{f:?}");
@@ -445,7 +514,7 @@ mod tests {
     #[test]
     fn non_literal_fault_site_flagged() {
         let src = format!("fn f() {{ {}site_var); }}\n", concat!("fail::", "at("));
-        let f = lint_source(Path::new("a.rs"), &src, false, false, true);
+        let f = lint_source(Path::new("a.rs"), &src, opts(false, false, true));
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "registered-fault-sites");
         assert!(f[0].message.contains("string literal"), "{f:?}");
@@ -457,7 +526,7 @@ mod tests {
             "fn f() {{}}\n#[cfg(test)]\nmod t {{ fn g() {{ {}\"anything.goes\"); }} }}\n",
             concat!("fail::", "at("),
         );
-        assert!(lint_source(Path::new("a.rs"), &src, false, false, true).is_empty());
+        assert!(lint_source(Path::new("a.rs"), &src, opts(false, false, true)).is_empty());
     }
 
     #[test]
@@ -474,6 +543,66 @@ mod tests {
         assert_eq!(
             declared, REGISTERED_FAULT_SITES,
             "lint.rs REGISTERED_FAULT_SITES must mirror dooc_faultline::SITES"
+        );
+    }
+
+    #[test]
+    fn direct_sync_primitive_use_flagged_in_disciplined_crates() {
+        let src = format!(
+            "use {}::Mutex;\nlet (tx, rx) = {}::channel::bounded(4);\n",
+            concat!("parking", "_lot"),
+            concat!("cross", "beam"),
+        );
+        let on = LintOpts {
+            sync_discipline: true,
+            ..LintOpts::default()
+        };
+        let f = lint_source(Path::new("a.rs"), &src, on);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "sync-discipline"), "{f:?}");
+        assert!(
+            lint_source(Path::new("a.rs"), &src, LintOpts::default()).is_empty(),
+            "rule off for exempt crates"
+        );
+    }
+
+    #[test]
+    fn sync_discipline_exempt_in_test_modules() {
+        let src = format!(
+            "fn f() {{}}\n#[cfg(test)]\nmod t {{ use {}::Mutex; }}\n",
+            concat!("parking", "_lot"),
+        );
+        let on = LintOpts {
+            sync_discipline: true,
+            ..LintOpts::default()
+        };
+        assert!(lint_source(Path::new("a.rs"), &src, on).is_empty());
+    }
+
+    #[test]
+    fn sync_discipline_lists_partition_the_workspace() {
+        // The disciplined and exempt lists must exactly cover `crates/` with
+        // no overlap, so adding a crate forces an explicit classification.
+        let crates_dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("crates/check sits under crates/");
+        let mut actual: Vec<String> = std::fs::read_dir(crates_dir)
+            .expect("read crates/")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        actual.sort();
+        let mut classified: Vec<String> = SYNC_DISCIPLINED_CRATES
+            .iter()
+            .chain(SYNC_DISCIPLINE_EXEMPT_CRATES)
+            .map(|s| s.to_string())
+            .collect();
+        classified.sort();
+        assert_eq!(
+            classified, actual,
+            "SYNC_DISCIPLINED_CRATES + SYNC_DISCIPLINE_EXEMPT_CRATES must \
+             exactly partition crates/"
         );
     }
 }

@@ -19,8 +19,8 @@ use dooc_filterstream::{Delivery, Layout, NodeId, Runtime};
 use dooc_scheduler::{assign_affinity, TaskGraph};
 use dooc_storage::proto::NodeStats;
 use dooc_storage::StorageCluster;
+use dooc_sync::atomic::AtomicU64;
 use std::collections::HashMap;
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -121,7 +121,7 @@ impl DoocRuntime {
         );
 
         let base = cluster.attach_clients(&mut layout, workers, nnodes, "sreq", "srep");
-        client_base.store(base, std::sync::atomic::Ordering::SeqCst);
+        client_base.store(base, dooc_sync::atomic::Ordering::SeqCst);
 
         let streams = Runtime::run(layout)?;
         let elapsed = start.elapsed();

@@ -10,7 +10,6 @@
 use crate::report::TraceEvent;
 use crate::DoocConfig;
 use bytes::Bytes;
-use dooc_filterstream::sync::OrderedMutex;
 use dooc_filterstream::{DataBuffer, Filter, FilterContext};
 use dooc_obs::metrics::{counter, histogram, Counter, Gauge, Histogram};
 use dooc_obs::Category;
@@ -20,6 +19,7 @@ use dooc_storage::client::MapDelta;
 use dooc_storage::meta::{ArrayMeta, Interval};
 use dooc_storage::proto::{BlockAvail, NodeStats};
 use dooc_storage::{ReadGuard, SealTicket, StorageClient, WriteTicket};
+use dooc_sync::OrderedMutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -182,6 +182,11 @@ pub struct WorkerContext<'a> {
     /// only re-executable while this is false: inputs are immutable, but a
     /// half-written output would make the replay's `create` collide.
     pub(crate) wrote_outputs: bool,
+    /// Model builds: [`Self::read_blocks_raw`] deliberately leaks the read
+    /// grant of this block index instead of releasing it — seeded bug for
+    /// the grant-leak negative exploration test in dooc-check.
+    #[cfg(feature = "model")]
+    pub leak_read_grant_of_block: Option<u64>,
 }
 
 impl<'a> WorkerContext<'a> {
@@ -204,6 +209,8 @@ impl<'a> WorkerContext<'a> {
             input_bytes: 0,
             copied_bytes: 0,
             wrote_outputs: false,
+            #[cfg(feature = "model")]
+            leak_read_grant_of_block: None,
         }
     }
 
@@ -310,6 +317,10 @@ impl<'a> WorkerContext<'a> {
             }
             consume(b, &data);
             self.count_input(data.len() as u64);
+            #[cfg(feature = "model")]
+            if self.leak_read_grant_of_block == Some(b) {
+                continue;
+            }
             let iv = Interval::new(meta.block_start(b), meta.block_len(b));
             self.client
                 .release_read_raw(name, iv)
@@ -653,7 +664,7 @@ pub(crate) struct WorkerFilter {
     pub executor: Arc<dyn TaskExecutor>,
     pub config: DoocConfig,
     pub geometry: Arc<HashMap<String, (u64, u64)>>,
-    pub client_base: Arc<std::sync::atomic::AtomicU64>,
+    pub client_base: Arc<dooc_sync::atomic::AtomicU64>,
     pub sinks: Arc<Sinks>,
     pub start: Instant,
 }
@@ -663,7 +674,7 @@ impl Filter for WorkerFilter {
         let node = ctx.instance as u64;
         let to_storage = ctx.take_output("sreq")?;
         let from_storage = ctx.take_input("srep")?;
-        let base = self.client_base.load(std::sync::atomic::Ordering::SeqCst);
+        let base = self.client_base.load(dooc_sync::atomic::Ordering::SeqCst);
         let mut client = StorageClient::new(to_storage, from_storage, ctx.instance, base + node);
         client.set_retry_policy(self.config.client_retry.clone());
         // Geometry hints on every node.

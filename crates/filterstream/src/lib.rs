@@ -49,7 +49,7 @@ pub use buffer::DataBuffer;
 pub use filter::{Filter, FilterContext};
 pub use layout::{FilterId, Layout};
 pub use runtime::{PortReport, Runtime, RuntimeReport};
-pub use stream::{select_recv, Delivery, StreamReader, StreamWriter};
+pub use stream::{select_recv, standalone_stream, Delivery, StreamReader, StreamWriter};
 pub use sync::OrderedMutex;
 
 /// Identity of a (simulated) compute node filters are placed on.

@@ -26,9 +26,9 @@
 
 use crate::buffer::DataBuffer;
 use crate::{FsError, NodeId, Result};
-use crossbeam::channel::{bounded, Receiver, Select, Sender};
 use dooc_obs::metrics::{counter, Counter};
-use std::sync::atomic::{AtomicU64, Ordering};
+use dooc_sync::atomic::{AtomicU64, Ordering};
+use dooc_sync::channel::{bounded, Receiver, Select, Sender};
 use std::sync::{Arc, OnceLock};
 
 /// Stream-layer metric handles, resolved once (updates are gated relaxed
@@ -205,7 +205,7 @@ impl Inbox {
             from_node: node,
             consumer_nodes: Arc::clone(&self.consumer_nodes),
             #[cfg(feature = "faultline")]
-            held: parking_lot::Mutex::new(None),
+            held: dooc_sync::Mutex::new(None),
         }
     }
 }
@@ -234,7 +234,7 @@ pub struct StreamWriter {
     /// message is ever lost to reordering). `None` dest means [`Self::send`],
     /// `Some(d)` means [`Self::send_to`].
     #[cfg(feature = "faultline")]
-    held: parking_lot::Mutex<Option<(Option<usize>, DataBuffer)>>,
+    held: dooc_sync::Mutex<Option<(Option<usize>, DataBuffer)>>,
 }
 
 impl StreamWriter {
@@ -475,6 +475,19 @@ impl StreamReader {
         }
         out
     }
+}
+
+/// Builds a standalone point-to-point stream outside any layout: one
+/// producer instance feeding one consumer instance (both as instance 0 on
+/// node 0) with [`Delivery::Addressed`] delivery, so `send`, `send_to(0, _)`
+/// and `recv` all work. For harnesses (benches, dooc-check's schedule
+/// exploration suite) that wire a client to a hand-rolled server loop
+/// instead of standing up a full [`crate::Runtime`] layout.
+pub fn standalone_stream(port: &str, capacity: usize) -> (StreamWriter, StreamReader) {
+    let mut inbox = Inbox::new(Delivery::Addressed, capacity, &[NodeId(0)], port);
+    let reader = inbox.take_reader(0);
+    let writer = inbox.writer(port, 0, NodeId(0), Arc::new(StreamStats::default()));
+    (writer, reader)
 }
 
 /// Blocking receive over several readers: returns the index of the reader

@@ -1,242 +1,9 @@
-//! Feature-gated lock-order deadlock detection.
+//! Re-export shim: the synchronization primitives live in `dooc-sync`.
 //!
-//! [`OrderedMutex`] wraps `parking_lot::Mutex` with a *lock class*: a
-//! `&'static str` naming the role of the lock (e.g. `"storage.cluster.
-//! port_map"`). With the `order-check` feature enabled, every acquisition
-//! records, for each lock class already held by the acquiring thread, a
-//! directed edge `held class -> acquired class` into a process-global
-//! lock-order graph, together with both acquisition sites. An acquisition
-//! that would close a cycle in that graph — some other code path acquires
-//! the same classes in the opposite order — panics immediately, naming both
-//! acquisition sites. This turns *potential* deadlocks (inconsistent lock
-//! ordering that may never actually interleave in a given run) into
-//! deterministic test failures, without needing the unlucky schedule.
-//!
-//! Detection is by class, not by instance: two distinct mutexes sharing a
-//! class are treated as the same lock. That is deliberate — replicas of the
-//! same structure must obey one ordering discipline — but it means classes
-//! must name roles, not objects.
-//!
-//! With the feature disabled (the default) the wrapper compiles down to a
-//! plain `parking_lot::Mutex` plus a `&'static str` it never consults.
+//! [`OrderedMutex`] (lock-class deadlock detection under the `order-check`
+//! feature) moved to the dedicated sync facade crate so every runtime crate
+//! — and the dooc-check schedule-exploration engine — shares one set of
+//! primitives. This module keeps the historical `dooc_filterstream::sync`
+//! paths working.
 
-use parking_lot::{Mutex, MutexGuard};
-use std::ops::{Deref, DerefMut};
-
-#[cfg(feature = "order-check")]
-mod detect {
-    use std::cell::RefCell;
-    use std::collections::{HashMap, HashSet};
-    use std::panic::Location;
-    use std::sync::OnceLock;
-
-    type Site = &'static Location<'static>;
-
-    /// The process-global lock-order graph: edge `(a, b)` means "some thread
-    /// acquired class `b` while holding class `a`", annotated with the first
-    /// pair of acquisition sites that established it.
-    #[derive(Default)]
-    pub(super) struct Graph {
-        edges: HashMap<(&'static str, &'static str), (Site, Site)>,
-    }
-
-    impl Graph {
-        /// Is `to` reachable from `from` over recorded edges?
-        fn reachable(&self, from: &'static str, to: &'static str) -> bool {
-            let mut stack = vec![from];
-            let mut seen: HashSet<&'static str> = HashSet::new();
-            while let Some(c) = stack.pop() {
-                if c == to {
-                    return true;
-                }
-                if !seen.insert(c) {
-                    continue;
-                }
-                for &(a, b) in self.edges.keys() {
-                    if a == c {
-                        stack.push(b);
-                    }
-                }
-            }
-            false
-        }
-    }
-
-    fn graph() -> &'static parking_lot::Mutex<Graph> {
-        static GRAPH: OnceLock<parking_lot::Mutex<Graph>> = OnceLock::new();
-        GRAPH.get_or_init(Default::default)
-    }
-
-    thread_local! {
-        /// Lock classes currently held by this thread, with their
-        /// acquisition sites, in acquisition order.
-        static HELD: RefCell<Vec<(&'static str, Site)>> = const { RefCell::new(Vec::new()) };
-    }
-
-    /// Records `held -> class` edges and panics if the acquisition would
-    /// close an ordering cycle. Called before blocking on the inner mutex so
-    /// the violation is reported rather than deadlocking the test.
-    pub(super) fn before_acquire(class: &'static str, site: Site) {
-        HELD.with(|h| {
-            let held = h.borrow();
-            if held.is_empty() {
-                return;
-            }
-            let mut g = graph().lock();
-            for &(held_class, held_site) in held.iter() {
-                if held_class == class {
-                    panic!(
-                        "lock-order violation: recursive acquisition of lock class \
-                         '{class}' at {site} (already held since {held_site})"
-                    );
-                }
-                if g.reachable(class, held_class) {
-                    let (s1, s2) = g
-                        .edges
-                        .get(&(class, held_class))
-                        .copied()
-                        .unwrap_or((site, held_site));
-                    panic!(
-                        "lock-order violation: acquiring '{class}' at {site} while \
-                         holding '{held_class}' (acquired at {held_site}), but the \
-                         opposite order was established earlier: '{class}' acquired \
-                         at {s1}, then '{held_class}' at {s2}"
-                    );
-                }
-                g.edges
-                    .entry((held_class, class))
-                    .or_insert((held_site, site));
-            }
-        });
-    }
-
-    pub(super) fn push_held(class: &'static str, site: Site) {
-        HELD.with(|h| h.borrow_mut().push((class, site)));
-    }
-
-    pub(super) fn pop_held(class: &'static str) {
-        HELD.with(|h| {
-            let mut held = h.borrow_mut();
-            if let Some(i) = held.iter().rposition(|&(c, _)| c == class) {
-                held.remove(i);
-            }
-        });
-    }
-}
-
-/// A mutex carrying a lock-order class, checked when the `order-check`
-/// feature is enabled (see the module docs). Transparent otherwise.
-pub struct OrderedMutex<T> {
-    class: &'static str,
-    inner: Mutex<T>,
-}
-
-impl<T> OrderedMutex<T> {
-    /// Wraps `value` under lock class `class`.
-    pub const fn new(class: &'static str, value: T) -> Self {
-        Self {
-            class,
-            inner: Mutex::new(value),
-        }
-    }
-
-    /// The lock class this mutex was declared with.
-    pub fn class(&self) -> &'static str {
-        self.class
-    }
-
-    /// Acquires the lock; with `order-check`, first verifies that doing so
-    /// respects the global lock order, panicking (with both acquisition
-    /// sites) if it does not.
-    #[cfg(feature = "order-check")]
-    #[track_caller]
-    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
-        let site = std::panic::Location::caller();
-        detect::before_acquire(self.class, site);
-        let inner = self.inner.lock();
-        detect::push_held(self.class, site);
-        OrderedMutexGuard {
-            inner,
-            class: self.class,
-        }
-    }
-
-    /// Acquires the lock (order checking compiled out).
-    #[cfg(not(feature = "order-check"))]
-    #[inline]
-    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
-        OrderedMutexGuard {
-            inner: self.inner.lock(),
-        }
-    }
-
-    /// Mutable access without locking (requires exclusive ownership).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut()
-    }
-
-    /// Consumes the mutex, returning the value.
-    pub fn into_inner(self) -> T {
-        self.inner.into_inner()
-    }
-}
-
-impl<T: std::fmt::Debug> std::fmt::Debug for OrderedMutex<T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OrderedMutex")
-            .field("class", &self.class)
-            .finish_non_exhaustive()
-    }
-}
-
-/// Guard returned by [`OrderedMutex::lock`].
-pub struct OrderedMutexGuard<'a, T> {
-    inner: MutexGuard<'a, T>,
-    #[cfg(feature = "order-check")]
-    class: &'static str,
-}
-
-impl<T> Deref for OrderedMutexGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        &self.inner
-    }
-}
-
-impl<T> DerefMut for OrderedMutexGuard<'_, T> {
-    fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
-    }
-}
-
-#[cfg(feature = "order-check")]
-impl<T> Drop for OrderedMutexGuard<'_, T> {
-    fn drop(&mut self) {
-        detect::pop_held(self.class);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn lock_round_trips_value() {
-        let m = OrderedMutex::new("test.sync.value", 41);
-        *m.lock() += 1;
-        assert_eq!(*m.lock(), 42);
-        assert_eq!(m.class(), "test.sync.value");
-        assert_eq!(m.into_inner(), 42);
-    }
-
-    #[cfg(feature = "order-check")]
-    #[test]
-    fn consistent_nesting_is_allowed_repeatedly() {
-        let a = OrderedMutex::new("test.sync.outer", ());
-        let b = OrderedMutex::new("test.sync.inner", ());
-        for _ in 0..3 {
-            let _ga = a.lock();
-            let _gb = b.lock();
-        }
-    }
-}
+pub use dooc_sync::{OrderedMutex, OrderedMutexGuard};

@@ -27,9 +27,9 @@ use crate::proto::{ClientMsg, MapEntry, NodeStats, Reply};
 use crate::{Result, StorageError};
 use bytes::Bytes;
 use dooc_filterstream::{StreamReader, StreamWriter};
+use dooc_sync::atomic::{AtomicU64, Ordering};
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Ticket kind marker: a pending pinned read.

@@ -10,8 +10,8 @@
 
 use crate::filterimpl::{ports, ClientPortMap, IoFilter, StorageFilter};
 use crate::node::{NodeConfig, RecoveryPolicy};
-use dooc_filterstream::sync::OrderedMutex;
 use dooc_filterstream::{Delivery, FilterId, Layout, NodeId};
+use dooc_sync::OrderedMutex;
 use std::path::PathBuf;
 use std::sync::Arc;
 

@@ -162,6 +162,24 @@ struct FetchState {
     age: u64,
 }
 
+/// Deliberately seeded invariant violations for dooc-check's schedule
+/// exploration negative tests. Each flag disables one guard the positive
+/// exploration tests prove necessary; the explorer must then find an
+/// interleaving that turns the missing guard into an observable failure.
+/// Without the `model` feature every flag is a compile-time `false`
+/// ([`StorageState::bug`]), so real builds carry no extra state or branches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SeededBugs {
+    /// Eviction ignores `pins`: blocks with live read guards get dropped.
+    pub evict_ignores_pins: bool,
+    /// [`StorageState::map_delta`] detects changes but never bumps
+    /// `map_version`, so incremental deltas go stale instead of composing.
+    pub skip_map_version_bump: bool,
+    /// Reclaim drops not-yet-spilled blocks without writing them first,
+    /// losing the only copy of the data.
+    pub evict_skips_spill: bool,
+}
+
 /// A failed out-of-core read scheduled for re-issue at tick `due`.
 struct IoRetry {
     due: u64,
@@ -317,6 +335,9 @@ pub struct StorageState {
     local_done: bool,
     /// Number of peers that sent a `Bye`.
     byes: u64,
+    /// Seeded invariant violations for negative exploration tests.
+    #[cfg(feature = "model")]
+    seeded_bugs: SeededBugs,
 }
 
 impl StorageState {
@@ -348,6 +369,8 @@ impl StorageState {
             stall_rounds: HashMap::new(),
             local_done: false,
             byes: 0,
+            #[cfg(feature = "model")]
+            seeded_bugs: SeededBugs::default(),
         };
         for d in discovered {
             let entry = st
@@ -361,6 +384,31 @@ impl StorageState {
         }
         st.stats.budget_bytes = st.cfg.memory_budget;
         st
+    }
+
+    /// Plants deliberate bugs for negative schedule-exploration tests.
+    #[cfg(feature = "model")]
+    pub fn set_seeded_bugs(&mut self, bugs: SeededBugs) {
+        self.seeded_bugs = bugs;
+    }
+
+    #[cfg(feature = "model")]
+    fn bug(&self) -> SeededBugs {
+        self.seeded_bugs
+    }
+
+    #[cfg(not(feature = "model"))]
+    fn bug(&self) -> SeededBugs {
+        SeededBugs::default()
+    }
+
+    /// Model-build inspection: `(pins, resident_in_memory, on_disk)` for a
+    /// block, if known. Exploration tests assert residency invariants (e.g.
+    /// "evict never fires under a live guard") against this directly.
+    #[cfg(feature = "model")]
+    pub fn debug_block(&self, array: &str, block: u64) -> Option<(u64, bool, bool)> {
+        let info = self.arrays.get(array)?.blocks.get(&block)?;
+        Some((info.pins, info.mem.is_some(), info.on_disk))
     }
 
     /// Current counters.
@@ -388,6 +436,7 @@ impl StorageState {
     /// holds *every* block of each changed array (replacement granularity is
     /// the array — see [`ArrayInfo::avail_version`]).
     fn map_delta(&mut self, since: u64) -> (u64, Vec<MapEntry>, Vec<String>) {
+        let bugs = self.bug();
         let mut entries = Vec::new();
         for (name, ainfo) in self.arrays.iter_mut() {
             let meta = ainfo.meta.clone();
@@ -400,7 +449,7 @@ impl StorageState {
                     changed = true;
                 }
             }
-            if changed {
+            if changed && !bugs.skip_map_version_bump {
                 self.map_version += 1;
                 ainfo.avail_version = self.map_version;
             }
@@ -649,6 +698,7 @@ impl StorageState {
         if self.resident <= self.cfg.memory_budget {
             return;
         }
+        let bugs = self.bug();
         // Projected residency counts in-flight spills as already released.
         let mut projected = self.resident;
         let order: Vec<(u64, (String, u64))> =
@@ -665,7 +715,10 @@ impl StorageState {
             let Some(info) = ainfo.blocks.get_mut(&block) else {
                 continue;
             };
-            if info.pins > 0 || info.loading || !info.fully_sealed(block_len) {
+            if (info.pins > 0 && !bugs.evict_ignores_pins)
+                || info.loading
+                || !info.fully_sealed(block_len)
+            {
                 continue;
             }
             match (&info.mem, info.on_disk, info.spilling) {
@@ -684,6 +737,15 @@ impl StorageState {
                         self.cfg.node as i64,
                         || format!("{array}@{block} (lru reclaim)"),
                     );
+                }
+                (Some(BlockMem::Sealed(_)), false, false) if bugs.evict_skips_spill => {
+                    info.mem = None;
+                    let lu = info.last_use;
+                    info.last_use = 0;
+                    self.lru_remove(lu);
+                    self.discharge(block_len);
+                    projected -= block_len;
+                    self.stats.evictions += 1;
                 }
                 (Some(BlockMem::Sealed(data)), false, false) => {
                     info.spilling = true;
@@ -870,6 +932,7 @@ impl StorageState {
 
     /// Explicit programmer-driven eviction of an array's resident blocks.
     fn explicit_evict(&mut self, array: String, out: &mut Vec<Action>) {
+        let bugs = self.bug();
         let Some(ainfo) = self.arrays.get_mut(&array) else {
             return;
         };
@@ -877,7 +940,10 @@ impl StorageState {
         let mut freed: Vec<(u64, u64, u64)> = Vec::new(); // (block, block_len, last_use)
         for (&b, info) in ainfo.blocks.iter_mut() {
             let block_len = meta.block_len(b);
-            if info.pins > 0 || info.loading || !info.fully_sealed(block_len) {
+            if (info.pins > 0 && !bugs.evict_ignores_pins)
+                || info.loading
+                || !info.fully_sealed(block_len)
+            {
                 continue;
             }
             match (&info.mem, info.on_disk, info.spilling) {
@@ -1701,6 +1767,7 @@ impl StorageState {
                 bytes,
             } => {
                 self.stats.disk_write_bytes += bytes;
+                let bugs = self.bug();
                 let Some(ainfo) = self.arrays.get_mut(&array) else {
                     return out;
                 };
@@ -1709,7 +1776,10 @@ impl StorageState {
                 if let Some(info) = ainfo.blocks.get_mut(&block) {
                     info.spilling = false;
                     info.on_disk = true;
-                    if info.evict_after_spill && info.pins == 0 && info.mem.take().is_some() {
+                    if info.evict_after_spill
+                        && (info.pins == 0 || bugs.evict_ignores_pins)
+                        && info.mem.take().is_some()
+                    {
                         info.evict_after_spill = false;
                         evicted = Some(info.last_use);
                         info.last_use = 0;

@@ -1,0 +1,29 @@
+//! Real-build surface: transparent re-exports.
+//!
+//! Nothing here defines a type — the facade names *are* the underlying
+//! `parking_lot` / `std` / `crossbeam` types, so real builds pay nothing
+//! for routing imports through dooc-sync. The `model` build replaces this
+//! module with `modeled`, which defines wrapper types under the same paths.
+
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+/// Atomic integers and `Ordering`, re-exported from `std::sync::atomic`.
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Bounded/unbounded MPMC channels and the typed `Select` multiplexer,
+/// re-exported from the (vendored) crossbeam channel implementation.
+pub mod channel {
+    pub use crossbeam::channel::{
+        bounded, unbounded, Receiver, RecvError, RecvTimeoutError, Select, SelectTimeoutError,
+        SelectedOperation, SendError, Sender, TryRecvError,
+    };
+}
+
+/// Thread spawn/join/yield, re-exported from `std::thread`.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}

@@ -1,0 +1,112 @@
+//! Regression tests for the lock-order detector's record-and-check
+//! semantics: the cycle check and the edge recording run on *every*
+//! acquisition, so a conflicting order introduced long after an edge was
+//! first seen — or from a different thread — is still caught, and
+//! transitive cycles report the full conflicting chain.
+//!
+//! Lock classes are per-test: the order graph is process-global, so a class
+//! reused across tests would couple them.
+
+#![cfg(feature = "order-check")]
+
+use dooc_sync::OrderedMutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn expect_violation<R>(f: impl FnOnce() -> R) -> String {
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        f();
+    }))
+    .expect_err("expected a lock-order violation panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.starts_with("lock-order violation"),
+        "unexpected panic: {msg}"
+    );
+    msg
+}
+
+#[test]
+fn late_cycle_same_thread() {
+    let a = OrderedMutex::new("regress.late.a", ());
+    let b = OrderedMutex::new("regress.late.b", ());
+    // Establish a -> b, then exercise each lock alone many times: the edge
+    // must survive unrelated acquisitions, not just the one that created it.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    for _ in 0..16 {
+        drop(a.lock());
+        drop(b.lock());
+    }
+    let msg = expect_violation(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    });
+    assert!(msg.contains("regress.late.a"), "{msg}");
+    assert!(msg.contains("regress.late.b"), "{msg}");
+}
+
+#[test]
+fn late_cycle_three_classes() {
+    let a = OrderedMutex::new("regress.chain.a", ());
+    let b = OrderedMutex::new("regress.chain.b", ());
+    let c = OrderedMutex::new("regress.chain.c", ());
+    // a -> b and b -> c recorded on separate paths; c -> a closes the cycle
+    // only transitively, and the report must name both recorded edges.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _gc = c.lock();
+    }
+    let msg = expect_violation(|| {
+        let _gc = c.lock();
+        let _ga = a.lock();
+    });
+    assert!(
+        msg.contains("'regress.chain.a' (at") && msg.contains("then 'regress.chain.b' (at"),
+        "report must show the a->b edge with sites: {msg}"
+    );
+    assert!(
+        msg.contains("'regress.chain.b' (at") && msg.contains("then 'regress.chain.c' (at"),
+        "report must show the b->c edge with sites: {msg}"
+    );
+}
+
+#[test]
+fn cycle_closed_from_another_thread() {
+    let a = std::sync::Arc::new(OrderedMutex::new("regress.xthread.a", ()));
+    let b = std::sync::Arc::new(OrderedMutex::new("regress.xthread.b", ()));
+    // Thread 1 establishes a -> b; the violating b -> a acquisition happens
+    // on a different thread, which has its own (empty) held stack but must
+    // still see the global edge.
+    let (a2, b2) = (a.clone(), b.clone());
+    std::thread::spawn(move || {
+        let _ga = a2.lock();
+        let _gb = b2.lock();
+    })
+    .join()
+    .expect("recording thread");
+    let msg = expect_violation(move || {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    });
+    assert!(msg.contains("regress.xthread.b"), "{msg}");
+}
+
+#[test]
+fn recursive_acquisition_reported() {
+    let a = OrderedMutex::new("regress.recursive.a", ());
+    let msg = expect_violation(|| {
+        let _g1 = a.lock();
+        let _g2 = a.lock();
+    });
+    assert!(msg.contains("recursive acquisition"), "{msg}");
+}

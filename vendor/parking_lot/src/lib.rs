@@ -18,8 +18,11 @@ pub struct Mutex<T: ?Sized> {
 }
 
 /// RAII guard for [`Mutex`].
+///
+/// The inner std guard is `Option`-wrapped only so [`Condvar::wait`] can
+/// move it out and back; it is `Some` at every point user code can observe.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: std::sync::MutexGuard<'a, T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
@@ -46,15 +49,15 @@ impl<T: ?Sized> Mutex<T> {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        MutexGuard { inner }
+        MutexGuard { inner: Some(inner) }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
             Err(TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: p.into_inner(),
+                inner: Some(p.into_inner()),
             }),
             Err(TryLockError::WouldBlock) => None,
         }
@@ -81,13 +84,81 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_deref().expect("guard present outside wait")
     }
 }
 
 impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner
+            .as_deref_mut()
+            .expect("guard present outside wait")
+    }
+}
+
+/// Condition variable paired with [`Mutex`], mirroring parking_lot's
+/// guard-taking API (`wait(&mut MutexGuard)` rather than consuming it).
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+/// Result of [`Condvar::wait_for`]: whether the wait hit its timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified,
+    /// reacquiring the mutex before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present outside wait");
+        let g = match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(g);
+    }
+
+    /// Like [`wait`](Self::wait) with an upper bound on the blocking time.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present outside wait");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(p) => {
+                let (g, res) = p.into_inner();
+                (g, res)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
     }
 }
 
@@ -200,6 +271,28 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wait_notify() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            *g = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        assert!(*g);
+        t.join().unwrap();
+        let timed = cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+        assert!(timed.timed_out());
     }
 
     #[test]
