@@ -1,0 +1,215 @@
+//! dooc-race entry point: `cargo run -p dooc-check --bin race`.
+//!
+//! Modes:
+//!
+//! * `--log <path>` — analyze a recorded `dooc-race v1` event log offline.
+//!   Exits 1 when a race is found (or the log is incomplete because the
+//!   recorder dropped events), 0 on a clean verdict.
+//! * `--syncgraph [root]` — print the static sync graph (lock classes,
+//!   order edges, channel topology) of the workspace and exit 1 if the
+//!   lock-order graph has a cycle. The root defaults to the nearest
+//!   ancestor directory holding `Cargo.toml` plus `crates/`.
+//! * `--spmv [--out <log path>]` — (needs the `record` feature) run a
+//!   recorded fault-free 2-node iterated SpMV on the real middleware
+//!   across several configurations, race-check each recorded schedule and
+//!   exit 1 if any run reports a race. `--out` saves the last run's event
+//!   log as a CI artifact.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn analyze_log_file(path: &PathBuf) -> ExitCode {
+    let log = match std::fs::read_to_string(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("race: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match dooc_check::race::analyze(&log) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("race: malformed log {}: {e}", path.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn syncgraph(root_arg: Option<PathBuf>) -> ExitCode {
+    let root = match root_arg.or_else(|| find_root(std::env::current_dir().ok()?)) {
+        Some(r) => r,
+        None => {
+            eprintln!("race: no workspace root found (pass it after --syncgraph)");
+            return ExitCode::from(2);
+        }
+    };
+    match dooc_check::syncgraph::scan_workspace(&root) {
+        Ok(graph) => {
+            print!("{}", graph.render());
+            if let Some(cycle) = graph.find_cycle() {
+                eprintln!("race: lock-order cycle in the static sync graph:");
+                for e in cycle {
+                    eprintln!("  {e}");
+                }
+                ExitCode::FAILURE
+            } else {
+                println!("static lock-order graph is acyclic");
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("race: scan failed under {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Runs one recorded fault-free SpMV configuration and race-checks its
+/// log. Returns the log text alongside the report.
+#[cfg(feature = "record")]
+fn recorded_spmv(
+    tag: &str,
+    k: u64,
+    n: u64,
+    iterations: u64,
+) -> Result<(String, dooc_check::race::RaceReport), String> {
+    use dooc_core::{DoocConfig, DoocRuntime};
+    use dooc_linalg::spmv_app::{ReductionPlan, SpmvAppBuilder, SpmvExecutor, SyncPolicy};
+    use dooc_sparse::blockgrid::BlockGrid;
+    use dooc_sparse::genmat::GapGenerator;
+    use dooc_sync::record;
+    use std::sync::Arc;
+
+    let nnodes = 2usize;
+    let cfg = DoocConfig::in_temp_dirs(tag, nnodes)
+        .map_err(|e| format!("config: {e}"))?
+        .memory_budget(64 << 20)
+        .threads_per_node(2)
+        .prefetch_window(2);
+    let grid = BlockGrid::new(k, n);
+    let gen = GapGenerator::with_d(3);
+    let nn = nnodes as u64;
+    let blocks = SpmvAppBuilder::stage(&cfg.scratch_dirs, grid, &gen, 42, |c| c.u % nn)
+        .map_err(|e| format!("stage: {e}"))?;
+    let app = SpmvAppBuilder::new(grid, iterations, blocks)
+        .reduction(ReductionPlan::LocalAggregation)
+        .sync(SyncPolicy::IterationBarrier);
+    let x0: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin() + 1.0).collect();
+    app.stage_initial_vector(&cfg.scratch_dirs, &x0)
+        .map_err(|e| format!("stage x0: {e}"))?;
+    let (graph, external, geometry) = app.build();
+    let mut cfg = cfg;
+    for (name, len, bs) in geometry {
+        cfg = cfg.with_geometry(name, len, bs);
+    }
+
+    let _session = record::session();
+    record::clear();
+    record::arm();
+    let run = DoocRuntime::new(cfg.clone()).run(graph, external, Arc::new(SpmvExecutor));
+    record::disarm();
+    let log = record::take_log();
+    for d in &cfg.scratch_dirs {
+        std::fs::remove_dir_all(d).ok();
+    }
+    run.map_err(|e| format!("run: {e}"))?;
+    let report = dooc_check::race::analyze(&log).map_err(|e| format!("analyze: {e}"))?;
+    Ok((log, report))
+}
+
+#[cfg(feature = "record")]
+fn spmv(out: Option<PathBuf>) -> ExitCode {
+    // Four configurations varying grid, vector length and iteration count;
+    // each is a distinct real-runtime schedule to race-check.
+    let configs: [(u64, u64, u64); 4] = [(2, 64, 2), (2, 64, 3), (3, 96, 2), (2, 128, 2)];
+    let mut failed = false;
+    for (i, &(k, n, iters)) in configs.iter().enumerate() {
+        let tag = format!("race-spmv-{i}");
+        match recorded_spmv(&tag, k, n, iters) {
+            Ok((log, report)) => {
+                println!(
+                    "spmv config {i} (K={k} n={n} iters={iters}): {}",
+                    report.render().trim_end()
+                );
+                if let Some(path) = &out {
+                    if let Err(e) = std::fs::write(path, &log) {
+                        eprintln!("race: cannot write {}: {e}", path.display());
+                        failed = true;
+                    }
+                }
+                if !report.clean() {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("race: spmv config {i} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(not(feature = "record"))]
+fn spmv(_out: Option<PathBuf>) -> ExitCode {
+    eprintln!(
+        "race: --spmv needs the recorded runtime; rebuild with \
+         `cargo run -p dooc-check --features record --bin race -- --spmv`"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("--log") => match args.next() {
+            Some(p) => analyze_log_file(&PathBuf::from(p)),
+            None => {
+                eprintln!("race: --log needs a path");
+                ExitCode::from(2)
+            }
+        },
+        Some("--syncgraph") => syncgraph(args.next().map(PathBuf::from)),
+        Some("--spmv") => {
+            let out = match (args.next().as_deref(), args.next()) {
+                (Some("--out"), Some(p)) => Some(PathBuf::from(p)),
+                (None, _) => None,
+                _ => {
+                    eprintln!("race: --spmv takes only `--out <path>`");
+                    return ExitCode::from(2);
+                }
+            };
+            spmv(out)
+        }
+        _ => {
+            eprintln!(
+                "usage: race --log <path> | race --syncgraph [root] | \
+                 race --spmv [--out <log path>]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

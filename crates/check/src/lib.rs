@@ -17,9 +17,21 @@
 //! * [`lint`] — a plain-text source lint pass enforcing repo-wide coding
 //!   rules (no `unwrap`/`expect` in protocol library code, no
 //!   `std::sync::Mutex`, no unbounded channels, `forbid(unsafe_code)` in
-//!   every crate root, sync primitives via `dooc-sync`). Run via
-//!   `cargo run -p dooc-check --bin lint` (`--json` for machine-readable
-//!   findings).
+//!   every crate root, sync primitives via `dooc-sync`, blocking via
+//!   facade timeouts). Run via `cargo run -p dooc-check --bin lint`
+//!   (`--json` for machine-readable findings).
+//!
+//! Plus the two halves of **dooc-race**:
+//!
+//! * [`race`] — a FastTrack-style vector-clock happens-before analyzer
+//!   over the `dooc-race v1` sync-event logs that `dooc-sync` records
+//!   under its `record` feature. Offline:
+//!   `cargo run -p dooc-check --bin race -- --log <path>`. The explorer
+//!   race-checks every schedule it runs when recording is compiled in.
+//! * [`syncgraph`] — a zero-dependency lexical scan of the workspace
+//!   sources extracting the static lock-acquisition-order graph
+//!   (`OrderedMutex` classes) and channel topology, with cycle detection;
+//!   mirror-tested against the dynamic `order-check` edge recorder.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,3 +40,5 @@
 pub mod explore;
 pub mod lint;
 pub mod model;
+pub mod race;
+pub mod syncgraph;

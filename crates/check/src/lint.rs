@@ -41,6 +41,14 @@
 //!    list ([`SYNC_DISCIPLINE_EXEMPT_CRATES`]) is closed: a mirror test
 //!    asserts the two lists exactly partition `crates/`, so a new crate
 //!    must be classified explicitly.
+//! 8. **No raw `std::thread::sleep` or spin-loop busy-waits in runtime
+//!    crates** — the crates in [`SYNC_DISCIPLINED_CRATES`] must block
+//!    through the facade (`dooc_sync::thread::sleep`, condvar
+//!    `wait_for`, channel timeouts). A raw sleep stalls a whole OS thread
+//!    invisibly to the model scheduler (no yield point, no schedule
+//!    decision) and invisibly to the dooc-race recorder; a spin loop turns
+//!    a blocked state the explorer could enumerate into a livelock. Test
+//!    code is exempt, like rules 1–3.
 //!
 //! Scanning is line-based: lines whose trimmed form starts with `//` are
 //! skipped, and within a file everything from the first `#[cfg(test)]`
@@ -123,6 +131,8 @@ const PAT_RELEASE_READ: &str = concat!(".release_read", "(");
 const PAT_FAIL_AT: &str = concat!("fail::", "at(");
 const PAT_PARKING_LOT: &str = concat!("parking", "_lot");
 const PAT_CROSSBEAM: &str = concat!("cross", "beam");
+const PAT_STD_SLEEP: &str = concat!("std::thread::", "sleep(");
+const PAT_SPIN_LOOP: &str = concat!("spin_", "loop(");
 
 /// Per-file rule toggles for [`lint_source`], derived from the crate the
 /// file belongs to ([`lint_workspace`] sets them; tests set them directly).
@@ -141,6 +151,9 @@ pub struct LintOpts {
     /// Rule 7: sync primitives must come from `dooc-sync`
     /// ([`SYNC_DISCIPLINED_CRATES`]).
     pub sync_discipline: bool,
+    /// Rule 8: no raw `std::thread::sleep` / spin-loop busy-waits —
+    /// blocking goes through the facade ([`SYNC_DISCIPLINED_CRATES`]).
+    pub no_raw_blocking: bool,
 }
 
 /// Rule 6 helper: checks one line's `fail::at(` call sites. Returns an
@@ -244,6 +257,25 @@ pub fn lint_source(file: &Path, content: &str, opts: LintOpts) -> Vec<Finding> {
                     .into(),
             );
         }
+        if opts.no_raw_blocking {
+            if line.contains(PAT_STD_SLEEP) {
+                report(
+                    "no-raw-blocking",
+                    "raw std::thread::sleep in a runtime crate — use \
+                     dooc_sync::thread::sleep so model builds get a yield point \
+                     and recorded builds see the blocking"
+                        .into(),
+                );
+            }
+            if line.contains(PAT_SPIN_LOOP) {
+                report(
+                    "no-raw-blocking",
+                    "spin-loop busy-wait in a runtime crate — block on a facade \
+                     condvar/channel so the explorer can schedule the wakeup"
+                        .into(),
+                );
+            }
+        }
     }
     findings
 }
@@ -345,6 +377,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             // must call it only with registered site literals (rule 6).
             check_fault_sites: crate_name != "faultline",
             sync_discipline: SYNC_DISCIPLINED_CRATES.contains(&crate_name),
+            no_raw_blocking: SYNC_DISCIPLINED_CRATES.contains(&crate_name),
         };
         let mut files = Vec::new();
         rust_sources(&src, &mut files)?;
@@ -395,6 +428,7 @@ mod tests {
             ban_release_read,
             check_fault_sites,
             sync_discipline: false,
+            no_raw_blocking: false,
         }
     }
 
@@ -574,6 +608,40 @@ mod tests {
         );
         let on = LintOpts {
             sync_discipline: true,
+            ..LintOpts::default()
+        };
+        assert!(lint_source(Path::new("a.rs"), &src, on).is_empty());
+    }
+
+    #[test]
+    fn raw_sleep_and_spin_loops_flagged_in_disciplined_crates() {
+        let src = format!(
+            "fn f() {{ {}Duration::from_millis(5)); }}\nfn g() {{ loop {{ std::hint::{}); }} }}\n",
+            concat!("std::thread::", "sleep("),
+            concat!("spin_", "loop("),
+        );
+        let on = LintOpts {
+            no_raw_blocking: true,
+            ..LintOpts::default()
+        };
+        let f = lint_source(Path::new("a.rs"), &src, on);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "no-raw-blocking"), "{f:?}");
+        assert!(
+            lint_source(Path::new("a.rs"), &src, LintOpts::default()).is_empty(),
+            "rule off for exempt crates"
+        );
+    }
+
+    #[test]
+    fn facade_sleep_and_test_modules_pass_rule_8() {
+        let src = format!(
+            "fn f() {{ dooc_sync::thread::sleep(d); }}\n\
+             #[cfg(test)]\nmod t {{ fn g() {{ {}d); }} }}\n",
+            concat!("std::thread::", "sleep("),
+        );
+        let on = LintOpts {
+            no_raw_blocking: true,
             ..LintOpts::default()
         };
         assert!(lint_source(Path::new("a.rs"), &src, on).is_empty());

@@ -1,0 +1,64 @@
+//! Static/dynamic sync-graph mirror test.
+//!
+//! The static scan over-approximates the dynamic lock-order detector for
+//! function-local nestings: every edge the `order-check` feature records
+//! at runtime must already be present in the static graph of the source
+//! that produced it. This file pins that containment on itself — the
+//! nesting functions below are simultaneously *executed* (recording
+//! dynamic edges into the process-global order graph) and *scanned* (this
+//! test reads its own source off disk and runs the static extractor on
+//! it), then every dynamic edge is looked up in the static edge set.
+//!
+//! Run with `cargo test -p dooc-check --features order-mirror --test
+//! syncgraph_mirror`.
+
+#![cfg(feature = "order-mirror")]
+
+use dooc_check::syncgraph::{build_graph, scan_source};
+use dooc_sync::{order_graph_edges, OrderedMutex};
+use std::path::Path;
+
+fn chain_head(first: &OrderedMutex<u32>, second: &OrderedMutex<u32>) {
+    let _g1 = first.lock();
+    let _g2 = second.lock();
+}
+
+fn chain_tail(second: &OrderedMutex<u32>, third: &OrderedMutex<u32>) {
+    let _g2 = second.lock();
+    let _g3 = third.lock();
+}
+
+#[test]
+fn dynamic_order_edges_are_contained_in_the_static_scan() {
+    let first = OrderedMutex::new("mirror.first", 0u32);
+    let second = OrderedMutex::new("mirror.second", 0u32);
+    let third = OrderedMutex::new("mirror.third", 0u32);
+    chain_head(&first, &second);
+    chain_tail(&second, &third);
+
+    let dynamic = order_graph_edges();
+    assert!(
+        dynamic.len() >= 2,
+        "expected at least the two edges recorded above, got {dynamic:?}"
+    );
+
+    let me = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/syncgraph_mirror.rs");
+    let src = std::fs::read_to_string(&me).expect("read own source");
+    let g = build_graph(vec![scan_source(&me, &src)]);
+
+    // The binding names in the nesting functions resolve through the
+    // `let` declarations in the test body: scanning is file-global.
+    for ((from, to), (site_from, site_to)) in &dynamic {
+        assert!(
+            g.has_edge(from, to),
+            "dynamic edge '{from}' (at {site_from}) then '{to}' (at {site_to}) \
+             missing from the static graph:\n{}",
+            g.render()
+        );
+    }
+
+    // And the static side saw exactly the three classes declared here.
+    let mut classes: Vec<&str> = g.classes.iter().map(|c| c.class.as_str()).collect();
+    classes.sort_unstable();
+    assert_eq!(classes, ["mirror.first", "mirror.second", "mirror.third"]);
+}

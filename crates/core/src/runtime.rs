@@ -121,7 +121,10 @@ impl DoocRuntime {
         );
 
         let base = cluster.attach_clients(&mut layout, workers, nnodes, "sreq", "srep");
-        client_base.store(base, dooc_sync::atomic::Ordering::SeqCst);
+        // Relaxed is enough: the store happens before `Runtime::run` spawns
+        // the filter threads, and thread spawn is the happens-before edge
+        // that publishes it to the workers' relaxed loads.
+        client_base.store(base, dooc_sync::atomic::Ordering::Relaxed);
 
         let streams = Runtime::run(layout)?;
         let elapsed = start.elapsed();
@@ -146,12 +149,21 @@ impl DoocRuntime {
             );
         }
 
-        // Collect sinks.
-        let mut trace = std::mem::take(&mut *sinks.trace.lock());
+        // Collect sinks. dooc-race: draining writes the shared sinks; the
+        // sink locks must order these against the workers' pushes.
+        let mut trace = {
+            let mut sink = sinks.trace.lock();
+            dooc_sync::record::data_write(dooc_sync::record::addr_of(&sinks.trace));
+            std::mem::take(&mut *sink)
+        };
         trace.sort_by_key(|e| e.start);
         let mut node_stats = vec![NodeStats::default(); nnodes];
-        for (node, st) in sinks.stats.lock().drain(..) {
-            node_stats[node as usize] = st;
+        {
+            let mut sink = sinks.stats.lock();
+            dooc_sync::record::data_write(dooc_sync::record::addr_of(&sinks.stats));
+            for (node, st) in sink.drain(..) {
+                node_stats[node as usize] = st;
+            }
         }
 
         Ok(RunReport {

@@ -221,7 +221,7 @@ impl<'a> WorkerContext<'a> {
         #[cfg(feature = "faultline")]
         match dooc_faultline::fail::at("worker.task.crash") {
             Some(dooc_faultline::Fault::Delay(ms)) => {
-                std::thread::sleep(Duration::from_millis(ms));
+                dooc_sync::thread::sleep(Duration::from_millis(ms));
             }
             Some(_) => return Err(WORKER_CRASH_MARKER.to_string()),
             None => {}
@@ -674,7 +674,9 @@ impl Filter for WorkerFilter {
         let node = ctx.instance as u64;
         let to_storage = ctx.take_output("sreq")?;
         let from_storage = ctx.take_input("srep")?;
-        let base = self.client_base.load(dooc_sync::atomic::Ordering::SeqCst);
+        // Relaxed pairs with the pre-spawn relaxed store in the runtime;
+        // the spawn of this filter thread orders the two.
+        let base = self.client_base.load(dooc_sync::atomic::Ordering::Relaxed);
         let mut client = StorageClient::new(to_storage, from_storage, ctx.instance, base + node);
         client.set_retry_policy(self.config.client_retry.clone());
         // Geometry hints on every node.
@@ -790,15 +792,22 @@ impl Filter for WorkerFilter {
                 })?;
                 obs().tasks_executed.inc();
                 let input_bytes = wctx.input_bytes;
-                self.sinks.trace.lock().push(TraceEvent {
-                    node,
-                    task: t,
-                    name: spec.name.clone(),
-                    kind: spec.kind.clone(),
-                    start: started,
-                    end: self.start.elapsed(),
-                    input_bytes,
-                });
+                {
+                    let mut trace = self.sinks.trace.lock();
+                    // dooc-race: the trace sink is shared across workers and
+                    // drained by the runtime; this annotated write under the
+                    // sink's lock must be ordered against every other access.
+                    dooc_sync::record::data_write(dooc_sync::record::addr_of(&self.sinks.trace));
+                    trace.push(TraceEvent {
+                        node,
+                        task: t,
+                        name: spec.name.clone(),
+                        kind: spec.kind.clone(),
+                        start: started,
+                        end: self.start.elapsed(),
+                        input_bytes,
+                    });
+                }
                 ctx.output("done_out")?.send(DataBuffer::tag_only(t.0))?;
             } else if let Some(b) = done_in.recv_timeout(Duration::from_millis(1)) {
                 ls.on_complete(&self.graph, TaskId(b.tag));
@@ -814,7 +823,9 @@ impl Filter for WorkerFilter {
         );
         // Report stats, then shut the local storage down.
         if let Ok(stats) = client.stats() {
-            self.sinks.stats.lock().push((node, stats));
+            let mut sink = self.sinks.stats.lock();
+            dooc_sync::record::data_write(dooc_sync::record::addr_of(&self.sinks.stats));
+            sink.push((node, stats));
         }
         client.shutdown().ok();
         ctx.close_output("done_out");

@@ -70,12 +70,15 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// inject nothing; this only switches hooks from the one-load fast path to
 /// the registry lookup.
 pub fn enable() {
-    ENABLED.store(true, Ordering::SeqCst);
+    // Relaxed pairs with the relaxed load in `enabled()`: the gate is a
+    // monotonic on/off flag with no payload to publish (specs travel
+    // through the registry mutex), so no ordering edge is needed.
+    ENABLED.store(true, Ordering::Relaxed);
 }
 
 /// Disarms the injection gate; every hook returns to the one-load fast path.
 pub fn disable() {
-    ENABLED.store(false, Ordering::SeqCst);
+    ENABLED.store(false, Ordering::Relaxed);
 }
 
 /// Whether injection is armed. This single relaxed load is the entire

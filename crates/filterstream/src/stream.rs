@@ -259,7 +259,7 @@ impl StreamWriter {
         match fail::message(&self.port, &buf.tag.to_le_bytes()) {
             None | Some(Fault::Error) | Some(Fault::Fire) => Some(buf),
             Some(Fault::Delay(ms)) => {
-                std::thread::sleep(std::time::Duration::from_millis(ms));
+                dooc_sync::thread::sleep(std::time::Duration::from_millis(ms));
                 Some(buf)
             }
             Some(Fault::Drop) => None,
@@ -316,6 +316,7 @@ impl StreamWriter {
     }
 
     fn deliver(&self, buf: DataBuffer) -> Result<()> {
+        note_payload_write(&buf);
         let wire = buf.wire_size();
         match (&self.lanes, self.delivery) {
             (InboxLanes::Shared(tx), _) => {
@@ -382,6 +383,7 @@ impl StreamWriter {
     }
 
     fn deliver_to(&self, dest: usize, buf: DataBuffer) -> Result<()> {
+        note_payload_write(&buf);
         let wire = buf.wire_size();
         match &self.lanes {
             InboxLanes::PerConsumer(txs) if self.delivery == Delivery::Addressed => {
@@ -421,6 +423,33 @@ impl Drop for StreamWriter {
     }
 }
 
+/// dooc-race annotation: the payload bytes a producer publishes into a
+/// stream. Pairs with [`note_payload_read`] on the consumer side — the
+/// channel's send→recv edge must order every such pair, so a fault in the
+/// stream plumbing (a buffer observable before its send) shows up as a
+/// race. Empty payloads are skipped: `Bytes::new` shares one static
+/// allocation, which would alias unrelated streams. Compiled to a no-op
+/// without the `record` feature of `dooc-sync`.
+#[inline]
+fn note_payload_write(buf: &DataBuffer) {
+    if !buf.payload.is_empty() && dooc_sync::record::armed() {
+        // Pin the allocation for the rest of the recording session: if the
+        // allocator recycled an annotated address for an unrelated payload
+        // on another thread, the shadow state would report phantom races.
+        dooc_sync::record::pin(Box::new(buf.payload.clone()));
+        dooc_sync::record::data_write(buf.payload.as_ptr() as usize);
+    }
+}
+
+/// See [`note_payload_write`].
+#[inline]
+fn note_payload_read(buf: &DataBuffer) {
+    if !buf.payload.is_empty() && dooc_sync::record::armed() {
+        dooc_sync::record::pin(Box::new(buf.payload.clone()));
+        dooc_sync::record::data_read(buf.payload.as_ptr() as usize);
+    }
+}
+
 /// Consumer endpoint of one (filter instance, input port).
 pub struct StreamReader {
     port: String,
@@ -434,7 +463,8 @@ impl StreamReader {
     /// producer endpoint dropped) and drained.
     pub fn recv(&self) -> Option<DataBuffer> {
         let b = self.rx.recv().ok();
-        if b.is_some() {
+        if let Some(b) = &b {
+            note_payload_read(b);
             self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
             fs_obs().buffers_recv.inc();
         }
@@ -444,7 +474,8 @@ impl StreamReader {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<DataBuffer> {
         let b = self.rx.try_recv().ok();
-        if b.is_some() {
+        if let Some(b) = &b {
+            note_payload_read(b);
             self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
             fs_obs().buffers_recv.inc();
         }
@@ -455,7 +486,8 @@ impl StreamReader {
     /// must distinguish should use [`StreamReader::recv`].
     pub fn recv_timeout(&self, d: std::time::Duration) -> Option<DataBuffer> {
         let b = self.rx.recv_timeout(d).ok();
-        if b.is_some() {
+        if let Some(b) = &b {
+            note_payload_read(b);
             self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
             fs_obs().buffers_recv.inc();
         }

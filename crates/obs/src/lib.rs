@@ -55,14 +55,19 @@ pub use trace::chrome_trace;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Turns event recording and metric updates on.
+///
+/// The store is `Relaxed` to match the `Relaxed` load in [`enabled`]: the
+/// gate is advisory (a thread observing the flip late records or skips a
+/// few events, never corrupts state), and every recorded event goes through
+/// a mutex whose acquire/release ordering covers the data it guards.
 pub fn enable() {
-    ENABLED.store(true, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::Relaxed);
 }
 
 /// Turns recording off. Span guards already armed still record their end
 /// event so begin/end pairs stay balanced.
 pub fn disable() {
-    ENABLED.store(false, Ordering::SeqCst);
+    ENABLED.store(false, Ordering::Relaxed);
 }
 
 /// Whether recording is on. This single relaxed load *is* the disabled-path

@@ -354,7 +354,7 @@ impl StorageClient {
         );
         let backoff = self.retry.backoff * 2u32.saturating_pow(attempt.min(16));
         if !backoff.is_zero() {
-            std::thread::sleep(backoff);
+            dooc_sync::thread::sleep(backoff);
         }
     }
 

@@ -304,7 +304,7 @@ impl IoFilter {
             };
             match fault {
                 Some(dooc_faultline::Fault::Delay(ms)) => {
-                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                    dooc_sync::thread::sleep(std::time::Duration::from_millis(ms));
                 }
                 Some(_) => {
                     let (array, block) = match &cmd {

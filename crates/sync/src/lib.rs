@@ -18,6 +18,15 @@
 //!   printed schedule token. Outside an execution the wrappers delegate to
 //!   the real primitives, so a `model` build remains safe to run normally.
 //!
+//! * **`record` builds**: each primitive delegates to the real one and,
+//!   while [`record::arm`]ed, logs every visible operation (with source
+//!   site and a global sequence number) into per-thread rings; the
+//!   dooc-check race detector replays the drained log (`record::take_log`)
+//!   through a vector-clock happens-before analysis. Disarmed, every hook
+//!   costs one relaxed atomic load. `model` takes precedence when both
+//!   features are on: the modeled wrappers carry the same recording hooks,
+//!   so every explored schedule can be race-checked.
+//!
 //! [`OrderedMutex`] (lock-class deadlock detection under `order-check`)
 //! lives here too, moved from `dooc-filterstream::sync`, which now
 //! re-exports it.
@@ -25,13 +34,22 @@
 #![forbid(unsafe_code)]
 
 mod ordered;
+pub mod record;
 
 pub use ordered::{OrderedMutex, OrderedMutexGuard};
 
-#[cfg(not(feature = "model"))]
+#[cfg(feature = "order-check")]
+pub use ordered::order_graph_edges;
+
+#[cfg(all(not(feature = "model"), not(feature = "record")))]
 mod real;
-#[cfg(not(feature = "model"))]
+#[cfg(all(not(feature = "model"), not(feature = "record")))]
 pub use real::*;
+
+#[cfg(all(not(feature = "model"), feature = "record"))]
+mod recorded;
+#[cfg(all(not(feature = "model"), feature = "record"))]
+pub use recorded::*;
 
 #[cfg(feature = "model")]
 pub mod model;

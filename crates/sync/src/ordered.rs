@@ -142,6 +142,31 @@ mod detect {
             }
         });
     }
+
+    /// Snapshot of the recorded lock-order graph: every `(held, acquired)`
+    /// class pair observed so far, with the most recent acquisition sites
+    /// (rendered). Exposed so the dooc-check static sync-graph analysis
+    /// can mirror-test its source-derived edges against the dynamic ones.
+    pub fn edges() -> Vec<super::OrderEdge> {
+        graph()
+            .lock()
+            .edges
+            .iter()
+            .map(|(&(a, b), &(s1, s2))| ((a, b), (s1.to_string(), s2.to_string())))
+            .collect()
+    }
+}
+
+/// One dynamic lock-order edge:
+/// `((held class, acquired class), (held site, acquired site))`.
+#[cfg(feature = "order-check")]
+pub type OrderEdge = ((&'static str, &'static str), (String, String));
+
+/// Dynamic lock-order edges observed so far in this process:
+/// `((held class, acquired class), (held site, acquired site))` pairs.
+#[cfg(feature = "order-check")]
+pub fn order_graph_edges() -> Vec<OrderEdge> {
+    detect::edges()
 }
 
 /// A mutex carrying a lock-order class, checked when the `order-check`
@@ -184,6 +209,7 @@ impl<T> OrderedMutex<T> {
     /// Acquires the lock (order checking compiled out).
     #[cfg(not(feature = "order-check"))]
     #[inline]
+    #[track_caller]
     pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
         OrderedMutexGuard {
             inner: self.inner.lock(),

@@ -23,7 +23,9 @@ pub mod channel {
     };
 }
 
-/// Thread spawn/join/yield, re-exported from `std::thread`.
+/// Thread spawn/join/yield/sleep, re-exported from `std::thread`. Runtime
+/// crates must block through this facade path (dooc-check lint rule 8) so
+/// `model` builds can virtualize the wait.
 pub mod thread {
-    pub use std::thread::{spawn, yield_now, JoinHandle};
+    pub use std::thread::{sleep, spawn, yield_now, JoinHandle};
 }

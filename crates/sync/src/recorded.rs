@@ -1,0 +1,795 @@
+//! `record`-build wrapper types, path-compatible with the `real` module.
+//!
+//! Each primitive delegates to the real `parking_lot` / `crossbeam` / `std`
+//! implementation and, when recording is armed, logs its visible operations
+//! through [`crate::record`] for the dooc-check race detector. Disarmed,
+//! every hook is one relaxed atomic load, mirroring the dooc-obs gate.
+//!
+//! Event placement follows the linearization discipline documented in
+//! [`crate::record`]: acquire-flavored events after the operation,
+//! release-flavored events before it, and atomics stamped together with
+//! their operation under [`crate::record::atomic_section`].
+//!
+//! Object identity is the wrapper address (channels use an allocated id
+//! shared by both halves). The analyzer keys clocks per primitive kind, so
+//! addresses recycled across kinds cannot alias; reuse within a kind can
+//! only add happens-before edges (missed races, never false reports).
+
+use crate::record::{self, RecOp};
+use parking_lot as pl;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+
+pub use pl::WaitTimeoutResult;
+
+type Site = &'static Location<'static>;
+
+fn addr_of<T: ?Sized>(r: &T) -> usize {
+    r as *const T as *const () as usize
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Recording mutex: a `parking_lot::Mutex` whose acquire/release are logged
+/// while recording is armed.
+pub struct Mutex<T> {
+    inner: pl::Mutex<T>,
+}
+
+/// RAII guard for the recording [`Mutex`]; logs the release on drop.
+pub struct MutexGuard<'a, T> {
+    inner: pl::MutexGuard<'a, T>,
+    obj: usize,
+    site: Site,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: pl::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, logging the grant.
+    #[inline]
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let site = Location::caller();
+        let inner = self.inner.lock();
+        let obj = addr_of(self);
+        record::ev_at(RecOp::LockAcq, obj, site);
+        MutexGuard { inner, obj, site }
+    }
+
+    /// Attempts the lock without blocking.
+    #[inline]
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let site = Location::caller();
+        let inner = self.inner.try_lock()?;
+        let obj = addr_of(self);
+        record::ev_at(RecOp::LockAcq, obj, site);
+        Some(MutexGuard { inner, obj, site })
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mutex {{ .. }}")
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        // Release event first, then the field drop releases the real lock.
+        record::ev_at(RecOp::LockRel, self.obj, self.site);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Recording reader-writer lock.
+pub struct RwLock<T> {
+    inner: pl::RwLock<T>,
+}
+
+/// Shared-read RAII guard for the recording [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: pl::RwLockReadGuard<'a, T>,
+    obj: usize,
+    site: Site,
+}
+
+/// Exclusive-write RAII guard for the recording [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: pl::RwLockWriteGuard<'a, T>,
+    obj: usize,
+    site: Site,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: pl::RwLock::new(value),
+        }
+    }
+
+    /// Acquires a shared read lock, logging the grant.
+    #[inline]
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let site = Location::caller();
+        let inner = self.inner.read();
+        let obj = addr_of(self);
+        record::ev_at(RecOp::ReadAcq, obj, site);
+        RwLockReadGuard { inner, obj, site }
+    }
+
+    /// Acquires an exclusive write lock, logging the grant.
+    #[inline]
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let site = Location::caller();
+        let inner = self.inner.write();
+        let obj = addr_of(self);
+        record::ev_at(RecOp::WriteAcq, obj, site);
+        RwLockWriteGuard { inner, obj, site }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RwLock {{ .. }}")
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        record::ev_at(RecOp::ReadRel, self.obj, self.site);
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        record::ev_at(RecOp::WriteRel, self.obj, self.site);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Recording condition variable paired with the facade [`Mutex`].
+pub struct Condvar {
+    inner: pl::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: pl::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and parks until notified,
+    /// reacquiring the mutex before returning. Logged as mutex release,
+    /// wait-return (acquiring the notifier's clock), mutex reacquire.
+    #[inline]
+    #[track_caller]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let site = Location::caller();
+        record::ev_at(RecOp::LockRel, guard.obj, site);
+        self.inner.wait(&mut guard.inner);
+        record::ev_at(RecOp::CvWaitReturn, addr_of(self), site);
+        record::ev_at(RecOp::LockAcq, guard.obj, site);
+    }
+
+    /// Like [`wait`](Self::wait) with an upper bound on the blocking time.
+    #[inline]
+    #[track_caller]
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let site = Location::caller();
+        record::ev_at(RecOp::LockRel, guard.obj, site);
+        let res = self.inner.wait_for(&mut guard.inner, timeout);
+        record::ev_at(RecOp::CvWaitReturn, addr_of(self), site);
+        record::ev_at(RecOp::LockAcq, guard.obj, site);
+        res
+    }
+
+    /// Wakes one waiter (release-flavored: logged before the notify).
+    #[inline]
+    #[track_caller]
+    pub fn notify_one(&self) {
+        record::ev(RecOp::CvNotify, addr_of(self));
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    #[inline]
+    #[track_caller]
+    pub fn notify_all(&self) {
+        record::ev(RecOp::CvNotify, addr_of(self));
+        self.inner.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Recording atomic integers: armed accesses are stamped together with the
+/// operation under the global recording mutex so the log's sequence order
+/// matches the atomics' real linearization order.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::addr_of;
+    use crate::record::{self, AtomicOrd, RecOp};
+    use std::panic::Location;
+
+    macro_rules! recorded_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Recording drop-in for the std atomic of the same name.
+            pub struct $name {
+                v: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(v: $prim) -> Self {
+                    Self { v: <$std>::new(v) }
+                }
+
+                /// Atomic load (logged with its ordering when armed).
+                #[inline]
+                #[track_caller]
+                pub fn load(&self, o: Ordering) -> $prim {
+                    if record::armed() {
+                        let site = Location::caller();
+                        let _g = record::atomic_section();
+                        let v = self.v.load(o);
+                        record::ev_at(RecOp::AtomicLoad(AtomicOrd::of(o)), addr_of(self), site);
+                        return v;
+                    }
+                    self.v.load(o)
+                }
+
+                /// Atomic store (logged with its ordering when armed).
+                #[inline]
+                #[track_caller]
+                pub fn store(&self, val: $prim, o: Ordering) {
+                    if record::armed() {
+                        let site = Location::caller();
+                        let _g = record::atomic_section();
+                        record::ev_at(RecOp::AtomicStore(AtomicOrd::of(o)), addr_of(self), site);
+                        self.v.store(val, o);
+                        return;
+                    }
+                    self.v.store(val, o)
+                }
+
+                /// Atomic swap.
+                #[inline]
+                #[track_caller]
+                pub fn swap(&self, val: $prim, o: Ordering) -> $prim {
+                    self.rmw(o, |v| v.swap(val, o))
+                }
+
+                /// Atomic add, returning the previous value.
+                #[inline]
+                #[track_caller]
+                pub fn fetch_add(&self, val: $prim, o: Ordering) -> $prim {
+                    self.rmw(o, |v| v.fetch_add(val, o))
+                }
+
+                /// Atomic subtract, returning the previous value.
+                #[inline]
+                #[track_caller]
+                pub fn fetch_sub(&self, val: $prim, o: Ordering) -> $prim {
+                    self.rmw(o, |v| v.fetch_sub(val, o))
+                }
+
+                /// Atomic max, returning the previous value.
+                #[inline]
+                #[track_caller]
+                pub fn fetch_max(&self, val: $prim, o: Ordering) -> $prim {
+                    self.rmw(o, |v| v.fetch_max(val, o))
+                }
+
+                /// Atomic min, returning the previous value.
+                #[inline]
+                #[track_caller]
+                pub fn fetch_min(&self, val: $prim, o: Ordering) -> $prim {
+                    self.rmw(o, |v| v.fetch_min(val, o))
+                }
+
+                /// Atomic compare-exchange (a successful exchange logs as an
+                /// rmw, a failed one as a load of the failure ordering).
+                #[inline]
+                #[track_caller]
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    if record::armed() {
+                        let site = Location::caller();
+                        let _g = record::atomic_section();
+                        let r = self.v.compare_exchange(current, new, success, failure);
+                        let op = match r {
+                            Ok(_) => RecOp::AtomicRmw(AtomicOrd::of(success)),
+                            Err(_) => RecOp::AtomicLoad(AtomicOrd::of(failure)),
+                        };
+                        record::ev_at(op, addr_of(self), site);
+                        return r;
+                    }
+                    self.v.compare_exchange(current, new, success, failure)
+                }
+
+                /// Mutable access without synchronization.
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.v.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.v.into_inner()
+                }
+
+                #[inline]
+                #[track_caller]
+                fn rmw(&self, o: Ordering, f: impl FnOnce(&$std) -> $prim) -> $prim {
+                    if record::armed() {
+                        let site = Location::caller();
+                        let _g = record::atomic_section();
+                        let v = f(&self.v);
+                        record::ev_at(RecOp::AtomicRmw(AtomicOrd::of(o)), addr_of(self), site);
+                        return v;
+                    }
+                    f(&self.v)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$prim>::default())
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "{:?}", self.v)
+                }
+            }
+        };
+    }
+
+    recorded_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    recorded_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    /// Recording drop-in for `std::sync::atomic::AtomicBool`.
+    pub struct AtomicBool {
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        pub const fn new(v: bool) -> Self {
+            Self {
+                v: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Atomic load (logged with its ordering when armed).
+        #[inline]
+        #[track_caller]
+        pub fn load(&self, o: Ordering) -> bool {
+            if record::armed() {
+                let site = Location::caller();
+                let _g = record::atomic_section();
+                let v = self.v.load(o);
+                record::ev_at(RecOp::AtomicLoad(AtomicOrd::of(o)), addr_of(self), site);
+                return v;
+            }
+            self.v.load(o)
+        }
+
+        /// Atomic store (logged with its ordering when armed).
+        #[inline]
+        #[track_caller]
+        pub fn store(&self, val: bool, o: Ordering) {
+            if record::armed() {
+                let site = Location::caller();
+                let _g = record::atomic_section();
+                record::ev_at(RecOp::AtomicStore(AtomicOrd::of(o)), addr_of(self), site);
+                self.v.store(val, o);
+                return;
+            }
+            self.v.store(val, o)
+        }
+
+        /// Atomic swap.
+        #[inline]
+        #[track_caller]
+        pub fn swap(&self, val: bool, o: Ordering) -> bool {
+            if record::armed() {
+                let site = Location::caller();
+                let _g = record::atomic_section();
+                let v = self.v.swap(val, o);
+                record::ev_at(RecOp::AtomicRmw(AtomicOrd::of(o)), addr_of(self), site);
+                return v;
+            }
+            self.v.swap(val, o)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{:?}", self.v)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channels
+// ---------------------------------------------------------------------------
+
+/// Recording MPMC channels, path-compatible with the real `channel` module.
+/// Both halves share an allocated channel id; sends are stamped before the
+/// enqueue and receives after the dequeue, so a matched pair is always
+/// send-before-recv in the log.
+pub mod channel {
+    pub use crossbeam::channel::{
+        RecvError, RecvTimeoutError, SelectTimeoutError, SendError, TryRecvError,
+    };
+
+    use crate::record::{self, RecOp};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn next_chan_id() -> usize {
+        static NEXT: AtomicUsize = AtomicUsize::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sending half of a channel; cloneable.
+    pub struct Sender<T> {
+        inner: crossbeam::channel::Sender<T>,
+        id: usize,
+    }
+
+    /// Receiving half of a channel; cloneable (clones share the queue).
+    pub struct Receiver<T> {
+        inner: crossbeam::channel::Receiver<T>,
+        id: usize,
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = crossbeam::channel::bounded(cap);
+        wrap(tx, rx)
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        wrap(tx, rx)
+    }
+
+    fn wrap<T>(
+        tx: crossbeam::channel::Sender<T>,
+        rx: crossbeam::channel::Receiver<T>,
+    ) -> (Sender<T>, Receiver<T>) {
+        let id = next_chan_id();
+        (Sender { inner: tx, id }, Receiver { inner: rx, id })
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is enqueued, or fails if all receivers
+        /// dropped. The send event is stamped before the enqueue.
+        #[inline]
+        #[track_caller]
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            record::ev(RecOp::ChanSend, self.id);
+            self.inner.send(value)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+                id: self.id,
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        #[inline]
+        #[track_caller]
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let r = self.inner.recv();
+            if r.is_ok() {
+                record::ev(RecOp::ChanRecv, self.id);
+            }
+            r
+        }
+
+        /// Non-blocking receive.
+        #[inline]
+        #[track_caller]
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let r = self.inner.try_recv();
+            if r.is_ok() {
+                record::ev(RecOp::ChanRecv, self.id);
+            }
+            r
+        }
+
+        /// Receive with a timeout.
+        #[inline]
+        #[track_caller]
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let r = self.inner.recv_timeout(timeout);
+            if r.is_ok() {
+                record::ev(RecOp::ChanRecv, self.id);
+            }
+            r
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.is_empty()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: self.inner.clone(),
+                id: self.id,
+            }
+        }
+    }
+
+    /// Multiplexes blocking receives over several registered receivers;
+    /// typed, mirroring the vendored crossbeam `Select` (and the `model`
+    /// build's wrapper).
+    pub struct Select<'a, T> {
+        inner: crossbeam::channel::Select<'a, T>,
+        rxs: Vec<&'a Receiver<T>>,
+    }
+
+    /// A ready receive operation; the message (or closure verdict) is
+    /// captured at selection time.
+    pub struct SelectedOperation<T> {
+        index: usize,
+        result: Result<T, RecvError>,
+    }
+
+    impl<'a, T> Select<'a, T> {
+        /// Creates an empty selector.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Self {
+                inner: crossbeam::channel::Select::new(),
+                rxs: Vec::new(),
+            }
+        }
+
+        /// Registers a receiver; returns its operation index. Registration
+        /// goes straight into the underlying crossbeam selector so
+        /// [`select`](Self::select) does no per-call re-registration.
+        pub fn recv(&mut self, rx: &'a Receiver<T>) -> usize {
+            self.inner.recv(&rx.inner);
+            self.rxs.push(rx);
+            self.rxs.len() - 1
+        }
+
+        /// Blocks until one registered receiver is ready (message or
+        /// closed).
+        #[inline]
+        #[track_caller]
+        pub fn select(&mut self) -> SelectedOperation<T> {
+            let op = self.inner.select();
+            let index = op.index();
+            let result = op.recv(&self.rxs[index].inner);
+            if result.is_ok() {
+                record::ev(RecOp::ChanRecv, self.rxs[index].id);
+            }
+            SelectedOperation { index, result }
+        }
+
+        /// Like [`select`](Self::select) with a timeout.
+        #[inline]
+        #[track_caller]
+        pub fn select_timeout(
+            &mut self,
+            timeout: Duration,
+        ) -> Result<SelectedOperation<T>, SelectTimeoutError> {
+            let op = self.inner.select_timeout(timeout)?;
+            let index = op.index();
+            let result = op.recv(&self.rxs[index].inner);
+            if result.is_ok() {
+                record::ev(RecOp::ChanRecv, self.rxs[index].id);
+            }
+            Ok(SelectedOperation { index, result })
+        }
+    }
+
+    impl<T> SelectedOperation<T> {
+        /// Index of the ready operation (registration order).
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        /// Completes the receive. The receiver argument mirrors crossbeam's
+        /// API; the message was already captured at selection time.
+        pub fn recv(self, _rx: &Receiver<T>) -> Result<T, RecvError> {
+            self.result
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Recording thread spawn/join/yield/sleep: spawn preallocates the child's
+/// recorder tid so the parent's spawn event can name it, giving the
+/// analyzer parent-to-child-start and child-end-to-join edges.
+pub mod thread {
+    use crate::record::{self, RecOp};
+
+    /// Handle to a spawned thread; logs the join edge.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        child: u64,
+    }
+
+    /// Spawns a thread, logging the spawn edge to the child's tid.
+    #[inline]
+    #[track_caller]
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let child = record::preallocate_tid();
+        record::ev(RecOp::Spawn(child), 0);
+        let inner = std::thread::spawn(move || {
+            record::adopt_tid(child);
+            record::ev(RecOp::ThreadStart, 0);
+            let v = f();
+            record::ev(RecOp::ThreadEnd, 0);
+            v
+        });
+        JoinHandle { inner, child }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, logging the join edge.
+        #[inline]
+        #[track_caller]
+        pub fn join(self) -> std::thread::Result<T> {
+            let r = self.inner.join();
+            record::ev(RecOp::Join(self.child), 0);
+            r
+        }
+    }
+
+    /// Yields the current thread's timeslice.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+
+    /// Blocks the current thread for `d` (the facade sleep lint rule 8
+    /// steers runtime crates through — virtualized in `model` builds).
+    pub fn sleep(d: std::time::Duration) {
+        std::thread::sleep(d);
+    }
+}
