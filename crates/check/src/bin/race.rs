@@ -11,9 +11,10 @@
 //!   ancestor directory holding `Cargo.toml` plus `crates/`.
 //! * `--spmv [--out <log path>]` — (needs the `record` feature) run a
 //!   recorded fault-free 2-node iterated SpMV on the real middleware
-//!   across several configurations, race-check each recorded schedule and
-//!   exit 1 if any run reports a race. `--out` saves the last run's event
-//!   log as a CI artifact.
+//!   across several configurations plus one forced fork-join kernel run on
+//!   the compute pool (SpMV/AXPY/DOT through the work-stealing deques),
+//!   race-check each recorded schedule and exit 1 if any run reports a
+//!   race. `--out` saves the last run's event log as a CI artifact.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -136,6 +137,62 @@ fn recorded_spmv(
     Ok((log, report))
 }
 
+/// Runs the compute pool's forked kernels — SpMV, slab AXPY and DOT at a
+/// forced parallelism that actually fans out on this host — under the
+/// recorder, and race-checks the schedule. This is the happens-before check
+/// on the fork-join protocol itself: per-task slot writes, the countdown
+/// barrier and the slab move in/out must all be ordered by the pool's
+/// queue/condvar edges, not by luck.
+#[cfg(feature = "record")]
+fn recorded_fork_join(
+    nrows: u64,
+    parallelism: usize,
+) -> Result<(String, dooc_check::race::RaceReport), String> {
+    use dooc_sparse::genmat::GapGenerator;
+    use dooc_sparse::{dense, ComputePool, SlabVec};
+    use dooc_sync::record;
+    use std::sync::Arc;
+
+    let gen = GapGenerator::for_target_nnz(nrows, nrows, nrows * 6);
+    let m = Arc::new(gen.generate(nrows, nrows, 11));
+    let x = Arc::new(
+        (0..nrows)
+            .map(|i| (i as f64 * 0.29).sin())
+            .collect::<Vec<f64>>(),
+    );
+    let serial_y = m.spmv(&x).map_err(|e| format!("serial spmv: {e}"))?;
+    let serial_dot = dense::dot_ref(&x, &x);
+    let mut serial_axpy = serial_y.clone();
+    dense::axpy_ref(0.5, &x, &mut serial_axpy);
+
+    let _session = record::session();
+    record::clear();
+    record::arm();
+    let pool = ComputePool::new(2);
+    let mut y = vec![0.0; nrows as usize];
+    pool.spmv_fanout(&m, &x, &mut y, parallelism);
+    let mut slabs = SlabVec::from_vec(y.clone(), (nrows as usize / 3).max(1));
+    pool.axpy_slabs_fanout(0.5, &x, &mut slabs, parallelism);
+    let d = pool.dot_fanout(&x, &x, parallelism);
+    drop(pool);
+    record::disarm();
+    let log = record::take_log();
+
+    if y != serial_y {
+        return Err("fork-join SpMV diverged from serial".into());
+    }
+    if slabs.to_vec() != serial_axpy {
+        return Err("slab AXPY diverged from serial".into());
+    }
+    // The chunked DOT reassociates the reduction (per-task partials), so
+    // unlike SpMV/AXPY it is ULP-equal to the serial result, not bitwise.
+    if (d - serial_dot).abs() > 1e-12 * serial_dot.abs().max(1.0) {
+        return Err("fork-join DOT diverged from serial".into());
+    }
+    let report = dooc_check::race::analyze(&log).map_err(|e| format!("analyze: {e}"))?;
+    Ok((log, report))
+}
+
 #[cfg(feature = "record")]
 fn spmv(out: Option<PathBuf>) -> ExitCode {
     // Four configurations varying grid, vector length and iteration count;
@@ -164,6 +221,30 @@ fn spmv(out: Option<PathBuf>) -> ExitCode {
                 eprintln!("race: spmv config {i} failed: {e}");
                 failed = true;
             }
+        }
+    }
+    // One fork-join kernel configuration on the compute pool itself, at a
+    // parallelism forced past the host-gated hint so the deques, the slot
+    // writes and the countdown barrier genuinely interleave.
+    match recorded_fork_join(96, 3) {
+        Ok((log, report)) => {
+            println!(
+                "spmv fork-join config (nrows=96 par=3): {}",
+                report.render().trim_end()
+            );
+            if let Some(path) = &out {
+                if let Err(e) = std::fs::write(path, &log) {
+                    eprintln!("race: cannot write {}: {e}", path.display());
+                    failed = true;
+                }
+            }
+            if !report.clean() {
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("race: fork-join config failed: {e}");
+            failed = true;
         }
     }
     if failed {

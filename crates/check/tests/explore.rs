@@ -494,8 +494,13 @@ fn explore_catches_seeded_map_version_skip() {
 // ---------------------------------------------------------------------------
 
 /// Real compute threads are irrelevant to the read path under test; one
-/// shared pool (real OS threads, never touching virtual primitives) avoids
-/// re-spawning per explored schedule.
+/// shared pool avoids re-spawning per explored schedule. It MUST be
+/// initialized outside any execution (see `pipeline_window`): created
+/// inside one, the worker's startup (deque locks, sleepers lock, condvar
+/// park) would be modeled into whichever execution first touched the
+/// `OnceLock` — and only that one — making its trace unreplayable.
+/// Created outside, the workers are plain OS threads parked on real
+/// primitives, invisible to every explored schedule.
 fn shared_pool() -> &'static dooc_sparse::ComputePool {
     static POOL: OnceLock<dooc_sparse::ComputePool> = OnceLock::new();
     POOL.get_or_init(|| dooc_sparse::ComputePool::new(1))
@@ -547,6 +552,9 @@ fn serve(reqs: StreamReader, replies: StreamWriter) {
 }
 
 fn pipeline_window(leak: Option<u64>) -> impl Fn() + Send + Sync + 'static {
+    // Eager: this runs when the harness is *built* (outside the execution),
+    // pinning the pool's thread spawns to the real scheduler.
+    let _ = shared_pool();
     move || {
         let (to_srv, srv_in) = standalone_stream("sreq", 8);
         let (srv_out, from_srv) = standalone_stream("srep", 8);

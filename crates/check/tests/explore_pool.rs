@@ -1,0 +1,163 @@
+//! dooc-shuttle exploration of the compute pool's steal/park/unpark
+//! protocol (ISSUE 7 satellite).
+//!
+//! The positive tests drive the *real* `ComputePool` — per-worker deques,
+//! work stealing, the park/unpark condvar handshake and the fork-join
+//! barrier — under the virtual cooperative scheduler and assert that every
+//! interleaving completes with the right results (no lost wakeup, no lost
+//! task, no deadlock). The negative twin seeds the classic bug the real
+//! protocol is built to exclude — a worker that parks without re-checking
+//! the pending-work count under the sleepers lock — and requires the
+//! explorer to find the lost-wakeup deadlock and replay it from its token.
+//!
+//! Run with `cargo test -p dooc-check --features model -- explore_pool`.
+
+#![cfg(feature = "model")]
+
+use dooc_check::explore::{explore, replay, ExploreOpts, FailureCase};
+use dooc_sparse::ComputePool;
+use dooc_sync::atomic::{AtomicUsize, Ordering};
+use dooc_sync::model::FailureKind;
+use dooc_sync::{thread, Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+fn quick() -> ExploreOpts {
+    ExploreOpts {
+        seeds: 32,
+        dfs_budget: 192,
+        ..ExploreOpts::default()
+    }
+}
+
+/// Checks that replaying a failure's token reproduces the exact failing
+/// interleaving: same failure kind and the same visible-event sequence.
+fn assert_replay_reproduces(case: &FailureCase, f: impl Fn() + Send + Sync + 'static) {
+    let outcome = replay(&case.token, f);
+    let failure = outcome
+        .failure
+        .as_ref()
+        .unwrap_or_else(|| panic!("replaying {} did not fail", case.token));
+    assert_eq!(failure.kind, case.failure.kind, "replayed failure kind");
+    assert_eq!(outcome.events, case.events, "replayed event sequence");
+}
+
+// ---------------------------------------------------------------------------
+// 1. Real pool, heterogeneous batch: `run` must return every job's result in
+//    submission order and run each job exactly once, on every interleaving
+//    of submit / steal / park / unpark. Two workers and four jobs force the
+//    submitting task to contend with both workers for the deques.
+// ---------------------------------------------------------------------------
+
+fn pool_run_batch() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let effects = Arc::new(AtomicUsize::new(0));
+        let pool = ComputePool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4)
+            .map(|i| {
+                let effects = Arc::clone(&effects);
+                Box::new(move || {
+                    effects.fetch_add(i + 1, Ordering::Relaxed);
+                    i * 10
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, vec![0, 10, 20, 30], "results in submission order");
+        assert_eq!(
+            effects.load(Ordering::Relaxed),
+            1 + 2 + 3 + 4,
+            "each job ran exactly once"
+        );
+        drop(pool); // shutdown + join must terminate on every schedule
+    }
+}
+
+#[test]
+fn explore_pool_run_is_clean() {
+    explore("pool_run", quick(), pool_run_batch()).assert_clean("pool_run");
+}
+
+// ---------------------------------------------------------------------------
+// 2. Real pool, fork-join: chunked tasks write disjoint result slots while
+//    the caller participates; the barrier must deliver all slots, in order,
+//    on every interleaving (including ones where workers steal every task
+//    before the caller claims one, and ones where the caller does it all).
+// ---------------------------------------------------------------------------
+
+fn pool_fork_join() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let pool = ComputePool::new(2);
+        let out = pool.fork_join_with(5, 3, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16], "slots filled in task order");
+        drop(pool);
+    }
+}
+
+#[test]
+fn explore_pool_fork_join_is_clean() {
+    explore("pool_fork_join", quick(), pool_fork_join()).assert_clean("pool_fork_join");
+}
+
+// ---------------------------------------------------------------------------
+// 3. Negative twin: park without re-checking for pending work under the
+//    sleepers lock. The real worker loop only blocks after taking the
+//    sleepers lock *and* observing `pending == 0`; this model skips that
+//    re-check, so a submitter that pushes and reads `sleepers == 0` in the
+//    window between the worker's last empty pop and its registration as a
+//    sleeper never sends a wakeup — the worker sleeps forever holding the
+//    job, and the submitter's join deadlocks.
+// ---------------------------------------------------------------------------
+
+struct BuggyPark {
+    queue: Mutex<VecDeque<u32>>,
+    sleepers: Mutex<usize>,
+    wakeup: Condvar,
+}
+
+fn lost_wakeup_park() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let shared = Arc::new(BuggyPark {
+            queue: Mutex::new(VecDeque::new()),
+            sleepers: Mutex::new(0),
+            wakeup: Condvar::new(),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || loop {
+                if let Some(job) = shared.queue.lock().pop_front() {
+                    if job == 0 {
+                        return; // stop token
+                    }
+                    continue;
+                }
+                // BUG: blocks without re-checking the queue under the
+                // sleepers lock. A push that happened after the empty pop
+                // above saw no sleeper to notify, so this wait is forever.
+                let mut sleepers = shared.sleepers.lock();
+                *sleepers += 1;
+                shared.wakeup.wait(&mut sleepers);
+                *sleepers -= 1;
+            })
+        };
+        {
+            let mut q = shared.queue.lock();
+            q.push_back(1);
+            q.push_back(0);
+        }
+        let sleepers = shared.sleepers.lock();
+        if *sleepers > 0 {
+            shared.wakeup.notify_one();
+        }
+        drop(sleepers);
+        worker.join().expect("worker exits");
+    }
+}
+
+#[test]
+fn explore_catches_park_without_recheck_lost_wakeup() {
+    let report = explore("pool_park[bug]", quick(), lost_wakeup_park());
+    let case = report.expect_failure("pool_park[bug]");
+    assert_eq!(case.failure.kind, FailureKind::Deadlock);
+    assert_replay_reproduces(case, lost_wakeup_park());
+}

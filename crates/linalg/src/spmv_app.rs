@@ -452,21 +452,30 @@ impl TaskExecutor for SpmvExecutor {
                 ctx.write_f64s(&task.outputs[0].array, &y)
             }
             "sum" | "sum_final" => {
-                let mut acc: Option<Vec<f64>> = None;
+                // The accumulator lives in slab form so the pool's AXPY can
+                // move disjoint owned slabs into per-task result slots and
+                // back — no `'static` Arc-clone of `y` and no reassembly
+                // copy. Serialization at the end walks the slabs directly.
+                let mut acc: Option<dooc_sparse::SlabVec> = None;
                 for input in &task.inputs {
                     if input.array.starts_with("bar_") {
                         continue; // synchronization token, not data
                     }
                     let x = Self::read_vector(ctx, &input.array)?;
                     match &mut acc {
-                        None => acc = Some(x),
+                        None => {
+                            acc = Some(dooc_sparse::SlabVec::from_vec(
+                                x,
+                                dooc_sparse::slab::DEFAULT_SLAB_LEN,
+                            ))
+                        }
                         // Pool-backed y += x (serial below the measured
                         // threshold, pool fan-out above it).
-                        Some(a) => ctx.pool().axpy(1.0, &std::sync::Arc::new(x), a),
+                        Some(a) => ctx.pool().axpy_slabs(1.0, &std::sync::Arc::new(x), a),
                     }
                 }
                 let out = acc.ok_or("sum with no data inputs")?;
-                ctx.write_f64s(&task.outputs[0].array, &out)?;
+                ctx.write_f64s_slabs(&task.outputs[0].array, &out)?;
                 if task.kind == "sum_final" {
                     let name = task.outputs[0].array.clone();
                     ctx.storage()

@@ -41,8 +41,9 @@ pub mod ring;
 pub mod trace;
 pub mod validate;
 
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -52,29 +53,49 @@ pub use ring::{
 };
 pub use trace::chrome_trace;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Recording state: `0` = off, `n >= 1` = recording with spans sampled
+/// 1-in-`n` (so `1` = record everything). One relaxed load of this single
+/// atomic is the whole disabled-path *and* enabled-path gate — the sampling
+/// period rides along in the same word the old boolean occupied.
+static STATE: AtomicU32 = AtomicU32::new(0);
 
-/// Turns event recording and metric updates on.
+/// Turns event recording and metric updates on at full rate (every span).
 ///
 /// The store is `Relaxed` to match the `Relaxed` load in [`enabled`]: the
 /// gate is advisory (a thread observing the flip late records or skips a
 /// few events, never corrupts state), and every recorded event goes through
 /// a mutex whose acquire/release ordering covers the data it guards.
 pub fn enable() {
-    ENABLED.store(true, Ordering::Relaxed);
+    STATE.store(1, Ordering::Relaxed);
+}
+
+/// Turns recording on with spans sampled 1-in-`period` per thread (a
+/// `period` of 0 or 1 means full rate). Instants, metrics and span *ends*
+/// are unaffected — sampling decides only whether a span records at all, so
+/// begin/end pairs stay balanced. This is the production-profile mode: at
+/// `period = 16` the storage/worker per-message spans cost 1/16th of their
+/// full-rate overhead while still populating every histogram and counter.
+pub fn enable_sampled(period: u32) {
+    STATE.store(period.max(1), Ordering::Relaxed);
 }
 
 /// Turns recording off. Span guards already armed still record their end
 /// event so begin/end pairs stay balanced.
 pub fn disable() {
-    ENABLED.store(false, Ordering::Relaxed);
+    STATE.store(0, Ordering::Relaxed);
 }
 
 /// Whether recording is on. This single relaxed load *is* the disabled-path
 /// cost of every instrumentation point.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    STATE.load(Ordering::Relaxed) != 0
+}
+
+/// Current recording state: 0 = off, otherwise the span sampling period.
+#[inline]
+pub(crate) fn sample_state() -> u32 {
+    STATE.load(Ordering::Relaxed)
 }
 
 /// The runtime layer an event belongs to (the Chrome trace `cat` field).
@@ -113,6 +134,29 @@ fn epoch() -> Instant {
 /// Microseconds since the process's trace epoch (anchored on first use).
 pub fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
+}
+
+/// Coarse trace clock for hot-path point events: a thread-locally cached
+/// [`now_us`] refreshed every 32 reads. Point events (eviction notes, retry
+/// markers, counter-style instants) don't need sub-microsecond placement,
+/// and skipping 31 of 32 `clock_gettime` calls keeps the obs-enabled read
+/// path inside its overhead budget. Per-thread monotonicity of emitted
+/// events is enforced by the ring recorder's clamp, not here.
+pub fn now_us_coarse() -> u64 {
+    thread_local! {
+        static CACHE: Cell<(u64, u32)> = const { Cell::new((0, 0)) };
+    }
+    CACHE.with(|c| {
+        let (t, left) = c.get();
+        if left == 0 {
+            let fresh = now_us();
+            c.set((fresh, 31));
+            fresh
+        } else {
+            c.set((t, left - 1));
+            t
+        }
+    })
 }
 
 /// Interns a string, returning a `'static` name usable in events. Interned

@@ -13,9 +13,9 @@
 //! dooc-check race detector. The trace events of this crate are one
 //! instantiation ([`take_events`] and friends below).
 
-use crate::{enabled, now_us, Category};
+use crate::{enabled, now_us, now_us_coarse, Category};
 use parking_lot::Mutex;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -157,9 +157,43 @@ thread_local! {
     static LOCAL: LocalRing<Event> = const { RefCell::new(None) };
 }
 
-fn record(ev: Event) {
+fn record(mut ev: Event) {
+    // Per-thread monotonic clamp: the coarse clock can lag the precise one,
+    // so clamp each event to the thread's last emitted timestamp. Keeps the
+    // per-thread stream non-decreasing, which the stable timestamp sort in
+    // [`take_events`] turns into a correctly ordered merged trace.
+    thread_local! {
+        static LAST_TS: Cell<u64> = const { Cell::new(0) };
+    }
+    LAST_TS.with(|l| {
+        let t = ev.t_us.max(l.get());
+        l.set(t);
+        ev.t_us = t;
+    });
     let r = rings();
     r.record_in(&LOCAL, || r.alloc_tid(), ev);
+}
+
+thread_local! {
+    /// Countdown for 1-in-N span sampling (see [`crate::enable_sampled`]).
+    static SPAN_TICK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// One tick of the per-thread span sampler: true when this span records.
+fn span_sampled(period: u32) -> bool {
+    if period <= 1 {
+        return true;
+    }
+    SPAN_TICK.with(|c| {
+        let left = c.get();
+        if left == 0 {
+            c.set(period - 1);
+            true
+        } else {
+            c.set(left - 1);
+            false
+        }
+    })
 }
 
 /// RAII span: records `Begin` on creation (when recording is enabled) and
@@ -187,9 +221,12 @@ impl Drop for SpanGuard {
 }
 
 /// Opens a span on the current thread. While recording is disabled this is
-/// one atomic load and the returned guard is inert.
+/// one atomic load and the returned guard is inert; in sampled mode
+/// ([`crate::enable_sampled`]) the same single load carries the period and
+/// all but 1-in-N spans return an inert guard after a thread-local tick.
 pub fn span(cat: Category, name: &'static str, node: i64) -> SpanGuard {
-    if !enabled() {
+    let period = crate::sample_state();
+    if period == 0 || !span_sampled(period) {
         return SpanGuard { armed: None };
     }
     record(Event {
@@ -205,13 +242,14 @@ pub fn span(cat: Category, name: &'static str, node: i64) -> SpanGuard {
     }
 }
 
-/// Records a point event.
+/// Records a point event (coarse-clock timestamped; see
+/// [`crate::now_us_coarse`]).
 pub fn instant(cat: Category, name: &'static str, node: i64) {
     if !enabled() {
         return;
     }
     record(Event {
-        t_us: now_us(),
+        t_us: now_us_coarse(),
         kind: EventKind::Instant,
         cat,
         name,
@@ -227,7 +265,7 @@ pub fn instant_arg<F: FnOnce() -> String>(cat: Category, name: &'static str, nod
         return;
     }
     record(Event {
-        t_us: now_us(),
+        t_us: now_us_coarse(),
         kind: EventKind::Instant,
         cat,
         name,
@@ -344,6 +382,72 @@ mod tests {
             snap.events.iter().map(|(tid, _)| *tid).collect();
         assert_eq!(tids.len(), 2, "two distinct threads");
         assert!(snap.events.windows(2).all(|w| w[0].1.t_us <= w[1].1.t_us));
+    }
+
+    #[test]
+    fn sampled_mode_records_one_in_n_spans_balanced() {
+        let _g = serial();
+        let _ = take_events();
+        // Burn whatever is left in this thread's sampling countdown from
+        // other tests so the 1-in-4 pattern starts fresh.
+        crate::enable_sampled(1);
+        {
+            let _s = span(Category::Worker, "sync-tick", 0);
+        }
+        let _ = take_events();
+        crate::enable_sampled(4);
+        for _ in 0..16 {
+            let _s = span(Category::Storage, "sampled", 1);
+        }
+        crate::disable();
+        let snap = take_events();
+        let begins = snap
+            .events
+            .iter()
+            .filter(|(_, e)| e.kind == EventKind::Begin)
+            .count();
+        let ends = snap
+            .events
+            .iter()
+            .filter(|(_, e)| e.kind == EventKind::End)
+            .count();
+        assert_eq!(begins, 4, "16 spans at period 4 record 4");
+        assert_eq!(ends, begins, "sampled spans stay balanced");
+    }
+
+    #[test]
+    fn sampled_mode_keeps_instants_full_rate() {
+        let _g = serial();
+        let _ = take_events();
+        crate::enable_sampled(8);
+        for _ in 0..10 {
+            instant(Category::Worker, "point", 0);
+        }
+        crate::disable();
+        let snap = take_events();
+        assert_eq!(snap.events.len(), 10, "instants are never sampled away");
+    }
+
+    #[test]
+    fn coarse_instants_never_sort_before_precise_spans() {
+        let _g = serial();
+        let _ = take_events();
+        crate::enable();
+        for _ in 0..100 {
+            {
+                let _s = span(Category::Storage, "hot", 0);
+            }
+            instant(Category::Storage, "hot-i", 0);
+        }
+        crate::disable();
+        let snap = take_events();
+        // The monotonic clamp guarantees non-decreasing per-thread
+        // timestamps even though instants use the coarse cached clock.
+        assert!(snap.events.windows(2).all(|w| w[0].1.t_us <= w[1].1.t_us));
+        let kinds: Vec<EventKind> = snap.events.iter().map(|(_, e)| e.kind).collect();
+        for c in kinds.chunks(3) {
+            assert_eq!(c, [EventKind::Begin, EventKind::End, EventKind::Instant]);
+        }
     }
 
     #[test]

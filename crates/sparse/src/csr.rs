@@ -9,6 +9,36 @@
 
 use crate::{Result, SparseError};
 
+/// One row's gather-dot `Σ v[k] * x[col[k]]`, unrolled 4-wide with four
+/// independent accumulators (the add chain is the bottleneck on top of the
+/// irregular gather) and a fixed combine order.
+///
+/// Every SpMV walk in this crate — [`CsrMatrix::spmv_into`],
+/// [`CsrMatrix::spmv_rows`], [`CsrMatrix::spmv_parallel`] and the blocked
+/// stripes of [`CsrMatrix::spmv_blocked_into`] — funnels through this one
+/// function, so serial, scoped-parallel and pool fan-out results are bitwise
+/// identical for any row partition.
+#[inline]
+fn row_dot(cols: &[u64], vals: &[f64], x: &[f64]) -> f64 {
+    let mut a0 = 0.0f64;
+    let mut a1 = 0.0f64;
+    let mut a2 = 0.0f64;
+    let mut a3 = 0.0f64;
+    let mut cc = cols.chunks_exact(4);
+    let mut vc = vals.chunks_exact(4);
+    for (cs, vs) in (&mut cc).zip(&mut vc) {
+        a0 += vs[0] * x[cs[0] as usize];
+        a1 += vs[1] * x[cs[1] as usize];
+        a2 += vs[2] * x[cs[2] as usize];
+        a3 += vs[3] * x[cs[3] as usize];
+    }
+    let mut tail = 0.0f64;
+    for (&c, &v) in cc.remainder().iter().zip(vc.remainder()) {
+        tail += v * x[c as usize];
+    }
+    (a0 + a1) + (a2 + a3) + tail
+}
+
 /// A sparse matrix in Compressed Row Storage (CRS/CSR) format.
 ///
 /// Invariants (checked by [`CsrMatrix::new`] and preserved by construction):
@@ -276,11 +306,7 @@ impl CsrMatrix {
         }
         for (r, yr) in y.iter_mut().enumerate() {
             let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-            let mut acc = 0.0;
-            for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
-                acc += v * x[c as usize];
-            }
-            *yr = acc;
+            *yr = row_dot(&self.col_idx[s..e], &self.values[s..e], x);
         }
         Ok(())
     }
@@ -329,11 +355,7 @@ impl CsrMatrix {
                     for (i, yr) in ys.iter_mut().enumerate() {
                         let r = r0 as usize + i;
                         let (s, e) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
-                        let mut acc = 0.0;
-                        for (&c, &v) in col_idx[s..e].iter().zip(&values[s..e]) {
-                            acc += v * x[c as usize];
-                        }
-                        *yr = acc;
+                        *yr = row_dot(&col_idx[s..e], &values[s..e], x);
                     }
                 });
             }
@@ -350,13 +372,64 @@ impl CsrMatrix {
         for (i, yr) in out.iter_mut().enumerate() {
             let r = r0 as usize + i;
             let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-            let mut acc = 0.0;
-            for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
-                acc += v * x[c as usize];
-            }
-            *yr = acc;
+            *yr = row_dot(&self.col_idx[s..e], &self.values[s..e], x);
         }
         out
+    }
+
+    /// Cache-blocked SpMV: walks the matrix in column stripes of
+    /// `col_block` columns so the touched window of `x` stays cache-resident
+    /// even when `x` itself is far larger than L2.
+    ///
+    /// Per stripe, each row advances a cursor over its (column-sorted)
+    /// entries and folds the stripe-local partial into `y[r]`. The partials
+    /// are accumulated per stripe in stripe order, which *reassociates* the
+    /// per-row sum relative to [`CsrMatrix::spmv_into`]; results match the
+    /// plain walk to an ULP bound, not bitwise (property-tested in
+    /// `tests/kernel_proptests.rs`). The plain walk stays the default —
+    /// callers opt in when `8 * ncols` clearly exceeds the last-level cache.
+    pub fn spmv_blocked_into(&self, x: &[f64], y: &mut [f64], col_block: usize) -> Result<()> {
+        if x.len() as u64 != self.ncols {
+            return Err(SparseError::DimensionMismatch {
+                got: (x.len() as u64, 1),
+                expected: (self.ncols, 1),
+            });
+        }
+        if y.len() as u64 != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                got: (y.len() as u64, 1),
+                expected: (self.nrows, 1),
+            });
+        }
+        let col_block = col_block.max(1) as u64;
+        y.fill(0.0);
+        // Per-row cursor into col_idx/values, advanced stripe by stripe.
+        let mut cursor: Vec<usize> = self.row_ptr[..self.nrows as usize]
+            .iter()
+            .map(|&p| p as usize)
+            .collect();
+        let mut stripe_end = col_block;
+        loop {
+            let mut any_left = false;
+            for (r, yr) in y.iter_mut().enumerate() {
+                let row_end = self.row_ptr[r + 1] as usize;
+                let begin = cursor[r];
+                let mut k = begin;
+                while k < row_end && self.col_idx[k] < stripe_end {
+                    k += 1;
+                }
+                if k > begin {
+                    *yr += row_dot(&self.col_idx[begin..k], &self.values[begin..k], x);
+                    cursor[r] = k;
+                }
+                any_left |= cursor[r] < row_end;
+            }
+            if !any_left || stripe_end >= self.ncols {
+                break;
+            }
+            stripe_end = (stripe_end + col_block).min(self.ncols);
+        }
+        Ok(())
     }
 
     /// Row boundaries `b[0]=0 <= b[1] <= ... <= b[p]=nrows` such that each

@@ -8,42 +8,139 @@
 //! so results are deterministic for a given thread count.
 
 /// Below this many elements `dot_parallel` (and the pool variant) runs
-/// serially: thread hand-off costs more than the reduction. Calibrated with
-/// `bench_dataplane --calibrate`: serial/pool parity at n = 1,048,576
-/// (883 us vs 881 us); serial wins 4.2x at 16k (12.7 us vs 53.8 us).
+/// serially: thread hand-off costs more than the reduction. Re-derived for
+/// the fork-join pool + unrolled kernels with `bench_dataplane --calibrate`
+/// (see BENCH_dataplane.json `calibration.dot`): serial/pool parity across
+/// the whole sweep (599 us vs 589 us at n = 1,048,576) on the 1-core host,
+/// where `parallelism_hint()` collapses the fork-join to the inline loop —
+/// so the threshold marks where task bookkeeping would be amortized on
+/// multi-core hosts, unchanged at 1M.
 pub const DOT_SERIAL_MAX: usize = 1_048_576;
 
-/// Below this many elements `axpy_parallel` (and the pool variant) runs
-/// serially. The axpy pool path re-assembles owned chunks (an extra O(n)
-/// copy on top of an already memory-bound kernel), so no crossover was
-/// observed in the calibration sweep (serial 704 us vs pool 5,078 us at
-/// n = 1,048,576, the largest point); the threshold sits past every vector
-/// the experiments move so the serial kernel is used throughout.
+/// Below this many elements `axpy_parallel` (and the pool `axpy_slabs`
+/// variant) runs serially. The fork-join `axpy_slabs` path moves owned
+/// slabs — no copies — closing the old fan-out pool's 3.8x-at-1M copy
+/// regression to parity (634 us serial vs 630 us pool at n = 1,048,576,
+/// `calibration.axpy`, 2026-08). AXPY stays memory-bound, so no crossover
+/// exists below this size even with zero-copy fan-out; the threshold sits
+/// past every vector the experiments move.
 pub const AXPY_SERIAL_MAX: usize = 4_194_304;
 
-/// `y += alpha * x`.
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+/// Reference `y += alpha * x`: the plain scalar loop the unrolled kernel is
+/// property-tested against. AXPY has no cross-iteration dependence, so the
+/// unrolled kernel is **bitwise** identical to this.
+pub fn axpy_ref(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
 }
 
-/// `y = alpha * x + beta * y`.
-pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+/// `y += alpha * x`, unrolled 8-wide.
+///
+/// Each lane is an independent fused statement on fixed-size chunks
+/// (`chunks_exact`), which is the shape the autovectorizer turns into
+/// packed mul-adds without a `std::simd` dependency. Element math is
+/// identical to [`axpy_ref`] (no reassociation), so results are bitwise
+/// equal for every length and remainder.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
+    let mut yc = y.chunks_exact_mut(8);
+    let mut xc = x.chunks_exact(8);
+    for (ys, xs) in (&mut yc).zip(&mut xc) {
+        ys[0] += alpha * xs[0];
+        ys[1] += alpha * xs[1];
+        ys[2] += alpha * xs[2];
+        ys[3] += alpha * xs[3];
+        ys[4] += alpha * xs[4];
+        ys[5] += alpha * xs[5];
+        ys[6] += alpha * xs[6];
+        ys[7] += alpha * xs[7];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Reference `y = alpha * x + beta * y` (see [`axpy_ref`]); the unrolled
+/// kernel is bitwise identical.
+pub fn axpby_ref(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpby operands must have equal length");
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi = alpha * xi + beta * *yi;
     }
 }
 
-/// Dot product `xᵀ y`.
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+/// `y = alpha * x + beta * y`, unrolled 8-wide (same lane structure as
+/// [`axpy`]; bitwise equal to [`axpby_ref`]).
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby operands must have equal length");
+    let mut yc = y.chunks_exact_mut(8);
+    let mut xc = x.chunks_exact(8);
+    for (ys, xs) in (&mut yc).zip(&mut xc) {
+        ys[0] = alpha * xs[0] + beta * ys[0];
+        ys[1] = alpha * xs[1] + beta * ys[1];
+        ys[2] = alpha * xs[2] + beta * ys[2];
+        ys[3] = alpha * xs[3] + beta * ys[3];
+        ys[4] = alpha * xs[4] + beta * ys[4];
+        ys[5] = alpha * xs[5] + beta * ys[5];
+        ys[6] = alpha * xs[6] + beta * ys[6];
+        ys[7] = alpha * xs[7] + beta * ys[7];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Reference dot product: one running sum in index order. The unrolled
+/// kernel reassociates, so it matches this to an ULP bound, not bitwise
+/// (property-tested in `tests/kernel_proptests.rs`).
+pub fn dot_ref(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot operands must have equal length");
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
-/// Euclidean norm `‖x‖₂`.
+/// Dot product `xᵀ y`, unrolled 8-wide with eight independent accumulators.
+///
+/// A single running sum serializes on the add latency (~4 cycles) and blocks
+/// vectorization; eight separate accumulators expose the independent chains
+/// the autovectorizer needs. The combine order (pairwise, then the scalar
+/// tail) is fixed, so the result is deterministic for a given length.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot operands must have equal length");
+    let mut a0 = 0.0f64;
+    let mut a1 = 0.0f64;
+    let mut a2 = 0.0f64;
+    let mut a3 = 0.0f64;
+    let mut a4 = 0.0f64;
+    let mut a5 = 0.0f64;
+    let mut a6 = 0.0f64;
+    let mut a7 = 0.0f64;
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact(8);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        a0 += xs[0] * ys[0];
+        a1 += xs[1] * ys[1];
+        a2 += xs[2] * ys[2];
+        a3 += xs[3] * ys[3];
+        a4 += xs[4] * ys[4];
+        a5 += xs[5] * ys[5];
+        a6 += xs[6] * ys[6];
+        a7 += xs[7] * ys[7];
+    }
+    let mut tail = 0.0f64;
+    for (xi, yi) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += xi * yi;
+    }
+    ((a0 + a4) + (a1 + a5)) + ((a2 + a6) + (a3 + a7)) + tail
+}
+
+/// Reference Euclidean norm (see [`dot_ref`]).
+pub fn norm2_ref(x: &[f64]) -> f64 {
+    dot_ref(x, x).sqrt()
+}
+
+/// Euclidean norm `‖x‖₂` over the unrolled [`dot`].
 pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
 }
@@ -170,6 +267,28 @@ mod tests {
     fn axpy_length_mismatch_panics() {
         let mut y = vec![0.0];
         axpy(1.0, &[1.0, 2.0], &mut y);
+    }
+
+    #[test]
+    fn unrolled_kernels_match_reference() {
+        for n in [0usize, 1, 5, 7, 8, 9, 15, 16, 17, 100, 1023] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+            let mut y1 = y.clone();
+            let mut y2 = y.clone();
+            axpy(1.5, &x, &mut y1);
+            axpy_ref(1.5, &x, &mut y2);
+            assert_eq!(y1, y2, "axpy bitwise, n={n}");
+            let mut y1 = y.clone();
+            let mut y2 = y.clone();
+            axpby(0.3, &x, -1.25, &mut y1);
+            axpby_ref(0.3, &x, -1.25, &mut y2);
+            assert_eq!(y1, y2, "axpby bitwise, n={n}");
+            let d = dot(&x, &y);
+            let r = dot_ref(&x, &y);
+            assert!((d - r).abs() <= 1e-12 * r.abs().max(1.0), "dot ulp, n={n}");
+            assert!((norm2(&x) - norm2_ref(&x)).abs() <= 1e-12 * norm2_ref(&x).max(1.0));
+        }
     }
 
     #[test]

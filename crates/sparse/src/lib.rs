@@ -31,11 +31,13 @@ pub mod dense;
 pub mod fileio;
 pub mod genmat;
 pub mod pool;
+pub mod slab;
 
 pub use blockgrid::{BlockCoord, BlockGrid};
 pub use csr::CsrMatrix;
 pub use genmat::GapGenerator;
 pub use pool::ComputePool;
+pub use slab::SlabVec;
 
 /// Errors produced by the sparse substrate.
 #[derive(Debug)]

@@ -1,66 +1,271 @@
-//! Persistent compute-thread pool for the node-local kernels.
+//! Persistent fork-join compute pool for the node-local kernels.
 //!
 //! The scoped-thread kernels ([`CsrMatrix::spmv_parallel`],
 //! [`dense::dot_parallel`], [`dense::axpy_parallel`]) spawn and join fresh OS
 //! threads on *every* call — fine for a one-off multiply, but a worker filter
 //! executing thousands of tasks pays the spawn/join latency each time.
-//! [`ComputePool`] keeps the threads alive for the lifetime of a worker run
-//! and feeds them jobs over a bounded channel.
+//! [`ComputePool`] keeps the threads alive for the lifetime of a worker run.
 //!
-//! The repo forbids `unsafe` everywhere, so the pool cannot lend `&mut`
-//! slices to its workers the way a scoped spawn does. Instead jobs are
-//! `'static` closures over [`Arc`]-shared inputs that *return* their owned
-//! output slab; the caller reassembles slabs in partition order. For SpMV the
-//! extra assembly copy is `8·nrows` bytes against `2·nnz` flops of irregular
-//! work — noise. For the O(n) dense kernels the copy is proportional to the
-//! work itself, which is why they route through the serial path below the
-//! measured thresholds in [`dense`].
+//! # Design
+//!
+//! The pool is a chunked **fork-join** over per-worker bounded deques:
+//!
+//! * Each worker owns a bounded `VecDeque` of jobs; an idle worker first
+//!   drains its own deque, then **steals** from the others (scan order
+//!   starting at its home queue).
+//! * [`ComputePool::fork_join_with`] splits a kernel into cache-sized chunks
+//!   whose results land in **pre-partitioned per-task slots** — each task
+//!   writes its own `Mutex<Option<T>>` slot, so there is no output channel
+//!   and no reassembly protocol. For slab-resident vectors
+//!   ([`crate::slab::SlabVec`]) the slots carry *owned* slabs both ways, so
+//!   a parallel AXPY moves pointers, never element data (the repo forbids
+//!   `unsafe`, so `&mut` slices cannot cross into `'static` pool jobs; owned
+//!   slabs can).
+//! * The **submitting thread participates**: it drives the same task counter
+//!   as the workers, so a k-way kernel never idles the caller, and on a host
+//!   with a single effective core the fork-join degrades to a plain inline
+//!   loop (zero queue/wakeup traffic — helpers are gated on
+//!   [`ComputePool::parallelism_hint`]).
+//! * **Submission never blocks.** The old pool fed a `bounded(nthreads * 4)`
+//!   channel, so a full fan-out submitted from a pool-sized caller (e.g. a
+//!   nested `run` from inside a pool job) could block the submitter forever.
+//!   Now a fan-out enqueues at most `nthreads` helper jobs, and if every
+//!   deque is full the helper is simply discarded — helpers only *add*
+//!   parallelism; the caller always completes the batch itself (regression
+//!   test: `nested_fanout_from_pool_job_completes`).
+//!
+//! All synchronization goes through the `dooc-sync` facade, so `model`
+//! builds explore the steal/park/unpark protocol under the shuttle scheduler
+//! and `record` builds feed the race detector (the fan-out paths annotate
+//! their slab accesses with `record::data_read`/`data_write`).
+//!
+//! # Park/unpark protocol
+//!
+//! Workers park on a condvar guarded by a `sleepers` count. The no-lost-
+//! wakeup argument: a submitter increments `pending` *before* pushing and
+//! only then takes the sleepers lock to notify; a worker only parks after
+//! re-checking `pending == 0` *under* that same lock. Whichever side takes
+//! the lock second sees the other's effect (mutex ordering), so either the
+//! worker observes `pending > 0` and retries, or the submitter observes
+//! `sleepers > 0` and notifies. `pending` is incremented before the push so
+//! the pop-side decrement can never underflow; the tiny window where a
+//! worker sees `pending > 0` before the job is visible is a bounded retry
+//! (with a yield) rather than a park.
 
 use crate::csr::CsrMatrix;
+use crate::slab::SlabVec;
 use crate::{dense, Result, SparseError};
+use dooc_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use dooc_sync::record;
+use dooc_sync::{thread, Condvar, Mutex};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// A job queued to the pool: runs on one worker thread.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Below this many non-zeros an SpMV runs serially on the submitting thread:
-/// the fan-out/reassembly round trip costs more than the multiply itself.
-/// Calibrated with `bench_dataplane --calibrate`: serial/pool parity at
-/// ~1.0M nnz (2,537 us vs 2,559 us); serial wins 8.4x at 3.9k nnz
-/// (3.8 us vs 32.0 us).
+/// the fan-out costs more than the multiply itself. Re-derived for the
+/// fork-join pool with `bench_dataplane --calibrate` (see BENCH_dataplane.json
+/// `calibration.spmv`, 2026-08: serial 2467 us vs forced-fan-out 2533 us at
+/// 1M nnz): on the 1-core host the public path collapses to the inline loop
+/// and forced task partitioning costs ~3%, so the threshold marks where
+/// fan-out bookkeeping is amortized on multi-core hosts (~1M nnz, unchanged
+/// from the fan-out pool).
 pub const SPMV_SERIAL_MAX_NNZ: usize = 1_048_576;
 
-/// A fixed-size pool of persistent compute threads.
+/// Per-worker deque capacity. Helpers beyond this are discarded (they only
+/// add parallelism), so submission never blocks.
+pub const QUEUE_CAP: usize = 256;
+
+/// Fan-outs split into `parallelism * TASKS_PER_THREAD` chunks so the
+/// stealing deques can rebalance uneven chunks (nnz skew, cache effects).
+const TASKS_PER_THREAD: usize = 4;
+
+/// Never split a dense kernel below this many elements per task: the slot
+/// write + steal handshake costs more than the arithmetic.
+const MIN_DENSE_CHUNK: usize = 4096;
+
+/// Shared state between the pool handle and its workers.
+struct Inner {
+    /// One bounded deque per worker; submitters push round-robin, an idle
+    /// worker pops its own queue first and then steals from the others.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Number of workers parked on `wakeup`.
+    sleepers: Mutex<usize>,
+    wakeup: Condvar,
+    /// Jobs submitted but not yet claimed (incremented before the push).
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Round-robin cursor for selecting a submission queue.
+    rr: AtomicUsize,
+}
+
+impl Inner {
+    fn new(nthreads: usize) -> Self {
+        Inner {
+            queues: (0..nthreads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleepers: Mutex::new(0),
+            wakeup: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pops a job, scanning from `home`: own queue first, then steal.
+    fn claim(&self, home: usize) -> Option<Job> {
+        let k = self.queues.len();
+        for off in 0..k {
+            let mut q = self.queues[(home + off) % k].lock();
+            if let Some(job) = q.pop_front() {
+                // Cannot underflow: the submitter increments before pushing.
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Enqueues a helper job; returns it to the caller if every deque is at
+    /// capacity. Never blocks.
+    fn submit(&self, job: Job, cap: usize) -> Option<Job> {
+        let k = self.queues.len();
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % k;
+        self.pending.fetch_add(1, Ordering::Release);
+        for off in 0..k {
+            let mut q = self.queues[(start + off) % k].lock();
+            if q.len() < cap {
+                q.push_back(job);
+                drop(q);
+                let sleepers = self.sleepers.lock();
+                if *sleepers > 0 {
+                    self.wakeup.notify_one();
+                }
+                return None;
+            }
+        }
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+        Some(job)
+    }
+
+    fn worker_loop(&self, home: usize) {
+        loop {
+            if let Some(job) = self.claim(home) {
+                // A panicking job must not kill the worker: the fork-join
+                // completion guard has already recorded the panic for the
+                // caller; keep the pool at full strength.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                continue;
+            }
+            let mut sleepers = self.sleepers.lock();
+            if self.pending.load(Ordering::Acquire) > 0 {
+                // Submitted but not yet visible in a queue, or another
+                // worker is mid-claim; retry instead of parking.
+                drop(sleepers);
+                thread::yield_now();
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            *sleepers += 1;
+            self.wakeup.wait(&mut sleepers);
+            *sleepers -= 1;
+        }
+    }
+}
+
+/// One fork-join batch: a task generator plus pre-partitioned result slots.
+struct Fork<T, G> {
+    gen: G,
+    ntasks: usize,
+    /// Next unclaimed task index (claimed by caller and helpers alike).
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    /// Per-task result slots, written exactly once by whoever claims the task.
+    slots: Vec<Mutex<Option<T>>>,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Completion bookkeeping for one claimed task; runs on drop so a panicking
+/// task still decrements `remaining` and wakes the caller.
+struct TaskGuard<'a> {
+    remaining: &'a AtomicUsize,
+    panicked: &'a AtomicBool,
+    done: &'a Mutex<bool>,
+    cv: &'a Condvar,
+}
+
+impl Drop for TaskGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.panicked.store(true, Ordering::Release);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done.lock();
+            *done = true;
+            self.cv.notify_all();
+        }
+    }
+}
+
+impl<T, G: Fn(usize) -> T> Fork<T, G> {
+    /// Claims and runs tasks until the counter is exhausted. Runs on the
+    /// caller and on every helper job.
+    fn drive(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.ntasks {
+                return;
+            }
+            let _guard = TaskGuard {
+                remaining: &self.remaining,
+                panicked: &self.panicked,
+                done: &self.done,
+                cv: &self.cv,
+            };
+            let out = (self.gen)(i);
+            *self.slots[i].lock() = Some(out);
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+/// A fixed-size pool of persistent compute threads with stealing deques.
 ///
-/// Dropping the pool closes the job channel and joins every worker.
+/// Dropping the pool signals shutdown and joins every worker.
 pub struct ComputePool {
-    tx: Option<crossbeam::channel::Sender<Job>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    inner: Arc<Inner>,
+    workers: Vec<thread::JoinHandle<()>>,
+    host_parallelism: usize,
 }
 
 impl ComputePool {
     /// Spawns a pool of `nthreads` workers (at least one).
     pub fn new(nthreads: usize) -> Self {
         let nthreads = nthreads.max(1);
-        // Deep enough that a full fan-out of one kernel call never blocks
-        // the submitting thread mid-loop.
-        let (tx, rx) = crossbeam::channel::bounded::<Job>(nthreads * 4);
+        let inner = Arc::new(Inner::new(nthreads));
         let workers = (0..nthreads)
-            .map(|i| {
-                let rx = rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("dooc-compute-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("spawn compute worker")
+            .map(|home| {
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || inner.worker_loop(home))
             })
             .collect();
         Self {
-            tx: Some(tx),
+            inner,
             workers,
+            host_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 
@@ -69,37 +274,93 @@ impl ComputePool {
         self.workers.len()
     }
 
-    fn sender(&self) -> &crossbeam::channel::Sender<Job> {
-        self.tx.as_ref().expect("pool alive until drop")
+    /// Useful parallelism for a data kernel: pool workers plus the
+    /// participating caller, clamped to what the host can actually run
+    /// concurrently. On a 1-core host this is 1, and every kernel fan-out
+    /// collapses to an inline serial loop with zero pool traffic.
+    pub fn parallelism_hint(&self) -> usize {
+        (self.nthreads() + 1).min(self.host_parallelism).max(1)
+    }
+
+    /// Splits `ntasks` tasks across the caller plus up to `parallelism - 1`
+    /// helper workers; returns the task outputs in index order.
+    ///
+    /// Each task's output lands in its own pre-partitioned slot; the caller
+    /// participates until the shared counter is exhausted, then waits for
+    /// stragglers. With `parallelism <= 1` (or a single task) this is an
+    /// inline loop that touches no synchronization at all.
+    ///
+    /// Panics with "compute pool task panicked" if any task panicked.
+    pub fn fork_join_with<T, G>(&self, ntasks: usize, parallelism: usize, gen: G) -> Vec<T>
+    where
+        T: Send + 'static,
+        G: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if ntasks == 0 {
+            return Vec::new();
+        }
+        let helpers = parallelism
+            .saturating_sub(1)
+            .min(self.nthreads())
+            .min(ntasks - 1);
+        if helpers == 0 {
+            return (0..ntasks).map(gen).collect();
+        }
+        let fork = Arc::new(Fork {
+            gen,
+            ntasks,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(ntasks),
+            panicked: AtomicBool::new(false),
+            slots: (0..ntasks).map(|_| Mutex::new(None)).collect(),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        for _ in 0..helpers {
+            let f = Arc::clone(&fork);
+            // Full deques just mean fewer helpers; the caller still
+            // completes the batch below.
+            drop(self.inner.submit(Box::new(move || f.drive()), QUEUE_CAP));
+        }
+        fork.drive();
+        fork.wait();
+        if fork.panicked.load(Ordering::Acquire) {
+            panic!("compute pool task panicked");
+        }
+        fork.slots
+            .iter()
+            .map(|s| s.lock().take().expect("every fork-join slot filled"))
+            .collect()
+    }
+
+    /// [`Self::fork_join_with`] at the pool's [`Self::parallelism_hint`].
+    pub fn fork_join<T, G>(&self, ntasks: usize, gen: G) -> Vec<T>
+    where
+        T: Send + 'static,
+        G: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        self.fork_join_with(ntasks, self.parallelism_hint(), gen)
     }
 
     /// Runs the given jobs on the pool and returns their outputs in input
     /// order. Blocks until every job finished.
+    ///
+    /// Unlike the data kernels this always fans out to the workers (it is
+    /// the semantic "run these on the pool" API and is what the shuttle
+    /// tests use to exercise the steal/park protocol on any host). Safe to
+    /// call from inside a pool job: submission never blocks and the calling
+    /// job drives the batch itself.
     pub fn run<T: Send + 'static>(
         &self,
         jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
     ) -> Vec<T> {
+        type TaskSlots<T> = Vec<Mutex<Option<Box<dyn FnOnce() -> T + Send>>>>;
         let n = jobs.len();
-        let (otx, orx) = crossbeam::channel::bounded::<(usize, T)>(n.max(1));
-        for (i, job) in jobs.into_iter().enumerate() {
-            let otx = otx.clone();
-            self.sender()
-                .send(Box::new(move || {
-                    let out = job();
-                    let _ = otx.send((i, out));
-                }))
-                .unwrap_or_else(|_| panic!("compute pool closed"));
-        }
-        drop(otx);
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (i, out) = orx.recv().expect("compute job vanished");
-            slots[i] = Some(out);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every slot filled"))
-            .collect()
+        let tasks: Arc<TaskSlots<T>> =
+            Arc::new(jobs.into_iter().map(|j| Mutex::new(Some(j))).collect());
+        self.fork_join_with(n, self.nthreads() + 1, move |i| {
+            (tasks[i].lock().take().expect("each job runs exactly once"))()
+        })
     }
 
     /// Pool-backed parallel SpMV `y = A * x`, nnz-balanced across the pool's
@@ -118,107 +379,166 @@ impl ComputePool {
                 expected: (m.nrows(), 1),
             });
         }
-        let nthreads = self.nthreads().min(m.nrows().max(1) as usize);
-        if nthreads == 1 || (m.nnz() as usize) < SPMV_SERIAL_MAX_NNZ {
+        let par = self.parallelism_hint().min(m.nrows().max(1) as usize);
+        if par == 1 || (m.nnz() as usize) < SPMV_SERIAL_MAX_NNZ {
             return m.spmv_into(x, y);
         }
-        self.spmv_fanout(m, x, y, nthreads);
+        self.spmv_fanout(m, x, y, par);
         Ok(())
     }
 
-    /// The pool fan-out body of [`ComputePool::spmv`], without the serial
-    /// routing (kept separate so tests cover it at any input size).
-    fn spmv_fanout(&self, m: &Arc<CsrMatrix>, x: &Arc<Vec<f64>>, y: &mut [f64], nthreads: usize) {
-        let bounds = m.nnz_balanced_row_partition(nthreads);
-        let jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = (0..nthreads)
-            .map(|t| {
-                let m = Arc::clone(m);
-                let x = Arc::clone(x);
-                let (r0, r1) = (bounds[t], bounds[t + 1]);
-                Box::new(move || m.spmv_rows(&x, r0, r1)) as Box<dyn FnOnce() -> Vec<f64> + Send>
+    /// The fork-join body of [`ComputePool::spmv`] at an explicit
+    /// `parallelism`, without the serial routing (kept public so tests and
+    /// the race harness cover it at any input size and forced concurrency).
+    pub fn spmv_fanout(
+        &self,
+        m: &Arc<CsrMatrix>,
+        x: &Arc<Vec<f64>>,
+        y: &mut [f64],
+        parallelism: usize,
+    ) {
+        let nrows = (m.nrows() as usize).max(1);
+        let par = parallelism.clamp(1, nrows);
+        let ntasks = (par * TASKS_PER_THREAD).min(nrows);
+        let bounds = m.nnz_balanced_row_partition(ntasks);
+        let slabs = {
+            let m = Arc::clone(m);
+            let x = Arc::clone(x);
+            let bounds = bounds.clone();
+            self.fork_join_with(ntasks, par, move |t| {
+                let slab = m.spmv_rows(&x, bounds[t], bounds[t + 1]);
+                if let Some(first) = slab.first() {
+                    record::data_write(record::addr_of(first));
+                }
+                slab
             })
-            .collect();
-        for (t, slab) in self.run(jobs).into_iter().enumerate() {
+        };
+        for (t, slab) in slabs.iter().enumerate() {
+            if let Some(first) = slab.first() {
+                record::data_read(record::addr_of(first));
+            }
             let lo = bounds[t] as usize;
-            y[lo..lo + slab.len()].copy_from_slice(&slab);
+            y[lo..lo + slab.len()].copy_from_slice(slab);
         }
     }
 
-    /// Pool-backed parallel dot product. Deterministic for a fixed pool size
-    /// (chunk partials summed in order). Falls back to the serial kernel
-    /// below [`dense::DOT_SERIAL_MAX`].
+    /// Pool-backed parallel dot product. Deterministic for a fixed
+    /// parallelism (chunk partials summed in task order). Falls back to the
+    /// serial kernel below [`dense::DOT_SERIAL_MAX`].
     pub fn dot(&self, x: &Arc<Vec<f64>>, y: &Arc<Vec<f64>>) -> f64 {
         assert_eq!(x.len(), y.len(), "dot operands must have equal length");
         let n = x.len();
-        let nthreads = self.nthreads().min(n.max(1));
-        if nthreads == 1 || n < dense::DOT_SERIAL_MAX {
+        let par = self.parallelism_hint().min(n.max(1));
+        if par == 1 || n < dense::DOT_SERIAL_MAX {
             return dense::dot(x, y);
         }
-        self.dot_fanout(x, y, nthreads)
+        self.dot_fanout(x, y, par)
     }
 
-    /// The pool fan-out body of [`ComputePool::dot`], without the serial
-    /// routing.
-    fn dot_fanout(&self, x: &Arc<Vec<f64>>, y: &Arc<Vec<f64>>, nthreads: usize) -> f64 {
+    /// The fork-join body of [`ComputePool::dot`] at an explicit
+    /// `parallelism`, without the serial routing.
+    pub fn dot_fanout(&self, x: &Arc<Vec<f64>>, y: &Arc<Vec<f64>>, parallelism: usize) -> f64 {
         let n = x.len();
-        let chunk = n.div_ceil(nthreads);
-        let jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = (0..nthreads)
-            .filter(|t| t * chunk < n)
-            .map(|t| {
-                let x = Arc::clone(x);
-                let y = Arc::clone(y);
-                let lo = t * chunk;
+        let par = parallelism.max(1).min(n.max(1));
+        let ntasks = (par * TASKS_PER_THREAD)
+            .min(n.div_ceil(MIN_DENSE_CHUNK))
+            .max(1);
+        let chunk = n.div_ceil(ntasks);
+        let partials = {
+            let x = Arc::clone(x);
+            let y = Arc::clone(y);
+            self.fork_join_with(ntasks, par, move |t| {
+                let lo = (t * chunk).min(n);
                 let hi = ((t + 1) * chunk).min(n);
-                Box::new(move || dense::dot(&x[lo..hi], &y[lo..hi]))
-                    as Box<dyn FnOnce() -> f64 + Send>
+                dense::dot(&x[lo..hi], &y[lo..hi])
             })
-            .collect();
-        self.run(jobs).iter().sum()
+        };
+        partials.iter().sum()
     }
 
-    /// Pool-backed parallel `y += alpha * x`. The O(n) kernel only wins on
-    /// large vectors (the pool variant re-assembles owned chunks), so it
-    /// routes through the serial kernel below [`dense::AXPY_SERIAL_MAX`].
+    /// Pool-backed `y += alpha * x` on a contiguous `y`.
+    ///
+    /// A contiguous `&mut [f64]` cannot be lent to `'static` pool jobs
+    /// without copying it in and out (the measured 3.8x regression of the
+    /// old fan-out pool), so this routes serially below
+    /// [`dense::AXPY_SERIAL_MAX`] and through the zero-copy *scoped*-thread
+    /// kernel [`dense::axpy_parallel`] above it (spawn cost is amortized at
+    /// that size). Accumulators that want pool-parallel AXPY hold their data
+    /// as a [`SlabVec`] and call [`ComputePool::axpy_slabs`].
     pub fn axpy(&self, alpha: f64, x: &Arc<Vec<f64>>, y: &mut [f64]) {
         assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
-        let n = x.len();
-        let nthreads = self.nthreads().min(n.max(1));
-        if nthreads == 1 || n < dense::AXPY_SERIAL_MAX {
+        let par = self.parallelism_hint().min(x.len().max(1));
+        if par == 1 || x.len() < dense::AXPY_SERIAL_MAX {
             return dense::axpy(alpha, x, y);
         }
-        self.axpy_fanout(alpha, x, y, nthreads)
+        dense::axpy_parallel(alpha, x, y, par);
     }
 
-    /// The pool fan-out body of [`ComputePool::axpy`], without the serial
-    /// routing.
-    fn axpy_fanout(&self, alpha: f64, x: &Arc<Vec<f64>>, y: &mut [f64], nthreads: usize) {
-        let n = x.len();
-        let chunk = n.div_ceil(nthreads);
-        let jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = (0..nthreads)
-            .filter(|t| t * chunk < n)
-            .map(|t| {
-                let x = Arc::clone(x);
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                let ys = y[lo..hi].to_vec();
-                Box::new(move || {
-                    let mut ys = ys;
-                    dense::axpy(alpha, &x[lo..hi], &mut ys);
-                    ys
-                }) as Box<dyn FnOnce() -> Vec<f64> + Send>
-            })
-            .collect();
-        let mut lo = 0usize;
-        for out in self.run(jobs) {
-            y[lo..lo + out.len()].copy_from_slice(&out);
-            lo += out.len();
+    /// Pool-backed `y += alpha * x` where `y` is slab-partitioned: the
+    /// parallel path moves each owned slab into a task slot, updates it in
+    /// place on a worker, and moves it back — no element data is copied.
+    pub fn axpy_slabs(&self, alpha: f64, x: &Arc<Vec<f64>>, y: &mut SlabVec) {
+        assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
+        let par = self.parallelism_hint().min(y.nslabs().max(1));
+        if par == 1 || y.len() < dense::AXPY_SERIAL_MAX {
+            for i in 0..y.nslabs() {
+                let (lo, hi) = y.slab_range(i);
+                dense::axpy(alpha, &x[lo..hi], &mut y.slabs_mut()[i]);
+            }
+            return;
         }
+        self.axpy_slabs_fanout(alpha, x, y, par);
+    }
+
+    /// The fork-join body of [`ComputePool::axpy_slabs`] at an explicit
+    /// `parallelism`, without the serial routing.
+    pub fn axpy_slabs_fanout(
+        &self,
+        alpha: f64,
+        x: &Arc<Vec<f64>>,
+        y: &mut SlabVec,
+        parallelism: usize,
+    ) {
+        let ranges: Vec<(usize, usize)> = (0..y.nslabs()).map(|i| y.slab_range(i)).collect();
+        let ntasks = ranges.len();
+        if ntasks == 0 {
+            return;
+        }
+        let slots: Arc<Vec<Mutex<Option<Vec<f64>>>>> = Arc::new(
+            y.take_slabs()
+                .into_iter()
+                .map(|s| Mutex::new(Some(s)))
+                .collect(),
+        );
+        let out = {
+            let x = Arc::clone(x);
+            let slots = Arc::clone(&slots);
+            self.fork_join_with(ntasks, parallelism, move |i| {
+                let mut slab = slots[i].lock().take().expect("slab moved out once");
+                let (lo, hi) = ranges[i];
+                dense::axpy(alpha, &x[lo..hi], &mut slab);
+                if let Some(first) = slab.first() {
+                    record::data_write(record::addr_of(first));
+                }
+                slab
+            })
+        };
+        for slab in &out {
+            if let Some(first) = slab.first() {
+                record::data_read(record::addr_of(first));
+            }
+        }
+        y.restore(out);
     }
 }
 
 impl Drop for ComputePool {
     fn drop(&mut self) {
-        self.tx = None; // close the channel; workers drain and exit
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _sleepers = self.inner.sleepers.lock();
+            self.inner.wakeup.notify_all();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -249,6 +569,109 @@ mod tests {
     }
 
     #[test]
+    fn fork_join_fills_every_slot_in_order() {
+        let pool = ComputePool::new(3);
+        for ntasks in [1usize, 2, 7, 64] {
+            for par in [1usize, 2, 4, 9] {
+                let out = pool.fork_join_with(ntasks, par, |i| i * 3);
+                assert_eq!(out, (0..ntasks).map(|i| i * 3).collect::<Vec<_>>());
+            }
+        }
+        assert_eq!(pool.fork_join_with(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    /// The old pool fed all jobs through one `bounded(nthreads * 4)`
+    /// channel, so a nested fan-out submitted from inside a pool job
+    /// (workers busy, channel full) deadlocked the submitter. The fork-join
+    /// pool never blocks on submission and the caller drives its own batch.
+    #[test]
+    fn nested_fanout_from_pool_job_completes() {
+        let pool = Arc::new(ComputePool::new(1));
+        let p2 = Arc::clone(&pool);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![Box::new(move || {
+            let inner: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+                .map(|i| Box::new(move || i) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            p2.run(inner).into_iter().sum()
+        })];
+        assert_eq!(pool.run(jobs), vec![(0..64usize).sum()]);
+    }
+
+    #[test]
+    fn deep_nested_fanout_many_layers() {
+        let pool = Arc::new(ComputePool::new(2));
+        fn nest(pool: &Arc<ComputePool>, depth: usize) -> usize {
+            if depth == 0 {
+                return 1;
+            }
+            let p = Arc::clone(pool);
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4usize)
+                .map(|_| {
+                    let p = Arc::clone(&p);
+                    Box::new(move || nest(&p, depth - 1)) as Box<dyn FnOnce() -> usize + Send>
+                })
+                .collect();
+            pool.run(jobs).into_iter().sum()
+        }
+        assert_eq!(nest(&pool, 3), 64);
+    }
+
+    #[test]
+    fn submit_overflow_returns_job_instead_of_blocking() {
+        // An Inner with no workers drains nothing, so pushes accumulate
+        // until every deque hits `cap` and submit hands the job back.
+        let inner = Inner::new(2);
+        let mut returned = 0;
+        for _ in 0..10 {
+            if inner.submit(Box::new(|| {}), 4).is_some() {
+                returned += 1;
+            }
+        }
+        assert_eq!(returned, 2, "8 fit in 2 deques of 4; 2 bounce back");
+        assert_eq!(inner.pending.load(Ordering::Acquire), 8);
+    }
+
+    #[test]
+    fn claim_steals_from_other_queues() {
+        let inner = Inner::new(3);
+        inner.pending.fetch_add(1, Ordering::Release);
+        inner.queues[2].lock().push_back(Box::new(|| {}));
+        // Home queue 0 is empty; claim must steal from queue 2.
+        assert!(inner.claim(0).is_some());
+        assert_eq!(inner.pending.load(Ordering::Acquire), 0);
+        assert!(inner.claim(0).is_none());
+    }
+
+    #[test]
+    fn panicking_task_reports_and_pool_survives() {
+        let pool = ComputePool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 5, "task 5 exploded");
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(jobs)))
+            .expect_err("batch with a panicking task must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("panicked") || msg.contains("exploded"),
+            "unexpected panic payload: {msg}"
+        );
+        // The pool is still fully functional afterwards.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(pool.run(jobs).iter().sum::<usize>(), 136);
+    }
+
+    #[test]
     fn pool_spmv_matches_serial() {
         let m = Arc::new(
             CsrMatrix::from_triplets(
@@ -272,7 +695,8 @@ mod tests {
             let mut y = vec![0.0; 64];
             pool.spmv(&m, &x, &mut y).expect("dims ok");
             assert_eq!(y, serial, "pool size {nt}");
-            // ...and the fan-out body itself, bit-for-bit.
+            // ...and the fan-out body itself, bit-for-bit, at forced
+            // parallelism.
             let mut y = vec![0.0; 64];
             pool.spmv_fanout(&m, &x, &mut y, nt.min(64));
             assert_eq!(y, serial, "fan-out, pool size {nt}");
@@ -294,17 +718,33 @@ mod tests {
         // Public API (routes serial below the thresholds)...
         let d = pool.dot(&x, &y);
         assert!((d - reference).abs() < 1e-9 * reference.abs().max(1.0));
-        // ...and the fan-out bodies themselves.
+        // ...and the fan-out body itself at forced parallelism.
         let d = pool.dot_fanout(&x, &y, 4);
         assert!((d - reference).abs() < 1e-9 * reference.abs().max(1.0));
         let mut y1 = yv.clone();
         let mut y2 = yv.clone();
-        let mut y3 = yv;
         dense::axpy(1.5, &x, &mut y1);
         pool.axpy(1.5, &x, &mut y2);
         assert_eq!(y1, y2);
-        pool.axpy_fanout(1.5, &x, &mut y3, 4);
-        assert_eq!(y1, y3);
+    }
+
+    #[test]
+    fn slab_axpy_matches_contiguous_at_forced_parallelism() {
+        let n = 100_000;
+        let x = Arc::new((0..n).map(|i| (i as f64 * 0.2).sin()).collect::<Vec<f64>>());
+        let yv: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut reference = yv.clone();
+        dense::axpy(-0.75, &x, &mut reference);
+        let pool = ComputePool::new(4);
+        // Serial-routed public API...
+        let mut s = SlabVec::from_vec(yv.clone(), 8192);
+        pool.axpy_slabs(-0.75, &x, &mut s);
+        assert_eq!(s.to_vec(), reference);
+        // ...and the fan-out body, bit-for-bit (same per-slab kernel).
+        let mut s = SlabVec::from_vec(yv, 8192);
+        pool.axpy_slabs_fanout(-0.75, &x, &mut s, 4);
+        assert_eq!(s.to_vec(), reference);
+        assert_eq!(s.len(), n);
     }
 
     #[test]
