@@ -66,6 +66,8 @@ pub const PANIC_FREE_CRATES: &[&str] = &["filterstream", "storage", "scheduler",
 /// Must mirror `dooc_faultline::SITES`; a test cross-checks the two lists
 /// against the faultline crate's source so they cannot drift apart.
 pub const REGISTERED_FAULT_SITES: &[&str] = &[
+    "fs.tcp.connect",
+    "fs.tcp.frame",
     "storage.io.read",
     "storage.io.write",
     "storage.node.crash",

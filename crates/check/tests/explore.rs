@@ -17,7 +17,7 @@
 use bytes::Bytes;
 use dooc_check::explore::{explore, replay, ExploreOpts, FailureCase, ScheduleToken};
 use dooc_core::ResidencyTracker;
-use dooc_filterstream::{standalone_stream, StreamReader, StreamWriter};
+use dooc_filterstream::{NodeId, StreamReader, StreamSet, StreamWriter};
 use dooc_storage::node::{Action, SeededBugs};
 use dooc_storage::proto::{ClientMsg, IoCmd, IoReply, Reply};
 use dooc_storage::{ArrayMeta, Interval, MapDelta, NodeConfig, RecoveryPolicy, StorageState};
@@ -525,7 +525,9 @@ fn serve(reqs: StreamReader, replies: StreamWriter) {
         while let Some(a) = work.pop_front() {
             match a {
                 Action::Reply { reply, .. } => {
-                    replies.send_to(0, reply.encode()).expect("reply send");
+                    replies
+                        .send_to(NodeId(0), reply.encode())
+                        .expect("reply send");
                 }
                 Action::Peer { .. } => panic!("single-node server saw a peer message"),
                 Action::Io(IoCmd::Read { array, block, .. }) => {
@@ -556,8 +558,8 @@ fn pipeline_window(leak: Option<u64>) -> impl Fn() + Send + Sync + 'static {
     // pinning the pool's thread spawns to the real scheduler.
     let _ = shared_pool();
     move || {
-        let (to_srv, srv_in) = standalone_stream("sreq", 8);
-        let (srv_out, from_srv) = standalone_stream("srep", 8);
+        let (to_srv, srv_in) = StreamSet::standalone("sreq", 8);
+        let (srv_out, from_srv) = StreamSet::standalone("srep", 8);
         let server = dooc_sync::thread::spawn(move || serve(srv_in, srv_out));
         let mut client = dooc_storage::StorageClient::new(to_srv, from_srv, 0, 0);
         client.create("x", 24, 8).expect("create");

@@ -15,7 +15,8 @@
 use crate::report::RunReport;
 use crate::worker::{Sinks, TaskExecutor, WorkerFilter};
 use crate::{DoocConfig, DoocError, Result};
-use dooc_filterstream::{Delivery, Layout, NodeId, Runtime};
+use bytes::Bytes;
+use dooc_filterstream::{Delivery, Layout, NodeId, Runtime, Transport};
 use dooc_scheduler::{assign_affinity, TaskGraph};
 use dooc_storage::proto::NodeStats;
 use dooc_storage::StorageCluster;
@@ -46,6 +47,57 @@ impl DoocRuntime {
         graph: TaskGraph,
         external_location: HashMap<String, u64>,
         executor: Arc<dyn TaskExecutor>,
+    ) -> Result<RunReport> {
+        self.run_inner(graph, external_location, executor, None)
+    }
+
+    /// Executes a task DAG as one process of a multi-process cluster.
+    ///
+    /// Every process must call this with the *same* graph, external map and
+    /// configuration (the scratch-dir vector lists all nodes' directories;
+    /// only the entry for `transport.node()` is accessed locally). A digest
+    /// of the run-defining inputs is exchanged across the cluster before
+    /// assembly, so a mismatched process fails fast instead of deadlocking
+    /// mid-run.
+    ///
+    /// The returned report is this process's view: only the local node's
+    /// `node_stats` entry is populated, the trace holds local events, and
+    /// stream counters cover local endpoints.
+    pub fn run_distributed(
+        &self,
+        graph: TaskGraph,
+        external_location: HashMap<String, u64>,
+        executor: Arc<dyn TaskExecutor>,
+        transport: Arc<dyn Transport>,
+    ) -> Result<RunReport> {
+        if self.config.nnodes() != transport.nnodes() {
+            return Err(DoocError::Config(format!(
+                "config declares {} scratch dirs but transport spans {} nodes",
+                self.config.nnodes(),
+                transport.nnodes()
+            )));
+        }
+        let digest = run_digest(&self.config, &graph, &external_location);
+        let blobs = transport
+            .exchange(Bytes::copy_from_slice(&digest.to_le_bytes()))
+            .map_err(DoocError::Dataflow)?;
+        for (peer, blob) in blobs {
+            if blob.as_ref() != digest.to_le_bytes() {
+                return Err(DoocError::Config(format!(
+                    "bootstrap digest mismatch with {peer}: every process must \
+                     run the identical graph, external map and config"
+                )));
+            }
+        }
+        self.run_inner(graph, external_location, executor, Some(transport))
+    }
+
+    fn run_inner(
+        &self,
+        graph: TaskGraph,
+        external_location: HashMap<String, u64>,
+        executor: Arc<dyn TaskExecutor>,
+        transport: Option<Arc<dyn Transport>>,
     ) -> Result<RunReport> {
         let nnodes = self.config.nnodes();
         if nnodes == 0 {
@@ -126,7 +178,10 @@ impl DoocRuntime {
         // that publishes it to the workers' relaxed loads.
         client_base.store(base, dooc_sync::atomic::Ordering::Relaxed);
 
-        let streams = Runtime::run(layout)?;
+        let streams = match transport {
+            Some(t) => Runtime::run_distributed(layout, t)?,
+            None => Runtime::run(layout)?,
+        };
         let elapsed = start.elapsed();
 
         // Shutdown leak audit: every buffer enqueued into a port must have
@@ -173,4 +228,52 @@ impl DoocRuntime {
             trace,
         })
     }
+}
+
+/// FNV-1a digest of everything that shapes cluster assembly: node count,
+/// storage knobs, geometry hints, the task graph and the external map.
+/// Scratch-dir *paths* are deliberately excluded — they legitimately differ
+/// across hosts; only their count matters for layout identity.
+fn run_digest(
+    config: &DoocConfig,
+    graph: &TaskGraph,
+    external_location: &HashMap<String, u64>,
+) -> u64 {
+    fn eat(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn eat_u64(h: &mut u64, v: u64) {
+        eat(h, &v.to_le_bytes());
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    eat(&mut h, b"dooc-run-v1");
+    eat_u64(&mut h, config.nnodes() as u64);
+    eat_u64(&mut h, config.memory_budget);
+    eat_u64(&mut h, config.seed);
+    for (name, len, bs) in &config.geometry {
+        eat(&mut h, name.as_bytes());
+        eat_u64(&mut h, *len);
+        eat_u64(&mut h, *bs);
+    }
+    for id in graph.ids() {
+        let t = graph.task(id);
+        eat(&mut h, t.name.as_bytes());
+        eat(&mut h, t.kind.as_bytes());
+        for d in t.inputs.iter().chain(t.outputs.iter()) {
+            eat(&mut h, d.array.as_bytes());
+            eat_u64(&mut h, d.bytes);
+        }
+        eat_u64(&mut h, t.flops);
+        eat_u64(&mut h, t.pin.map(|p| p + 1).unwrap_or(0));
+    }
+    let mut ext: Vec<(&String, &u64)> = external_location.iter().collect();
+    ext.sort();
+    for (name, node) in ext {
+        eat(&mut h, name.as_bytes());
+        eat_u64(&mut h, *node);
+    }
+    h
 }

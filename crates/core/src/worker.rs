@@ -10,7 +10,7 @@
 use crate::report::TraceEvent;
 use crate::DoocConfig;
 use bytes::Bytes;
-use dooc_filterstream::{DataBuffer, Filter, FilterContext};
+use dooc_filterstream::{DataBuffer, Filter, FilterContext, NodeId};
 use dooc_obs::metrics::{counter, histogram, Counter, Gauge, Histogram};
 use dooc_obs::Category;
 use dooc_scheduler::{LocalScheduler, Placement, TaskGraph, TaskId, TaskSpec};
@@ -724,7 +724,7 @@ impl Filter for WorkerFilter {
                 .map_err(|e| ctx.error(format!("register {name}: {e}")))?;
         }
 
-        let mine = self.placement.tasks_of(node);
+        let mine = self.placement.tasks_of(NodeId(node as usize));
         let mut ls = LocalScheduler::new(&self.graph, mine, self.config.order_policy)
             .with_prefetch_window(self.config.prefetch_window)
             .with_node(node as i64);

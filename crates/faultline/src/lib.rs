@@ -58,6 +58,8 @@ use std::sync::OnceLock;
 /// Stream-level message faults are keyed by stream name at runtime (via
 /// [`fail::message`]) and are not listed here.
 pub const SITES: &[&str] = &[
+    "fs.tcp.connect",
+    "fs.tcp.frame",
     "storage.io.read",
     "storage.io.write",
     "storage.node.crash",

@@ -39,18 +39,23 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod codec;
 pub mod filter;
 pub mod layout;
 pub mod runtime;
 pub mod stream;
 pub mod sync;
+pub mod tcp;
+pub mod transport;
 
 pub use buffer::DataBuffer;
 pub use filter::{Filter, FilterContext};
 pub use layout::{FilterId, Layout};
 pub use runtime::{PortReport, Runtime, RuntimeReport};
-pub use stream::{select_recv, standalone_stream, Delivery, StreamReader, StreamWriter};
+pub use stream::{Delivery, SelectEvent, SelectOutcome, StreamReader, StreamSet, StreamWriter};
 pub use sync::OrderedMutex;
+pub use tcp::{ClusterSpec, TcpTransport};
+pub use transport::{ChannelTransport, FrameSink, Transport};
 
 /// Identity of a (simulated) compute node filters are placed on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -95,6 +100,9 @@ pub enum FsError {
         /// The port the send was attempted on.
         port: String,
     },
+    /// A wire-transport failure: framing violation, handshake mismatch,
+    /// connect timeout, or a peer that went away mid-stream.
+    Transport(String),
 }
 
 impl std::fmt::Display for FsError {
@@ -115,6 +123,7 @@ impl std::fmt::Display for FsError {
             FsError::StreamClosed { port } => {
                 write!(f, "stream on port '{port}' is closed (all consumers gone)")
             }
+            FsError::Transport(m) => write!(f, "transport error: {m}"),
         }
     }
 }

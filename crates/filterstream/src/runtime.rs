@@ -6,11 +6,27 @@
 //! returns a [`RuntimeReport`] with the per-stream traffic counters. Filter
 //! errors and panics are collected and reported (the first error wins;
 //! remaining filters unwind naturally as their streams close).
+//!
+//! [`Runtime::run_distributed`] is the same engine restricted to one node of
+//! a cluster: every process runs the *same* layout, but only the filter
+//! instances placed on its [`crate::Transport::node`] are spawned locally.
+//! Inboxes for local consumers get real channel lanes; lanes of consumers
+//! placed elsewhere become frame sends over the transport. Incoming frames
+//! from remote producers are dispatched by a [`Router`] that mirrors the
+//! producer-endpoint refcount: a local port closes once every local writer
+//! has dropped *and* a `Close` frame has arrived for every remote producer
+//! endpoint that could reach it — the exact closure rule of the in-process
+//! runtime, split across processes.
 
+use crate::buffer::DataBuffer;
+use crate::codec::{Frame, FrameKind};
 use crate::filter::FilterContext;
 use crate::layout::Layout;
-use crate::stream::{Inbox, PortCounters, StreamStats};
-use crate::{FsError, Result};
+use crate::stream::{Delivery, Inbox, PortCounters, StreamStats};
+use crate::transport::{FrameSink, Transport};
+use crate::{FsError, NodeId, Result};
+use dooc_sync::channel::Sender;
+use dooc_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,6 +54,10 @@ pub struct PortReport {
     pub delivered: u64,
     /// Buffers dequeued by consumer instances.
     pub received: u64,
+    /// Wire bytes enqueued into the port's lanes.
+    pub delivered_bytes: u64,
+    /// Wire bytes dequeued by consumer instances.
+    pub received_bytes: u64,
 }
 
 /// Result of a completed dataflow run.
@@ -78,34 +98,206 @@ impl RuntimeReport {
     }
 }
 
+/// Per-lane state of the [`Router`]: where incoming `Data` frames for the
+/// lane go, and how many `Close` frames each remote producer node still owes
+/// before the lane's sender clone can be released.
+struct LaneState {
+    tx: Option<Sender<DataBuffer>>,
+    counters: Arc<PortCounters>,
+    /// `peer node -> outstanding remote producer endpoints`. While non-empty
+    /// the router keeps `tx` alive, holding the port open on behalf of the
+    /// remote writers.
+    refs: HashMap<usize, usize>,
+}
+
+/// Consumer-side dispatcher for frames arriving over a [`Transport`]: maps
+/// `(inbox, lane)` to the matching local channel lane and mirrors the
+/// producer-endpoint close protocol (see [`crate::stream::StreamWriter`]'s
+/// drop impl, which emits the `Close` frames this router consumes).
+pub(crate) struct Router {
+    lanes: Mutex<HashMap<(u16, u32), LaneState>>,
+}
+
+impl Router {
+    fn release(lanes: &mut HashMap<(u16, u32), LaneState>, key: (u16, u32), from: usize, n: usize) {
+        if let Some(l) = lanes.get_mut(&key) {
+            if let Some(c) = l.refs.get_mut(&from) {
+                *c = c.saturating_sub(n);
+                if *c == 0 {
+                    l.refs.remove(&from);
+                }
+            }
+            if l.refs.is_empty() {
+                // Last remote producer endpoint gone: drop the sender clone
+                // so the port can close once local writers are gone too.
+                lanes.remove(&key);
+            }
+        }
+    }
+}
+
+impl FrameSink for Router {
+    fn on_frame(&self, from: NodeId, frame: Frame) {
+        let key = (frame.inbox, frame.lane);
+        match frame.kind {
+            FrameKind::Data => {
+                // Clone the sender out of the lock before the (possibly
+                // blocking) lane insert, so backpressure on one lane never
+                // stalls close handling for others… it does stall this pump
+                // thread, which is exactly the socket-level backpressure we
+                // want.
+                let slot = {
+                    let lanes = self.lanes.lock();
+                    lanes
+                        .get(&key)
+                        .and_then(|l| l.tx.clone().map(|tx| (tx, Arc::clone(&l.counters))))
+                };
+                let Some((tx, counters)) = slot else {
+                    // Consumers already exited (error shutdown) — drop the
+                    // frame, as a local writer's failed send would.
+                    dooc_obs::instant(
+                        dooc_obs::Category::Filterstream,
+                        "fs.router.orphan_frame",
+                        from.0 as i64,
+                    );
+                    return;
+                };
+                let buf = DataBuffer {
+                    tag: frame.tag,
+                    payload: frame.payload,
+                };
+                let wire = buf.wire_size();
+                if tx.send(buf).is_ok() {
+                    use dooc_sync::atomic::Ordering;
+                    counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                    counters.bytes_enqueued.fetch_add(wire, Ordering::Relaxed);
+                }
+            }
+            FrameKind::Close => {
+                let mut lanes = self.lanes.lock();
+                Router::release(&mut lanes, key, from.0, 1);
+            }
+            FrameKind::Hello | FrameKind::Blob => {
+                dooc_obs::instant(
+                    dooc_obs::Category::Filterstream,
+                    "fs.router.unexpected_frame",
+                    from.0 as i64,
+                );
+            }
+        }
+    }
+
+    fn on_peer_closed(&self, from: NodeId) {
+        // The peer process is gone: whatever Close frames it still owed will
+        // never arrive. Treat its remaining endpoints as closed so local
+        // consumers unblock instead of hanging on a dead node.
+        let mut lanes = self.lanes.lock();
+        lanes.retain(|_, l| {
+            l.refs.remove(&from.0);
+            !l.refs.is_empty()
+        });
+    }
+}
+
+/// Checks the extra constraints a multi-process run imposes on a layout.
+fn validate_distributed(layout: &Layout, nnodes: usize) -> Result<()> {
+    for f in &layout.filters {
+        for &n in &f.placements {
+            if n.0 >= nnodes {
+                return Err(FsError::InvalidLayout(format!(
+                    "filter '{}' placed on {n} but the cluster has {nnodes} nodes",
+                    f.name
+                )));
+            }
+        }
+    }
+    for s in &layout.streams {
+        if s.delivery == Delivery::RoundRobin {
+            let consumers = &layout.filters[s.to.0].placements;
+            if consumers.windows(2).any(|w| w[0] != w[1]) {
+                return Err(FsError::InvalidLayout(format!(
+                    "round-robin stream into '{}.{}' spans nodes — a shared \
+                     demand-driven lane cannot cross processes; use aligned, \
+                     broadcast or addressed delivery",
+                    layout.filters[s.to.0].name, s.to_port
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The filter-stream execution engine.
 pub struct Runtime;
 
 impl Runtime {
-    /// Runs a layout to completion.
+    /// Runs a layout to completion in this process (every node is a thread
+    /// group; no transport involved).
     pub fn run(layout: Layout) -> Result<RuntimeReport> {
+        Self::run_inner(layout, None)
+    }
+
+    /// Runs this node's share of a layout: spawns only the filter instances
+    /// placed on `transport.node()`, routes streams toward other nodes
+    /// through the transport, and dispatches incoming frames into local
+    /// inboxes. Every participating process must call this with an
+    /// *identical* layout (same filters, placements and stream declarations
+    /// in the same order — inbox indices are assigned by declaration order
+    /// and must agree across the cluster). The caller performs any pre-start
+    /// [`Transport::exchange`] rounds; this method starts frame delivery and
+    /// shuts the transport down after the local filters finish.
+    ///
+    /// The returned report covers *this process's* view: stream stats count
+    /// local producers only, port tallies cover local lanes only.
+    pub fn run_distributed(layout: Layout, transport: Arc<dyn Transport>) -> Result<RuntimeReport> {
+        Self::run_inner(layout, Some(transport))
+    }
+
+    fn run_inner(layout: Layout, transport: Option<Arc<dyn Transport>>) -> Result<RuntimeReport> {
         layout.validate()?;
+        if let Some(t) = &transport {
+            validate_distributed(&layout, t.nnodes())?;
+        }
+        // `None` means "everything is local" (single-process run).
+        let me: Option<NodeId> = transport.as_ref().map(|t| t.node());
+        let is_local = |n: NodeId| me.is_none_or(|m| m == n);
         let Layout {
             mut filters,
             streams,
         } = layout;
 
         // One inbox per (consumer filter, input port); fanned-in streams
-        // share it. Validation guaranteed delivery agreement.
+        // share it. Validation guaranteed delivery agreement. Inbox indices
+        // follow first occurrence in stream declaration order, so identical
+        // layouts yield identical wire addresses on every node.
+        let mut inbox_idx: HashMap<(usize, String), u16> = HashMap::new();
         let mut inboxes: HashMap<(usize, String), Inbox> = HashMap::new();
         for s in &streams {
             let key = (s.to.0, s.to_port.clone());
-            inboxes.entry(key).or_insert_with(|| {
-                Inbox::new(
+            if inboxes.contains_key(&key) {
+                continue;
+            }
+            let idx = u16::try_from(inbox_idx.len())
+                .map_err(|_| FsError::InvalidLayout("more than 65535 input ports".into()))?;
+            inbox_idx.insert(key.clone(), idx);
+            let placements = &filters[s.to.0].placements;
+            let inbox = match &transport {
+                Some(t) => Inbox::new_on(
                     s.delivery,
                     s.capacity,
-                    &filters[s.to.0].placements,
+                    placements,
                     &s.to_port,
-                )
-            });
+                    idx,
+                    Arc::clone(t),
+                ),
+                None => Inbox::new(s.delivery, s.capacity, placements, &s.to_port),
+            };
+            inboxes.insert(key, inbox);
         }
 
-        // Per-stream stats and per-producer-instance writers.
+        // Per-stream stats and per-producer-instance writers — writers exist
+        // only for producer instances in this process (remote ones announce
+        // themselves through the transport).
         let mut stream_stats: Vec<(String, Arc<StreamStats>)> = Vec::with_capacity(streams.len());
         // writers[fidx][inst] : Vec<(port, StreamWriter)>
         let mut writers: Vec<Vec<Vec<(String, crate::stream::StreamWriter)>>> = filters
@@ -121,13 +313,79 @@ impl Runtime {
             stream_stats.push((name, Arc::clone(&stats)));
             let inbox = &inboxes[&(s.to.0, s.to_port.clone())];
             for (inst, &node) in filters[s.from.0].placements.iter().enumerate() {
+                if !is_local(node) {
+                    continue;
+                }
                 let w = inbox.writer(&s.from_port, inst, node, Arc::clone(&stats));
                 writers[s.from.0][inst].push((s.from_port.clone(), w));
             }
         }
 
-        // Distribute readers; keep each inbox's delivery tally for the
-        // post-run leak audit.
+        // In distributed mode, build the router (it holds sender clones for
+        // lanes remote producers can reach) and start frame delivery before
+        // any local filter runs.
+        if let Some(t) = &transport {
+            let m = t.node();
+            let mut lanes: HashMap<(u16, u32), LaneState> = HashMap::new();
+            for s in &streams {
+                let key = (s.to.0, s.to_port.clone());
+                let idx = inbox_idx[&key];
+                let inbox = &inboxes[&key];
+                let consumers = &filters[s.to.0].placements;
+                for &pnode in filters[s.from.0].placements.iter() {
+                    if pnode == m {
+                        continue;
+                    }
+                    // Lanes on this node the remote endpoint can reach —
+                    // must mirror StreamWriter::send_closes exactly.
+                    let reachable: Vec<u32> = match s.delivery {
+                        Delivery::RoundRobin => {
+                            if consumers[0] == m {
+                                vec![0]
+                            } else {
+                                vec![]
+                            }
+                        }
+                        Delivery::Aligned => Vec::new(), // filled below per-instance
+                        Delivery::Broadcast | Delivery::Addressed => consumers
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &n)| n == m)
+                            .map(|(i, _)| i as u32)
+                            .collect(),
+                    };
+                    for lane in reachable {
+                        let entry = lanes.entry((idx, lane)).or_insert_with(|| LaneState {
+                            tx: inbox.local_lane_sender(lane as usize),
+                            counters: Arc::clone(&inbox.counters),
+                            refs: HashMap::new(),
+                        });
+                        *entry.refs.entry(pnode.0).or_insert(0) += 1;
+                    }
+                }
+                if s.delivery == Delivery::Aligned {
+                    for (p, &pnode) in filters[s.from.0].placements.iter().enumerate() {
+                        if pnode == m || consumers.get(p) != Some(&m) {
+                            continue;
+                        }
+                        let lane = p as u32;
+                        let entry = lanes.entry((idx, lane)).or_insert_with(|| LaneState {
+                            tx: inbox.local_lane_sender(p),
+                            counters: Arc::clone(&inbox.counters),
+                            refs: HashMap::new(),
+                        });
+                        *entry.refs.entry(pnode.0).or_insert(0) += 1;
+                    }
+                }
+            }
+            let router = Arc::new(Router {
+                lanes: Mutex::new(lanes),
+            });
+            t.start(router)?;
+        }
+
+        // Distribute readers (local consumer instances only); keep each
+        // inbox's delivery tally for the post-run leak audit.
         // readers[fidx][inst] : Vec<(port, StreamReader)>
         let mut readers: Vec<Vec<Vec<(String, crate::stream::StreamReader)>>> = filters
             .iter()
@@ -140,17 +398,22 @@ impl Runtime {
                 Arc::clone(&inbox.counters),
             ));
             for (inst, slot) in readers[fidx].iter_mut().enumerate() {
-                slot.push((port.clone(), inbox.take_reader(inst)));
+                if is_local(filters[fidx].placements[inst]) {
+                    slot.push((port.clone(), inbox.take_reader(inst)));
+                }
             }
         }
         port_counters.sort_by(|a, b| a.0.cmp(&b.0));
 
-        // Spawn every filter instance.
+        // Spawn every local filter instance.
         let started = Instant::now();
         let mut handles = Vec::new();
         for (fidx, decl) in filters.iter_mut().enumerate().rev() {
             let replicas = decl.placements.len();
             for (inst, &node) in decl.placements.iter().enumerate().rev() {
+                if !is_local(node) {
+                    continue;
+                }
                 let inputs: HashMap<_, _> = readers[fidx].pop_if_last(inst);
                 let outputs: HashMap<_, _> = writers[fidx].pop_if_last(inst);
                 let mut ctx =
@@ -201,6 +464,13 @@ impl Runtime {
                 }
             }
         }
+        // Every local producer endpoint has dropped (and emitted its Close
+        // frames) — flush, announce, and drain. Runs on the error path too,
+        // so a failing node still tells its peers it is gone rather than
+        // leaving them blocked on a silent socket.
+        if let Some(t) = &transport {
+            t.shutdown();
+        }
         if let Some(e) = first_error {
             return Err(e);
         }
@@ -220,10 +490,15 @@ impl Runtime {
             .collect();
         let ports = port_counters
             .into_iter()
-            .map(|(name, c)| PortReport {
-                name,
-                delivered: c.enqueued.load(std::sync::atomic::Ordering::Relaxed),
-                received: c.dequeued.load(std::sync::atomic::Ordering::Relaxed),
+            .map(|(name, c)| {
+                use dooc_sync::atomic::Ordering;
+                PortReport {
+                    name,
+                    delivered: c.enqueued.load(Ordering::Relaxed),
+                    received: c.dequeued.load(Ordering::Relaxed),
+                    delivered_bytes: c.bytes_enqueued.load(Ordering::Relaxed),
+                    received_bytes: c.bytes_dequeued.load(Ordering::Relaxed),
+                }
             })
             .collect();
         Ok(RuntimeReport {
@@ -368,7 +643,7 @@ mod tests {
                 let out = ctx.output("rep")?;
                 while let Some(b) = inp.recv() {
                     let who = b.as_u64s()[0] as usize;
-                    out.send_to(who, DataBuffer::from_u64s(0, &[who as u64 * 10]))?;
+                    out.send_to(NodeId(who), DataBuffer::from_u64s(0, &[who as u64 * 10]))?;
                 }
                 Ok(())
             }),

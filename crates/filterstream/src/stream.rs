@@ -23,8 +23,23 @@
 //! Streams are bounded (default 256 buffers), giving natural backpressure: a
 //! fast producer blocks rather than ballooning memory, as in the real
 //! middleware.
+//!
+//! # Local and remote lanes
+//!
+//! Each consumer lane is either a channel in this process or an address on a
+//! [`Transport`] ([`LaneTx`]). A writer routes per buffer: local lanes get
+//! the `DataBuffer` directly (payload shared, never copied); remote lanes
+//! get a [`Frame`] whose payload is the same shared [`bytes::Bytes`]. The
+//! delivery policy is applied entirely on the producer side, so in-process
+//! and distributed runs make identical routing decisions. When a writer with
+//! remote lanes drops, it sends one `Close` frame per reachable remote lane;
+//! the receiving runtime's router mirrors the producer-endpoint refcount and
+//! closes the port once local drops and remote closes agree (see
+//! [`crate::runtime`]).
 
 use crate::buffer::DataBuffer;
+use crate::codec::Frame;
+use crate::transport::Transport;
 use crate::{FsError, NodeId, Result};
 use dooc_obs::metrics::{counter, Counter};
 use dooc_sync::atomic::{AtomicU64, Ordering};
@@ -37,6 +52,7 @@ struct FsObs {
     buffers_sent: &'static Counter,
     bytes_sent: &'static Counter,
     buffers_recv: &'static Counter,
+    bytes_recv: &'static Counter,
 }
 
 fn fs_obs() -> &'static FsObs {
@@ -45,6 +61,7 @@ fn fs_obs() -> &'static FsObs {
         buffers_sent: counter("fs.buffers_sent"),
         bytes_sent: counter("fs.bytes_sent"),
         buffers_recv: counter("fs.buffers_recv"),
+        bytes_recv: counter("fs.bytes_recv"),
     })
 }
 
@@ -94,72 +111,150 @@ impl StreamStats {
 /// Enqueue/dequeue tally of one inbox, for the shutdown leak audit: every
 /// buffer enqueued into a consumer lane (each broadcast replica counts as
 /// one) should eventually be dequeued by a consumer; a shortfall at the end
-/// of a run means buffers were abandoned in a lane.
+/// of a run means buffers were abandoned in a lane. Byte totals use the
+/// buffer wire size, so `bytes_enqueued == bytes_dequeued` at the end of a
+/// clean run — the send/recv balance the obs tests assert. In distributed
+/// runs the *receiving* process counts the enqueue (its router does the lane
+/// insert), keeping the per-process balance exact.
 #[derive(Debug, Default)]
 pub struct PortCounters {
     /// Buffers enqueued into consumer lanes.
     pub enqueued: AtomicU64,
     /// Buffers dequeued by consumers.
     pub dequeued: AtomicU64,
+    /// Wire bytes enqueued into consumer lanes.
+    pub bytes_enqueued: AtomicU64,
+    /// Wire bytes dequeued by consumers.
+    pub bytes_dequeued: AtomicU64,
+}
+
+/// Producer-side address of one consumer lane: a channel in this process or
+/// an `(inbox, lane)` slot on a remote node.
+#[derive(Clone)]
+pub(crate) enum LaneTx {
+    Local(Sender<DataBuffer>),
+    Remote { peer: NodeId, inbox: u16, lane: u32 },
 }
 
 /// The consumer-side channel set of one (filter, input port): either a
 /// single shared queue or one lane per consumer instance.
 #[derive(Clone)]
 pub(crate) enum InboxLanes {
-    Shared(Sender<DataBuffer>),
-    PerConsumer(Vec<Sender<DataBuffer>>),
+    Shared(LaneTx),
+    PerConsumer(Vec<LaneTx>),
 }
 
 /// Inbox of one (consumer filter, input port): the receiving half that
 /// consumer instances read from. Built once per port; every fanned-in stream
-/// sends into the same lanes.
+/// sends into the same lanes. In a distributed runtime only the lanes of
+/// consumer instances placed in this process are backed by channels; the
+/// rest are [`LaneTx::Remote`] addresses.
 pub(crate) struct Inbox {
     pub delivery: Delivery,
     pub lanes: InboxLanes,
     readers: Vec<Option<StreamReader>>,
     pub consumer_nodes: Arc<[NodeId]>,
     pub counters: Arc<PortCounters>,
+    transport: Option<Arc<dyn Transport>>,
 }
 
 impl Inbox {
+    /// An all-local inbox (single-process runtime).
     pub fn new(
         delivery: Delivery,
         capacity: usize,
         consumer_nodes: &[NodeId],
         consumer_port: &str,
     ) -> Self {
+        Self::build(delivery, capacity, consumer_nodes, consumer_port, None)
+    }
+
+    /// A distributed inbox: lanes for consumer instances placed on
+    /// `transport.node()` are channels; the rest address `inbox_idx` on
+    /// their owning node. For round-robin delivery every consumer must sit
+    /// on one node (the runtime validates this before building inboxes).
+    pub fn new_on(
+        delivery: Delivery,
+        capacity: usize,
+        consumer_nodes: &[NodeId],
+        consumer_port: &str,
+        inbox_idx: u16,
+        transport: Arc<dyn Transport>,
+    ) -> Self {
+        Self::build(
+            delivery,
+            capacity,
+            consumer_nodes,
+            consumer_port,
+            Some((inbox_idx, transport)),
+        )
+    }
+
+    fn build(
+        delivery: Delivery,
+        capacity: usize,
+        consumer_nodes: &[NodeId],
+        consumer_port: &str,
+        remote: Option<(u16, Arc<dyn Transport>)>,
+    ) -> Self {
         assert!(
             !consumer_nodes.is_empty(),
             "inbox needs at least one consumer"
         );
         let counters = Arc::new(PortCounters::default());
+        let local = remote.as_ref().map(|(_, t)| t.node());
+        let is_local = |n: NodeId| local.is_none_or(|me| me == n);
         let (lanes, readers) = match delivery {
             Delivery::RoundRobin => {
-                let (tx, rx) = bounded(capacity);
-                let readers = consumer_nodes
-                    .iter()
-                    .map(|_| {
-                        Some(StreamReader {
-                            port: consumer_port.to_string(),
-                            rx: rx.clone(),
-                            counters: Arc::clone(&counters),
+                if is_local(consumer_nodes[0]) {
+                    debug_assert!(
+                        consumer_nodes.iter().all(|&n| is_local(n)),
+                        "round-robin consumers must share a node in distributed mode"
+                    );
+                    let (tx, rx) = bounded(capacity);
+                    let readers = consumer_nodes
+                        .iter()
+                        .map(|_| {
+                            Some(StreamReader {
+                                port: consumer_port.to_string(),
+                                rx: rx.clone(),
+                                counters: Arc::clone(&counters),
+                            })
                         })
-                    })
-                    .collect();
-                (InboxLanes::Shared(tx), readers)
+                        .collect();
+                    (InboxLanes::Shared(LaneTx::Local(tx)), readers)
+                } else {
+                    let inbox_idx = remote.as_ref().map(|(i, _)| *i).unwrap_or(0);
+                    let lane = LaneTx::Remote {
+                        peer: consumer_nodes[0],
+                        inbox: inbox_idx,
+                        lane: 0,
+                    };
+                    let readers = consumer_nodes.iter().map(|_| None).collect();
+                    (InboxLanes::Shared(lane), readers)
+                }
             }
             Delivery::Broadcast | Delivery::Aligned | Delivery::Addressed => {
                 let mut txs = Vec::with_capacity(consumer_nodes.len());
                 let mut readers = Vec::with_capacity(consumer_nodes.len());
-                for _ in consumer_nodes {
-                    let (tx, rx) = bounded(capacity);
-                    txs.push(tx);
-                    readers.push(Some(StreamReader {
-                        port: consumer_port.to_string(),
-                        rx,
-                        counters: Arc::clone(&counters),
-                    }));
+                for (i, &n) in consumer_nodes.iter().enumerate() {
+                    if is_local(n) {
+                        let (tx, rx) = bounded(capacity);
+                        txs.push(LaneTx::Local(tx));
+                        readers.push(Some(StreamReader {
+                            port: consumer_port.to_string(),
+                            rx,
+                            counters: Arc::clone(&counters),
+                        }));
+                    } else {
+                        let inbox_idx = remote.as_ref().map(|(i, _)| *i).unwrap_or(0);
+                        txs.push(LaneTx::Remote {
+                            peer: n,
+                            inbox: inbox_idx,
+                            lane: i as u32,
+                        });
+                        readers.push(None);
+                    }
                 }
                 (InboxLanes::PerConsumer(txs), readers)
             }
@@ -170,14 +265,30 @@ impl Inbox {
             readers,
             consumer_nodes: consumer_nodes.into(),
             counters,
+            transport: remote.map(|(_, t)| t),
         }
     }
 
-    /// Takes the reader of consumer instance `i` (exactly once).
+    /// Takes the reader of consumer instance `i` (exactly once; only local
+    /// instances have one in distributed mode).
     pub fn take_reader(&mut self, i: usize) -> StreamReader {
         match self.readers[i].take() {
             Some(r) => r,
             None => panic!("reader {i} already taken — each consumer instance gets exactly one"),
+        }
+    }
+
+    /// A sender clone for a local lane, used by the distributed runtime's
+    /// router to feed frames from remote producers into the inbox. `None`
+    /// for remote lanes.
+    pub fn local_lane_sender(&self, lane: usize) -> Option<Sender<DataBuffer>> {
+        match &self.lanes {
+            InboxLanes::Shared(LaneTx::Local(tx)) if lane == 0 => Some(tx.clone()),
+            InboxLanes::Shared(_) => None,
+            InboxLanes::PerConsumer(lanes) => match lanes.get(lane) {
+                Some(LaneTx::Local(tx)) => Some(tx.clone()),
+                _ => None,
+            },
         }
     }
 
@@ -204,6 +315,7 @@ impl Inbox {
             instance,
             from_node: node,
             consumer_nodes: Arc::clone(&self.consumer_nodes),
+            transport: self.transport.clone(),
             #[cfg(feature = "faultline")]
             held: dooc_sync::Mutex::new(None),
         }
@@ -211,7 +323,9 @@ impl Inbox {
 }
 
 /// Producer endpoint of a stream. Dropping every producer endpoint of every
-/// stream fanned into a port closes that port for consumers.
+/// stream fanned into a port closes that port for consumers; endpoints with
+/// remote lanes announce their drop with `Close` frames so the consumer-side
+/// router can mirror the refcount.
 pub struct StreamWriter {
     port: String,
     delivery: Delivery,
@@ -229,17 +343,21 @@ pub struct StreamWriter {
     /// pull, so a buffer is charged as remote if *any* consumer sits on a
     /// different node — the pessimistic bound.
     consumer_nodes: Arc<[NodeId]>,
+    /// Frame pipe for remote lanes; `None` in single-process runtimes.
+    transport: Option<Arc<dyn Transport>>,
     /// Reorder hold-back slot: a buffer a `Fault::Reorder` injection parked
     /// so it is emitted *after* the next send (flushed on writer drop so no
     /// message is ever lost to reordering). `None` dest means [`Self::send`],
     /// `Some(d)` means [`Self::send_to`].
     #[cfg(feature = "faultline")]
-    held: dooc_sync::Mutex<Option<(Option<usize>, DataBuffer)>>,
+    held: dooc_sync::Mutex<Option<(Option<NodeId>, DataBuffer)>>,
 }
 
 impl StreamWriter {
-    fn account(&self, wire: u64, remote: bool) {
-        self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
+    /// Producer-side accounting shared by every delivery: global counters
+    /// plus the per-stream stats. Local lane inserts additionally call
+    /// [`Self::account_enqueued`].
+    fn account_sent(&self, wire: u64, remote: bool) {
         fs_obs().buffers_sent.inc();
         fs_obs().bytes_sent.add(wire);
         self.stats.buffers.fetch_add(1, Ordering::Relaxed);
@@ -249,12 +367,33 @@ impl StreamWriter {
         }
     }
 
+    /// Leak-audit tally for a buffer placed into a *local* lane. Remote
+    /// sends skip this: the receiving process's router counts the enqueue
+    /// when it performs the lane insert, so each process balances on its
+    /// own.
+    fn account_enqueued(&self, wire: u64) {
+        self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_enqueued
+            .fetch_add(wire, Ordering::Relaxed);
+    }
+
+    fn send_remote(&self, peer: NodeId, inbox: u16, lane: u32, buf: &DataBuffer) -> Result<()> {
+        let Some(t) = &self.transport else {
+            return Err(FsError::Transport(format!(
+                "port '{}' routes to {peer} but this writer has no transport",
+                self.port
+            )));
+        };
+        t.send(peer, Frame::data(inbox, lane, buf.tag, buf.payload.clone()))
+    }
+
     /// Consults the `faultline` message failpoint keyed by this writer's
     /// producer port name, with the buffer's tag word exposed to the
     /// schedule's `exempt_tags` guard. Returns `None` when the buffer was
     /// consumed by the fault (dropped or parked for reordering).
     #[cfg(feature = "faultline")]
-    fn inject(&self, dest: Option<usize>, buf: DataBuffer) -> Option<DataBuffer> {
+    fn inject(&self, dest: Option<NodeId>, buf: DataBuffer) -> Option<DataBuffer> {
         use dooc_faultline::{fail, Fault};
         match fail::message(&self.port, &buf.tag.to_le_bytes()) {
             None | Some(Fault::Error) | Some(Fault::Fire) => Some(buf),
@@ -319,20 +458,36 @@ impl StreamWriter {
         note_payload_write(&buf);
         let wire = buf.wire_size();
         match (&self.lanes, self.delivery) {
-            (InboxLanes::Shared(tx), _) => {
+            (InboxLanes::Shared(LaneTx::Local(tx)), _) => {
                 let remote = self.consumer_nodes.iter().any(|&n| n != self.from_node);
                 tx.send(buf).map_err(|_| FsError::StreamClosed {
                     port: self.port.clone(),
                 })?;
-                self.account(wire, remote);
+                self.account_enqueued(wire);
+                self.account_sent(wire, remote);
             }
-            (InboxLanes::PerConsumer(txs), Delivery::Broadcast) => {
+            (InboxLanes::Shared(LaneTx::Remote { peer, inbox, lane }), _) => {
+                self.send_remote(*peer, *inbox, *lane, &buf)?;
+                self.account_sent(wire, true);
+            }
+            (InboxLanes::PerConsumer(lanes), Delivery::Broadcast) => {
                 let mut delivered = 0usize;
-                for (i, tx) in txs.iter().enumerate() {
-                    if tx.send(buf.clone()).is_ok() {
-                        delivered += 1;
-                        if self.consumer_nodes[i] != self.from_node {
-                            self.stats.remote_bytes.fetch_add(wire, Ordering::Relaxed);
+                for (i, lane) in lanes.iter().enumerate() {
+                    match lane {
+                        LaneTx::Local(tx) => {
+                            if tx.send(buf.clone()).is_ok() {
+                                delivered += 1;
+                                self.account_enqueued(wire);
+                                if self.consumer_nodes[i] != self.from_node {
+                                    self.stats.remote_bytes.fetch_add(wire, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        LaneTx::Remote { peer, inbox, lane } => {
+                            if self.send_remote(*peer, *inbox, *lane, &buf).is_ok() {
+                                delivered += 1;
+                                self.stats.remote_bytes.fetch_add(wire, Ordering::Relaxed);
+                            }
                         }
                     }
                 }
@@ -341,22 +496,25 @@ impl StreamWriter {
                         port: self.port.clone(),
                     });
                 }
-                self.counters
-                    .enqueued
-                    .fetch_add(delivered as u64, Ordering::Relaxed);
                 fs_obs().buffers_sent.inc();
                 fs_obs().bytes_sent.add(wire);
                 self.stats.buffers.fetch_add(1, Ordering::Relaxed);
                 self.stats.bytes.fetch_add(wire, Ordering::Relaxed);
             }
-            (InboxLanes::PerConsumer(txs), Delivery::Aligned) => {
-                let lane = self.instance;
-                let remote = self.consumer_nodes[lane] != self.from_node;
-                txs[lane].send(buf).map_err(|_| FsError::StreamClosed {
-                    port: self.port.clone(),
-                })?;
-                self.account(wire, remote);
-            }
+            (InboxLanes::PerConsumer(lanes), Delivery::Aligned) => match &lanes[self.instance] {
+                LaneTx::Local(tx) => {
+                    let remote = self.consumer_nodes[self.instance] != self.from_node;
+                    tx.send(buf).map_err(|_| FsError::StreamClosed {
+                        port: self.port.clone(),
+                    })?;
+                    self.account_enqueued(wire);
+                    self.account_sent(wire, remote);
+                }
+                LaneTx::Remote { peer, inbox, lane } => {
+                    self.send_remote(*peer, *inbox, *lane, &buf)?;
+                    self.account_sent(wire, true);
+                }
+            },
             (InboxLanes::PerConsumer(_), Delivery::Addressed) => {
                 return Err(FsError::StreamClosed {
                     port: format!("{} (addressed stream requires send_to)", self.port),
@@ -370,7 +528,11 @@ impl StreamWriter {
     }
 
     /// Sends a buffer to consumer instance `dest` of an addressed stream.
-    pub fn send_to(&self, dest: usize, buf: DataBuffer) -> Result<()> {
+    /// Destinations are [`NodeId`]s: every addressed stream in this codebase
+    /// is consumed by a per-node filter whose instance *i* sits on node *i*,
+    /// and the type forces callers to say which node they mean rather than
+    /// do raw index arithmetic.
+    pub fn send_to(&self, dest: NodeId, buf: DataBuffer) -> Result<()> {
         #[cfg(feature = "faultline")]
         let buf = match self.inject(Some(dest), buf) {
             Some(b) => b,
@@ -382,24 +544,61 @@ impl StreamWriter {
         Ok(())
     }
 
-    fn deliver_to(&self, dest: usize, buf: DataBuffer) -> Result<()> {
+    fn deliver_to(&self, dest: NodeId, buf: DataBuffer) -> Result<()> {
         note_payload_write(&buf);
         let wire = buf.wire_size();
         match &self.lanes {
-            InboxLanes::PerConsumer(txs) if self.delivery == Delivery::Addressed => {
-                let tx = txs.get(dest).ok_or_else(|| FsError::StreamClosed {
+            InboxLanes::PerConsumer(lanes) if self.delivery == Delivery::Addressed => {
+                let lane = lanes.get(dest.0).ok_or_else(|| FsError::StreamClosed {
                     port: format!("{} (no consumer instance {dest})", self.port),
                 })?;
-                let remote = self.consumer_nodes[dest] != self.from_node;
-                tx.send(buf).map_err(|_| FsError::StreamClosed {
-                    port: self.port.clone(),
-                })?;
-                self.account(wire, remote);
+                match lane {
+                    LaneTx::Local(tx) => {
+                        let remote = self.consumer_nodes[dest.0] != self.from_node;
+                        tx.send(buf).map_err(|_| FsError::StreamClosed {
+                            port: self.port.clone(),
+                        })?;
+                        self.account_enqueued(wire);
+                        self.account_sent(wire, remote);
+                    }
+                    LaneTx::Remote { peer, inbox, lane } => {
+                        self.send_remote(*peer, *inbox, *lane, &buf)?;
+                        self.account_sent(wire, true);
+                    }
+                }
                 Ok(())
             }
             _ => Err(FsError::StreamClosed {
                 port: format!("{} (send_to requires an addressed stream)", self.port),
             }),
+        }
+    }
+
+    /// One `Close` frame per remote lane this endpoint could have written
+    /// to; the consumer-side router decrements its mirrored refcount.
+    fn send_closes(&self) {
+        let Some(t) = &self.transport else { return };
+        let close = |peer: NodeId, inbox: u16, lane: u32| {
+            // Best effort: the peer may already have shut down.
+            let _ = t.send(peer, Frame::close(inbox, lane));
+        };
+        match (&self.lanes, self.delivery) {
+            (InboxLanes::Shared(LaneTx::Remote { peer, inbox, lane }), _) => {
+                close(*peer, *inbox, *lane);
+            }
+            (InboxLanes::Shared(LaneTx::Local(_)), _) => {}
+            (InboxLanes::PerConsumer(lanes), Delivery::Aligned) => {
+                if let Some(LaneTx::Remote { peer, inbox, lane }) = lanes.get(self.instance) {
+                    close(*peer, *inbox, *lane);
+                }
+            }
+            (InboxLanes::PerConsumer(lanes), _) => {
+                for l in lanes {
+                    if let LaneTx::Remote { peer, inbox, lane } = l {
+                        close(*peer, *inbox, *lane);
+                    }
+                }
+            }
         }
     }
 
@@ -414,12 +613,14 @@ impl StreamWriter {
     }
 }
 
-/// A dropped writer flushes any buffer a `Reorder` injection parked, so the
-/// reorder fault permutes delivery order but never loses the message.
-#[cfg(feature = "faultline")]
+/// A dropped writer flushes any buffer a `Reorder` injection parked (so the
+/// reorder fault permutes delivery order but never loses the message), then
+/// announces the endpoint drop to every remote lane.
 impl Drop for StreamWriter {
     fn drop(&mut self) {
+        #[cfg(feature = "faultline")]
         let _ = self.flush_held_now();
+        self.send_closes();
     }
 }
 
@@ -459,14 +660,29 @@ pub struct StreamReader {
 }
 
 impl StreamReader {
+    /// Consumer-side accounting for one received buffer: race annotation,
+    /// leak-audit tally (count + bytes), and the global recv counters. Every
+    /// receive path — `recv`, `try_recv`, `recv_timeout`, `drain`, and
+    /// [`StreamSet`] selection — funnels through this, so the send/recv byte
+    /// totals balance no matter how the buffer was consumed.
+    fn account_recv(&self, buf: &DataBuffer) {
+        note_payload_read(buf);
+        let wire = buf.wire_size();
+        self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_dequeued
+            .fetch_add(wire, Ordering::Relaxed);
+        let o = fs_obs();
+        o.buffers_recv.inc();
+        o.bytes_recv.add(wire);
+    }
+
     /// Receives the next buffer; `None` once the port is closed (every
     /// producer endpoint dropped) and drained.
     pub fn recv(&self) -> Option<DataBuffer> {
         let b = self.rx.recv().ok();
         if let Some(b) = &b {
-            note_payload_read(b);
-            self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
-            fs_obs().buffers_recv.inc();
+            self.account_recv(b);
         }
         b
     }
@@ -475,9 +691,7 @@ impl StreamReader {
     pub fn try_recv(&self) -> Option<DataBuffer> {
         let b = self.rx.try_recv().ok();
         if let Some(b) = &b {
-            note_payload_read(b);
-            self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
-            fs_obs().buffers_recv.inc();
+            self.account_recv(b);
         }
         b
     }
@@ -487,9 +701,7 @@ impl StreamReader {
     pub fn recv_timeout(&self, d: std::time::Duration) -> Option<DataBuffer> {
         let b = self.rx.recv_timeout(d).ok();
         if let Some(b) = &b {
-            note_payload_read(b);
-            self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
-            fs_obs().buffers_recv.inc();
+            self.account_recv(b);
         }
         b
     }
@@ -509,35 +721,7 @@ impl StreamReader {
     }
 }
 
-/// Builds a standalone point-to-point stream outside any layout: one
-/// producer instance feeding one consumer instance (both as instance 0 on
-/// node 0) with [`Delivery::Addressed`] delivery, so `send`, `send_to(0, _)`
-/// and `recv` all work. For harnesses (benches, dooc-check's schedule
-/// exploration suite) that wire a client to a hand-rolled server loop
-/// instead of standing up a full [`crate::Runtime`] layout.
-pub fn standalone_stream(port: &str, capacity: usize) -> (StreamWriter, StreamReader) {
-    let mut inbox = Inbox::new(Delivery::Addressed, capacity, &[NodeId(0)], port);
-    let reader = inbox.take_reader(0);
-    let writer = inbox.writer(port, 0, NodeId(0), Arc::new(StreamStats::default()));
-    (writer, reader)
-}
-
-/// Blocking receive over several readers: returns the index of the reader
-/// that produced the buffer, or `None` once **every** reader is closed and
-/// drained. This is how a storage filter multiplexes client requests, peer
-/// messages and I/O completions.
-pub fn select_recv(readers: &[&StreamReader]) -> Option<(usize, DataBuffer)> {
-    let mut closed = vec![false; readers.len()];
-    loop {
-        match select_event(readers, &mut closed) {
-            Some(SelectEvent::Buffer(i, b)) => return Some((i, b)),
-            Some(SelectEvent::Closed(_)) => continue,
-            None => return None,
-        }
-    }
-}
-
-/// One observation from [`select_event`].
+/// One observation from [`StreamSet::event`].
 #[derive(Debug)]
 pub enum SelectEvent {
     /// Reader `usize` produced a buffer.
@@ -546,20 +730,7 @@ pub enum SelectEvent {
     Closed(usize),
 }
 
-/// Like [`select_recv`] but additionally reports each reader's closure as an
-/// event. `closed` is caller-owned state (initialize to `false`s); once every
-/// entry is `true`, returns `None`. Lets a server react to a client stream
-/// disappearing (e.g. treat it as an implicit shutdown) while other inputs
-/// stay open.
-pub fn select_event(readers: &[&StreamReader], closed: &mut [bool]) -> Option<SelectEvent> {
-    match select_event_timeout(readers, closed, None) {
-        SelectOutcome::Event(e) => Some(e),
-        SelectOutcome::AllClosed => None,
-        SelectOutcome::Timeout => unreachable!("no timeout configured"),
-    }
-}
-
-/// Result of [`select_event_timeout`].
+/// Result of [`StreamSet::event_timeout`].
 #[derive(Debug)]
 pub enum SelectOutcome {
     /// A buffer arrived or a reader closed.
@@ -570,43 +741,133 @@ pub enum SelectOutcome {
     AllClosed,
 }
 
-/// [`select_event`] with an optional timeout — servers with retryable
-/// background work (e.g. stalled remote fetches) poll with a short timeout
-/// instead of blocking forever.
-pub fn select_event_timeout(
-    readers: &[&StreamReader],
-    closed: &mut [bool],
-    timeout: Option<std::time::Duration>,
-) -> SelectOutcome {
-    assert_eq!(readers.len(), closed.len());
-    let open: Vec<usize> = (0..readers.len()).filter(|&i| !closed[i]).collect();
-    if open.is_empty() {
-        return SelectOutcome::AllClosed;
+/// A set of stream endpoints with one entry point for multi-reader waiting.
+///
+/// Owns its readers and tracks which have closed, replacing the former
+/// free-function trio (`select_recv` / `select_event` /
+/// `select_event_timeout`) and the caller-managed `closed` slice. This is
+/// how a storage filter multiplexes client requests, peer messages and I/O
+/// completions from one loop:
+///
+/// ```ignore
+/// let mut set = StreamSet::new(vec![clients, peers, io]);
+/// loop {
+///     match set.event_timeout(tick) {
+///         SelectOutcome::Event(SelectEvent::Buffer(i, buf)) => handle(i, buf),
+///         SelectOutcome::Event(SelectEvent::Closed(i)) => on_closed(i),
+///         SelectOutcome::Timeout => on_tick(),
+///         SelectOutcome::AllClosed => break,
+///     }
+/// }
+/// ```
+pub struct StreamSet {
+    readers: Vec<StreamReader>,
+    closed: Vec<bool>,
+}
+
+impl StreamSet {
+    /// Wraps `readers` (indices in events match positions here).
+    pub fn new(readers: Vec<StreamReader>) -> Self {
+        let closed = vec![false; readers.len()];
+        Self { readers, closed }
     }
-    let mut sel = Select::new();
-    for &i in &open {
-        sel.recv(&readers[i].rx);
+
+    /// Builds a standalone point-to-point stream outside any layout: one
+    /// producer instance feeding one consumer instance (both as instance 0
+    /// on node 0) with [`Delivery::Addressed`] delivery — send with
+    /// `send_to(NodeId(0), _)`. For harnesses (benches, dooc-check's
+    /// schedule exploration suite) that wire a client to a hand-rolled
+    /// server loop instead of standing up a full [`crate::Runtime`] layout.
+    pub fn standalone(port: &str, capacity: usize) -> (StreamWriter, StreamReader) {
+        let mut inbox = Inbox::new(Delivery::Addressed, capacity, &[NodeId(0)], port);
+        let reader = inbox.take_reader(0);
+        let writer = inbox.writer(port, 0, NodeId(0), Arc::new(StreamStats::default()));
+        (writer, reader)
     }
-    let op = match timeout {
-        Some(d) => match sel.select_timeout(d) {
-            Ok(op) => op,
-            Err(_) => return SelectOutcome::Timeout,
-        },
-        None => sel.select(),
-    };
-    let slot = op.index();
-    let idx = open[slot];
-    match op.recv(&readers[idx].rx) {
-        Ok(buf) => {
-            readers[idx]
-                .counters
-                .dequeued
-                .fetch_add(1, Ordering::Relaxed);
-            SelectOutcome::Event(SelectEvent::Buffer(idx, buf))
+
+    /// Number of readers in the set.
+    pub fn len(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// Whether the set holds no readers.
+    pub fn is_empty(&self) -> bool {
+        self.readers.is_empty()
+    }
+
+    /// Borrows reader `i` (for `drain`, `port`, etc.).
+    pub fn reader(&self, i: usize) -> &StreamReader {
+        &self.readers[i]
+    }
+
+    /// Whether reader `i` has reported closure.
+    pub fn is_closed(&self, i: usize) -> bool {
+        self.closed[i]
+    }
+
+    /// Whether every reader has closed.
+    pub fn all_closed(&self) -> bool {
+        self.closed.iter().all(|&c| c)
+    }
+
+    /// Consumes the set, returning the readers.
+    pub fn into_readers(self) -> Vec<StreamReader> {
+        self.readers
+    }
+
+    /// Blocks for the next buffer or closure; `None` once every reader is
+    /// closed and drained. Each closure is reported exactly once.
+    pub fn event(&mut self) -> Option<SelectEvent> {
+        match self.event_timeout(None) {
+            SelectOutcome::Event(e) => Some(e),
+            SelectOutcome::AllClosed => None,
+            SelectOutcome::Timeout => unreachable!("no timeout configured"),
         }
-        Err(_) => {
-            closed[idx] = true;
-            SelectOutcome::Event(SelectEvent::Closed(idx))
+    }
+
+    /// [`StreamSet::event`] with an optional timeout — servers with
+    /// retryable background work (e.g. stalled remote fetches) poll with a
+    /// short timeout instead of blocking forever.
+    pub fn event_timeout(&mut self, timeout: Option<std::time::Duration>) -> SelectOutcome {
+        let open: Vec<usize> = (0..self.readers.len())
+            .filter(|&i| !self.closed[i])
+            .collect();
+        if open.is_empty() {
+            return SelectOutcome::AllClosed;
+        }
+        let mut sel = Select::new();
+        for &i in &open {
+            sel.recv(&self.readers[i].rx);
+        }
+        let op = match timeout {
+            Some(d) => match sel.select_timeout(d) {
+                Ok(op) => op,
+                Err(_) => return SelectOutcome::Timeout,
+            },
+            None => sel.select(),
+        };
+        let slot = op.index();
+        let idx = open[slot];
+        match op.recv(&self.readers[idx].rx) {
+            Ok(buf) => {
+                self.readers[idx].account_recv(&buf);
+                SelectOutcome::Event(SelectEvent::Buffer(idx, buf))
+            }
+            Err(_) => {
+                self.closed[idx] = true;
+                SelectOutcome::Event(SelectEvent::Closed(idx))
+            }
+        }
+    }
+
+    /// Blocking receive over the set: the index of the reader that produced
+    /// the buffer, or `None` once **every** reader is closed and drained.
+    pub fn recv(&mut self) -> Option<(usize, DataBuffer)> {
+        loop {
+            match self.event()? {
+                SelectEvent::Buffer(i, b) => return Some((i, b)),
+                SelectEvent::Closed(_) => continue,
+            }
         }
     }
 }
@@ -678,13 +939,16 @@ mod tests {
         let readers: Vec<_> = (0..3).map(|i| ib.take_reader(i)).collect();
         let w = ib.writer("out", 0, NodeId(0), stats());
         drop(ib);
-        w.send_to(2, DataBuffer::tag_only(2)).expect("open");
-        w.send_to(0, DataBuffer::tag_only(0)).expect("open");
+        w.send_to(NodeId(2), DataBuffer::tag_only(2)).expect("open");
+        w.send_to(NodeId(0), DataBuffer::tag_only(0)).expect("open");
         assert!(
             w.send(DataBuffer::tag_only(9)).is_err(),
             "plain send rejected"
         );
-        assert!(w.send_to(5, DataBuffer::tag_only(9)).is_err(), "bad dest");
+        assert!(
+            w.send_to(NodeId(5), DataBuffer::tag_only(9)).is_err(),
+            "bad dest"
+        );
         drop(w);
         assert_eq!(readers[0].recv().expect("to 0").tag, 0);
         assert!(readers[1].recv().is_none(), "nothing to 1");
@@ -762,8 +1026,10 @@ mod tests {
         let _r0 = ib.take_reader(0);
         let _r1 = ib.take_reader(1);
         let w = ib.writer("out", 0, NodeId(0), Arc::clone(&st));
-        w.send_to(0, DataBuffer::tag_only(0)).expect("local");
-        w.send_to(1, DataBuffer::tag_only(0)).expect("remote");
+        w.send_to(NodeId(0), DataBuffer::tag_only(0))
+            .expect("local");
+        w.send_to(NodeId(1), DataBuffer::tag_only(0))
+            .expect("remote");
         let (_, bytes, remote) = st.snapshot();
         assert_eq!(bytes, 32);
         assert_eq!(remote, 16);
@@ -786,7 +1052,7 @@ mod tests {
     }
 
     #[test]
-    fn select_recv_multiplexes_and_terminates() {
+    fn stream_set_multiplexes_and_terminates() {
         let mut a = inbox(Delivery::RoundRobin, 1);
         let mut b = inbox(Delivery::RoundRobin, 1);
         let ra = a.take_reader(0);
@@ -797,28 +1063,92 @@ mod tests {
         wa.send(DataBuffer::tag_only(1)).expect("open");
         wb.send(DataBuffer::tag_only(2)).expect("open");
         drop((wa, wb));
+        let mut set = StreamSet::new(vec![ra, rb]);
         let mut got = Vec::new();
-        while let Some((idx, buf)) = select_recv(&[&ra, &rb]) {
+        while let Some((idx, buf)) = set.recv() {
             got.push((idx, buf.tag));
         }
         got.sort_unstable();
         assert_eq!(got, vec![(0, 1), (1, 2)]);
+        assert!(set.all_closed());
     }
 
     #[test]
-    fn recv_timeout_expires() {
-        let mut ib = inbox(Delivery::RoundRobin, 1);
-        let r = ib.take_reader(0);
-        let _w = ib.writer("out", 0, NodeId(0), stats());
-        assert!(r.recv_timeout(Duration::from_millis(10)).is_none());
+    fn stream_set_timeout_and_closure_reporting() {
+        let mut a = inbox(Delivery::RoundRobin, 1);
+        let mut b = inbox(Delivery::RoundRobin, 1);
+        let ra = a.take_reader(0);
+        let rb = b.take_reader(0);
+        let wa = a.writer("out", 0, NodeId(0), stats());
+        let wb = b.writer("out", 0, NodeId(0), stats());
+        drop((a, b));
+        let mut set = StreamSet::new(vec![ra, rb]);
+        assert!(matches!(
+            set.event_timeout(Some(Duration::from_millis(5))),
+            SelectOutcome::Timeout
+        ));
+        drop(wa);
+        match set.event_timeout(Some(Duration::from_millis(200))) {
+            SelectOutcome::Event(SelectEvent::Closed(0)) => {}
+            other => panic!("expected Closed(0), got {other:?}"),
+        }
+        assert!(set.is_closed(0) && !set.is_closed(1));
+        wb.send(DataBuffer::tag_only(3)).expect("open");
+        match set.event() {
+            Some(SelectEvent::Buffer(1, buf)) => assert_eq!(buf.tag, 3),
+            other => panic!("expected Buffer(1, _), got {other:?}"),
+        }
+        drop(wb);
+        assert!(matches!(set.event(), Some(SelectEvent::Closed(1))));
+        assert!(set.event().is_none(), "all closed");
+    }
+
+    /// Satellite check: every receive path (recv, drain, recv_timeout, and
+    /// StreamSet selection) tallies bytes, so a clean run's enqueue/dequeue
+    /// byte totals balance exactly.
+    #[test]
+    fn port_byte_totals_balance() {
+        let mut ib = inbox(Delivery::RoundRobin, 2);
+        let counters = Arc::clone(&ib.counters);
+        let r0 = ib.take_reader(0);
+        let r1 = ib.take_reader(1);
+        let w = ib.writer("out", 0, NodeId(0), stats());
+        drop(ib);
+        w.send(DataBuffer::from_u64s(1, &[1, 2, 3])).expect("open");
+        w.send(DataBuffer::from_u64s(2, &[4])).expect("open");
+        w.send(DataBuffer::tag_only(3)).expect("open");
+        w.send(DataBuffer::from_f64s(4, &[0.5; 8])).expect("open");
+        drop(w);
+        // Mix the receive paths deliberately.
+        let first = r0.recv().expect("one buffered");
+        assert!(first.tag >= 1);
+        let _ = r0.recv_timeout(Duration::from_millis(5));
+        let mut set = StreamSet::new(vec![r1]);
+        while let Some((_, _b)) = set.recv() {}
+        for r in set.into_readers() {
+            let _ = r.drain();
+        }
+        let enq = counters.enqueued.load(Ordering::Relaxed);
+        let deq = counters.dequeued.load(Ordering::Relaxed);
+        let benq = counters.bytes_enqueued.load(Ordering::Relaxed);
+        let bdeq = counters.bytes_dequeued.load(Ordering::Relaxed);
+        assert_eq!(enq, 4);
+        assert_eq!(deq, enq, "every enqueued buffer dequeued");
+        assert_eq!(benq, 16 * 4 + 24 + 8 + 64, "wire bytes of the four sends");
+        assert_eq!(bdeq, benq, "byte totals balance across mixed recv paths");
     }
 
     #[test]
-    #[should_panic(expected = "already taken")]
-    fn reader_taken_once() {
-        let mut ib = inbox(Delivery::RoundRobin, 1);
-        let _ = ib.take_reader(0);
-        let _ = ib.take_reader(0);
+    fn standalone_pair_roundtrips() {
+        let (w, r) = StreamSet::standalone("p", 4);
+        w.send_to(NodeId(0), DataBuffer::tag_only(5))
+            .expect("send_to works");
+        w.send_to(NodeId(0), DataBuffer::tag_only(6))
+            .expect("send_to works");
+        drop(w);
+        assert_eq!(r.recv().expect("first").tag, 5);
+        assert_eq!(r.recv().expect("second").tag, 6);
+        assert!(r.recv().is_none());
     }
 
     #[cfg(feature = "faultline")]
@@ -856,9 +1186,10 @@ mod tests {
             let r = ib.take_reader(0);
             let w = ib.writer("out", 0, NodeId(0), stats());
             drop(ib);
-            w.send_to(0, DataBuffer::tag_only(1)).expect("held back");
-            w.send_to(0, DataBuffer::tag_only(2)).expect("open");
-            w.send_to(0, DataBuffer::tag_only(3)).expect("open");
+            w.send_to(NodeId(0), DataBuffer::tag_only(1))
+                .expect("held back");
+            w.send_to(NodeId(0), DataBuffer::tag_only(2)).expect("open");
+            w.send_to(NodeId(0), DataBuffer::tag_only(3)).expect("open");
             drop(w);
             faultline::reset();
             let tags: Vec<u64> = r.drain().into_iter().map(|b| b.tag).collect();

@@ -142,6 +142,37 @@ impl SpmvAppBuilder {
         Ok(out)
     }
 
+    /// Per-process variant of [`SpmvAppBuilder::stage`] for multi-process
+    /// clusters: generates every block's *metadata* deterministically (so all
+    /// processes agree on sizes, nnz and ownership) but writes only the files
+    /// owned by node `me` into `scratch_dir`. Every process must call this
+    /// with the same grid, generator, seed and owner function.
+    pub fn stage_local(
+        scratch_dir: &std::path::Path,
+        me: u64,
+        grid: BlockGrid,
+        gen: &GapGenerator,
+        seed: u64,
+        owner: impl Fn(BlockCoord) -> u64,
+    ) -> dooc_sparse::Result<Vec<StagedBlock>> {
+        let mut out = Vec::with_capacity((grid.k * grid.k) as usize);
+        for coord in grid.coords() {
+            let node = owner(coord);
+            let m = grid.generate_block(gen, seed, coord);
+            if node == me {
+                std::fs::create_dir_all(scratch_dir)?;
+                fileio::write_matrix(&scratch_dir.join(BlockGrid::file_name(coord)), &m)?;
+            }
+            out.push(StagedBlock {
+                coord,
+                node,
+                bytes: m.file_size_bytes(),
+                nnz: m.nnz(),
+            });
+        }
+        Ok(out)
+    }
+
     /// Writes the initial vector `x^0` as per-row files `x_0_u` on each row
     /// root. `x.len()` must equal the grid's matrix order.
     pub fn stage_initial_vector(
@@ -161,6 +192,30 @@ impl SpmvAppBuilder {
                 scratch_dirs[node as usize].join(BlockGrid::vector_name(0, u)),
                 raw,
             )?;
+        }
+        Ok(())
+    }
+
+    /// Per-process variant of [`SpmvAppBuilder::stage_initial_vector`]:
+    /// writes only the row files whose row root is node `me` into
+    /// `scratch_dir`.
+    pub fn stage_initial_vector_local(
+        &self,
+        scratch_dir: &std::path::Path,
+        me: u64,
+        x: &[f64],
+    ) -> std::io::Result<()> {
+        assert_eq!(x.len() as u64, self.grid.n, "vector length mismatch");
+        for u in 0..self.grid.k {
+            if self.row_root[u as usize] != me {
+                continue;
+            }
+            let (s, e) = self.grid.range(u);
+            let mut raw = Vec::with_capacity(8 * (e - s) as usize);
+            for v in &x[s as usize..e as usize] {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+            std::fs::write(scratch_dir.join(BlockGrid::vector_name(0, u)), raw)?;
         }
         Ok(())
     }
@@ -505,6 +560,15 @@ pub fn tiled_owner(k: u64, nnodes: u64) -> impl Fn(BlockCoord) -> u64 {
     move |c: BlockCoord| (c.u / per) * side + (c.v / per)
 }
 
+/// Row-striped ownership for node counts that are not perfect squares
+/// (e.g. a 2-process cluster): block row `u` lives on node `u mod nnodes`.
+/// Keeps each row's sub-matrices co-located with its row root, so vector
+/// traffic stays row-local and only partial products cross nodes.
+pub fn striped_owner(nnodes: u64) -> impl Fn(BlockCoord) -> u64 {
+    assert!(nnodes > 0, "need at least one node");
+    move |c: BlockCoord| c.u % nnodes
+}
+
 /// Convenience: path helper kept for examples/tests.
 pub fn staged_matrix_path(dir: &Path, coord: BlockCoord) -> std::path::PathBuf {
     dir.join(BlockGrid::file_name(coord))
@@ -513,7 +577,7 @@ pub fn staged_matrix_path(dir: &Path, coord: BlockCoord) -> std::path::PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dooc_scheduler::assign_affinity;
+    use dooc_scheduler::{assign_affinity, NodeId};
 
     fn staged(k: u64, nnodes: u64) -> (BlockGrid, Vec<StagedBlock>) {
         let grid = BlockGrid::new(k, k * 10);
@@ -663,7 +727,7 @@ mod tests {
             let t = graph.task(id);
             if t.name.starts_with("q_") {
                 let g: u64 = t.name.rsplit('_').next().unwrap().parse().unwrap();
-                assert_eq!(placement.node(id), g, "{} pinned", t.name);
+                assert_eq!(placement.node(id), NodeId(g as usize), "{} pinned", t.name);
             }
         }
     }
@@ -693,7 +757,7 @@ mod tests {
                 };
                 assert_eq!(
                     placement.node(id),
-                    owner(c),
+                    NodeId(owner(c) as usize),
                     "{} follows its sub-matrix",
                     t.name
                 );

@@ -12,6 +12,7 @@
 
 use crate::task::{TaskGraph, TaskId};
 use crate::Result;
+use dooc_filterstream::NodeId;
 use std::collections::HashMap;
 
 /// A complete task-to-node assignment.
@@ -23,16 +24,16 @@ pub struct Placement {
 
 impl Placement {
     /// Node assigned to `id`.
-    pub fn node(&self, id: TaskId) -> u64 {
-        self.node_of_task[id.0 as usize]
+    pub fn node(&self, id: TaskId) -> NodeId {
+        NodeId(self.node_of_task[id.0 as usize] as usize)
     }
 
     /// Task ids assigned to `node`.
-    pub fn tasks_of(&self, node: u64) -> Vec<TaskId> {
+    pub fn tasks_of(&self, node: NodeId) -> Vec<TaskId> {
         self.node_of_task
             .iter()
             .enumerate()
-            .filter(|(_, &n)| n == node)
+            .filter(|(_, &n)| n as usize == node.0)
             .map(|(i, _)| TaskId(i as u64))
             .collect()
     }
@@ -47,11 +48,11 @@ impl Placement {
     ) -> u64 {
         let mut total = 0;
         for id in graph.ids() {
-            let here = self.node(id);
+            let here = self.node_of_task[id.0 as usize];
             for inp in &graph.task(id).inputs {
                 let loc = graph
                     .producer_of(&inp.array)
-                    .map(|p| self.node(p))
+                    .map(|p| self.node_of_task[p.0 as usize])
                     .or_else(|| external_location.get(&inp.array).copied());
                 if let Some(loc) = loc {
                     if loc != here {
@@ -175,11 +176,11 @@ mod tests {
     fn affinity_follows_large_inputs() {
         let (g, loc) = spmv_like();
         let p = assign_affinity(&g, &loc, 2).expect("placed");
-        assert_eq!(p.node(TaskId(0)), 0, "m0 goes to its matrix");
-        assert_eq!(p.node(TaskId(1)), 1, "m1 goes to its matrix");
+        assert_eq!(p.node(TaskId(0)), NodeId(0), "m0 goes to its matrix");
+        assert_eq!(p.node(TaskId(1)), NodeId(1), "m1 goes to its matrix");
         // The sum reads 8 bytes from each side: tie -> less-loaded node.
         let s = p.node(TaskId(2));
-        assert!(s < 2);
+        assert!(s.0 < 2);
     }
 
     #[test]
@@ -215,8 +216,8 @@ mod tests {
         let mut loc = HashMap::new();
         loc.insert("f".to_string(), 1u64);
         let p = assign_affinity(&g, &loc, 3).expect("placed");
-        assert_eq!(p.node(TaskId(0)), 1);
-        assert_eq!(p.node(TaskId(1)), 1, "follows the intermediate");
+        assert_eq!(p.node(TaskId(0)), NodeId(1));
+        assert_eq!(p.node(TaskId(1)), NodeId(1), "follows the intermediate");
         assert_eq!(p.remote_input_bytes(&g, &loc), 0);
     }
 
@@ -235,8 +236,8 @@ mod tests {
         )
         .expect("valid");
         let p = assign_affinity(&g, &HashMap::new(), 2).expect("placed");
-        let n0 = p.tasks_of(0).len();
-        let n1 = p.tasks_of(1).len();
+        let n0 = p.tasks_of(NodeId(0)).len();
+        let n1 = p.tasks_of(NodeId(1)).len();
         assert_eq!(n0 + n1, 4);
         assert_eq!(n0, 2, "balanced: {:?}", p.node_of_task);
     }
@@ -245,7 +246,7 @@ mod tests {
     fn tasks_of_partitions_all_tasks() {
         let (g, loc) = spmv_like();
         let p = assign_affinity(&g, &loc, 2).expect("placed");
-        let total: usize = (0..2).map(|n| p.tasks_of(n).len()).sum();
+        let total: usize = (0..2).map(|n| p.tasks_of(NodeId(n)).len()).sum();
         assert_eq!(total, g.len());
     }
 
@@ -259,7 +260,7 @@ mod tests {
         let mut loc = HashMap::new();
         loc.insert("big".to_string(), 0u64);
         let p = assign_affinity(&g, &loc, 3).expect("placed");
-        assert_eq!(p.node(TaskId(0)), 2, "pin wins over affinity");
+        assert_eq!(p.node(TaskId(0)), NodeId(2), "pin wins over affinity");
     }
 
     #[test]

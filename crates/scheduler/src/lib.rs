@@ -30,6 +30,7 @@ pub mod global;
 pub mod local;
 pub mod task;
 
+pub use dooc_filterstream::NodeId;
 pub use global::{assign_affinity, assign_round_robin, Placement};
 pub use local::{LocalScheduler, MemoryOracle, OrderPolicy};
 pub use task::{DataRef, ReadyTracker, TaskGraph, TaskId, TaskSpec};

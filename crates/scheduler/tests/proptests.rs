@@ -2,8 +2,8 @@
 //! DAGs, arbitrary completion interleavings, arbitrary placements.
 
 use dooc_scheduler::{
-    assign_affinity, assign_round_robin, LocalScheduler, OrderPolicy, ReadyTracker, TaskGraph,
-    TaskId, TaskSpec,
+    assign_affinity, assign_round_robin, LocalScheduler, NodeId, OrderPolicy, ReadyTracker,
+    TaskGraph, TaskId, TaskSpec,
 };
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -129,7 +129,7 @@ proptest! {
     ) {
         let placement = assign_round_robin(&g, nnodes);
         let mut schedulers: Vec<LocalScheduler> = (0..nnodes)
-            .map(|n| LocalScheduler::new(&g, placement.tasks_of(n), policy))
+            .map(|n| LocalScheduler::new(&g, placement.tasks_of(NodeId(n as usize)), policy))
             .collect();
         let oracle: HashSet<String> = HashSet::new();
         let mut executed: Vec<TaskId> = Vec::new();

@@ -21,7 +21,7 @@
 
 use crate::des::{FluidSim, ResourceId};
 use dooc_linalg::spmv_app::{ReductionPlan, SpmvAppBuilder, StagedBlock, SyncPolicy};
-use dooc_scheduler::{assign_affinity, LocalScheduler, OrderPolicy, TaskId};
+use dooc_scheduler::{assign_affinity, LocalScheduler, NodeId, OrderPolicy, TaskId};
 use dooc_sparse::blockgrid::{BlockCoord, BlockGrid};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -316,8 +316,12 @@ pub fn run_testbed(params: &TestbedParams, policy: PolicyKind) -> TestbedResult 
             let client_link = sim.add_resource(params.client_bw);
             let ib_in = sim.add_resource(params.ib_bw);
             let ib_out = sim.add_resource(params.ib_bw);
-            let mut ls = LocalScheduler::new(&graph, placement.tasks_of(n), OrderPolicy::DataAware)
-                .with_prefetch_window(params.prefetch_window);
+            let mut ls = LocalScheduler::new(
+                &graph,
+                placement.tasks_of(NodeId(n as usize)),
+                OrderPolicy::DataAware,
+            )
+            .with_prefetch_window(params.prefetch_window);
             // Staged vectors start resident on their node (they are tiny and
             // written into memory/the page cache during staging).
             let _ = &mut ls;
@@ -476,7 +480,7 @@ pub fn run_testbed(params: &TestbedParams, policy: PolicyKind) -> TestbedResult 
                                 );
                             }
                             ArrayKind::Produced { producer } => {
-                                let src = placement.node(*producer) as usize;
+                                let src = placement.node(*producer).0;
                                 $sim.start_flow(
                                     arrays[name].bytes as f64,
                                     vec![nodes[src].ib_out, nodes[n].ib_in],

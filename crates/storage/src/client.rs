@@ -26,7 +26,7 @@ use crate::meta::{ArrayMeta, Interval};
 use crate::proto::{ClientMsg, MapEntry, NodeStats, Reply};
 use crate::{Result, StorageError};
 use bytes::Bytes;
-use dooc_filterstream::{StreamReader, StreamWriter};
+use dooc_filterstream::{NodeId, StreamReader, StreamWriter};
 use dooc_sync::atomic::{AtomicU64, Ordering};
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -124,7 +124,7 @@ struct Releaser {
 impl Releaser {
     fn send(&self, msg: &ClientMsg) -> Result<()> {
         self.to_storage
-            .send_to(self.node, msg.encode())
+            .send_to(NodeId(self.node), msg.encode())
             .map_err(|e| StorageError::Protocol(format!("storage link closed: {e}")))
     }
 

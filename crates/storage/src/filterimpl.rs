@@ -14,8 +14,8 @@ use crate::meta::ArrayMeta;
 use crate::node::{Action, DiscoveredBlock, NodeConfig, StorageState};
 use crate::proto::{ClientMsg, IoCmd, IoReply, PeerMsg};
 use bytes::Bytes;
-use dooc_filterstream::stream::{select_event, select_event_timeout, SelectEvent, SelectOutcome};
-use dooc_filterstream::{Filter, FilterContext};
+use dooc_filterstream::stream::{SelectEvent, SelectOutcome, StreamSet};
+use dooc_filterstream::{Filter, FilterContext, NodeId};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -159,11 +159,11 @@ impl StorageFilter {
                         .resolve(client)
                         .ok_or_else(|| ctx.error(format!("no client port for id {client}")))?;
                     let port = port.to_string();
-                    ctx.output(&port)?.send_to(inst, reply.encode())?;
+                    ctx.output(&port)?.send_to(NodeId(inst), reply.encode())?;
                 }
                 Action::Peer { node, msg } => {
                     ctx.output(ports::PEER_OUT)?
-                        .send_to(node as usize, msg.encode())?;
+                        .send_to(NodeId(node as usize), msg.encode())?;
                 }
                 Action::Io(cmd) => {
                     ctx.output(ports::IO_OUT)?.send(cmd.encode())?;
@@ -176,7 +176,13 @@ impl StorageFilter {
 
 impl Filter for StorageFilter {
     fn run(&mut self, ctx: &mut FilterContext) -> dooc_filterstream::Result<()> {
-        let mut closed = [false; 3];
+        // Own the three input endpoints in one StreamSet: indices 0/1/2 are
+        // clients/peers/io for the SelectEvent arms below.
+        let mut set = StreamSet::new(vec![
+            ctx.take_input(ports::CLIENTS_IN)?,
+            ctx.take_input(ports::PEER_IN)?,
+            ctx.take_input(ports::IO_IN)?,
+        ]);
         loop {
             #[cfg(feature = "faultline")]
             self.maybe_crash(ctx.node.0 as i64);
@@ -187,18 +193,13 @@ impl Filter for StorageFilter {
                 .state
                 .needs_tick()
                 .then(|| std::time::Duration::from_millis(2));
-            let event = {
-                let clients = ctx.input(ports::CLIENTS_IN)?;
-                let peers = ctx.input(ports::PEER_IN)?;
-                let io = ctx.input(ports::IO_IN)?;
-                match select_event_timeout(&[clients, peers, io], &mut closed, timeout) {
-                    SelectOutcome::Event(ev) => ev,
-                    SelectOutcome::AllClosed => return Ok(()), // every input closed
-                    SelectOutcome::Timeout => {
-                        let acts = self.state.on_tick();
-                        self.perform(ctx, acts)?;
-                        continue;
-                    }
+            let event = match set.event_timeout(timeout) {
+                SelectOutcome::Event(ev) => ev,
+                SelectOutcome::AllClosed => return Ok(()), // every input closed
+                SelectOutcome::Timeout => {
+                    let acts = self.state.on_tick();
+                    self.perform(ctx, acts)?;
+                    continue;
                 }
             };
             let node = ctx.node.0 as i64;
@@ -253,14 +254,8 @@ impl Filter for StorageFilter {
                 // every node does this, peer-stream closure), then drain.
                 ctx.close_output(ports::PEER_OUT);
                 ctx.close_output(ports::IO_OUT);
-                loop {
-                    let clients = ctx.input(ports::CLIENTS_IN)?;
-                    let peers = ctx.input(ports::PEER_IN)?;
-                    let io = ctx.input(ports::IO_IN)?;
-                    if select_event(&[clients, peers, io], &mut closed).is_none() {
-                        return Ok(());
-                    }
-                }
+                while set.event().is_some() {}
+                return Ok(());
             }
         }
     }

@@ -1,0 +1,211 @@
+//! Multi-process-shaped integration tests: the same iterated-SpMV workload
+//! run (a) classically in one process, (b) distributed over the in-process
+//! channel transport, and (c) distributed over real loopback TCP sockets.
+//! All three must produce *bitwise* identical final vectors — the transport
+//! is pure plumbing and must never change a floating-point reduction order.
+
+use dooc::core::{DoocConfig, DoocRuntime};
+use dooc::filterstream::{ChannelTransport, ClusterSpec, TcpTransport, Transport};
+use dooc::linalg::spmv_app::{
+    striped_owner, ReductionPlan, SpmvAppBuilder, SpmvExecutor, SyncPolicy,
+};
+use dooc::sparse::blockgrid::BlockGrid;
+use dooc::sparse::genmat::GapGenerator;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const K: u64 = 4;
+const N: u64 = 64;
+const ITERS: u64 = 3;
+const MAT_SEED: u64 = 9;
+const NNODES: usize = 2;
+
+fn x0() -> Vec<f64> {
+    (0..N).map(|i| (i % 7) as f64 + 1.0).collect()
+}
+
+/// Stages the workload into fresh temp dirs and returns everything a node
+/// needs to run it.
+fn stage(tag: &str) -> (DoocConfig, SpmvAppBuilder) {
+    let base = DoocConfig::in_temp_dirs(tag, NNODES).expect("cfg");
+    let grid = BlockGrid::new(K, N);
+    let gen = GapGenerator::with_d(4);
+    let blocks = SpmvAppBuilder::stage(
+        &base.scratch_dirs,
+        grid,
+        &gen,
+        MAT_SEED,
+        striped_owner(NNODES as u64),
+    )
+    .expect("stage matrices");
+    let app = SpmvAppBuilder::new(grid, ITERS, blocks)
+        .reduction(ReductionPlan::RowRoot)
+        .sync(SyncPolicy::None);
+    app.stage_initial_vector(&base.scratch_dirs, &x0())
+        .expect("stage x0");
+    (base, app)
+}
+
+fn config_for(dirs: Vec<PathBuf>, geometry: &[(String, u64, u64)]) -> DoocConfig {
+    let mut cfg = DoocConfig::new(dirs)
+        .memory_budget(2 << 20)
+        .threads_per_node(2);
+    for (name, len, bs) in geometry {
+        cfg = cfg.with_geometry(name.clone(), *len, *bs);
+    }
+    cfg
+}
+
+fn cleanup(cfg: &DoocConfig) {
+    for d in &cfg.scratch_dirs {
+        std::fs::remove_dir_all(d).ok();
+        if let Some(p) = d.parent() {
+            std::fs::remove_dir(p).ok();
+        }
+    }
+}
+
+/// Runs the staged app with one thread per node, each holding its own
+/// transport — the thread boundary stands in for the process boundary (the
+/// real multi-process path is exercised by `tests/tcp_cluster.rs`).
+fn run_over(tag: &str, transports: Vec<Arc<dyn Transport>>) -> Vec<f64> {
+    let (base, app) = stage(tag);
+    let (graph, external, geometry) = app.build();
+    let handles: Vec<_> = transports
+        .into_iter()
+        .map(|t| {
+            let dirs = base.scratch_dirs.clone();
+            let cfg = config_for(dirs, &geometry);
+            let graph = graph.clone();
+            let external = external.clone();
+            std::thread::spawn(move || {
+                DoocRuntime::new(cfg)
+                    .run_distributed(graph, external, Arc::new(SpmvExecutor), t)
+                    .expect("distributed run");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("node thread");
+    }
+    let x = app
+        .collect_final_vector(&base.scratch_dirs)
+        .expect("final vector");
+    cleanup(&base);
+    x
+}
+
+fn run_classic(tag: &str) -> Vec<f64> {
+    let (base, app) = stage(tag);
+    let (graph, external, geometry) = app.build();
+    let cfg = config_for(base.scratch_dirs.clone(), &geometry);
+    DoocRuntime::new(cfg)
+        .run(graph, external, Arc::new(SpmvExecutor))
+        .expect("classic run");
+    let x = app
+        .collect_final_vector(&base.scratch_dirs)
+        .expect("final vector");
+    cleanup(&base);
+    x
+}
+
+/// Builds a loopback TCP mesh on OS-assigned ports (race-free: listeners
+/// are bound before the spec is written).
+fn tcp_pair() -> Vec<Arc<dyn Transport>> {
+    let listeners: Vec<TcpListener> = (0..NNODES)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let spec = ClusterSpec::new(
+        listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr").to_string())
+            .collect(),
+    );
+    let fp = spec.fingerprint();
+    // Handshakes block until the peer dials in, so the transports must be
+    // constructed concurrently.
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                TcpTransport::with_listener(&spec, i, fp, l).expect("tcp mesh")
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| Arc::new(h.join().expect("connect thread")) as Arc<dyn Transport>)
+        .collect()
+}
+
+fn assert_bitwise(label: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{label}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{label} diverged at x[{i}]: {g:?} != {w:?}"
+        );
+    }
+}
+
+#[test]
+fn channel_transport_matches_classic_run_bitwise() {
+    let classic = run_classic("dist-classic");
+    let transports: Vec<Arc<dyn Transport>> = ChannelTransport::cluster(NNODES)
+        .into_iter()
+        .map(|t| Arc::new(t) as Arc<dyn Transport>)
+        .collect();
+    let chan = run_over("dist-chan", transports);
+    assert_bitwise("channel vs classic", &chan, &classic);
+}
+
+#[test]
+fn tcp_transport_matches_classic_run_bitwise() {
+    let classic = run_classic("dist-classic-tcp");
+    let tcp = run_over("dist-tcp", tcp_pair());
+    assert_bitwise("tcp vs classic", &tcp, &classic);
+}
+
+#[test]
+fn mismatched_bootstrap_digest_is_rejected() {
+    let (base, app) = stage("dist-mismatch");
+    let (graph, external, geometry) = app.build();
+    let transports = ChannelTransport::cluster(NNODES);
+    let handles: Vec<_> = transports
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let dirs = base.scratch_dirs.clone();
+            let mut cfg = config_for(dirs, &geometry);
+            if i == 1 {
+                // Node 1 disagrees on a run-defining knob.
+                cfg = cfg.seed(0xBAD);
+            }
+            let graph = graph.clone();
+            let external = external.clone();
+            std::thread::spawn(move || {
+                DoocRuntime::new(cfg)
+                    .run_distributed(graph, external, Arc::new(SpmvExecutor), Arc::new(t))
+                    .err()
+                    .map(|e| e.to_string())
+            })
+        })
+        .collect();
+    let errs: Vec<Option<String>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .collect();
+    cleanup(&base);
+    for (i, e) in errs.iter().enumerate() {
+        let e = e
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {i} should have refused to run"));
+        assert!(
+            e.contains("digest mismatch"),
+            "node {i}: unexpected error {e}"
+        );
+    }
+}

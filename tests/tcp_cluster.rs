@@ -1,0 +1,102 @@
+//! The real thing: two `dooc-node` *processes* on localhost, joined over a
+//! cluster-spec file, running the iterated SpMV end to end with node 0
+//! verifying the collected final vector against the in-core reference.
+
+use std::io::Read;
+use std::net::TcpListener;
+use std::process::{Command, Stdio};
+
+/// Picks OS-assigned free ports. The listeners are dropped before the
+/// children bind, which leaves a small reuse window — acceptable on a
+/// loopback test host, and the dial side retries for up to 30s anyway.
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").port())
+        .collect()
+}
+
+#[test]
+fn two_process_cluster_runs_and_verifies() {
+    let base = std::env::temp_dir().join(format!("dooc-tcp-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&base).expect("mkdir base");
+    let ports = free_ports(2);
+    let spec_path = base.join("cluster.spec");
+    std::fs::write(
+        &spec_path,
+        format!(
+            "# two-node localhost cluster\nnode 0 127.0.0.1:{}\nnode 1 127.0.0.1:{}\n",
+            ports[0], ports[1]
+        ),
+    )
+    .expect("write spec");
+
+    let bin = env!("CARGO_BIN_EXE_dooc-node");
+    let common = |node: usize| {
+        let mut c = Command::new(bin);
+        c.arg("--spec")
+            .arg(&spec_path)
+            .arg("--node")
+            .arg(node.to_string())
+            .arg("--scratch-base")
+            .arg(&base)
+            .args(["--k", "4", "--n", "256", "--iters", "2", "--seed", "2012"]);
+        c
+    };
+
+    let mut peer = common(1)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn node 1");
+    let trace = base.join("TRACE_node0.json");
+    let metrics = base.join("METRICS_node0.txt");
+    let out = common(0)
+        .arg("--verify")
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("run node 0");
+    let status = peer.wait().expect("wait node 1");
+
+    let mut peer_err = String::new();
+    if let Some(mut e) = peer.stderr.take() {
+        e.read_to_string(&mut peer_err).ok();
+    }
+    assert!(
+        out.status.success(),
+        "node 0 failed:\nstdout: {}\nstderr: {}\npeer stderr: {peer_err}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(status.success(), "node 1 failed: {peer_err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("verification OK"),
+        "node 0 did not verify: {stdout}"
+    );
+
+    // The trace must carry transport activity: the run crosses the peer
+    // stream every iteration, so TCP byte counters cannot be zero.
+    let m = std::fs::read_to_string(&metrics).expect("metrics dump");
+    for key in ["fs.tcp.bytes_out", "fs.tcp.bytes_in"] {
+        let line = m
+            .lines()
+            .find(|l| l.contains(key))
+            .unwrap_or_else(|| panic!("metric {key} missing from dump:\n{m}"));
+        let val: u64 = line
+            .split_whitespace()
+            .last()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable metric line: {line}"));
+        assert!(val > 0, "{key} is zero — no bytes crossed the sockets?");
+    }
+    assert!(trace.exists(), "trace file missing");
+
+    std::fs::remove_dir_all(&base).ok();
+}
