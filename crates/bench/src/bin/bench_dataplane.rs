@@ -24,7 +24,9 @@ use bytes::Bytes;
 use dooc_core::sync::OrderedMutex;
 use dooc_core::{DoocConfig, DoocRuntime, ExecOutcome, TaskExecutor, TaskSpec, WorkerContext};
 use dooc_filterstream::{FilterContext, Layout, NodeId, Runtime};
-use dooc_linalg::spmv_app::{tiled_owner, ReductionPlan, SpmvAppBuilder, SpmvExecutor, SyncPolicy};
+use dooc_linalg::spmv_app::{
+    tiled_owner, IterationMode, ReductionPlan, SpmvAppBuilder, SpmvExecutor, SyncPolicy,
+};
 use dooc_sparse::blockgrid::BlockGrid;
 use dooc_sparse::genmat::GapGenerator;
 use dooc_sparse::{dense, fileio, ComputePool};
@@ -179,6 +181,34 @@ fn main() {
         rows.push(format!(
             "    {{\"nodes\": {nodes}, \"k\": {k}, \"n\": {n}, \"iterations\": {iters}, \"rounds\": {E2E_ROUNDS}, \"wall_s_before\": {before:.4}, \"wall_s_after\": {after:.4}, \"speedup\": {:.3}}}",
             before / after
+        ));
+    }
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    // --- 2b. iterated SpMV: barriered vs frontier progress tracking --------
+    // Same workload through the *current* data plane, per-iteration barrier
+    // vs frontier-based release (capability counts over the progress lane,
+    // iterations pipelining into each other). Both runs produce bitwise
+    // identical vectors — tests/distributed.rs proves it — so this measures
+    // pure scheduling slack: barrier tasks plus the idle tail each iteration
+    // spends waiting for its slowest block.
+    json.push_str("  \"frontier\": [\n");
+    let mut rows = Vec::new();
+    for &nodes in &[1usize, 4] {
+        let mut barrier = f64::MAX;
+        let mut frontier = f64::MAX;
+        for _ in 0..E2E_ROUNDS {
+            barrier = barrier.min(run_spmv_mode(nodes, k, n, iters, IterationMode::Barrier));
+            frontier = frontier.min(run_spmv_mode(nodes, k, n, iters, IterationMode::Frontier));
+        }
+        println!(
+            "iterated SpMV k={k} n={n} iters={iters} nodes={nodes} (min of {E2E_ROUNDS}): barrier {barrier:.3}s, frontier {frontier:.3}s ({:.2}x)",
+            barrier / frontier
+        );
+        rows.push(format!(
+            "    {{\"nodes\": {nodes}, \"k\": {k}, \"n\": {n}, \"iterations\": {iters}, \"rounds\": {E2E_ROUNDS}, \"wall_s_barrier\": {barrier:.4}, \"wall_s_frontier\": {frontier:.4}, \"speedup\": {:.3}}}",
+            barrier / frontier
         ));
     }
     json.push_str(&rows.join(",\n"));
@@ -468,6 +498,57 @@ fn run_spmv(nodes: usize, k: u64, n: u64, iterations: u64, baseline: bool) -> f6
     let t0 = Instant::now();
     DoocRuntime::new(cfg2.clone())
         .run(graph, external, executor)
+        .expect("run");
+    let wall = t0.elapsed().as_secs_f64();
+    for d in &cfg2.scratch_dirs {
+        std::fs::remove_dir_all(d).ok();
+    }
+    wall
+}
+
+/// One end-to-end iterated-SpMV run through the current executor under the
+/// given iteration mode; returns wall seconds. The `SyncPolicy` is the
+/// barriered path's knob only — frontier mode ignores it and gates releases
+/// on the capability frontier instead.
+fn run_spmv_mode(nodes: usize, k: u64, n: u64, iterations: u64, mode: IterationMode) -> f64 {
+    let tag = format!(
+        "bench-dp-{nodes}n-{}",
+        if mode == IterationMode::Frontier {
+            "frontier"
+        } else {
+            "barrier"
+        }
+    );
+    let cfg = DoocConfig::in_temp_dirs(&tag, nodes)
+        .expect("cfg")
+        .memory_budget(256 << 20)
+        .threads_per_node(2)
+        .prefetch_window(2);
+    let grid = BlockGrid::new(k, n);
+    let gen = GapGenerator::with_d(3);
+    let blocks = SpmvAppBuilder::stage(
+        &cfg.scratch_dirs,
+        grid,
+        &gen,
+        42,
+        tiled_owner(k, nodes as u64),
+    )
+    .expect("stage");
+    let app = SpmvAppBuilder::new(grid, iterations, blocks)
+        .reduction(ReductionPlan::LocalAggregation)
+        .sync(SyncPolicy::IterationBarrier)
+        .iteration_mode(mode);
+    let x0: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin() + 1.0).collect();
+    app.stage_initial_vector(&cfg.scratch_dirs, &x0)
+        .expect("stage x0");
+    let (graph, external, geometry) = app.build();
+    let mut cfg2 = cfg.clone();
+    for (name, len, bs) in geometry {
+        cfg2 = cfg2.with_geometry(name, len, bs);
+    }
+    let t0 = Instant::now();
+    DoocRuntime::new(cfg2.clone())
+        .run(graph, external, Arc::new(SpmvExecutor))
         .expect("run");
     let wall = t0.elapsed().as_secs_f64();
     for d in &cfg2.scratch_dirs {

@@ -1,0 +1,339 @@
+//! Explicit-state model checker for the capability/frontier progress
+//! protocol (`dooc-core::progress` + the local scheduler's gated release).
+//!
+//! The protocol under test: every producer of iterate block `u` at iteration
+//! `i` holds one *capability* on timestamp `(i, u)`, dropped only after the
+//! produced block is sealed; drops are broadcast as cumulative per-owner
+//! count snapshots folded with a pointwise max at each receiver; a node
+//! releases a task gated on `(j, v)` once its local view shows every
+//! capability `(i ≤ j, v)` dropped. The wire is unreliable — messages may be
+//! dropped or reordered — and an idle *re-flush* of the full own-count table
+//! heals losses.
+//!
+//! This module builds a bounded abstraction — [`NODES`] nodes, [`BLOCKS`]
+//! block chains, [`ITERS`] iterations, one producer task per `(iteration,
+//! block)` gated on every block of the previous iteration (the iterated-SpMV
+//! shape collapsed to its progress skeleton) — and explores **every**
+//! interleaving of task starts, task completions, message deliveries,
+//! message drops and re-flushes by BFS, checking (continuing the numbering
+//! of [`crate::model`]):
+//!
+//! 9.  **frontier-monotone** — a node's observed frontier never retreats:
+//!     once the view shows block `u` closed through iteration `j`, no later
+//!     state shows it closed only through `j' < j`;
+//! 10. **release-behind-frontier** — a task is released only when every
+//!     input timestamp is truly behind the frontier: at the moment of
+//!     release, every producer `(i ≤ j, v)` of every gate `(j, v)` has
+//!     completed (its block is sealed);
+//!
+//! plus the quiescence invariant **no-frontier-stall**: when no transition
+//! is enabled, every task has run — the frontier machinery never wedges the
+//! computation, even under message loss (the re-flush must heal it).
+//!
+//! [`BugConfig`] seeds the protocol bugs the exhaustive tier must catch:
+//! a *leaked* capability (a producer that never drops — the frontier stalls
+//! and downstream iterations never release), an *early* drop (capability
+//! released before the seal — a peer reads an unsealed block), and a
+//! *stale-overwrite* fold (receiver assigns instead of max-folding — a
+//! reordered old snapshot retreats the frontier).
+
+use crate::model::{ExploreStats, Violation};
+use std::collections::{HashMap, VecDeque};
+
+/// Nodes in the bounded model.
+pub const NODES: usize = 2;
+/// Block chains (one frontier chain per block of the iterate). Three chains
+/// over two nodes puts two chains on node 0, so intra-node task
+/// interleavings are explored too.
+pub const BLOCKS: usize = 3;
+/// Iterations; capabilities exist for timestamps `(1..=ITERS, block)`.
+pub const ITERS: usize = 3;
+
+/// Deliberately seeded protocol bugs, for negative tests of the checker.
+/// All `false` models the protocol as implemented.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BugConfig {
+    /// Producer `(1, 0)` never drops its capability — block 0's frontier
+    /// stalls at iteration 0 and every iteration-2 task waits forever.
+    pub leak_capability: bool,
+    /// Capabilities are dropped when the producer *starts* instead of after
+    /// its output is sealed — a gated consumer can be released while the
+    /// block it reads is still being written.
+    pub early_drop: bool,
+    /// Receivers assign incoming snapshot counts instead of max-folding —
+    /// a reordered stale snapshot makes the observed frontier retreat.
+    pub stale_overwrite: bool,
+}
+
+/// Lifecycle of one producer task.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Waiting for its gates to close.
+    #[default]
+    Pending,
+    /// Released; output not yet sealed.
+    Running,
+    /// Output sealed (and, healthily, capability dropped).
+    Done,
+}
+
+/// One node's cumulative own-drop counts: `table[u][i-1]` is the number of
+/// drops of capability `(i, u)` (0 or 1 here — one producer per timestamp).
+type OwnTable = [[u8; ITERS]; BLOCKS];
+
+/// A global protocol state (hashable — the BFS visited-set key).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct State {
+    /// `tasks[i-1][u]` — phase of the producer of `(i, u)`.
+    tasks: [[Phase; BLOCKS]; ITERS],
+    /// `view[n][p]` — node `n`'s copy of node `p`'s own-drop table.
+    /// `view[n][n]` is `n`'s authoritative table (own drops apply directly).
+    view: [[OwnTable; NODES]; NODES],
+    /// In-flight snapshots `(to, from, table)`, kept sorted so permutations
+    /// of the same multiset hash identically. Delivery order is the BFS's
+    /// choice — that is the model's message reordering.
+    net: Vec<(u8, u8, OwnTable)>,
+    /// `seen[n][u]` — the highest closed iteration node `n` has ever
+    /// observed for block `u` (the monotonicity witness).
+    seen: [[u8; BLOCKS]; NODES],
+    /// Poison: some view's frontier retreated below its witness.
+    retreated: bool,
+    /// Poison: task `(i, u)` was released while a producer feeding one of
+    /// its gates had not sealed its block.
+    premature: Option<(u8, u8)>,
+}
+
+/// The bounded model: just its bug configuration (the task structure is
+/// fixed by the constants).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Model {
+    /// Seeded bugs (all-false is the faithful protocol).
+    pub bug: BugConfig,
+}
+
+impl Model {
+    fn owner(u: usize) -> usize {
+        u % NODES
+    }
+
+    /// Is `(j, u)` behind node `n`'s observed frontier? `j = 0` timestamps
+    /// belong to the external initial iterate: no capability ever exists,
+    /// so they are closed from the start.
+    fn closed(s: &State, n: usize, j: usize, u: usize) -> bool {
+        let owner = Self::owner(u);
+        (1..=j).all(|i| s.view[n][owner][u][i - 1] >= 1)
+    }
+
+    /// Highest iteration `j` with block `u` closed through `j` in `n`'s view.
+    fn level(s: &State, n: usize, u: usize) -> u8 {
+        let mut j = 0;
+        while j < ITERS && Self::closed(s, n, j + 1, u) {
+            j += 1;
+        }
+        j as u8
+    }
+
+    /// Updates every node's monotonicity witness, flagging any retreat.
+    fn note_frontiers(s: &mut State) {
+        for n in 0..NODES {
+            for u in 0..BLOCKS {
+                let cur = Self::level(s, n, u);
+                if cur < s.seen[n][u] {
+                    s.retreated = true;
+                } else {
+                    s.seen[n][u] = cur;
+                }
+            }
+        }
+    }
+
+    /// Applies node `n`'s drop of capability `(i, u)` and broadcasts the
+    /// updated own-table snapshot to every peer.
+    fn drop_and_broadcast(s: &mut State, n: usize, i: usize, u: usize) {
+        s.view[n][n][u][i - 1] = s.view[n][n][u][i - 1].saturating_add(1);
+        let snap = s.view[n][n];
+        for p in 0..NODES {
+            if p != n {
+                s.net.push((p as u8, n as u8, snap));
+            }
+        }
+        s.net.sort();
+    }
+
+    /// All enabled transitions from `s`.
+    fn successors(&self, s: &State) -> Vec<(String, State)> {
+        let mut out = Vec::new();
+        for i in 1..=ITERS {
+            for u in 0..BLOCKS {
+                let n = Self::owner(u);
+                match s.tasks[i - 1][u] {
+                    // Release: the local scheduler starts `(i, u)` once its
+                    // view closes every gate `(i-1, v)`.
+                    Phase::Pending => {
+                        if (0..BLOCKS).all(|v| Self::closed(s, n, i - 1, v)) {
+                            let mut next = s.clone();
+                            next.tasks[i - 1][u] = Phase::Running;
+                            // Invariant 10 ground truth: every producer at or
+                            // below each gate must have sealed its output.
+                            let unsealed = (0..BLOCKS)
+                                .any(|v| (1..=i - 1).any(|ii| s.tasks[ii - 1][v] != Phase::Done));
+                            if unsealed {
+                                next.premature = Some((i as u8, u as u8));
+                            }
+                            if self.bug.early_drop {
+                                Self::drop_and_broadcast(&mut next, n, i, u);
+                            }
+                            Self::note_frontiers(&mut next);
+                            out.push((format!("node{n}: Start({i},{u})"), next));
+                        }
+                    }
+                    // Seal: the producer finishes; its output is sealed and
+                    // (healthily) the capability drops in the same step —
+                    // seal-before-drop is the protocol's ordering rule.
+                    Phase::Running => {
+                        let mut next = s.clone();
+                        next.tasks[i - 1][u] = Phase::Done;
+                        let leak = self.bug.leak_capability && i == 1 && u == 0;
+                        if !self.bug.early_drop && !leak {
+                            Self::drop_and_broadcast(&mut next, n, i, u);
+                        }
+                        Self::note_frontiers(&mut next);
+                        out.push((format!("node{n}: Seal({i},{u})"), next));
+                    }
+                    Phase::Done => {}
+                }
+            }
+        }
+        for (k, &(to, from, snap)) in s.net.iter().enumerate() {
+            // Deliver: fold the snapshot into the receiver's view.
+            let mut next = s.clone();
+            next.net.remove(k);
+            let view = &mut next.view[to as usize][from as usize];
+            for u in 0..BLOCKS {
+                for i in 0..ITERS {
+                    if self.bug.stale_overwrite {
+                        view[u][i] = snap[u][i];
+                    } else {
+                        view[u][i] = view[u][i].max(snap[u][i]);
+                    }
+                }
+            }
+            Self::note_frontiers(&mut next);
+            out.push((format!("net: Deliver({from}->{to})"), next));
+            // Drop: the wire loses the snapshot entirely.
+            let mut next = s.clone();
+            next.net.remove(k);
+            out.push((format!("net: Drop({from}->{to})"), next));
+        }
+        // Re-flush: an idle node notices a peer's view of it lags its own
+        // table and re-broadcasts the full table (the healing path for
+        // dropped messages). Gated on actual lag and on the snapshot not
+        // already being in flight, so the model stays finite.
+        for n in 0..NODES {
+            let snap = s.view[n][n];
+            for p in 0..NODES {
+                if p == n {
+                    continue;
+                }
+                let lags = (0..BLOCKS).any(|u| (0..ITERS).any(|i| s.view[p][n][u][i] < snap[u][i]));
+                let in_flight = s.net.contains(&(p as u8, n as u8, snap));
+                if lags && !in_flight {
+                    let mut next = s.clone();
+                    next.net.push((p as u8, n as u8, snap));
+                    next.net.sort();
+                    out.push((format!("node{n}: Reflush(->{p})"), next));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the per-state safety invariants; `Some(name)` on violation.
+    fn violated_invariant(&self, s: &State) -> Option<&'static str> {
+        if s.retreated {
+            return Some("frontier-monotone");
+        }
+        if s.premature.is_some() {
+            return Some("release-behind-frontier");
+        }
+        None
+    }
+
+    /// Checks the quiescence invariant on a terminal state.
+    fn violated_terminal_invariant(&self, s: &State) -> Option<&'static str> {
+        if s.tasks.iter().flatten().any(|&p| p != Phase::Done) {
+            return Some("no-frontier-stall");
+        }
+        None
+    }
+}
+
+/// Upper bound on explored states (a modelling-error tripwire, as in
+/// [`crate::model`]).
+const STATE_LIMIT: usize = 1_000_000;
+
+/// Exhaustively explores every interleaving of `model` by BFS, checking the
+/// safety invariants on every reachable state and the stall invariant on
+/// every terminal state.
+pub fn explore(model: &Model) -> Result<ExploreStats, Violation> {
+    let init = State::default();
+    let mut arena: Vec<State> = vec![init.clone()];
+    let mut seen: HashMap<State, usize> = HashMap::from([(init, 0)]);
+    let mut preds: Vec<Option<(usize, String)>> = vec![None];
+    let mut frontier: VecDeque<usize> = VecDeque::from([0]);
+    let mut transitions = 0usize;
+    let mut terminals = 0usize;
+
+    let trace_to = |preds: &[Option<(usize, String)>], mut i: usize| {
+        let mut t = Vec::new();
+        while let Some((p, label)) = &preds[i] {
+            t.push(label.clone());
+            i = *p;
+        }
+        t.reverse();
+        t
+    };
+
+    while let Some(idx) = frontier.pop_front() {
+        let succs = model.successors(&arena[idx]);
+        if succs.is_empty() {
+            terminals += 1;
+            if let Some(inv) = model.violated_terminal_invariant(&arena[idx]) {
+                return Err(Violation {
+                    invariant: inv,
+                    state: format!("{:?}", arena[idx]),
+                    trace: trace_to(&preds, idx),
+                });
+            }
+            continue;
+        }
+        for (label, next) in succs {
+            transitions += 1;
+            if seen.contains_key(&next) {
+                continue;
+            }
+            let ni = arena.len();
+            assert!(
+                ni < STATE_LIMIT,
+                "state space exceeded {STATE_LIMIT} states"
+            );
+            seen.insert(next.clone(), ni);
+            arena.push(next);
+            preds.push(Some((idx, label)));
+            if let Some(inv) = model.violated_invariant(&arena[ni]) {
+                return Err(Violation {
+                    invariant: inv,
+                    state: format!("{:?}", arena[ni]),
+                    trace: trace_to(&preds, ni),
+                });
+            }
+            frontier.push_back(ni);
+        }
+    }
+
+    Ok(ExploreStats {
+        states: arena.len(),
+        transitions,
+        terminals,
+    })
+}

@@ -1,0 +1,214 @@
+//! dooc-shuttle exploration of the *real* capability/frontier progress
+//! protocol: two nodes running genuine `dooc_core::progress::ProgressState`
+//! instances over real filterstream streams, pipelining an iterated
+//! producer chain under every explored schedule.
+//!
+//! The positive harness asserts, on every interleaving, the two frontier
+//! invariants the model checker proves on the abstraction
+//! (`dooc_check::progress_model`):
+//!
+//! * a task released by the frontier only ever reads sealed data
+//!   (release-behind-frontier), and
+//! * a node's observed frontier never retreats as batches fold in
+//!   (frontier-monotone);
+//!
+//! plus completion (no schedule deadlocks the pipeline). The negative twins
+//! seed the two protocol bugs the exhaustive tier must catch — a *leaked*
+//! capability (the frontier stalls: dooc-shuttle reports the deadlock) and
+//! an *early* drop (capability released before the seal: a peer is released
+//! into unsealed data) — and each failure comes with a schedule token whose
+//! replay reproduces the exact failing interleaving. Every explored
+//! schedule is also race-checked (FastTrack happens-before over the
+//! recorded sync events).
+//!
+//! Run with `cargo test -p dooc-check --features model -- explore_progress`.
+
+#![cfg(feature = "model")]
+
+use dooc_check::explore::{explore, replay, ExploreOpts, FailureCase};
+use dooc_core::progress::{decode, ProgressState};
+use dooc_core::{FrontierOracle, TaskGraph, TaskSpec, Timestamp};
+use dooc_filterstream::{DataBuffer, NodeId, StreamReader, StreamSet, StreamWriter};
+use dooc_sync::atomic::{AtomicU64, Ordering};
+use dooc_sync::model::FailureKind;
+use std::sync::Arc;
+
+const BLOCKS: u32 = 2;
+const ITERS: u32 = 2;
+
+/// The iterated-SpMV progress skeleton: producer `p_i_u` seals block `u` of
+/// iterate `i`, carries capability `(i, u)` and gates on every block of the
+/// previous iterate. Iteration-0 gates close immediately (external input).
+fn timed_graph() -> TaskGraph {
+    let mut tasks = Vec::new();
+    for i in 1..=ITERS {
+        for u in 0..BLOCKS {
+            let mut t = TaskSpec::new(format!("p_{i}_{u}"), "prod")
+                .output(format!("x_{i}_{u}"), 8)
+                .at(Timestamp::new(i, u));
+            for v in 0..BLOCKS {
+                t = t.input_gated(format!("x_{}_{v}", i - 1), 8, Timestamp::new(i - 1, v));
+            }
+            tasks.push(t);
+        }
+    }
+    TaskGraph::new(tasks).expect("timed graph is valid")
+}
+
+fn seal_bit(i: u32, u: u32) -> u64 {
+    1 << (i * BLOCKS + u)
+}
+
+/// Seeded protocol bugs for the negative twins.
+#[derive(Clone, Copy, Default)]
+struct Bugs {
+    /// Node 0 never drops its iteration-1 capability.
+    leak_capability: bool,
+    /// Capabilities drop (and broadcast) *before* the seal.
+    early_drop: bool,
+}
+
+/// One node of the pipeline: owns block `me`'s producer chain. Blocks on
+/// the peer's progress lane whenever a gate is still open, folds batches as
+/// they arrive, and checks the ground truth (the shared seal bitmask) at
+/// every frontier release.
+fn node_loop(
+    me: u32,
+    graph: &TaskGraph,
+    sealed: &AtomicU64,
+    tx: StreamWriter,
+    rx: StreamReader,
+    bugs: Bugs,
+) {
+    let mut pg = ProgressState::new(graph, 2, me as usize).expect("graph is timed");
+    let peer = (1 - me) as usize;
+    for i in 1..=ITERS {
+        let mut last_level: Vec<u32> = (0..BLOCKS)
+            .map(|v| pg.frontier_of(v).unwrap_or(0))
+            .collect();
+        while !(0..BLOCKS).all(|v| pg.closed(Timestamp::new(i - 1, v))) {
+            let buf = rx.recv().expect("progress lane closed with gates open");
+            let entries = decode(&buf.payload).expect("well-formed batch");
+            pg.fold(peer, &entries);
+            for v in 0..BLOCKS {
+                let now = pg.frontier_of(v).unwrap_or(0);
+                assert!(
+                    now >= last_level[v as usize],
+                    "node {me}: block {v} frontier retreated {} -> {now}",
+                    last_level[v as usize]
+                );
+                last_level[v as usize] = now;
+            }
+        }
+        // Release point of p_i_me: every producer at or below each gate
+        // must have sealed its output (invariant 10's ground truth).
+        for v in 0..BLOCKS {
+            for ii in 1..i {
+                assert!(
+                    sealed.load(Ordering::SeqCst) & seal_bit(ii, v) != 0,
+                    "node {me}: p_{i}_{me} released while x_{ii}_{v} is unsealed"
+                );
+            }
+        }
+        let drop_and_send = |pg: &mut ProgressState| {
+            pg.drop_cap(Timestamp::new(i, me));
+            if let Some(batch) = pg.flush() {
+                // The peer may already be past every gate this batch could
+                // close; a closed lane is fine.
+                let _ = tx.send_to(NodeId(0), DataBuffer::from_bytes(me as u64, batch));
+            }
+        };
+        if bugs.early_drop {
+            drop_and_send(&mut pg); // bug: frontier advances before the seal
+        }
+        // The seal. Each bit is set exactly once per run, so the add is an
+        // or (the facade has no fetch_or).
+        sealed.fetch_add(seal_bit(i, me), Ordering::SeqCst);
+        let leak = bugs.leak_capability && me == 0 && i == 1;
+        if !bugs.early_drop && !leak {
+            drop_and_send(&mut pg); // healthy: seal-before-drop
+        }
+    }
+}
+
+fn pipeline(bugs: Bugs) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let graph = Arc::new(timed_graph());
+        let sealed = Arc::new(AtomicU64::new(0));
+        // One progress lane per direction, mirroring the broadcast lane's
+        // per-peer edges.
+        let (tx01, rx1) = StreamSet::standalone("prog_0to1", 16);
+        let (tx10, rx0) = StreamSet::standalone("prog_1to0", 16);
+        let peer = {
+            let (graph, sealed) = (Arc::clone(&graph), Arc::clone(&sealed));
+            dooc_sync::thread::spawn(move || node_loop(1, &graph, &sealed, tx10, rx1, bugs))
+        };
+        node_loop(0, &graph, &sealed, tx01, rx0, bugs);
+        peer.join().expect("peer node");
+        assert_eq!(
+            sealed.load(Ordering::SeqCst).count_ones(),
+            ITERS * BLOCKS,
+            "pipeline finished with unsealed blocks"
+        );
+    }
+}
+
+fn assert_replay_reproduces(case: &FailureCase, f: impl Fn() + Send + Sync + 'static) {
+    let outcome = replay(&case.token, f);
+    let failure = outcome
+        .failure
+        .as_ref()
+        .unwrap_or_else(|| panic!("replaying {} did not fail", case.token));
+    assert_eq!(failure.kind, case.failure.kind, "replayed failure kind");
+    assert_eq!(outcome.events, case.events, "replayed event sequence");
+}
+
+fn quick() -> ExploreOpts {
+    ExploreOpts {
+        seeds: 32,
+        dfs_budget: 192,
+        ..ExploreOpts::default()
+    }
+}
+
+#[test]
+fn explore_frontier_pipeline_is_clean() {
+    explore("frontier_pipeline", quick(), pipeline(Bugs::default()))
+        .assert_clean("frontier_pipeline");
+}
+
+#[test]
+fn explore_catches_leaked_capability_as_frontier_stall() {
+    // Node 0 seals x_1_0 but keeps the capability: block 0's frontier never
+    // passes iteration 1, both nodes park on their progress lanes waiting
+    // for a batch that will never come, and the explorer reports the
+    // deadlock with its schedule.
+    let bugs = Bugs {
+        leak_capability: true,
+        ..Default::default()
+    };
+    let report = explore("frontier_pipeline[leak]", quick(), pipeline(bugs));
+    let case = report.expect_failure("frontier_pipeline[leak]");
+    assert_eq!(case.failure.kind, FailureKind::Deadlock);
+    assert_replay_reproduces(case, pipeline(bugs));
+}
+
+#[test]
+fn explore_catches_early_drop_as_premature_release() {
+    // Dropping the capability before the seal lets the peer's gate close
+    // while the block is still unsealed; some schedule delivers the batch
+    // and releases the consumer in that window.
+    let bugs = Bugs {
+        early_drop: true,
+        ..Default::default()
+    };
+    let report = explore("frontier_pipeline[early]", quick(), pipeline(bugs));
+    let case = report.expect_failure("frontier_pipeline[early]");
+    assert_eq!(case.failure.kind, FailureKind::Panic);
+    assert!(
+        case.failure.message.contains("unsealed"),
+        "{}",
+        case.failure.message
+    );
+    assert_replay_reproduces(case, pipeline(bugs));
+}

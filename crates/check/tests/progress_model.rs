@@ -1,0 +1,118 @@
+//! End-to-end runs of the frontier-protocol model checker: the faithful
+//! protocol is violation-free over its whole bounded state space — including
+//! every message loss and reordering — and each seeded bug is caught on the
+//! invariant it breaks, with a concrete counterexample trace.
+
+use dooc_check::progress_model::{explore, BugConfig, Model};
+
+#[test]
+fn faithful_progress_protocol_has_no_violations() {
+    let stats = explore(&Model::default()).unwrap_or_else(|v| panic!("unexpected violation:\n{v}"));
+    // Exhaustiveness sanity: starts, seals, deliveries, drops and re-flushes
+    // interleave into a nontrivial space, fully covered.
+    assert!(stats.states > 500, "suspiciously small space: {stats:?}");
+    assert!(stats.transitions > stats.states, "{stats:?}");
+    assert!(stats.terminals >= 1, "{stats:?}");
+}
+
+fn expect_violation(model: &Model, invariant: &str) -> Vec<String> {
+    match explore(model) {
+        Ok(stats) => panic!("bug {:?} went undetected over {stats:?}", model.bug),
+        Err(v) => {
+            assert_eq!(v.invariant, invariant, "wrong invariant:\n{v}");
+            assert!(
+                !v.trace.is_empty(),
+                "counterexample must carry a trace:\n{v}"
+            );
+            v.trace
+        }
+    }
+}
+
+#[test]
+fn leaked_capability_stalls_the_frontier() {
+    // The producer of (1,0) seals but never drops its capability: block 0's
+    // frontier sticks at iteration 0, every iteration-2 task stays gated,
+    // and the system quiesces with work left — the stall invariant fires.
+    let trace = expect_violation(
+        &Model {
+            bug: BugConfig {
+                leak_capability: true,
+                ..Default::default()
+            },
+        },
+        "no-frontier-stall",
+    );
+    assert!(
+        trace.iter().any(|s| s.contains("Seal(1,0)")),
+        "the leaking producer did run: {trace:?}"
+    );
+}
+
+#[test]
+fn early_capability_drop_releases_into_unsealed_data() {
+    // Capabilities dropped at task *start* advance the frontier before the
+    // output is sealed; a downstream task is then released while its input
+    // block is still being written — invariant 10.
+    let trace = expect_violation(
+        &Model {
+            bug: BugConfig {
+                early_drop: true,
+                ..Default::default()
+            },
+        },
+        "release-behind-frontier",
+    );
+    assert!(
+        trace.iter().any(|s| s.contains("Start(2,")),
+        "counterexample must release an iteration-2 task: {trace:?}"
+    );
+}
+
+#[test]
+fn stale_snapshot_overwrite_retreats_the_frontier() {
+    // Assigning instead of max-folding lets a reordered older snapshot
+    // lower a count the receiver already saw — invariant 9. The
+    // counterexample necessarily contains two deliveries out of order.
+    let trace = expect_violation(
+        &Model {
+            bug: BugConfig {
+                stale_overwrite: true,
+                ..Default::default()
+            },
+        },
+        "frontier-monotone",
+    );
+    assert!(
+        trace.iter().filter(|s| s.contains("Deliver")).count() >= 2,
+        "retreat needs a stale delivery after a fresh one: {trace:?}"
+    );
+}
+
+#[test]
+fn message_loss_alone_never_stalls_the_healthy_protocol() {
+    // The faithful run above already explores every Drop transition; this
+    // pins the healing property explicitly: terminal states exist (so the
+    // re-flush path is exercised to convergence) and none stalls.
+    let stats = explore(&Model::default()).expect("healthy protocol is clean");
+    assert!(stats.terminals >= 1, "{stats:?}");
+}
+
+#[test]
+fn counterexamples_are_short_and_replayable() {
+    // BFS yields a minimal-depth trace; the early-drop bug shows up within
+    // a handful of steps, and every step is a labelled transition.
+    let trace = expect_violation(
+        &Model {
+            bug: BugConfig {
+                early_drop: true,
+                ..Default::default()
+            },
+        },
+        "release-behind-frontier",
+    );
+    assert!(
+        trace.len() <= 10,
+        "expected a short counterexample: {trace:?}"
+    );
+}

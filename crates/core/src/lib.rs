@@ -46,18 +46,22 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod progress;
 pub mod report;
 pub mod runtime;
 pub mod worker;
 
 pub use config::DoocConfig;
+pub use progress::ProgressState;
 pub use report::{render_trace_gantt, RunReport, TraceEvent};
 pub use runtime::DoocRuntime;
 pub use worker::{ArrayView, ExecOutcome, ResidencyTracker, TaskExecutor, WorkerContext};
 
 // Re-export the pieces applications touch, so `dooc-core` is self-sufficient.
 pub use dooc_filterstream::sync;
-pub use dooc_scheduler::{DataRef, OrderPolicy, TaskGraph, TaskId, TaskSpec};
+pub use dooc_scheduler::{
+    DataRef, FrontierOracle, OrderPolicy, TaskGraph, TaskId, TaskSpec, Timestamp,
+};
 pub use dooc_storage::meta::Interval;
 pub use dooc_storage::proto::NodeStats;
 pub use dooc_storage::{RecoveryPolicy, RetryPolicy};

@@ -1,0 +1,333 @@
+//! Capability accounting and frontier tracking for iterated solves.
+//!
+//! Modeled on timely dataflow's `progress` module, specialised to the
+//! per-block iteration chains of [`dooc_scheduler::progress`]: each
+//! timestamped task holds one *capability* at its `(iter, block)` time,
+//! dropped when the task completes (its outputs are sealed first — the
+//! worker's `write_bytes` collects every seal before returning, so a drop
+//! is proof the data is readable). Counted drops flow to every node over a
+//! broadcast *progress lane*; each node folds them into its copy of the
+//! capability table and advances its frontier, releasing gated tasks of
+//! iteration `i+1` while iteration `i`'s tail is still running.
+//!
+//! ## Drop-tolerant wire protocol
+//!
+//! A batch is **cumulative, not incremental**: node `p` publishes, for each
+//! timestamp it has dropped capabilities at, the *total* count of its drops
+//! so far. Receivers fold with per-peer `max`, so batches are idempotent
+//! and commute — a dropped, delayed or reordered batch is healed by any
+//! later flush from the same peer (workers re-flush their full table on a
+//! throttled idle tick). This is what lets the chaos tier inject
+//! drop/delay/reorder on the progress lane and still demand bitwise
+//! identical results.
+//!
+//! Frontiers therefore never retreat: initial counts are computed
+//! identically on every node from the shared task graph, and per-peer
+//! cumulative counts only grow (model-checker invariant 9).
+
+use dooc_scheduler::progress::{FrontierOracle, Timestamp};
+use dooc_scheduler::TaskGraph;
+use std::collections::BTreeMap;
+
+/// Bytes per wire entry: packed timestamp + cumulative drop count.
+pub const WIRE_ENTRY_BYTES: usize = 16;
+
+/// Live/dropped capability counts at one timestamp.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct CapCount {
+    /// Capabilities created here (timestamped tasks in the graph).
+    initial: u64,
+    /// Capabilities dropped here, summed over every peer's cumulative count.
+    dropped: u64,
+}
+
+/// One node's view of the cluster-wide capability table: the shared initial
+/// counts, every peer's cumulative drop counts, and the change batch of own
+/// drops not yet flushed to the lane.
+#[derive(Clone, Debug)]
+pub struct ProgressState {
+    /// Capability counts keyed by `(block, iter)` so one block chain is a
+    /// contiguous range (frontier queries walk it in order).
+    caps: BTreeMap<(u32, u32), CapCount>,
+    /// `peer_cum[p]` = peer `p`'s cumulative drop counts as last folded.
+    /// Own drops are applied here directly; the lane echo is ignored.
+    peer_cum: Vec<BTreeMap<(u32, u32), u64>>,
+    /// This node's index into `peer_cum`.
+    me: usize,
+    /// Own timestamps whose cumulative count changed since the last flush
+    /// (the batched change accumulation — one lane message per drain, not
+    /// one per drop).
+    dirty: Vec<(u32, u32)>,
+}
+
+impl ProgressState {
+    /// Builds the table from the shared graph; `None` when the graph is
+    /// untimed (barrier mode — no progress tracking, no lane traffic).
+    pub fn new(graph: &TaskGraph, nnodes: usize, me: usize) -> Option<Self> {
+        if !graph.is_timed() {
+            return None;
+        }
+        let mut caps: BTreeMap<(u32, u32), CapCount> = BTreeMap::new();
+        for id in graph.ids() {
+            if let Some(ts) = graph.task(id).timestamp {
+                caps.entry((ts.block, ts.iter)).or_default().initial += 1;
+            }
+        }
+        Some(Self {
+            caps,
+            peer_cum: vec![BTreeMap::new(); nnodes],
+            me,
+            dirty: Vec::new(),
+        })
+    }
+
+    /// Records one local capability drop at `ts` (the timestamped task
+    /// completed and sealed its outputs). The drop takes effect locally at
+    /// once and joins the change batch for the next flush.
+    pub fn drop_cap(&mut self, ts: Timestamp) {
+        let key = (ts.block, ts.iter);
+        *self.peer_cum[self.me].entry(key).or_insert(0) += 1;
+        self.caps.entry(key).or_default().dropped += 1;
+        if !self.dirty.contains(&key) {
+            self.dirty.push(key);
+        }
+        if dooc_obs::enabled() {
+            dooc_obs::metrics::counter("progress.caps_dropped").inc();
+        }
+    }
+
+    /// Encodes the pending change batch as a lane payload (cumulative
+    /// counts of every dirty timestamp); `None` when nothing changed.
+    pub fn flush(&mut self) -> Option<Vec<u8>> {
+        if self.dirty.is_empty() {
+            return None;
+        }
+        let mut dirty = std::mem::take(&mut self.dirty);
+        dirty.sort_unstable();
+        let own = &self.peer_cum[self.me];
+        let buf = encode(dirty.iter().map(|k| (*k, own[k])));
+        if dooc_obs::enabled() {
+            dooc_obs::metrics::counter("progress.flushes").inc();
+        }
+        Some(buf)
+    }
+
+    /// Encodes this node's *entire* cumulative table — the throttled idle
+    /// re-flush that heals dropped or reordered lane messages. `None` when
+    /// this node has dropped nothing yet.
+    pub fn flush_all(&self) -> Option<Vec<u8>> {
+        let own = &self.peer_cum[self.me];
+        if own.is_empty() {
+            return None;
+        }
+        Some(encode(own.iter().map(|(k, c)| (*k, *c))))
+    }
+
+    /// Folds a peer's batch (per-timestamp `max` against the counts already
+    /// seen from it). Returns `true` when any count advanced — the caller
+    /// then re-runs `release_frontier`. Echoes of our own broadcasts are
+    /// ignored (local drops were already applied).
+    pub fn fold(&mut self, peer: usize, entries: &[(Timestamp, u64)]) -> bool {
+        if peer == self.me || peer >= self.peer_cum.len() {
+            return false;
+        }
+        let mut advanced = false;
+        for &(ts, cum) in entries {
+            let key = (ts.block, ts.iter);
+            let seen = self.peer_cum[peer].entry(key).or_insert(0);
+            if cum > *seen {
+                let gain = cum - *seen;
+                *seen = cum;
+                self.caps.entry(key).or_default().dropped += gain;
+                advanced = true;
+            }
+        }
+        if dooc_obs::enabled() {
+            dooc_obs::metrics::counter("progress.batches_in").inc();
+            if advanced {
+                dooc_obs::metrics::counter("progress.batches_advanced").inc();
+            }
+        }
+        advanced
+    }
+
+    /// Total capabilities still live (not yet dropped) across the table.
+    pub fn live_caps(&self) -> u64 {
+        self.caps
+            .values()
+            .map(|c| c.initial.saturating_sub(c.dropped))
+            .sum()
+    }
+
+    /// The frontier of one block chain: the least iteration still holding
+    /// a live capability, or `None` when the chain is fully drained.
+    pub fn frontier_of(&self, block: u32) -> Option<u32> {
+        self.caps
+            .range((block, 0)..=(block, u32::MAX))
+            .find(|(_, c)| c.dropped < c.initial)
+            .map(|(&(_, iter), _)| iter)
+    }
+
+    /// Publishes the frontier gauges: the minimum live iteration across all
+    /// chains (the global frontier) and the live-capability count.
+    pub fn publish_gauges(&self) {
+        if !dooc_obs::enabled() {
+            return;
+        }
+        let min_live = self
+            .caps
+            .iter()
+            .filter(|(_, c)| c.dropped < c.initial)
+            .map(|(&(_, iter), _)| iter as i64)
+            .min()
+            .unwrap_or(-1);
+        dooc_obs::metrics::gauge("progress.frontier.min_iter").set(min_live);
+        dooc_obs::metrics::gauge("progress.caps_live").set(self.live_caps() as i64);
+    }
+}
+
+impl FrontierOracle for ProgressState {
+    /// `ts` is behind the frontier once every capability at or below it on
+    /// its block chain has been dropped. Initial counts only ever meet
+    /// monotonically growing drop counts, so a closed timestamp stays
+    /// closed — the frontier cannot retreat.
+    fn closed(&self, ts: Timestamp) -> bool {
+        self.caps
+            .range((ts.block, 0)..=(ts.block, ts.iter))
+            .all(|(_, c)| c.dropped >= c.initial)
+    }
+}
+
+/// Encodes `(block, iter) → cumulative` entries as the lane payload.
+fn encode(entries: impl Iterator<Item = ((u32, u32), u64)>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for ((block, iter), cum) in entries {
+        buf.extend_from_slice(&Timestamp::new(iter, block).pack().to_le_bytes());
+        buf.extend_from_slice(&cum.to_le_bytes());
+    }
+    buf
+}
+
+/// Decodes a lane payload back into `(timestamp, cumulative)` entries.
+pub fn decode(payload: &[u8]) -> Result<Vec<(Timestamp, u64)>, String> {
+    if !payload.len().is_multiple_of(WIRE_ENTRY_BYTES) {
+        return Err(format!(
+            "progress batch length {} not a multiple of {WIRE_ENTRY_BYTES}",
+            payload.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(payload.len() / WIRE_ENTRY_BYTES);
+    for chunk in payload.chunks_exact(WIRE_ENTRY_BYTES) {
+        let mut ts = [0u8; 8];
+        let mut cum = [0u8; 8];
+        ts.copy_from_slice(&chunk[..8]);
+        cum.copy_from_slice(&chunk[8..]);
+        out.push((
+            Timestamp::unpack(u64::from_le_bytes(ts)),
+            u64::from_le_bytes(cum),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dooc_scheduler::TaskSpec;
+
+    /// Two-iteration, two-block chain: sums x_i_b at (i, b), multiplies
+    /// gated on the previous iteration.
+    fn timed_graph() -> TaskGraph {
+        let mut tasks = Vec::new();
+        for i in 1..=2u32 {
+            for b in 0..2u32 {
+                tasks.push(
+                    TaskSpec::new(format!("x_{i}_{b}"), "sum")
+                        .input_gated(format!("x_{}_{b}", i - 1), 8, Timestamp::new(i - 1, b))
+                        .output(format!("x_{i}_{b}"), 8)
+                        .at(Timestamp::new(i, b)),
+                );
+            }
+        }
+        TaskGraph::new(tasks).expect("valid")
+    }
+
+    #[test]
+    fn untimed_graph_has_no_progress_state() {
+        let g = TaskGraph::new(vec![TaskSpec::new("a", "k").output("A", 1)]).expect("valid");
+        assert!(ProgressState::new(&g, 2, 0).is_none());
+    }
+
+    #[test]
+    fn external_iteration_zero_is_closed_from_the_start() {
+        let g = timed_graph();
+        let st = ProgressState::new(&g, 1, 0).expect("timed");
+        // No task holds a capability at iteration 0 — x_0 is staged data —
+        // so the first iteration's gates pass immediately.
+        assert!(st.closed(Timestamp::new(0, 0)));
+        assert!(st.closed(Timestamp::new(0, 1)));
+        assert!(!st.closed(Timestamp::new(1, 0)));
+        assert_eq!(st.frontier_of(0), Some(1));
+    }
+
+    #[test]
+    fn local_drops_advance_the_frontier() {
+        let g = timed_graph();
+        let mut st = ProgressState::new(&g, 1, 0).expect("timed");
+        st.drop_cap(Timestamp::new(1, 0));
+        assert!(st.closed(Timestamp::new(1, 0)));
+        assert!(!st.closed(Timestamp::new(1, 1)), "chains are independent");
+        assert!(!st.closed(Timestamp::new(2, 0)));
+        assert_eq!(st.frontier_of(0), Some(2));
+        st.drop_cap(Timestamp::new(2, 0));
+        assert_eq!(st.frontier_of(0), None, "chain drained");
+        assert!(st.closed(Timestamp::new(2, 0)));
+    }
+
+    #[test]
+    fn flush_carries_only_the_change_batch() {
+        let g = timed_graph();
+        let mut st = ProgressState::new(&g, 2, 0).expect("timed");
+        assert!(st.flush().is_none(), "nothing dropped yet");
+        st.drop_cap(Timestamp::new(1, 0));
+        let batch = st.flush().expect("dirty");
+        assert_eq!(batch.len(), WIRE_ENTRY_BYTES);
+        let entries = decode(&batch).expect("well-formed");
+        assert_eq!(entries, vec![(Timestamp::new(1, 0), 1)]);
+        assert!(st.flush().is_none(), "batch cleared");
+        // flush_all always re-sends the full cumulative table.
+        let all = decode(&st.flush_all().expect("has drops")).expect("well-formed");
+        assert_eq!(all, vec![(Timestamp::new(1, 0), 1)]);
+    }
+
+    #[test]
+    fn fold_is_idempotent_and_reorder_safe() {
+        let g = timed_graph();
+        let mut st = ProgressState::new(&g, 2, 1).expect("timed");
+        let newer = [(Timestamp::new(1, 0), 1), (Timestamp::new(2, 0), 1)];
+        let older = [(Timestamp::new(1, 0), 1)];
+        assert!(st.fold(0, &newer));
+        assert!(st.closed(Timestamp::new(2, 0)));
+        // A delayed older batch arriving late must not regress anything.
+        assert!(!st.fold(0, &older), "stale counts ignored");
+        assert!(st.closed(Timestamp::new(2, 0)), "frontier did not retreat");
+        // Replaying the newer batch (a heal re-flush) is a no-op too.
+        assert!(!st.fold(0, &newer));
+    }
+
+    #[test]
+    fn own_echo_is_ignored() {
+        let g = timed_graph();
+        let mut st = ProgressState::new(&g, 2, 0).expect("timed");
+        st.drop_cap(Timestamp::new(1, 0));
+        let echo = [(Timestamp::new(1, 0), 1)];
+        assert!(!st.fold(0, &echo), "own broadcast must not double-count");
+        assert_eq!(st.live_caps(), 3);
+    }
+
+    #[test]
+    fn decode_rejects_torn_batches() {
+        assert!(decode(&[0u8; 15]).is_err());
+        assert!(decode(&[]).expect("empty ok").is_empty());
+    }
+}

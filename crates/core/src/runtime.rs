@@ -172,6 +172,21 @@ impl DoocRuntime {
             graph.len() + 16,
         );
 
+        // Progress lane (frontier mode only): capability-drop change batches
+        // broadcast between workers. Capacity covers one batch per task plus
+        // idle re-flushes, so sends never block; untimed graphs skip the
+        // lane entirely and the wire stays byte-identical to barrier runs.
+        if graph.is_timed() {
+            layout.connect_with(
+                workers,
+                "prog_out",
+                workers,
+                "prog_in",
+                Delivery::Broadcast,
+                2 * graph.len() + 64,
+            );
+        }
+
         let base = cluster.attach_clients(&mut layout, workers, nnodes, "sreq", "srep");
         // Relaxed is enough: the store happens before `Runtime::run` spawns
         // the filter threads, and thread spawn is the happens-before edge
@@ -265,9 +280,16 @@ fn run_digest(
         for d in t.inputs.iter().chain(t.outputs.iter()) {
             eat(&mut h, d.array.as_bytes());
             eat_u64(&mut h, d.bytes);
+            // Frontier gates shape release order cluster-wide; a disagreement
+            // would stall gated tasks forever, so it must fail the bootstrap.
+            eat_u64(&mut h, d.gate.map(|g| g.pack() | 1 << 63).unwrap_or(0));
         }
         eat_u64(&mut h, t.flops);
         eat_u64(&mut h, t.pin.map(|p| p + 1).unwrap_or(0));
+        eat_u64(
+            &mut h,
+            t.timestamp.map(|ts| ts.pack() | 1 << 63).unwrap_or(0),
+        );
     }
     let mut ext: Vec<(&String, &u64)> = external_location.iter().collect();
     ext.sort();

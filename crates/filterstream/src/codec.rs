@@ -54,6 +54,11 @@ pub enum FrameKind {
     Hello,
     /// Out-of-band blob for [`crate::transport::Transport::exchange`].
     Blob,
+    /// A progress-tracking change batch for inbox lane `(inbox, lane)`:
+    /// cumulative capability-drop counts (see `dooc-core::progress`).
+    /// Routed exactly like [`FrameKind::Data`] but discriminated on the
+    /// wire so transports can count control-plane traffic separately.
+    Progress,
 }
 
 impl FrameKind {
@@ -63,6 +68,7 @@ impl FrameKind {
             FrameKind::Close => 1,
             FrameKind::Hello => 2,
             FrameKind::Blob => 3,
+            FrameKind::Progress => 4,
         }
     }
 
@@ -72,6 +78,7 @@ impl FrameKind {
             1 => Ok(FrameKind::Close),
             2 => Ok(FrameKind::Hello),
             3 => Ok(FrameKind::Blob),
+            4 => Ok(FrameKind::Progress),
             other => Err(FsError::Transport(format!(
                 "unknown frame kind {other:#04x} (corrupt stream?)"
             ))),
@@ -137,6 +144,18 @@ impl Frame {
             inbox: 0,
             lane: 0,
             tag: 0,
+            payload,
+        }
+    }
+
+    /// A progress change batch for `(inbox, lane)`; `tag` carries the
+    /// sender's node id so receivers fold per peer.
+    pub fn progress(inbox: u16, lane: u32, tag: u64, payload: Bytes) -> Self {
+        Self {
+            kind: FrameKind::Progress,
+            inbox,
+            lane,
+            tag,
             payload,
         }
     }
@@ -359,6 +378,7 @@ mod tests {
             FrameKind::Close,
             FrameKind::Hello,
             FrameKind::Blob,
+            FrameKind::Progress,
         ] {
             let f = Frame {
                 kind,

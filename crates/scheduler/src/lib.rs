@@ -28,11 +28,13 @@
 
 pub mod global;
 pub mod local;
+pub mod progress;
 pub mod task;
 
 pub use dooc_filterstream::NodeId;
 pub use global::{assign_affinity, assign_round_robin, Placement};
 pub use local::{LocalScheduler, MemoryOracle, OrderPolicy};
+pub use progress::{ClosedNever, FrontierOracle, Timestamp};
 pub use task::{DataRef, ReadyTracker, TaskGraph, TaskId, TaskSpec};
 
 /// Errors surfaced by the scheduler.
@@ -47,6 +49,14 @@ pub enum SchedError {
     Cycle,
     /// A task id was out of range.
     UnknownTask(u64),
+    /// A gated input's in-graph producer holds no capability at or below
+    /// the gate, so closing the gate would not prove the array sealed.
+    BadGate {
+        /// The gated task's name.
+        task: String,
+        /// The gated input array.
+        array: String,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -60,6 +70,11 @@ impl std::fmt::Display for SchedError {
             }
             SchedError::Cycle => write!(f, "task graph contains a cycle"),
             SchedError::UnknownTask(t) => write!(f, "unknown task id {t}"),
+            SchedError::BadGate { task, array } => write!(
+                f,
+                "task '{task}': gated input '{array}' has a producer with no \
+                 capability at or below the gate"
+            ),
         }
     }
 }

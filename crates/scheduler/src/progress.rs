@@ -1,0 +1,135 @@
+//! Logical timestamps and the frontier oracle interface (ROADMAP item 4).
+//!
+//! Iterated solves stamp each vector-block producer with a `(iteration,
+//! block)` [`Timestamp`]. Timestamps of the *same* block chain are totally
+//! ordered by iteration; timestamps of different blocks are incomparable —
+//! the partial order of timely dataflow's `progress` module restricted to
+//! per-chain pointstamps. A *frontier* is an antichain of timestamps: for
+//! each block chain, the least iteration that still holds an undropped
+//! capability. A timestamp is *behind* (closed under) the frontier once
+//! every capability at or below it has been dropped, which is exactly when
+//! a consumer may read the block that producer sealed.
+//!
+//! This module holds only the pure vocabulary — the timestamp type, its
+//! order, a dense `u64` packing for wire tags and digests, and the
+//! [`FrontierOracle`] trait the local scheduler consults when releasing
+//! gated tasks. The capability accounting and change-batch plumbing that
+//! *implement* the oracle live in `dooc-core::progress` (they need the
+//! runtime's lanes); the scheduler stays pure policy.
+
+/// A logical time in an iterated solve: iteration `iter` of vector-block
+/// chain `block`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Timestamp {
+    /// Iteration number (1-based for produced vectors; 0 is the external
+    /// initial vector, which no task produces).
+    pub iter: u32,
+    /// Vector block (row-block) index the chain is keyed on.
+    pub block: u32,
+}
+
+impl Timestamp {
+    /// Creates a timestamp.
+    pub fn new(iter: u32, block: u32) -> Self {
+        Self { iter, block }
+    }
+
+    /// The partial order: `self ≤ other` iff they are on the same block
+    /// chain and `self` is not a later iteration. Cross-block timestamps
+    /// are incomparable (neither `≤` holds).
+    pub fn less_equal(&self, other: &Timestamp) -> bool {
+        self.block == other.block && self.iter <= other.iter
+    }
+
+    /// Dense packing for wire tags, digests and map keys:
+    /// `iter` in the high half, `block` in the low half.
+    pub fn pack(&self) -> u64 {
+        ((self.iter as u64) << 32) | self.block as u64
+    }
+
+    /// Inverse of [`Timestamp::pack`].
+    pub fn unpack(raw: u64) -> Self {
+        Self {
+            iter: (raw >> 32) as u32,
+            block: raw as u32,
+        }
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(i{}, b{})", self.iter, self.block)
+    }
+}
+
+/// The frontier the local scheduler consults before releasing a gated task.
+///
+/// Implementations track capability counts (one per timestamped producer,
+/// dropped when the producer completes and its outputs are sealed) and
+/// answer: is `ts` *behind* the frontier — i.e. have all capabilities at or
+/// below `ts` on its block chain been dropped? Once `closed(ts)` returns
+/// `true` it must never return `false` again (frontiers do not retreat);
+/// the model-checker invariant 9 and the shuttle tier both enforce this.
+pub trait FrontierOracle {
+    /// Is every capability at or below `ts` dropped (so every array sealed
+    /// at `ts` is safe to read)?
+    fn closed(&self, ts: Timestamp) -> bool;
+}
+
+/// The trivial oracle of barriered runs: nothing is ever behind the
+/// frontier, so gated inputs would never release. Barrier-mode graphs have
+/// no gates, making this the correct (and vacuous) default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClosedNever;
+
+impl FrontierOracle for ClosedNever {
+    fn closed(&self, _ts: Timestamp) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_chain_ordered_by_iteration() {
+        let a = Timestamp::new(1, 3);
+        let b = Timestamp::new(2, 3);
+        assert!(a.less_equal(&b));
+        assert!(!b.less_equal(&a));
+        assert!(a.less_equal(&a));
+    }
+
+    #[test]
+    fn cross_chain_incomparable() {
+        let a = Timestamp::new(1, 0);
+        let b = Timestamp::new(5, 1);
+        assert!(!a.less_equal(&b));
+        assert!(!b.less_equal(&a));
+    }
+
+    #[test]
+    fn pack_roundtrips() {
+        for ts in [
+            Timestamp::new(0, 0),
+            Timestamp::new(1, 2),
+            Timestamp::new(u32::MAX, 7),
+            Timestamp::new(3, u32::MAX),
+        ] {
+            assert_eq!(Timestamp::unpack(ts.pack()), ts);
+        }
+    }
+
+    #[test]
+    fn pack_orders_iterations_within_chain() {
+        // Within one block chain the packed value is monotone in iteration,
+        // so packed keys sort in frontier order.
+        assert!(Timestamp::new(1, 5).pack() < Timestamp::new(2, 5).pack());
+    }
+
+    #[test]
+    fn closed_never_is_vacuous() {
+        assert!(!ClosedNever.closed(Timestamp::new(0, 0)));
+    }
+}

@@ -7,10 +7,11 @@
 use dooc::core::{DoocConfig, DoocRuntime};
 use dooc::filterstream::{ChannelTransport, ClusterSpec, TcpTransport, Transport};
 use dooc::linalg::spmv_app::{
-    striped_owner, ReductionPlan, SpmvAppBuilder, SpmvExecutor, SyncPolicy,
+    striped_owner, IterationMode, ReductionPlan, SpmvAppBuilder, SpmvExecutor, SyncPolicy,
 };
 use dooc::sparse::blockgrid::BlockGrid;
 use dooc::sparse::genmat::GapGenerator;
+use proptest::prelude::*;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -27,7 +28,7 @@ fn x0() -> Vec<f64> {
 
 /// Stages the workload into fresh temp dirs and returns everything a node
 /// needs to run it.
-fn stage(tag: &str) -> (DoocConfig, SpmvAppBuilder) {
+fn stage(tag: &str, mode: IterationMode) -> (DoocConfig, SpmvAppBuilder) {
     let base = DoocConfig::in_temp_dirs(tag, NNODES).expect("cfg");
     let grid = BlockGrid::new(K, N);
     let gen = GapGenerator::with_d(4);
@@ -41,7 +42,8 @@ fn stage(tag: &str) -> (DoocConfig, SpmvAppBuilder) {
     .expect("stage matrices");
     let app = SpmvAppBuilder::new(grid, ITERS, blocks)
         .reduction(ReductionPlan::RowRoot)
-        .sync(SyncPolicy::None);
+        .sync(SyncPolicy::None)
+        .iteration_mode(mode);
     app.stage_initial_vector(&base.scratch_dirs, &x0())
         .expect("stage x0");
     (base, app)
@@ -69,8 +71,8 @@ fn cleanup(cfg: &DoocConfig) {
 /// Runs the staged app with one thread per node, each holding its own
 /// transport — the thread boundary stands in for the process boundary (the
 /// real multi-process path is exercised by `tests/tcp_cluster.rs`).
-fn run_over(tag: &str, transports: Vec<Arc<dyn Transport>>) -> Vec<f64> {
-    let (base, app) = stage(tag);
+fn run_over(tag: &str, transports: Vec<Arc<dyn Transport>>, mode: IterationMode) -> Vec<f64> {
+    let (base, app) = stage(tag, mode);
     let (graph, external, geometry) = app.build();
     let handles: Vec<_> = transports
         .into_iter()
@@ -96,8 +98,8 @@ fn run_over(tag: &str, transports: Vec<Arc<dyn Transport>>) -> Vec<f64> {
     x
 }
 
-fn run_classic(tag: &str) -> Vec<f64> {
-    let (base, app) = stage(tag);
+fn run_classic(tag: &str, mode: IterationMode) -> Vec<f64> {
+    let (base, app) = stage(tag, mode);
     let (graph, external, geometry) = app.build();
     let cfg = config_for(base.scratch_dirs.clone(), &geometry);
     DoocRuntime::new(cfg)
@@ -151,27 +153,140 @@ fn assert_bitwise(label: &str, got: &[f64], want: &[f64]) {
     }
 }
 
-#[test]
-fn channel_transport_matches_classic_run_bitwise() {
-    let classic = run_classic("dist-classic");
-    let transports: Vec<Arc<dyn Transport>> = ChannelTransport::cluster(NNODES)
+fn channel_cluster() -> Vec<Arc<dyn Transport>> {
+    ChannelTransport::cluster(NNODES)
         .into_iter()
         .map(|t| Arc::new(t) as Arc<dyn Transport>)
-        .collect();
-    let chan = run_over("dist-chan", transports);
+        .collect()
+}
+
+#[test]
+fn channel_transport_matches_classic_run_bitwise() {
+    let classic = run_classic("dist-classic", IterationMode::Barrier);
+    let chan = run_over("dist-chan", channel_cluster(), IterationMode::Barrier);
     assert_bitwise("channel vs classic", &chan, &classic);
 }
 
 #[test]
 fn tcp_transport_matches_classic_run_bitwise() {
-    let classic = run_classic("dist-classic-tcp");
-    let tcp = run_over("dist-tcp", tcp_pair());
+    let classic = run_classic("dist-classic-tcp", IterationMode::Barrier);
+    let tcp = run_over("dist-tcp", tcp_pair(), IterationMode::Barrier);
     assert_bitwise("tcp vs classic", &tcp, &classic);
+}
+
+// ---------------------------------------------------------------------------
+// Frontier-mode equivalence: the barriered run is the oracle. The frontier
+// graph has *fewer* ordering edges (iterations pipeline), but every sum task
+// still folds its partials in declared input order, so any divergence —
+// a premature release reading an unsealed or stale sub-vector — shows up as
+// a bitwise difference in the final iterate.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn frontier_matches_barrier_classic_bitwise() {
+    let barrier = run_classic("dist-front-cb", IterationMode::Barrier);
+    let frontier = run_classic("dist-front-cf", IterationMode::Frontier);
+    assert_bitwise("frontier vs barrier (classic)", &frontier, &barrier);
+}
+
+#[test]
+fn frontier_matches_barrier_over_channel_transport() {
+    let barrier = run_classic("dist-front-chb", IterationMode::Barrier);
+    let frontier = run_over("dist-front-chf", channel_cluster(), IterationMode::Frontier);
+    assert_bitwise("frontier vs barrier (channel)", &frontier, &barrier);
+}
+
+#[test]
+fn frontier_matches_barrier_over_tcp_sockets() {
+    let barrier = run_classic("dist-front-tb", IterationMode::Barrier);
+    let frontier = run_over("dist-front-tf", tcp_pair(), IterationMode::Frontier);
+    assert_bitwise("frontier vs barrier (tcp)", &frontier, &barrier);
+}
+
+/// One fully parameterized classic run: stages a k×k grid of an n-order
+/// matrix across `nnodes` striped owners and executes `iters` iterations.
+#[allow(clippy::too_many_arguments)]
+fn run_case(
+    tag: &str,
+    k: u64,
+    n: u64,
+    iters: u64,
+    seed: u64,
+    nnodes: usize,
+    reduction: ReductionPlan,
+    mode: IterationMode,
+) -> Vec<f64> {
+    let base = DoocConfig::in_temp_dirs(tag, nnodes).expect("cfg");
+    let grid = BlockGrid::new(k, n);
+    let gen = GapGenerator::with_d(3);
+    let blocks = SpmvAppBuilder::stage(
+        &base.scratch_dirs,
+        grid,
+        &gen,
+        seed,
+        striped_owner(nnodes as u64),
+    )
+    .expect("stage matrices");
+    let app = SpmvAppBuilder::new(grid, iters, blocks)
+        .reduction(reduction)
+        .sync(SyncPolicy::None)
+        .iteration_mode(mode);
+    let x0: Vec<f64> = (0..n).map(|i| ((i * 7 + seed) % 11) as f64 + 0.5).collect();
+    app.stage_initial_vector(&base.scratch_dirs, &x0)
+        .expect("stage x0");
+    let (graph, external, geometry) = app.build();
+    let cfg = config_for(base.scratch_dirs.clone(), &geometry);
+    DoocRuntime::new(cfg)
+        .run(graph, external, Arc::new(SpmvExecutor))
+        .expect("classic run");
+    let x = app
+        .collect_final_vector(&base.scratch_dirs)
+        .expect("final vector");
+    cleanup(&base);
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Frontier and barrier runs are bitwise identical across generated
+    /// grid sizes, block counts, placements, iteration depths and seeds.
+    #[test]
+    fn frontier_equivalence_across_shapes(
+        k in 2u64..5,
+        dim in 2u64..8,
+        iters in 1u64..4,
+        seed in 0u64..1000,
+        nnodes in 1usize..3,
+        local_agg in any::<bool>(),
+    ) {
+        let n = k * dim;
+        let reduction = if local_agg {
+            ReductionPlan::LocalAggregation
+        } else {
+            ReductionPlan::RowRoot
+        };
+        let tag_b = format!("dist-prop-b-{k}-{dim}-{iters}-{seed}-{nnodes}-{local_agg}");
+        let tag_f = format!("dist-prop-f-{k}-{dim}-{iters}-{seed}-{nnodes}-{local_agg}");
+        let barrier = run_case(
+            &tag_b, k, n, iters, seed, nnodes, reduction, IterationMode::Barrier,
+        );
+        let frontier = run_case(
+            &tag_f, k, n, iters, seed, nnodes, reduction, IterationMode::Frontier,
+        );
+        prop_assert_eq!(barrier.len(), frontier.len());
+        for (i, (b, f)) in barrier.iter().zip(&frontier).enumerate() {
+            prop_assert!(
+                b.to_bits() == f.to_bits(),
+                "case {tag_f} diverged at x[{i}]: {b:?} != {f:?}"
+            );
+        }
+    }
 }
 
 #[test]
 fn mismatched_bootstrap_digest_is_rejected() {
-    let (base, app) = stage("dist-mismatch");
+    let (base, app) = stage("dist-mismatch", IterationMode::Barrier);
     let (graph, external, geometry) = app.build();
     let transports = ChannelTransport::cluster(NNODES);
     let handles: Vec<_> = transports
