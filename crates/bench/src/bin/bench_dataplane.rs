@@ -22,11 +22,15 @@
 
 use bytes::Bytes;
 use dooc_core::sync::OrderedMutex;
-use dooc_core::{DoocConfig, DoocRuntime, ExecOutcome, TaskExecutor, TaskSpec, WorkerContext};
+use dooc_core::{
+    runtime_lane_specs, DoocConfig, DoocRuntime, ExecOutcome, TaskExecutor, TaskSpec, WorkerContext,
+};
 use dooc_filterstream::{FilterContext, Layout, NodeId, Runtime};
 use dooc_linalg::spmv_app::{
-    tiled_owner, IterationMode, ReductionPlan, SpmvAppBuilder, SpmvExecutor, SyncPolicy,
+    tiled_owner, IterationMode, ReductionPlan, SpmvAppBuilder, SpmvExecutor, StagedBlock,
+    SyncPolicy,
 };
+use dooc_scheduler::audit;
 use dooc_sparse::blockgrid::BlockGrid;
 use dooc_sparse::genmat::GapGenerator;
 use dooc_sparse::{dense, fileio, ComputePool};
@@ -195,12 +199,16 @@ fn main() {
     // spends waiting for its slowest block.
     json.push_str("  \"frontier\": [\n");
     let mut rows = Vec::new();
+    let mut e2e_frontier_4n = f64::MAX;
     for &nodes in &[1usize, 4] {
         let mut barrier = f64::MAX;
         let mut frontier = f64::MAX;
         for _ in 0..E2E_ROUNDS {
             barrier = barrier.min(run_spmv_mode(nodes, k, n, iters, IterationMode::Barrier));
             frontier = frontier.min(run_spmv_mode(nodes, k, n, iters, IterationMode::Frontier));
+        }
+        if nodes == 4 {
+            e2e_frontier_4n = frontier;
         }
         println!(
             "iterated SpMV k={k} n={n} iters={iters} nodes={nodes} (min of {E2E_ROUNDS}): barrier {barrier:.3}s, frontier {frontier:.3}s ({:.2}x)",
@@ -213,6 +221,60 @@ fn main() {
     }
     json.push_str(&rows.join(",\n"));
     json.push_str("\n  ],\n");
+
+    // --- 2c. static audit cost on the 4-node iterated SpMV graph -----------
+    // DoocRuntime::run audits every graph before staging a byte (DESIGN.md
+    // §14), so the pass rides inside every e2e number above; this measures
+    // it alone. Only descriptors are needed — the audit never touches data —
+    // so the blocks are synthesized with the same tiled placement the e2e
+    // rows staged. The gate: audit cost must stay under 1% of the 4-node
+    // frontier end-to-end wall it protects.
+    let audit_graph = {
+        let grid = BlockGrid::new(k, n);
+        let owner = tiled_owner(k, 4);
+        let per_block = 8 * n.div_ceil(k);
+        let blocks: Vec<StagedBlock> = grid
+            .coords()
+            .map(|coord| StagedBlock {
+                coord,
+                node: owner(coord),
+                bytes: per_block * 4,
+                nnz: 2 * n.div_ceil(k),
+            })
+            .collect();
+        let (g, _external, _geometry) = SpmvAppBuilder::new(grid, iters, blocks)
+            .reduction(ReductionPlan::LocalAggregation)
+            .sync(SyncPolicy::IterationBarrier)
+            .iteration_mode(IterationMode::Frontier)
+            .build();
+        g
+    };
+    let lanes = runtime_lane_specs(&audit_graph, 4);
+    let mut audit_s = f64::MAX;
+    for _ in 0..10 {
+        let t0 = Instant::now();
+        audit(&audit_graph, 256 << 20, &lanes).expect("bench graph audits clean");
+        audit_s = audit_s.min(t0.elapsed().as_secs_f64());
+    }
+    let audit_pct = 100.0 * audit_s / e2e_frontier_4n;
+    println!(
+        "static audit: {} tasks in {:.0}us = {:.3}% of the 4-node frontier e2e ({:.3}s)",
+        audit_graph.len(),
+        audit_s * 1e6,
+        audit_pct,
+        e2e_frontier_4n
+    );
+    assert!(
+        audit_pct < 1.0,
+        "pre-run audit cost {audit_pct:.3}% of e2e exceeds the 1% budget"
+    );
+    json.push_str(&format!(
+        "  \"audit\": {{\"tasks\": {}, \"nodes\": 4, \"audit_us\": {:.1}, \"e2e_wall_s\": {:.4}, \"pct_of_e2e\": {:.4}}},\n",
+        audit_graph.len(),
+        audit_s * 1e6,
+        e2e_frontier_4n,
+        audit_pct
+    ));
 
     // --- 3. serial/pool crossover calibration ------------------------------
     if calibrate {

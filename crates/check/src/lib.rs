@@ -20,6 +20,11 @@
 //!   random-walk plus bounded-preemption DFS search the schedule space.
 //!   Failures come with a replayable schedule token. Run via
 //!   `cargo test -p dooc-check --features model -- explore`.
+//! * [`audit`] — the workspace face of the static task-graph auditor
+//!   (`dooc_scheduler::audit`): builds the shipping SpMV graphs (no disk
+//!   staging), the seeded-bug negative twins, and the selftest the
+//!   `dooc-audit` bin and CI consume. Run via
+//!   `cargo run -p dooc-check --bin dooc-audit -- --spmv frontier --json`.
 //! * [`lint`] — a plain-text source lint pass enforcing repo-wide coding
 //!   rules (no `unwrap`/`expect` in protocol library code, no
 //!   `std::sync::Mutex`, no unbounded channels, `forbid(unsafe_code)` in
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 #[cfg(feature = "model")]
 pub mod explore;
 pub mod lint;

@@ -43,6 +43,7 @@ use std::path::{Path, PathBuf};
 const PAT_ORDERED_NEW: &str = concat!("OrderedMutex::", "new(");
 const PAT_LOCK_CALL: &str = concat!(".lock", "()");
 const PAT_CHAN_IDENT: &str = concat!("boun", "ded");
+const PAT_CONNECT_WITH: &str = "connect_with(";
 
 /// One `OrderedMutex::new("class", ...)` declaration site.
 #[derive(Clone, Debug)]
@@ -102,6 +103,27 @@ pub struct ChanSite {
     pub line: usize,
 }
 
+/// One explicit stream-lane wiring site: a `connect_with(from, "out_port",
+/// to, "in_port", Delivery::…, capacity)` call. These are the bounded lanes
+/// the runtime's capacity audit sizes against the graph; extracting them
+/// makes the `done`/`prog` broadcast topology visible to the static pass.
+#[derive(Clone, Debug)]
+pub struct LaneSite {
+    /// Sender port name.
+    pub from_port: String,
+    /// Receiver port name.
+    pub to_port: String,
+    /// Delivery-mode expression text (e.g. `Delivery::Broadcast`).
+    pub delivery: String,
+    /// Capacity expression text (whitespace-normalized across wrapped
+    /// lines), e.g. `2 * graph.len() + 64`.
+    pub capacity: String,
+    /// File of the call.
+    pub file: PathBuf,
+    /// 1-based line of the `connect_with(` token.
+    pub line: usize,
+}
+
 /// The extracted static sync graph of a source tree.
 #[derive(Clone, Debug, Default)]
 pub struct SyncGraph {
@@ -112,6 +134,8 @@ pub struct SyncGraph {
     pub edges: Vec<StaticEdge>,
     /// Channel construction sites.
     pub channels: Vec<ChanSite>,
+    /// Stream-lane wiring sites (`connect_with` calls).
+    pub lanes: Vec<LaneSite>,
     /// Files scanned.
     pub files_scanned: usize,
 }
@@ -189,11 +213,12 @@ impl SyncGraph {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "sync-graph: {} files, {} lock classes, {} order edges, {} channel sites",
+            "sync-graph: {} files, {} lock classes, {} order edges, {} channel sites, {} lanes",
             self.files_scanned,
             self.classes.len(),
             self.edges.len(),
-            self.channels.len()
+            self.channels.len(),
+            self.lanes.len()
         );
         for c in &self.classes {
             let _ = writeln!(
@@ -222,6 +247,18 @@ impl SyncGraph {
                     .as_deref()
                     .map(|c| format!(" cap `{c}`"))
                     .unwrap_or_default()
+            );
+        }
+        for l in &self.lanes {
+            let _ = writeln!(
+                out,
+                "  lane {} -> {} [{}] cap `{}` ({}:{})",
+                l.from_port,
+                l.to_port,
+                l.delivery,
+                l.capacity,
+                l.file.display(),
+                l.line
             );
         }
         out
@@ -415,12 +452,87 @@ pub struct FileScan {
     pub lock_calls: Vec<Vec<(String, usize)>>,
     /// Channel construction sites in this file.
     pub channels: Vec<ChanSite>,
+    /// `connect_with` lane-wiring sites in this file.
+    pub lanes: Vec<LaneSite>,
+}
+
+/// Extracts `connect_with(...)` lane sites from stripped source. The calls
+/// are rustfmt-wrapped across lines, so arguments are collected across the
+/// whole text to paren balance and split on depth-1 commas; every argument
+/// is whitespace-normalized. Calls whose argument count is not the
+/// six-argument `connect_with` shape are skipped.
+fn scan_lanes(file: &Path, stripped: &str) -> Vec<LaneSite> {
+    let mut lanes = Vec::new();
+    let mut search = 0;
+    while let Some(p) = stripped[search..].find(PAT_CONNECT_WITH) {
+        let pos = search + p;
+        search = pos + PAT_CONNECT_WITH.len();
+        // Require a method/function call position (`.connect_with(` or a
+        // `fn connect_with(` definition — the latter is filtered below by
+        // its argument shape not being six comma-separated expressions).
+        let pre = stripped[..pos].chars().next_back();
+        if pre.is_some_and(is_ident_char) {
+            continue;
+        }
+        let line = stripped[..pos].matches('\n').count() + 1;
+        let body = &stripped[pos + PAT_CONNECT_WITH.len()..];
+        let mut depth = 1usize;
+        let mut args: Vec<String> = Vec::new();
+        let mut cur = String::new();
+        for c in body.chars() {
+            match c {
+                '(' | '[' | '{' => {
+                    depth += 1;
+                    cur.push(c);
+                }
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    cur.push(c);
+                }
+                ',' if depth == 1 => {
+                    args.push(std::mem::take(&mut cur));
+                }
+                c => cur.push(c),
+            }
+        }
+        if !cur.trim().is_empty() {
+            args.push(cur);
+        }
+        let norm: Vec<String> = args
+            .iter()
+            .map(|a| a.split_whitespace().collect::<Vec<_>>().join(" "))
+            .collect();
+        if norm.len() != 6 {
+            continue;
+        }
+        let unquote = |s: &str| {
+            s.strip_prefix('"')
+                .and_then(|t| t.strip_suffix('"'))
+                .unwrap_or(s)
+                .to_string()
+        };
+        lanes.push(LaneSite {
+            from_port: unquote(&norm[1]),
+            to_port: unquote(&norm[3]),
+            delivery: norm[4].clone(),
+            capacity: norm[5].clone(),
+            file: file.to_path_buf(),
+            line,
+        });
+    }
+    lanes
 }
 
 /// Scans one file's source text. `file` is used only for locations.
 pub fn scan_source(file: &Path, src: &str) -> FileScan {
     let stripped = strip_source(src);
-    let mut scan = FileScan::default();
+    let mut scan = FileScan {
+        lanes: scan_lanes(file, &stripped),
+        ..FileScan::default()
+    };
     // Current function's lock-call sequence; a new `fn ` token starts a
     // fresh scope (closures and nested items conservatively share the
     // enclosing scope until the next `fn`).
@@ -542,6 +654,7 @@ pub fn build_graph(scans: Vec<FileScan>) -> SyncGraph {
         }
         graph.classes.extend(s.classes.iter().cloned());
         graph.channels.extend(s.channels.iter().cloned());
+        graph.lanes.extend(s.lanes.iter().cloned());
     }
     let mut seen: HashMap<(String, String), ()> = HashMap::new();
     for s in &scans {
@@ -746,6 +859,59 @@ fn two() {
         let bounded: Vec<_> = g.channels.iter().filter(|c| c.bounded).collect();
         assert_eq!(bounded.len(), 1);
         assert_eq!(bounded[0].capacity.as_deref(), Some("cfg.depth"));
+    }
+
+    #[test]
+    fn wrapped_connect_with_lane_extracted() {
+        // The exact rustfmt-wrapped shape of the runtime's progress-lane
+        // wiring: arguments across lines, capacity an arithmetic expression.
+        let src = "\
+fn wire() {
+    if graph.is_timed() {
+        layout.connect_with(
+            workers,
+            \"prog_out\",
+            workers,
+            \"prog_in\",
+            Delivery::Broadcast,
+            2 * graph.len() + 64,
+        );
+    }
+    layout.connect_with(a, \"req\", b, \"rep\", Delivery::Direct, 32);
+}
+";
+        let g = build_graph(vec![scan_source(Path::new("t.rs"), src)]);
+        assert_eq!(g.lanes.len(), 2, "{}", g.render());
+        let prog = &g.lanes[0];
+        assert_eq!(prog.from_port, "prog_out");
+        assert_eq!(prog.to_port, "prog_in");
+        assert_eq!(prog.delivery, "Delivery::Broadcast");
+        assert_eq!(prog.capacity, "2 * graph.len() + 64");
+        assert_eq!(prog.line, 3);
+        assert_eq!(g.lanes[1].from_port, "req");
+        assert_eq!(g.lanes[1].capacity, "32");
+    }
+
+    #[test]
+    fn connect_with_definition_site_skipped() {
+        // The `fn connect_with(` definition has a different argument shape
+        // (&mut self + 6 params) and must not register as a lane.
+        let src = "\
+impl Layout {
+    pub fn connect_with(
+        &mut self,
+        from: FilterGroup,
+        from_port: &str,
+        to: FilterGroup,
+        to_port: &str,
+        delivery: Delivery,
+        capacity: usize,
+    ) {
+    }
+}
+";
+        let g = build_graph(vec![scan_source(Path::new("t.rs"), src)]);
+        assert!(g.lanes.is_empty(), "{}", g.render());
     }
 
     #[test]

@@ -54,13 +54,14 @@ pub mod worker;
 pub use config::DoocConfig;
 pub use progress::ProgressState;
 pub use report::{render_trace_gantt, RunReport, TraceEvent};
-pub use runtime::DoocRuntime;
+pub use runtime::{runtime_lane_specs, DoocRuntime};
 pub use worker::{ArrayView, ExecOutcome, ResidencyTracker, TaskExecutor, WorkerContext};
 
 // Re-export the pieces applications touch, so `dooc-core` is self-sufficient.
 pub use dooc_filterstream::sync;
 pub use dooc_scheduler::{
-    DataRef, FrontierOracle, OrderPolicy, TaskGraph, TaskId, TaskSpec, Timestamp,
+    AuditError, AuditReport, DataRef, FrontierOracle, LaneSpec, OrderPolicy, TaskGraph, TaskId,
+    TaskSpec, Timestamp,
 };
 pub use dooc_storage::meta::Interval;
 pub use dooc_storage::proto::NodeStats;
@@ -84,6 +85,9 @@ pub enum DoocError {
     },
     /// Configuration problem.
     Config(String),
+    /// The pre-run static audit rejected the graph (stall, overcommit or
+    /// lane-capacity deadlock). Set `DOOC_AUDIT=off` to bypass.
+    Audit(dooc_scheduler::AuditError),
 }
 
 impl std::fmt::Display for DoocError {
@@ -94,6 +98,7 @@ impl std::fmt::Display for DoocError {
             DoocError::Dataflow(e) => write!(f, "dataflow error: {e}"),
             DoocError::Task { task, message } => write!(f, "task '{task}' failed: {message}"),
             DoocError::Config(m) => write!(f, "configuration error: {m}"),
+            DoocError::Audit(e) => write!(f, "static audit rejected the graph: {e}"),
         }
     }
 }
@@ -103,6 +108,12 @@ impl std::error::Error for DoocError {}
 impl From<dooc_scheduler::SchedError> for DoocError {
     fn from(e: dooc_scheduler::SchedError) -> Self {
         DoocError::Sched(e)
+    }
+}
+
+impl From<dooc_scheduler::AuditError> for DoocError {
+    fn from(e: dooc_scheduler::AuditError) -> Self {
+        DoocError::Audit(e)
     }
 }
 

@@ -103,6 +103,19 @@ impl DoocRuntime {
         if nnodes == 0 {
             return Err(DoocError::Config("no scratch directories".into()));
         }
+        // Static pre-run audit: progress stalls, per-task residency vs the
+        // storage budget, and lane-capacity deadlock freedom — all decidable
+        // from the graph alone, so reject bad jobs before assembling the
+        // cluster. `DOOC_AUDIT=off` (or `0`) opts out, for benches that
+        // measure the data plane in isolation.
+        if audit_enabled() {
+            dooc_scheduler::audit(
+                &graph,
+                self.config.memory_budget,
+                &runtime_lane_specs(&graph, nnodes as u64),
+            )
+            .map_err(DoocError::Audit)?;
+        }
         // Global scheduling: affinity placement.
         let placement = Arc::new(assign_affinity(&graph, &external_location, nnodes as u64)?);
 
@@ -243,6 +256,52 @@ impl DoocRuntime {
             trace,
         })
     }
+}
+
+/// Is the pre-run static audit enabled? Defaults to on; `DOOC_AUDIT=off`
+/// (or `0`) bypasses it, for benches that isolate the data plane.
+fn audit_enabled() -> bool {
+    !matches!(
+        std::env::var("DOOC_AUDIT").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
+}
+
+/// The bounded lanes `run_inner` is about to wire, declared for the
+/// lane-capacity audit. Both worker↔worker broadcast groups loop back to
+/// their own senders, so they are communication cycles: a send must never
+/// block, which the audit proves by `bound ≤ capacity`.
+///
+/// * `done` — one completion message per task, capacity `len + 16`.
+/// * `progress` — one capability-drop batch per timestamped completion plus
+///   at most one cumulative re-flush per worker in flight at a time (the
+///   receiver folds batches idempotently and drains its lane every tick),
+///   against the declared capacity `2·len + 64`. The comment-level sizing
+///   argument from PR 9 becomes a checked fact here.
+///
+/// Public so `dooc-audit` can report on exactly the lanes the runtime will
+/// wire for a given graph.
+pub fn runtime_lane_specs(graph: &TaskGraph, nnodes: u64) -> Vec<dooc_scheduler::LaneSpec> {
+    let len = graph.len() as u64;
+    let mut lanes = vec![dooc_scheduler::LaneSpec {
+        name: "done".into(),
+        capacity: len + 16,
+        bound: len,
+        cyclic: true,
+    }];
+    if graph.is_timed() {
+        let timestamped = graph
+            .ids()
+            .filter(|&id| graph.task(id).timestamp.is_some())
+            .count() as u64;
+        lanes.push(dooc_scheduler::LaneSpec {
+            name: "progress".into(),
+            capacity: 2 * len + 64,
+            bound: 2 * timestamped + nnodes,
+            cyclic: true,
+        });
+    }
+    lanes
 }
 
 /// FNV-1a digest of everything that shapes cluster assembly: node count,

@@ -17,6 +17,9 @@
 //!   data-aware reordering (which reproduces the back-and-forth traversal of
 //!   Fig. 5b without any application input), task splitting, and prefetch
 //!   planning against the storage map.
+//! * [`audit`] — static pre-run verification over the whole graph: progress
+//!   stall detection, peak-residency bounds, and channel-capacity deadlock
+//!   freedom, consumed by the runtime as an admission gate.
 //!
 //! The crate is pure policy — no threads, no I/O — so every scheduling
 //! decision is deterministic and unit-testable; the `dooc-core` crate mounts
@@ -26,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod global;
 pub mod local;
 pub mod progress;
 pub mod task;
 
+pub use audit::{audit, AuditError, AuditReport, LaneSpec};
 pub use dooc_filterstream::NodeId;
 pub use global::{assign_affinity, assign_round_robin, Placement};
 pub use local::{LocalScheduler, MemoryOracle, OrderPolicy};

@@ -315,6 +315,10 @@ pub struct StorageState {
     fetches: HashMap<u64, (String, u64)>,
     next_fetch_req: u64,
     resident: u64,
+    /// Bytes of blocks currently pinned (pins > 0); feeds the
+    /// `pinned_peak_bytes` high-watermark in [`NodeStats`] that the static
+    /// audit's residency bound must dominate.
+    pinned_now: u64,
     stats: NodeStats,
     rng: StdRng,
     /// Fetches that exhausted every peer without an answer: retried on the
@@ -360,6 +364,7 @@ impl StorageState {
             fetches: HashMap::new(),
             next_fetch_req: 0,
             resident: 0,
+            pinned_now: 0,
             stats: NodeStats::default(),
             rng,
             stalled: Vec::new(),
@@ -983,6 +988,28 @@ impl StorageState {
         }
     }
 
+    /// Takes one grant on a block, charging its bytes to the pinned ledger
+    /// on the 0 → 1 transition (a block's bytes count once no matter how
+    /// many grants hold it) and updating the high-watermark.
+    fn pin_block(pinned_now: &mut u64, stats: &mut NodeStats, info: &mut BlockInfo, bytes: u64) {
+        if info.pins == 0 {
+            *pinned_now += bytes;
+            if *pinned_now > stats.pinned_peak_bytes {
+                stats.pinned_peak_bytes = *pinned_now;
+            }
+        }
+        info.pins += 1;
+    }
+
+    /// Drops one grant, discharging the block's bytes on the 1 → 0
+    /// transition.
+    fn unpin_block(pinned_now: &mut u64, info: &mut BlockInfo, bytes: u64) {
+        if info.pins == 1 {
+            *pinned_now = pinned_now.saturating_sub(bytes);
+        }
+        info.pins = info.pins.saturating_sub(1);
+    }
+
     fn err(client: u64, req: u64, error: StorageError, out: &mut Vec<Action>) {
         out.push(Action::Reply {
             client,
@@ -1018,7 +1045,7 @@ impl StorageState {
                 if let Some(data) = resident {
                     // Serve immediately.
                     storage_obs().read_hits.inc();
-                    info.pins += 1;
+                    Self::pin_block(&mut self.pinned_now, &mut self.stats, info, block_len);
                     out.push(Action::Reply {
                         client,
                         reply: Reply::ReadReady { req, data },
@@ -1268,7 +1295,7 @@ impl StorageState {
             );
         }
         info.write_granted.insert(off, off + iv.len);
-        info.pins += 1;
+        Self::pin_block(&mut self.pinned_now, &mut self.stats, info, block_len);
         let newly_resident = if info.mem.is_none() {
             info.mem = Some(BlockMem::Building(vec![0u8; block_len as usize]));
             true
@@ -1292,8 +1319,9 @@ impl StorageState {
         let Ok((block, _)) = ainfo.meta.locate(iv) else {
             return;
         };
+        let block_len = ainfo.meta.block_len(block);
         if let Some(info) = ainfo.blocks.get_mut(&block) {
-            info.pins = info.pins.saturating_sub(1);
+            Self::unpin_block(&mut self.pinned_now, info, block_len);
         }
     }
 
@@ -1363,7 +1391,7 @@ impl StorageState {
         }
         info.sealed.insert(off, off + iv.len);
         storage_obs().blocks_sealed.inc();
-        info.pins = info.pins.saturating_sub(1);
+        Self::unpin_block(&mut self.pinned_now, info, block_len);
         out.push(Action::Reply {
             client,
             reply: Reply::WriteSealed { req },
@@ -1375,7 +1403,14 @@ impl StorageState {
             }
         }
         // Serve any logged reads that are now covered.
-        Self::flush_waiters(info, &meta, block, &mut self.stats, out);
+        Self::flush_waiters(
+            info,
+            &meta,
+            block,
+            &mut self.pinned_now,
+            &mut self.stats,
+            out,
+        );
         self.touch(&array, block);
     }
 
@@ -1385,6 +1420,7 @@ impl StorageState {
         info: &mut BlockInfo,
         meta: &ArrayMeta,
         block: u64,
+        pinned_now: &mut u64,
         stats: &mut NodeStats,
         out: &mut Vec<Action>,
     ) {
@@ -1400,7 +1436,7 @@ impl StorageState {
             };
             match data {
                 Some(data) => {
-                    info.pins += 1;
+                    Self::pin_block(pinned_now, stats, info, block_len);
                     out.push(Action::Reply {
                         client: w.client,
                         reply: Reply::ReadReady { req: w.req, data },
@@ -1686,7 +1722,14 @@ impl StorageState {
                 let newly = info.mem.is_none();
                 info.mem = Some(BlockMem::Sealed(data));
                 info.sealed = RangeSet::from_range(0, block_len);
-                Self::flush_waiters(info, &meta, block, &mut self.stats, &mut out);
+                Self::flush_waiters(
+                    info,
+                    &meta,
+                    block,
+                    &mut self.pinned_now,
+                    &mut self.stats,
+                    &mut out,
+                );
                 self.touch(&array, block);
                 if newly {
                     self.charge(block_len, &mut out);
@@ -1755,7 +1798,14 @@ impl StorageState {
                 let newly = info.mem.is_none();
                 info.mem = Some(BlockMem::Sealed(data));
                 info.sealed = RangeSet::from_range(0, meta.block_len(block));
-                Self::flush_waiters(info, &meta, block, &mut self.stats, &mut out);
+                Self::flush_waiters(
+                    info,
+                    &meta,
+                    block,
+                    &mut self.pinned_now,
+                    &mut self.stats,
+                    &mut out,
+                );
                 self.touch(&array, block);
                 if newly {
                     self.charge(meta.block_len(block), &mut out);

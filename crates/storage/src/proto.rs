@@ -86,6 +86,10 @@ pub struct NodeStats {
     pub resident_bytes: u64,
     /// Configured memory budget in bytes.
     pub budget_bytes: u64,
+    /// High-watermark of bytes simultaneously pinned (read pins plus write
+    /// grants) over the node's lifetime — the observed grant-ledger peak the
+    /// static audit's `peak_bytes` bound must dominate.
+    pub pinned_peak_bytes: u64,
 }
 
 /// Filter → storage requests.
@@ -706,7 +710,8 @@ impl Reply {
                     .put_u64(stats.peer_recv_bytes)
                     .put_u64(stats.evictions)
                     .put_u64(stats.resident_bytes)
-                    .put_u64(stats.budget_bytes);
+                    .put_u64(stats.budget_bytes)
+                    .put_u64(stats.pinned_peak_bytes);
                 pb.build(T_REPLY + 7)
             }
             Reply::Err { req, error } => {
@@ -784,6 +789,7 @@ impl Reply {
                     evictions: r.u64().ok_or_else(e)?,
                     resident_bytes: r.u64().ok_or_else(e)?,
                     budget_bytes: r.u64().ok_or_else(e)?,
+                    pinned_peak_bytes: r.u64().ok_or_else(e)?,
                 },
             },
             t if t == T_REPLY + 8 => Reply::Err {
@@ -1157,6 +1163,7 @@ mod tests {
                     evictions: 5,
                     resident_bytes: 6,
                     budget_bytes: 7,
+                    pinned_peak_bytes: 8,
                 },
             },
             Reply::Err {
